@@ -1,0 +1,141 @@
+//! Identifier co-occurrence graph (§6, Figure 27).
+//!
+//! Nodes are identifiers (phone numbers, social handles, shortlinks, backend
+//! IPs); an edge connects two identifiers that appear together on at least
+//! one hijacked domain's HTML, weighted by how many domains they share.
+//! Connected components delineate candidate attacker infrastructures.
+
+use crate::union_find::UnionFind;
+use std::collections::HashMap;
+
+/// A weighted undirected co-occurrence graph over nodes `0..n`.
+#[derive(Debug, Clone)]
+pub struct CoOccurrenceGraph {
+    n: usize,
+    /// Edge weights keyed by (min, max) node pair.
+    edges: HashMap<(usize, usize), u64>,
+    /// Per-node association count (how many domains the identifier is on).
+    node_weight: Vec<u64>,
+}
+
+impl CoOccurrenceGraph {
+    pub fn new(n: usize) -> Self {
+        CoOccurrenceGraph {
+            n,
+            edges: HashMap::new(),
+            node_weight: vec![0; n],
+        }
+    }
+
+    /// Build from per-item attribute lists: `items[d]` is the set of node ids
+    /// appearing on domain `d`. Every pair within an item gets +1 edge
+    /// weight; every node in an item gets +1 node weight.
+    pub fn from_items(n: usize, items: &[Vec<usize>]) -> Self {
+        let mut g = CoOccurrenceGraph::new(n);
+        for ids in items {
+            for &a in ids {
+                g.node_weight[a] += 1;
+            }
+            for i in 0..ids.len() {
+                for j in (i + 1)..ids.len() {
+                    g.add_edge(ids[i], ids[j], 1);
+                }
+            }
+        }
+        g
+    }
+
+    pub fn add_edge(&mut self, a: usize, b: usize, weight: u64) {
+        assert!(a < self.n && b < self.n);
+        if a == b {
+            return;
+        }
+        let key = (a.min(b), a.max(b));
+        *self.edges.entry(key).or_insert(0) += weight;
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn edge_weight(&self, a: usize, b: usize) -> u64 {
+        self.edges.get(&(a.min(b), a.max(b))).copied().unwrap_or(0)
+    }
+
+    pub fn node_weight(&self, a: usize) -> u64 {
+        self.node_weight[a]
+    }
+
+    pub fn edges(&self) -> impl Iterator<Item = ((usize, usize), u64)> + '_ {
+        self.edges.iter().map(|(&k, &w)| (k, w))
+    }
+
+    /// Connected components (each sorted, components ordered by first node).
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let mut uf = UnionFind::new(self.n);
+        for (&(a, b), _) in &self.edges {
+            uf.union(a, b);
+        }
+        uf.groups()
+    }
+
+    /// Degree of a node.
+    pub fn degree(&self, a: usize) -> usize {
+        self.edges
+            .keys()
+            .filter(|&&(x, y)| x == a || y == a)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_items_weights() {
+        // domain 0 carries ids {0,1}; domain 1 carries {0,1,2}; domain 2: {3}
+        let items = vec![vec![0, 1], vec![0, 1, 2], vec![3]];
+        let g = CoOccurrenceGraph::from_items(4, &items);
+        assert_eq!(g.edge_weight(0, 1), 2);
+        assert_eq!(g.edge_weight(1, 2), 1);
+        assert_eq!(g.edge_weight(0, 3), 0);
+        assert_eq!(g.node_weight(0), 2);
+        assert_eq!(g.node_weight(3), 1);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn components_split() {
+        let items = vec![vec![0, 1], vec![1, 2], vec![3, 4]];
+        let g = CoOccurrenceGraph::from_items(6, &items);
+        let comps = g.components();
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![3, 4], vec![5]]);
+    }
+
+    #[test]
+    fn self_edges_ignored() {
+        let mut g = CoOccurrenceGraph::new(2);
+        g.add_edge(0, 0, 5);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn degree() {
+        let g = CoOccurrenceGraph::from_items(4, &[vec![0, 1, 2]]);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn edge_symmetry() {
+        let mut g = CoOccurrenceGraph::new(3);
+        g.add_edge(2, 1, 3);
+        assert_eq!(g.edge_weight(1, 2), 3);
+        assert_eq!(g.edge_weight(2, 1), 3);
+    }
+}

@@ -1,0 +1,89 @@
+//! Jaccard similarity/distance on sorted ID sets.
+//!
+//! §6 defines identifier distance as 1 − |A∩B|/|A∪B| over the sets of
+//! hijacked domains each identifier appears on: 0 means identical domain
+//! sets, 1 means no shared domain.
+
+/// Jaccard similarity of two **sorted, deduplicated** slices.
+pub fn jaccard_similarity(a: &[u32], b: &[u32]) -> f64 {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "a must be sorted unique");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "b must be sorted unique");
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let mut i = 0;
+    let mut j = 0;
+    let mut inter = 0usize;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Jaccard distance = 1 − similarity.
+pub fn jaccard_distance(a: &[u32], b: &[u32]) -> f64 {
+    1.0 - jaccard_similarity(a, b)
+}
+
+/// Size of the intersection of two sorted unique slices.
+pub fn intersection_size(a: &[u32], b: &[u32]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut inter = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets() {
+        assert_eq!(jaccard_similarity(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(jaccard_distance(&[1, 2, 3], &[1, 2, 3]), 0.0);
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        assert_eq!(jaccard_similarity(&[1, 2], &[3, 4]), 0.0);
+        assert_eq!(jaccard_distance(&[1, 2], &[3, 4]), 1.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // |{2,3}| / |{1,2,3,4}| = 0.5
+        assert_eq!(jaccard_similarity(&[1, 2, 3], &[2, 3, 4]), 0.5);
+    }
+
+    #[test]
+    fn empty_handling() {
+        assert_eq!(jaccard_similarity(&[], &[]), 1.0);
+        assert_eq!(jaccard_similarity(&[], &[1]), 0.0);
+    }
+
+    #[test]
+    fn intersection() {
+        assert_eq!(intersection_size(&[1, 3, 5, 7], &[2, 3, 6, 7, 9]), 2);
+        assert_eq!(intersection_size(&[], &[1]), 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # dangling-analysis — statistics and clustering toolkit
+//!
+//! The numerical machinery behind the paper's figures:
+//!
+//! - [`stats`] — histograms (Fig 6), ECDFs (Fig 15), monthly time series
+//!   (Fig 1, 16, 19, 20), top-k counters (Tables 1/5/6),
+//! - [`union_find`] — disjoint sets for connected components,
+//! - [`graph`] — the identifier co-occurrence graph of §6 (Fig 27),
+//! - [`jaccard`] — the set distance used for identifier clustering,
+//! - [`hac`] — average-linkage agglomerative hierarchical clustering via the
+//!   nearest-neighbour-chain algorithm (O(n²)), with the distance-threshold
+//!   cut at 0.95 used for Fig 22/28,
+//! - [`table`] — plain-text table rendering for the experiment harness.
+
+pub mod graph;
+pub mod hac;
+pub mod jaccard;
+pub mod stats;
+pub mod table;
+pub mod union_find;
+
+pub use graph::CoOccurrenceGraph;
+pub use hac::{Dendrogram, Merge};
+pub use jaccard::{jaccard_distance, jaccard_similarity};
+pub use stats::{Ecdf, Histogram, MonthlySeries, TopK};
+pub use table::Table;
+pub use union_find::UnionFind;

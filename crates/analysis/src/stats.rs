@@ -1,0 +1,285 @@
+//! Histograms, ECDFs, monthly time series, and top-k counters.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Fixed-width histogram over `u64` values (Figure 6 uses bins of 5,000
+/// uploaded files).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    bin_width: u64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    pub fn new(bin_width: u64) -> Self {
+        assert!(bin_width > 0);
+        Histogram {
+            bin_width,
+            counts: Vec::new(),
+            total: 0,
+        }
+    }
+
+    pub fn add(&mut self, value: u64) {
+        let bin = (value / self.bin_width) as usize;
+        if bin >= self.counts.len() {
+            self.counts.resize(bin + 1, 0);
+        }
+        self.counts[bin] += 1;
+        self.total += 1;
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    pub fn bin_width(&self) -> u64 {
+        self.bin_width
+    }
+
+    /// `(bin_lower_bound, count)` pairs, skipping trailing empties.
+    pub fn bins(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (i as u64 * self.bin_width, c))
+    }
+
+    pub fn count_in_bin(&self, bin: usize) -> u64 {
+        self.counts.get(bin).copied().unwrap_or(0)
+    }
+}
+
+/// Empirical CDF over f64 values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    pub fn new(mut values: Vec<f64>) -> Self {
+        values.retain(|v| v.is_finite());
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Ecdf { sorted: values }
+    }
+
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples ≤ x.
+    pub fn fraction_le(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.partition_point(|&v| v <= x) as f64 / self.sorted.len() as f64
+    }
+
+    /// The q-quantile (0 ≤ q ≤ 1), nearest-rank.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        Some(self.sorted[idx - 1])
+    }
+
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+}
+
+/// A time series bucketed by month index (`year*12 + month-1`).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MonthlySeries {
+    buckets: HashMap<i32, f64>,
+}
+
+impl MonthlySeries {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&mut self, month_index: i32, amount: f64) {
+        *self.buckets.entry(month_index).or_insert(0.0) += amount;
+    }
+
+    pub fn increment(&mut self, month_index: i32) {
+        self.add(month_index, 1.0);
+    }
+
+    pub fn get(&self, month_index: i32) -> f64 {
+        self.buckets.get(&month_index).copied().unwrap_or(0.0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Sorted `(month_index, value)` pairs spanning the full observed range
+    /// (missing months filled with 0).
+    pub fn dense(&self) -> Vec<(i32, f64)> {
+        let Some(&min) = self.buckets.keys().min() else {
+            return Vec::new();
+        };
+        let max = *self.buckets.keys().max().unwrap();
+        (min..=max).map(|m| (m, self.get(m))).collect()
+    }
+
+    /// Running cumulative sum of [`MonthlySeries::dense`].
+    pub fn cumulative(&self) -> Vec<(i32, f64)> {
+        let mut acc = 0.0;
+        self.dense()
+            .into_iter()
+            .map(|(m, v)| {
+                acc += v;
+                (m, acc)
+            })
+            .collect()
+    }
+
+    pub fn total(&self) -> f64 {
+        self.buckets.values().sum()
+    }
+}
+
+/// Frequency counter with deterministic top-k extraction.
+#[derive(Debug, Clone)]
+pub struct TopK<T: Eq + Hash + Ord + Clone> {
+    counts: HashMap<T, u64>,
+}
+
+impl<T: Eq + Hash + Ord + Clone> Default for TopK<T> {
+    fn default() -> Self {
+        TopK {
+            counts: HashMap::new(),
+        }
+    }
+}
+
+impl<T: Eq + Hash + Ord + Clone> TopK<T> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&mut self, item: T) {
+        *self.counts.entry(item).or_insert(0) += 1;
+    }
+
+    pub fn add_n(&mut self, item: T, n: u64) {
+        *self.counts.entry(item).or_insert(0) += n;
+    }
+
+    pub fn count(&self, item: &T) -> u64 {
+        self.counts.get(item).copied().unwrap_or(0)
+    }
+
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Top `k` by count descending, ties broken by item ordering (stable
+    /// across runs).
+    pub fn top(&self, k: usize) -> Vec<(T, u64)> {
+        let mut v: Vec<(T, u64)> = self.counts.iter().map(|(t, &c)| (t.clone(), c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins() {
+        let mut h = Histogram::new(5000);
+        for v in [0, 4999, 5000, 14_999, 144_349] {
+            h.add(v);
+        }
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.count_in_bin(0), 2);
+        assert_eq!(h.count_in_bin(1), 1);
+        assert_eq!(h.count_in_bin(2), 1);
+        assert_eq!(h.count_in_bin(28), 1); // 144349/5000 = 28
+        let bins: Vec<_> = h.bins().collect();
+        assert_eq!(bins[0], (0, 2));
+        assert_eq!(bins[1], (5000, 1));
+    }
+
+    #[test]
+    fn ecdf_quantiles() {
+        let e = Ecdf::new((1..=100).map(|v| v as f64).collect());
+        assert_eq!(e.fraction_le(15.0), 0.15);
+        assert_eq!(e.fraction_le(0.0), 0.0);
+        assert_eq!(e.fraction_le(1000.0), 1.0);
+        assert_eq!(e.quantile(0.5), Some(50.0));
+        assert_eq!(e.quantile(1.0), Some(100.0));
+        assert_eq!(e.quantile(0.0), Some(1.0));
+        assert_eq!(e.min(), Some(1.0));
+        assert_eq!(e.max(), Some(100.0));
+        assert_eq!(e.mean(), Some(50.5));
+    }
+
+    #[test]
+    fn ecdf_empty_and_nan() {
+        let e = Ecdf::new(vec![f64::NAN, f64::INFINITY]);
+        assert!(e.is_empty());
+        assert_eq!(e.quantile(0.5), None);
+        assert_eq!(e.fraction_le(1.0), 0.0);
+    }
+
+    #[test]
+    fn monthly_series_dense_and_cumulative() {
+        let mut s = MonthlySeries::new();
+        s.increment(24240); // 2020-01
+        s.increment(24240);
+        s.increment(24242); // 2020-03
+        let d = s.dense();
+        assert_eq!(d, vec![(24240, 2.0), (24241, 0.0), (24242, 1.0)]);
+        let c = s.cumulative();
+        assert_eq!(c, vec![(24240, 2.0), (24241, 2.0), (24242, 3.0)]);
+        assert_eq!(s.total(), 3.0);
+    }
+
+    #[test]
+    fn topk_ordering() {
+        let mut t = TopK::new();
+        for w in ["slot", "slot", "slot", "judi", "judi", "online"] {
+            t.add(w);
+        }
+        t.add_n("gacor", 2);
+        assert_eq!(
+            t.top(3),
+            vec![("slot", 3), ("gacor", 2), ("judi", 2)] // tie: gacor < judi
+        );
+        assert_eq!(t.count(&"online"), 1);
+        assert_eq!(t.distinct(), 4);
+        assert_eq!(t.total(), 8);
+    }
+}

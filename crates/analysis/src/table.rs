@@ -1,0 +1,146 @@
+//! Plain-text table rendering for the experiment harness.
+//!
+//! Every `repro` subcommand prints its table/figure data through this so the
+//! output is directly comparable with the paper's rows.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>) -> Self {
+        Table {
+            title: title.into(),
+            headers: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn headers<I, S>(mut self, headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(line, "{cell:<w$}  ", w = w);
+            }
+            line.trim_end().to_string()
+        };
+        if !self.headers.is_empty() {
+            let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+            let _ = writeln!(
+                out,
+                "{}",
+                "-".repeat(widths.iter().sum::<usize>() + 2 * ncols)
+            );
+        }
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Format a fraction as a percent string with one decimal.
+pub fn pct(num: u64, den: u64) -> String {
+    if den == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * num as f64 / den as f64)
+    }
+}
+
+/// Thousands separator for readability of large counts.
+pub fn thousands(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo").headers(["name", "count"]);
+        t.row(["azure", "8347"]);
+        t.row(["aws-s3-longer-name", "983"]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("name"));
+        // Columns aligned: both data rows same position for second column.
+        let lines: Vec<&str> = s.lines().collect();
+        let c1 = lines[3].find("8347").unwrap();
+        let c2 = lines[4].find("983").unwrap();
+        assert_eq!(c1, c2);
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(8347, 690_779), "1.2%");
+        assert_eq!(pct(1, 0), "-");
+        assert_eq!(pct(0, 10), "0.0%");
+    }
+
+    #[test]
+    fn thousands_formatting() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1_000), "1,000");
+        assert_eq!(thousands(1_508_273), "1,508,273");
+        assert_eq!(thousands(25_806_449_380), "25,806,449,380");
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests: HAC invariants, Jaccard metric axioms, union-find,
+//! histogram/ECDF consistency.
+
+use analysis::{jaccard_distance, jaccard_similarity, Dendrogram, Ecdf, Histogram, UnionFind};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_sets() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(
+        proptest::collection::btree_set(0u32..20, 1..8)
+            .prop_map(|s| s.into_iter().collect::<Vec<u32>>()),
+        2..25,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Jaccard distance is a metric on sets: identity, symmetry, bounds.
+    #[test]
+    fn jaccard_metric_axioms(sets in arb_sets()) {
+        for a in &sets {
+            prop_assert_eq!(jaccard_distance(a, a), 0.0);
+            for b in &sets {
+                let dab = jaccard_distance(a, b);
+                prop_assert!((0.0..=1.0).contains(&dab));
+                prop_assert_eq!(dab, jaccard_distance(b, a));
+            }
+        }
+    }
+
+    /// Triangle inequality for Jaccard distance (it is a true metric).
+    #[test]
+    fn jaccard_triangle(sets in arb_sets()) {
+        for a in &sets {
+            for b in &sets {
+                for c in &sets {
+                    let ab = jaccard_distance(a, b);
+                    let bc = jaccard_distance(b, c);
+                    let ac = jaccard_distance(a, c);
+                    prop_assert!(ac <= ab + bc + 1e-12);
+                }
+            }
+        }
+    }
+
+    /// The dendrogram is structurally valid: n-1 merges, monotone distances,
+    /// final size n, and every cut is a partition of the leaves.
+    #[test]
+    fn hac_structural_invariants(sets in arb_sets(), cut_at in 0.0f64..=1.0) {
+        let n = sets.len();
+        let dend = Dendrogram::build(n, |i, j| jaccard_distance(&sets[i], &sets[j]));
+        prop_assert_eq!(dend.merges().len(), n - 1);
+        prop_assert!(dend.is_monotone(), "merge distances must be non-decreasing");
+        prop_assert_eq!(dend.merges().last().unwrap().size, n);
+        let clusters = dend.cut(cut_at);
+        let mut seen = HashSet::new();
+        for c in &clusters {
+            prop_assert!(!c.is_empty());
+            for &leaf in c {
+                prop_assert!(leaf < n);
+                prop_assert!(seen.insert(leaf), "leaf {} in two clusters", leaf);
+            }
+        }
+        prop_assert_eq!(seen.len(), n);
+        // Cut granularity is monotone in the threshold.
+        let finer = dend.cut((cut_at - 0.2).max(0.0));
+        prop_assert!(finer.len() >= clusters.len());
+    }
+
+    /// Identical sets always land in the same cluster for any cut >= 0.
+    #[test]
+    fn hac_identical_items_cluster(dup_count in 2usize..6, cut_at in 0.0f64..=1.0) {
+        let mut sets: Vec<Vec<u32>> = vec![vec![1, 2, 3]; dup_count];
+        sets.push(vec![100, 101]);
+        sets.push(vec![200]);
+        let n = sets.len();
+        let dend = Dendrogram::build(n, |i, j| jaccard_distance(&sets[i], &sets[j]));
+        let clusters = dend.cut(cut_at);
+        let cluster_of_first = clusters.iter().find(|c| c.contains(&0)).unwrap();
+        for i in 0..dup_count {
+            prop_assert!(cluster_of_first.contains(&i));
+        }
+    }
+
+    /// Union-find: union is idempotent and set_count decreases exactly on
+    /// novel unions.
+    #[test]
+    fn union_find_counts(ops in proptest::collection::vec((0usize..20, 0usize..20), 0..60)) {
+        let mut uf = UnionFind::new(20);
+        let mut expected = 20;
+        for (a, b) in ops {
+            let novel = !uf.same(a, b);
+            let did = uf.union(a, b);
+            prop_assert_eq!(did, novel);
+            if novel { expected -= 1; }
+            prop_assert_eq!(uf.set_count(), expected);
+        }
+        let groups = uf.groups();
+        prop_assert_eq!(groups.len(), expected);
+        prop_assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), 20);
+    }
+
+    /// Histogram conserves mass; ECDF is monotone.
+    #[test]
+    fn histogram_and_ecdf(values in proptest::collection::vec(0u64..200_000, 1..100)) {
+        let mut h = Histogram::new(5000);
+        for &v in &values {
+            h.add(v);
+        }
+        prop_assert_eq!(h.total(), values.len() as u64);
+        prop_assert_eq!(h.bins().map(|(_, c)| c).sum::<u64>(), values.len() as u64);
+
+        let e = Ecdf::new(values.iter().map(|&v| v as f64).collect());
+        let mut last = 0.0;
+        for x in (0..=200_000u64).step_by(20_000) {
+            let f = e.fraction_le(x as f64);
+            prop_assert!(f >= last);
+            last = f;
+        }
+        prop_assert_eq!(e.fraction_le(200_000.0), 1.0);
+    }
+
+    /// similarity + distance == 1 everywhere.
+    #[test]
+    fn jaccard_complement(sets in arb_sets()) {
+        for a in &sets {
+            for b in &sets {
+                let s = jaccard_similarity(a, b) + jaccard_distance(a, b);
+                prop_assert!((s - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Attacker campaigns.
+//!
+//! Campaign sizes follow Figure 22's long tail: one giant infrastructure
+//! (743 hijacked domains, 1,609 identifiers at paper scale), a few large
+//! ones (414/222/179/112), and ~1,800 mostly-singleton groups. Activity
+//! follows Figure 16's waves: a burst in 2020, relative quiet in early 2021,
+//! and a sustained ramp through 2021–2023.
+
+use crate::identifiers::CampaignIdentifiers;
+use cloudsim::AccountId;
+use contentgen::abuse::{AbuseSpec, AbuseTopic, SeoTechnique};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use simcore::{Date, RngTree, Scale, SimTime, WeightedIndex};
+
+/// Campaign generation parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    pub scale: Scale,
+    /// Paper-scale head sizes (hijacked domains per top campaign).
+    pub head_sizes_paper: Vec<u32>,
+    /// Paper-scale number of campaigns overall (~1,798 clusters).
+    pub n_campaigns_paper: u32,
+    /// Paper-scale total hijack budget across all campaigns (~20,904).
+    pub total_hijacks_paper: u32,
+    /// Probability a hijacked page embeds campaign identifiers (§6 finds
+    /// identifiers on ~1/3 of hijacked domains).
+    pub identifier_embed_probability: f64,
+    /// Probability the campaign obtains a certificate for a hijack.
+    pub cert_probability: f64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            scale: Scale::DEFAULT,
+            head_sizes_paper: vec![743, 414, 222, 179, 112],
+            n_campaigns_paper: 1_798,
+            total_hijacks_paper: 20_904,
+            identifier_embed_probability: 0.38,
+            cert_probability: 0.18,
+        }
+    }
+}
+
+/// One attacker group.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Campaign {
+    pub id: u32,
+    pub identifiers: CampaignIdentifiers,
+    /// How many domains the campaign aims to recruit in total.
+    pub target_hijacks: u32,
+    /// Campaign activity start/end.
+    pub active_from: SimTime,
+    pub active_until: SimTime,
+    /// Weekly hijack capacity while active.
+    pub hijacks_per_week: f64,
+    pub topic_weights: Vec<(AbuseTopic, f64)>,
+    pub technique_weights: Vec<(SeoTechnique, f64)>,
+    /// Probability of embedding identifiers on a given site.
+    pub identifier_embed_probability: f64,
+    pub cert_probability: f64,
+    /// Probability of hiding behind a maintenance shell.
+    pub shell_probability: f64,
+    /// Probability of the keywords meta tag (41% overall, §5.2.1).
+    pub meta_keyword_probability: f64,
+}
+
+impl Campaign {
+    pub fn account(&self) -> AccountId {
+        AccountId::Attacker(self.id)
+    }
+
+    pub fn is_active(&self, t: SimTime) -> bool {
+        self.active_from <= t && t <= self.active_until
+    }
+
+    /// Sample a topic per site.
+    pub fn sample_topic<R: Rng + ?Sized>(&self, rng: &mut R) -> AbuseTopic {
+        let w: Vec<f64> = self.topic_weights.iter().map(|(_, w)| *w).collect();
+        self.topic_weights[WeightedIndex::new(&w).sample(rng)].0
+    }
+
+    pub fn sample_technique<R: Rng + ?Sized>(&self, rng: &mut R) -> SeoTechnique {
+        let w: Vec<f64> = self.technique_weights.iter().map(|(_, w)| *w).collect();
+        self.technique_weights[WeightedIndex::new(&w).sample(rng)].0
+    }
+
+    /// Build the content spec for a new hijack. `peers` are other hijacked
+    /// hosts of the same campaign (for the link network).
+    pub fn make_abuse_spec<R: Rng + ?Sized>(&self, peers: &[String], rng: &mut R) -> AbuseSpec {
+        let topic = self.sample_topic(rng);
+        let technique = self.sample_technique(rng);
+        // Figure 6: heavy-tailed page counts, 2 .. ~145k, mean ≈ 31,810.
+        let pages = simcore::LogNormal::from_median_spread(9_000.0, 4.0)
+            .sample(rng)
+            .clamp(2.0, 144_349.0) as u64;
+        let embed = rng.gen_bool(self.identifier_embed_probability);
+        let links = if embed {
+            self.identifiers.sample_links(rng)
+        } else {
+            // Monetization links without *distinctive* identifiers: the
+            // referral chain still exists but no contact identifiers are
+            // embedded (the other ~2/3 of the abuse dataset).
+            contentgen::abuse::CampaignLinks {
+                target_site: self.identifiers.target_site.clone(),
+                referral_code: self.identifiers.referral_code.clone(),
+                ..Default::default()
+            }
+        };
+        let shell = rng.gen_bool(self.shell_probability);
+        AbuseSpec {
+            topic,
+            technique,
+            page_count: pages,
+            use_meta_keywords: rng.gen_bool(self.meta_keyword_probability),
+            maintenance_shell_lang: shell
+                .then(|| ["en", "de", "ja", "ar", "ru"][rng.gen_range(0..5)].to_string()),
+            links,
+            network_peers: peers.iter().rev().take(4).cloned().collect(),
+        }
+    }
+}
+
+/// Figure 16's activity waves: start-date mixture.
+fn sample_start<R: Rng + ?Sized>(rng: &mut R) -> SimTime {
+    let wave: f64 = rng.gen();
+    let (from, to) = if wave < 0.28 {
+        // 2020 burst.
+        (Date::new(2020, 2, 1), Date::new(2020, 10, 1))
+    } else if wave < 0.36 {
+        // early-2021 lull (few new campaigns).
+        (Date::new(2021, 1, 1), Date::new(2021, 7, 1))
+    } else {
+        // late-2021 → 2023 ramp.
+        (Date::new(2021, 8, 1), Date::new(2023, 3, 1))
+    };
+    let span = to.to_sim() - from.to_sim();
+    from.to_sim() + rng.gen_range(0..span)
+}
+
+/// Generate the campaign population.
+pub fn generate_campaigns(cfg: &CampaignConfig, rng_tree: &RngTree) -> Vec<Campaign> {
+    let mut rng = rng_tree.rng("campaigns");
+    let scale = cfg.scale;
+    let mut campaigns = Vec::new();
+    let total_budget = scale.apply(cfg.total_hijacks_paper as u64).max(4) as i64;
+    let mut remaining = total_budget;
+
+    // Head campaigns from the paper's top-5 sizes, then a Pareto tail of
+    // small groups until the hijack budget is spent (the paper's ~1,798
+    // clusters emerge from the budget rather than being imposed).
+    let mut sizes: Vec<u32> = cfg
+        .head_sizes_paper
+        .iter()
+        .map(|&s| scale.apply(s as u64).max(2) as u32)
+        .collect();
+    let tail = simcore::Pareto::new(1.0, 1.1);
+    let head_total: i64 = sizes.iter().map(|&s| s as i64).sum();
+    let mut tail_total = 0i64;
+    while head_total + tail_total < total_budget {
+        let s = tail.sample(&mut rng).min(40.0) as u32;
+        tail_total += s as i64;
+        sizes.push(s);
+    }
+
+    for (i, &size) in sizes.iter().enumerate() {
+        if remaining <= 0 {
+            break;
+        }
+        let size = (size as i64).min(remaining).max(1) as u32;
+        remaining -= size as i64;
+        let mut crng = rng_tree.rng_idx("campaigns/each", i as u64);
+        let identifiers = CampaignIdentifiers::generate(i as u32, size, &mut crng);
+        let start = sample_start(&mut crng);
+        let horizon = SimTime::monitor_end();
+        // Large campaigns run to the end; small ones may be short-lived.
+        let until = if size > 20 || crng.gen_bool(0.6) {
+            horizon
+        } else {
+            (start + crng.gen_range(60..600)).min(horizon)
+        };
+        let duration_weeks = ((until - start).max(7) as f64) / 7.0;
+        let hijacks_per_week = (size as f64 / duration_weeks).max(0.05);
+        // Topic mix: gambling dominates (Figure 3); adult second.
+        let topic_weights = vec![
+            (AbuseTopic::Gambling, 0.62),
+            (AbuseTopic::Adult, 0.22),
+            (AbuseTopic::Shopping, 0.10),
+            (AbuseTopic::Pharma, 0.06),
+        ];
+        // Technique mix per §5.2.1: doorway 62.13%, keyword-stuffing bulk,
+        // JKH+link networks 7.17%, clickjacking a few percent.
+        let technique_weights = vec![
+            (SeoTechnique::DoorwayPages, 0.6213),
+            (SeoTechnique::KeywordStuffing, 0.2470),
+            (SeoTechnique::JapaneseKeywordHack, 0.0359),
+            (SeoTechnique::LinkNetwork, 0.0358),
+            (SeoTechnique::ClickJacking, 0.06),
+        ];
+        campaigns.push(Campaign {
+            id: i as u32,
+            identifiers,
+            target_hijacks: size,
+            active_from: start,
+            active_until: until,
+            hijacks_per_week,
+            topic_weights,
+            technique_weights,
+            identifier_embed_probability: cfg.identifier_embed_probability,
+            cert_probability: cfg.cert_probability,
+            shell_probability: 0.25,
+            meta_keyword_probability: 0.41,
+        });
+    }
+    campaigns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CampaignConfig {
+        CampaignConfig {
+            scale: Scale::new(100),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn head_and_tail_sizes() {
+        let cs = generate_campaigns(&cfg(), &RngTree::new(1));
+        assert!(cs.len() >= 3);
+        // The giant head campaign carries its scaled paper size.
+        assert_eq!(cs[0].target_hijacks, Scale::new(100).apply(743) as u32);
+        // Long tail of small campaigns.
+        let small = cs.iter().filter(|c| c.target_hijacks <= 2).count();
+        assert!(small as f64 > 0.4 * cs.len() as f64);
+    }
+
+    #[test]
+    fn budget_respected() {
+        let c = cfg();
+        let cs = generate_campaigns(&c, &RngTree::new(2));
+        let total: u32 = cs.iter().map(|c| c.target_hijacks).sum();
+        let budget = c.scale.apply(c.total_hijacks_paper as u64) as u32;
+        assert!(total <= budget + 5, "total {total} vs budget {budget}");
+        assert!(total as f64 > 0.5 * budget as f64);
+    }
+
+    #[test]
+    fn activity_waves_cover_periods() {
+        let cs = generate_campaigns(&cfg(), &RngTree::new(3));
+        let y2020 = Date::new(2020, 6, 1).to_sim();
+        let y2022 = Date::new(2022, 6, 1).to_sim();
+        assert!(cs
+            .iter()
+            .any(|c| c.active_from <= y2020 && c.active_until >= y2020));
+        assert!(cs
+            .iter()
+            .any(|c| c.active_from <= y2022 && c.active_until >= y2022));
+        for c in &cs {
+            assert!(c.active_until >= c.active_from);
+            assert!(c.hijacks_per_week > 0.0);
+        }
+    }
+
+    #[test]
+    fn abuse_specs_sampled() {
+        let cs = generate_campaigns(&cfg(), &RngTree::new(4));
+        let mut rng = RngTree::new(5).rng("t");
+        let c = &cs[0];
+        let mut gambling = 0;
+        let mut doorway = 0;
+        let n = 400;
+        for _ in 0..n {
+            let spec = c.make_abuse_spec(&["peer.victim.com".into()], &mut rng);
+            assert!((2..=144_349).contains(&spec.page_count));
+            if spec.topic == AbuseTopic::Gambling {
+                gambling += 1;
+            }
+            if spec.technique == SeoTechnique::DoorwayPages {
+                doorway += 1;
+            }
+        }
+        assert!(gambling as f64 > 0.5 * n as f64);
+        assert!(doorway as f64 > 0.5 * n as f64);
+    }
+
+    #[test]
+    fn is_active_window() {
+        let cs = generate_campaigns(&cfg(), &RngTree::new(6));
+        let c = &cs[0];
+        assert!(c.is_active(c.active_from));
+        assert!(c.is_active(c.active_until));
+        assert!(!c.is_active(c.active_from - 1));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_campaigns(&cfg(), &RngTree::new(7));
+        let b = generate_campaigns(&cfg(), &RngTree::new(7));
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].identifiers, b[0].identifiers);
+    }
+}

@@ -1,0 +1,178 @@
+//! Hijack economics (§4.3).
+//!
+//! The paper infers attacker rationality from the data: every observed
+//! hijack used a freetext resource, none used the IP lottery, and Google's
+//! randomized names were untouched. This module makes that reasoning
+//! executable: given an opportunity and a cost model, [`CostModel::decide`]
+//! returns what a profit-maximizing attacker would do.
+
+use cloudsim::{NamingModel, ServiceId};
+use serde::{Deserialize, Serialize};
+
+/// Attacker-side costs and valuations, in arbitrary currency units.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cost of registering one freetext resource (an API call + minutes of
+    /// operator time). Essentially free on all platforms' free tiers.
+    pub freetext_registration_cost: f64,
+    /// Cost of one allocate-check-release cycle against an IP pool
+    /// (allocation fees + rate limits + time).
+    pub ip_allocation_cycle_cost: f64,
+    /// Expected revenue from monetizing one hijacked domain of median
+    /// reputation (SEO referral income over the abuse lifetime).
+    pub median_domain_value: f64,
+    /// Revenue multiplier per unit of log-popularity (higher-reputation
+    /// domains earn more).
+    pub reputation_multiplier: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            freetext_registration_cost: 0.05,
+            ip_allocation_cycle_cost: 0.08,
+            median_domain_value: 40.0,
+            reputation_multiplier: 12.0,
+        }
+    }
+}
+
+/// The decision for one dangling-record opportunity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum HijackDecision {
+    /// Register the freetext name; expected cost is the registration fee.
+    ProceedFreetext { expected_cost: f64 },
+    /// Decline: the resource identity is drawn from a pool of `pool_size`
+    /// and the expected lottery cost exceeds the domain's value.
+    DeclineIpLottery {
+        expected_attempts: f64,
+        expected_cost: f64,
+        domain_value: f64,
+    },
+    /// Decline: the provider generates unguessable names; re-registration is
+    /// impossible at any cost.
+    ImpossibleRandomName,
+}
+
+impl HijackDecision {
+    pub fn proceeds(&self) -> bool {
+        matches!(self, HijackDecision::ProceedFreetext { .. })
+    }
+}
+
+impl CostModel {
+    /// Value of a domain given its Tranco-style rank (None = unranked).
+    pub fn domain_value(&self, tranco_rank: Option<u32>) -> f64 {
+        match tranco_rank {
+            Some(r) => {
+                // log-scaled: rank 1 ≈ value*(1+6·mult), rank 1M ≈ median.
+                let boost = (1_000_000.0 / r.max(1) as f64).log10().max(0.0);
+                self.median_domain_value + self.reputation_multiplier * boost
+            }
+            None => self.median_domain_value * 0.5,
+        }
+    }
+
+    /// Decide whether to pursue a dangling record pointing at `service`,
+    /// with `pool_free` free addresses in the relevant pool (IP services).
+    ///
+    /// For IP-pool targets the attacker holds intermediate allocations
+    /// within a round (sampling without replacement), so the expected number
+    /// of allocations to hit one specific address is `(N+1)/2`.
+    pub fn decide(
+        &self,
+        service: ServiceId,
+        tranco_rank: Option<u32>,
+        pool_free: u64,
+    ) -> HijackDecision {
+        let spec = cloudsim::provider::spec(service);
+        match spec.naming {
+            NamingModel::Freetext => HijackDecision::ProceedFreetext {
+                expected_cost: self.freetext_registration_cost,
+            },
+            NamingModel::RandomName => HijackDecision::ImpossibleRandomName,
+            NamingModel::IpPool => {
+                // With realistic pool sizes the expected cost dwarfs any
+                // domain's value, and cheaper freetext targets are always in
+                // supply — the attacker declines. (The economics are
+                // reported so the `repro economics` experiment can show the
+                // crossover that never occurs in practice.)
+                let expected_attempts = (pool_free as f64 + 1.0) / 2.0;
+                let expected_cost = expected_attempts * self.ip_allocation_cycle_cost;
+                let domain_value = self.domain_value(tranco_rank);
+                HijackDecision::DeclineIpLottery {
+                    expected_attempts,
+                    expected_cost,
+                    domain_value,
+                }
+            }
+        }
+    }
+
+    /// The break-even pool size below which a targeted IP lottery would be
+    /// rational for a domain of the given rank.
+    pub fn breakeven_pool_size(&self, tranco_rank: Option<u32>) -> u64 {
+        let value = self.domain_value(tranco_rank);
+        // value = ((N+1)/2) * cycle_cost  =>  N = 2*value/cost - 1
+        ((2.0 * value / self.ip_allocation_cycle_cost) - 1.0).max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freetext_always_proceeds() {
+        let m = CostModel::default();
+        let d = m.decide(ServiceId::AzureWebApp, Some(100), 0);
+        assert!(d.proceeds());
+        let d = m.decide(ServiceId::HerokuApp, None, 0);
+        assert!(d.proceeds());
+    }
+
+    #[test]
+    fn random_names_impossible() {
+        let m = CostModel::default();
+        assert_eq!(
+            m.decide(ServiceId::GoogleAppEngine, Some(1), 0),
+            HijackDecision::ImpossibleRandomName
+        );
+    }
+
+    #[test]
+    fn ip_lottery_declined_at_realistic_pool_sizes() {
+        let m = CostModel::default();
+        // EC2 pools hold millions of addresses.
+        let d = m.decide(ServiceId::AwsEc2PublicIp, Some(1), 4_000_000);
+        assert!(!d.proceeds());
+        match d {
+            HijackDecision::DeclineIpLottery {
+                expected_cost,
+                domain_value,
+                expected_attempts,
+            } => {
+                assert!(expected_cost > domain_value * 100.0);
+                assert!((expected_attempts - 2_000_000.5).abs() < 1.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn value_grows_with_reputation() {
+        let m = CostModel::default();
+        assert!(m.domain_value(Some(10)) > m.domain_value(Some(100_000)));
+        assert!(m.domain_value(Some(100_000)) > m.domain_value(None));
+    }
+
+    #[test]
+    fn breakeven_is_tiny_compared_to_real_pools() {
+        let m = CostModel::default();
+        let be = m.breakeven_pool_size(Some(100));
+        // Even a top-100 domain only justifies a pool of a few thousand —
+        // orders of magnitude below real cloud pools (§4.3's conclusion).
+        assert!(be < 10_000, "breakeven = {be}");
+        assert!(be > 100);
+    }
+}

@@ -1,0 +1,246 @@
+//! Campaign contact/infrastructure identifiers (§6).
+//!
+//! Each campaign owns a pool of identifiers it embeds on its abuse pages:
+//! WhatsApp phone numbers (Figure 21: overwhelmingly Indonesian +62 and
+//! Cambodian +855), Telegram/Instagram/Facebook handles, URL-shortener
+//! links, and backend IPs rented at hosting providers concentrated in the
+//! US, France and Singapore (Figure 26).
+
+use contentgen::abuse::CampaignLinks;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Phone country codes with Figure-21 weights.
+pub const PHONE_COUNTRIES: &[(&str, &str, f64)] = &[
+    ("62", "Indonesia", 0.68),
+    ("855", "Cambodia", 0.22),
+    ("60", "Malaysia", 0.04),
+    ("66", "Thailand", 0.03),
+    ("84", "Vietnam", 0.02),
+    ("63", "Philippines", 0.01),
+];
+
+/// Backend hosting blocks with Figure-26 org/geo tags.
+pub const HOSTING_BLOCKS: &[(&str, &str, &str)] = &[
+    ("198.51.100.0/24", "ExampleHost US", "US"),
+    ("203.0.113.0/24", "CloudRent US", "US"),
+    ("192.0.2.0/24", "OVH-like FR", "FR"),
+    ("100.64.10.0/24", "SingaHost SG", "SG"),
+    ("100.64.20.0/24", "SingaHost SG", "SG"),
+    ("100.64.30.0/24", "NL-Box NL", "NL"),
+];
+
+/// The identifier pool of one campaign.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CampaignIdentifiers {
+    pub phones: Vec<String>,
+    pub social: Vec<String>,
+    pub shortlinks: Vec<String>,
+    pub backend_ips: Vec<Ipv4Addr>,
+    pub target_site: String,
+    pub referral_code: String,
+}
+
+impl CampaignIdentifiers {
+    /// Generate a pool sized for a campaign that aims at `target_domains`
+    /// hijacks. Identifier counts scale sub-linearly (the giant cluster had
+    /// ~2.2 identifiers per domain; loners have 1–2 total).
+    pub fn generate<R: Rng + ?Sized>(
+        campaign_idx: u32,
+        target_domains: u32,
+        rng: &mut R,
+    ) -> CampaignIdentifiers {
+        let n_ids = ((target_domains as f64).sqrt() * 2.0).ceil().max(1.0) as usize;
+        let n_phones = (n_ids / 3).max(1);
+        let n_social = (n_ids / 3).max(1);
+        let n_short = (n_ids / 4).max(1);
+        let n_ips = (n_ids / 4).max(1);
+
+        let phone_weights: Vec<f64> = PHONE_COUNTRIES.iter().map(|(_, _, w)| *w).collect();
+        let phone_dist = simcore::WeightedIndex::new(&phone_weights);
+
+        let mut phones = Vec::with_capacity(n_phones);
+        for _ in 0..n_phones {
+            let (cc, _, _) = PHONE_COUNTRIES[phone_dist.sample(rng)];
+            let mut digits = String::from(cc);
+            for _ in 0..10 {
+                digits.push((b'0' + rng.gen_range(0..10u8)) as char);
+            }
+            phones.push(digits);
+        }
+
+        let social_hosts = ["t.me", "instagram.com", "facebook.com", "twitter.com"];
+        let mut social = Vec::with_capacity(n_social);
+        for i in 0..n_social {
+            let host = social_hosts.choose(rng).unwrap();
+            social.push(format!("{host}/{}{}_{}", brand(rng), campaign_idx, i));
+        }
+
+        let short_hosts = ["bit.ly", "cutt.ly", "s.id", "linktr.ee"];
+        let mut shortlinks = Vec::with_capacity(n_short);
+        for _ in 0..n_short {
+            let host = short_hosts.choose(rng).unwrap();
+            let code: String = (0..7)
+                .map(|_| {
+                    let chars = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+                    chars[rng.gen_range(0..chars.len())] as char
+                })
+                .collect();
+            shortlinks.push(format!("{host}/{code}"));
+        }
+
+        let mut backend_ips = Vec::with_capacity(n_ips);
+        for _ in 0..n_ips {
+            let (block, _, _) = HOSTING_BLOCKS.choose(rng).unwrap();
+            let cidr: cloudsim::Cidr = block.parse().unwrap();
+            backend_ips.push(cidr.nth(rng.gen_range(1..cidr.size() - 1)));
+        }
+        backend_ips.sort();
+        backend_ips.dedup();
+
+        CampaignIdentifiers {
+            phones,
+            social,
+            shortlinks,
+            backend_ips,
+            target_site: format!("{}-{}.win", brand(rng), campaign_idx),
+            referral_code: format!("REF{campaign_idx:04}"),
+        }
+    }
+
+    /// Total identifier count.
+    pub fn len(&self) -> usize {
+        self.phones.len() + self.social.len() + self.shortlinks.len() + self.backend_ips.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Draw a per-site subset to embed (real pages carry a handful of the
+    /// campaign's identifiers, which is what makes the co-occurrence graph
+    /// connected).
+    pub fn sample_links<R: Rng + ?Sized>(&self, rng: &mut R) -> CampaignLinks {
+        let pick = |v: &[String], n: usize, rng: &mut R| -> Vec<String> {
+            let mut c: Vec<String> = v.to_vec();
+            c.shuffle(rng);
+            c.truncate(n.max(1).min(v.len().max(1)));
+            c
+        };
+        CampaignLinks {
+            phones: pick(&self.phones, 2, rng),
+            social: pick(&self.social, 2, rng),
+            shortlinks: pick(&self.shortlinks, 1, rng),
+            backend_ips: {
+                let mut ips = self.backend_ips.clone();
+                ips.shuffle(rng);
+                ips.truncate(1.max(ips.len().min(2)));
+                ips
+            },
+            target_site: self.target_site.clone(),
+            referral_code: self.referral_code.clone(),
+        }
+    }
+
+    /// The country of a phone number (Figure 21 aggregation).
+    pub fn phone_country(phone: &str) -> &'static str {
+        for (cc, country, _) in PHONE_COUNTRIES {
+            if phone.starts_with(cc) {
+                return country;
+            }
+        }
+        "Other"
+    }
+
+    /// The hosting org/geo of a backend IP (Figure 26 aggregation).
+    pub fn ip_hosting(ip: Ipv4Addr) -> Option<(&'static str, &'static str)> {
+        for (block, org, geo) in HOSTING_BLOCKS {
+            let cidr: cloudsim::Cidr = block.parse().unwrap();
+            if cidr.contains(ip) {
+                return Some((org, geo));
+            }
+        }
+        None
+    }
+}
+
+fn brand<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let stems = [
+        "slot", "gacor", "maxwin", "judi", "hoki", "jackpot", "bet", "spin",
+    ];
+    format!("{}{}", stems.choose(rng).unwrap(), rng.gen_range(10..1000))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pool_sizes_scale_sublinearly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let small = CampaignIdentifiers::generate(1, 2, &mut rng);
+        let big = CampaignIdentifiers::generate(2, 750, &mut rng);
+        assert!(small.len() >= 2);
+        assert!(big.len() > small.len());
+        assert!(big.len() < 750); // sub-linear
+    }
+
+    #[test]
+    fn phone_geography_biased_to_indonesia() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut indo = 0;
+        let mut total = 0;
+        for i in 0..300 {
+            let ids = CampaignIdentifiers::generate(i, 100, &mut rng);
+            for p in &ids.phones {
+                total += 1;
+                if CampaignIdentifiers::phone_country(p) == "Indonesia" {
+                    indo += 1;
+                }
+            }
+        }
+        let frac = indo as f64 / total as f64;
+        assert!(frac > 0.55 && frac < 0.8, "frac = {frac}");
+    }
+
+    #[test]
+    fn backend_ips_map_to_hosting_orgs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ids = CampaignIdentifiers::generate(5, 200, &mut rng);
+        for ip in &ids.backend_ips {
+            let (org, geo) = CampaignIdentifiers::ip_hosting(*ip).expect("in a known block");
+            assert!(!org.is_empty());
+            assert!(["US", "FR", "SG", "NL"].contains(&geo));
+        }
+        assert_eq!(
+            CampaignIdentifiers::ip_hosting("8.8.8.8".parse().unwrap()),
+            None
+        );
+    }
+
+    #[test]
+    fn sampled_links_subset_of_pool() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ids = CampaignIdentifiers::generate(9, 400, &mut rng);
+        let links = ids.sample_links(&mut rng);
+        for p in &links.phones {
+            assert!(ids.phones.contains(p));
+        }
+        for s in &links.social {
+            assert!(ids.social.contains(s));
+        }
+        assert_eq!(links.referral_code, ids.referral_code);
+        assert!(!links.backend_ips.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = CampaignIdentifiers::generate(7, 50, &mut StdRng::seed_from_u64(9));
+        let b = CampaignIdentifiers::generate(7, 50, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

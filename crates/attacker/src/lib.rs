@@ -1,0 +1,37 @@
+//! # attacker — adversary behaviour models
+//!
+//! The paper's central empirical finding is *which* attacks real adversaries
+//! run: deterministic re-registration of user-nameable cloud resources,
+//! monetized overwhelmingly through blackhat SEO for Indonesian gambling,
+//! organized into ~1,800 identifier-sharing infrastructures. This crate
+//! models those adversaries:
+//!
+//! - [`economics`] — the cost model of §4.3: freetext re-registration is
+//!   O($0) and certain; a targeted IP from the pool is a lottery whose
+//!   expected cost scales with the pool size. The model *decides*, per
+//!   opportunity, whether a rational attacker proceeds — zero IP takeovers
+//!   is an output, not an assumption.
+//! - [`identifiers`] — campaign contact identifiers with the paper's
+//!   geography (phones mostly +62 Indonesia / +855 Cambodia, Figure 21;
+//!   backend IPs at hosting providers in US/FR/SG, Figure 26),
+//! - [`campaign`] — attacker groups with heavy-tailed target sizes (the
+//!   1,609-identifier giant of Figure 22 down to single-identifier loners),
+//!   activity waves matching Figure 16, and the §5.6.1 certificate-issuance
+//!   windows,
+//! - [`scanner`] — dangling-record discovery from a passive-DNS-style feed,
+//! - [`cookievault`] — §5.5's darknet cookie-leak telemetry,
+//! - [`malware`] — §5.4's (nearly absent) malware hosting.
+
+pub mod campaign;
+pub mod cookievault;
+pub mod economics;
+pub mod identifiers;
+pub mod malware;
+pub mod scanner;
+
+pub use campaign::{generate_campaigns, Campaign, CampaignConfig};
+pub use cookievault::{CookieLeak, CookieVault};
+pub use economics::{CostModel, HijackDecision};
+pub use identifiers::CampaignIdentifiers;
+pub use malware::{BinaryArtifact, BinaryKind, MalwareModel};
+pub use scanner::{DanglingFinding, Scanner};

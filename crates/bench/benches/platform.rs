@@ -1,0 +1,67 @@
+//! Criterion benches: cloud-platform hot paths — registration lifecycle and
+//! virtual-host request serving (the crawler's per-sample cost).
+
+use cloudsim::{AccountId, CloudPlatform, PlatformConfig, ServiceId, SiteContent};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use httpsim::{Endpoint, Request};
+use rand::SeedableRng;
+use simcore::SimTime;
+
+fn bench_lifecycle(c: &mut Criterion) {
+    c.bench_function("register_release_cycle", |b| {
+        let mut platform = CloudPlatform::new(PlatformConfig::default());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let name = format!("app-{i}");
+            let id = platform
+                .register(
+                    ServiceId::AzureWebApp,
+                    Some(&name),
+                    None,
+                    AccountId::Org(1),
+                    SimTime(0),
+                    &mut rng,
+                )
+                .unwrap();
+            platform.release(black_box(id), SimTime(0));
+        })
+    });
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let mut platform = CloudPlatform::new(PlatformConfig::default());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut hosts = Vec::new();
+    for i in 0..1000 {
+        let name = format!("site-{i}");
+        let id = platform
+            .register(
+                ServiceId::AzureWebApp,
+                Some(&name),
+                None,
+                AccountId::Org(1),
+                SimTime(0),
+                &mut rng,
+            )
+            .unwrap();
+        platform.set_content(id, SiteContent::placeholder(&format!("Site {i}")));
+        let res = platform.resource(id).unwrap();
+        hosts.push((res.generated_fqdn.clone().unwrap().to_string(), res.ip));
+    }
+    let mut g = c.benchmark_group("vhost_serving");
+    g.throughput(Throughput::Elements(hosts.len() as u64));
+    g.bench_function("http_serve_1k_hosts", |b| {
+        b.iter(|| {
+            for (host, ip) in &hosts {
+                let resp = platform.http_serve(*ip, &Request::get(host, "/"), SimTime(0));
+                black_box(resp);
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lifecycle, bench_serving);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin repro -- all
+//! cargo run --release -p bench --bin repro -- fig20 table2 liveness
+//! cargo run --release -p bench --bin repro -- --scale 100 --seed 42 all ablations
+//! ```
+
+use bench::{render_target, run_study, ABLATIONS, TARGETS};
+
+fn main() {
+    let mut scale: u32 = 200;
+    let mut seed: u64 = 42;
+    let mut json_path: Option<String> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => {
+                json_path = Some(args.next().expect("--json takes an output path"));
+            }
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale takes a denominator");
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed takes a u64");
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--scale N] [--seed N] [--json OUT] <targets...>");
+                println!("targets: all | ablations | {}", TARGETS.join(" "));
+                println!("ablations: {}", ABLATIONS.join(" "));
+                return;
+            }
+            t => targets.push(t.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("summary".into());
+    }
+    // Expand meta-targets.
+    let mut expanded: Vec<String> = Vec::new();
+    for t in targets {
+        match t.as_str() {
+            "all" => expanded.extend(TARGETS.iter().map(|s| s.to_string())),
+            "ablations" => expanded.extend(ABLATIONS.iter().map(|s| s.to_string())),
+            other => expanded.push(other.to_string()),
+        }
+    }
+
+    eprintln!("running study at scale 1/{scale}, seed {seed}...");
+    let start = std::time::Instant::now();
+    let results = run_study(scale, seed);
+    eprintln!(
+        "study complete in {:.1}s: {} monitored, {} hijacks (truth), {} detected\n",
+        start.elapsed().as_secs_f64(),
+        results.monitored_total,
+        results.world.truth.len(),
+        results.abuse.len()
+    );
+
+    if let Some(path) = &json_path {
+        let summary = bench::json_summary(&results);
+        std::fs::write(path, serde_json::to_string_pretty(&summary).unwrap())
+            .expect("write json summary");
+        eprintln!("wrote machine-readable summary to {path}");
+    }
+
+    for t in expanded {
+        let out = match t.as_str() {
+            "ablation-randomized" => bench::ablations::randomized_names(scale.max(400), seed),
+            "ablation-cooldown" => bench::ablations::cooldown(scale.max(400), seed),
+            "ablation-signatures" => bench::ablations::naive_signatures(&results),
+            "ablation-cutoff" => bench::ablations::cutoff_sweep(&results),
+            "ablation-probe" => bench::ablations::probe_methods(&results),
+            "extension-wordpress" => bench::ablations::wordpress_extension(scale.max(400), seed),
+            other => render_target(&results, other),
+        };
+        println!("{out}");
+    }
+}

@@ -1,0 +1,85 @@
+//! Smoke tests: every repro target renders against a tiny study without
+//! panicking and contains its paper-comparison markers.
+
+use bench::{json_summary, render_target, TARGETS};
+use dangling_core::{Scenario, ScenarioConfig};
+
+fn tiny() -> dangling_core::StudyResults {
+    let mut cfg = ScenarioConfig::at_scale(1500);
+    cfg.world.n_fortune1000 = 40;
+    cfg.world.n_global500 = 20;
+    cfg.seed = 3;
+    Scenario::new(cfg).run()
+}
+
+#[test]
+fn every_target_renders() {
+    let r = tiny();
+    for t in TARGETS {
+        let out = render_target(&r, t);
+        assert!(!out.is_empty(), "target {t} rendered nothing");
+        assert!(
+            !out.contains("unknown target"),
+            "target {t} not wired: {out}"
+        );
+    }
+}
+
+#[test]
+fn paper_markers_present() {
+    let r = tiny();
+    for (target, marker) in [
+        ("fig5", "17,698"),
+        ("fig6", "31,810"),
+        ("fig10", "89%"),
+        ("fig20", "2017"),
+        ("table5", "41%"),
+        ("table6", "218"),
+        ("liveness", "72%"),
+        ("economics", "paper: 0"),
+        ("cookies", "83"),
+        ("malware", "181"),
+        ("caa", "0.4%"),
+        ("hsts", "16%"),
+    ] {
+        let out = render_target(&r, target);
+        assert!(
+            out.contains(marker),
+            "target {target} lost its paper anchor {marker:?}:\n{out}"
+        );
+    }
+}
+
+#[test]
+fn json_summary_is_complete() {
+    let r = tiny();
+    let v = json_summary(&r);
+    for key in [
+        "monitored_total",
+        "abused_fqdns",
+        "truth_hijacks",
+        "ip_takeovers",
+        "precision",
+        "recall",
+        "seo_share",
+        "infra_clusters",
+    ] {
+        assert!(v.get(key).is_some(), "missing json key {key}");
+    }
+    assert_eq!(v["ip_takeovers"], 0);
+    // Round-trips through serde_json text.
+    let text = serde_json::to_string(&v).unwrap();
+    let back: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert_eq!(back, v);
+}
+
+#[test]
+fn ablation_renderers_run_on_precomputed_results() {
+    let r = tiny();
+    let a = bench::ablations::naive_signatures(&r);
+    assert!(a.contains("naive"));
+    let b = bench::ablations::cutoff_sweep(&r);
+    assert!(b.contains("0.95"));
+    let c = bench::ablations::probe_methods(&r);
+    assert!(c.contains("ICMP") || c.contains("no liveness"));
+}

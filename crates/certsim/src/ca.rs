@@ -1,0 +1,340 @@
+//! Certificate authorities and domain-validated issuance.
+//!
+//! The issuance pipeline mirrors ACME HTTP-01 semantics: the CA verifies
+//! that the requester controls the web content served at each SAN, checks
+//! CAA, and (if both pass) signs. The control check is abstracted behind
+//! [`DomainControl`] — in the full simulation it is answered by the cloud
+//! platform's routing tables ("does this account own the resource that
+//! `host` resolves to?"), which is exactly what placing a challenge file
+//! proves in the real protocol. This substitution is recorded in DESIGN.md.
+
+use crate::caa::{caa_permits, CaaDecision};
+use crate::cert::{CertId, Certificate};
+use cloudsim::AccountId;
+use dns::{CaaRecord, Name};
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+use std::fmt;
+
+/// The CAs in the study's ecosystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CaId {
+    /// Free, ACME, the hijackers' favourite (§5.6.1: 95% / 53% of the
+    /// anomaly-window single-SAN certs).
+    LetsEncrypt,
+    /// Free, ACME.
+    ZeroSsl,
+    /// Paid.
+    DigiCert,
+    /// Paid.
+    Sectigo,
+    /// Provider-integrated CA (Azure dashboard issuance).
+    AzureCa,
+    /// Provider-integrated CA (AWS ACM).
+    AwsCa,
+}
+
+impl CaId {
+    pub fn all() -> &'static [CaId] {
+        &[
+            CaId::LetsEncrypt,
+            CaId::ZeroSsl,
+            CaId::DigiCert,
+            CaId::Sectigo,
+            CaId::AzureCa,
+            CaId::AwsCa,
+        ]
+    }
+
+    /// Does this CA charge for certificates? §5.6.2 discusses CAA policies
+    /// that authorize only paid CAs as a (futile) deterrent.
+    pub fn is_free(self) -> bool {
+        matches!(
+            self,
+            CaId::LetsEncrypt | CaId::ZeroSsl | CaId::AzureCa | CaId::AwsCa
+        )
+    }
+
+    /// The identity string CAA `issue` values name.
+    pub fn caa_identity(self) -> &'static str {
+        match self {
+            CaId::LetsEncrypt => "letsencrypt.org",
+            CaId::ZeroSsl => "zerossl.com",
+            CaId::DigiCert => "digicert.com",
+            CaId::Sectigo => "sectigo.com",
+            CaId::AzureCa => "azure.microsoft.com",
+            CaId::AwsCa => "amazontrust.com",
+        }
+    }
+
+    /// Default validity period in days (90 for ACME CAs, 365 for paid).
+    pub fn validity_days(self) -> i32 {
+        if self.is_free() {
+            90
+        } else {
+            365
+        }
+    }
+}
+
+impl fmt::Display for CaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.caa_identity())
+    }
+}
+
+/// Answers "does `account` control the web root serving `host`?" — the
+/// question HTTP-01 validation operationally resolves.
+pub trait DomainControl {
+    fn controls(&self, account: AccountId, host: &Name, now: SimTime) -> bool;
+}
+
+/// Blanket impl so closures can be used in tests and simple scenarios.
+impl<F> DomainControl for F
+where
+    F: Fn(AccountId, &Name, SimTime) -> bool,
+{
+    fn controls(&self, account: AccountId, host: &Name, now: SimTime) -> bool {
+        self(account, host, now)
+    }
+}
+
+/// Issuance failures.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IssueError {
+    /// Domain validation failed for the named SAN.
+    ValidationFailed(Name),
+    /// CAA forbids this CA for the named SAN.
+    CaaForbids(Name),
+    /// Wildcard SANs cannot be validated via HTTP-01.
+    WildcardNeedsDnsValidation(Name),
+    /// Empty SAN list.
+    NoSans,
+}
+
+impl fmt::Display for IssueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IssueError::ValidationFailed(n) => write!(f, "domain validation failed for {n}"),
+            IssueError::CaaForbids(n) => write!(f, "CAA forbids issuance for {n}"),
+            IssueError::WildcardNeedsDnsValidation(n) => {
+                write!(f, "wildcard SAN {n} requires DNS-01")
+            }
+            IssueError::NoSans => write!(f, "no SANs requested"),
+        }
+    }
+}
+
+impl std::error::Error for IssueError {}
+
+/// Issue a certificate.
+///
+/// * `control` — HTTP-01 stand-in (see [`DomainControl`]).
+/// * `caa_lookup` — returns the *relevant* CAA set for a name (i.e. already
+///   climbed; pass `dns::Resolver::find_caa`).
+pub fn issue<C, L>(
+    ca: CaId,
+    account: AccountId,
+    sans: &[Name],
+    control: &C,
+    caa_lookup: &L,
+    id: CertId,
+    now: SimTime,
+) -> Result<Certificate, IssueError>
+where
+    C: DomainControl + ?Sized,
+    L: Fn(&Name) -> Vec<CaaRecord>,
+{
+    if sans.is_empty() {
+        return Err(IssueError::NoSans);
+    }
+    for san in sans {
+        if san.is_wildcard() {
+            // HTTP-01 cannot validate wildcards (RFC 8555 §7.4.1); the
+            // simulation only models DNS-01 for legitimate owners via their
+            // own zone control, expressed through `control` as well.
+            let base = Name::from_labels(san.labels()[1..].iter().cloned())
+                .map_err(|_| IssueError::WildcardNeedsDnsValidation(san.clone()))?;
+            if !control.controls(account, &base, now) {
+                return Err(IssueError::WildcardNeedsDnsValidation(san.clone()));
+            }
+        } else if !control.controls(account, san, now) {
+            return Err(IssueError::ValidationFailed(san.clone()));
+        }
+        let caa = caa_lookup(san);
+        let decision = caa_permits(&caa, ca, san.is_wildcard());
+        if !decision.permits() {
+            debug_assert!(matches!(
+                decision,
+                CaaDecision::Forbidden | CaaDecision::ForbiddenCritical
+            ));
+            return Err(IssueError::CaaForbids(san.clone()));
+        }
+    }
+    Ok(Certificate {
+        id,
+        subject: sans[0].clone(),
+        sans: sans.to_vec(),
+        issuer: ca,
+        not_before: now,
+        not_after: now + ca.validity_days(),
+        requested_by: account,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    /// Attacker(0) controls hijacked.example.com; Org(1) controls everything
+    /// else under example.com.
+    fn control(account: AccountId, host: &Name, _now: SimTime) -> bool {
+        match account {
+            AccountId::Attacker(0) => host == &n("hijacked.example.com"),
+            AccountId::Org(1) => host.ends_with(&n("example.com")),
+            _ => false,
+        }
+    }
+
+    fn no_caa(_: &Name) -> Vec<CaaRecord> {
+        Vec::new()
+    }
+
+    #[test]
+    fn legit_multi_san() {
+        let cert = issue(
+            CaId::DigiCert,
+            AccountId::Org(1),
+            &[n("example.com"), n("www.example.com")],
+            &control,
+            &no_caa,
+            CertId(1),
+            SimTime(0),
+        )
+        .unwrap();
+        assert!(!cert.is_single_san());
+        assert_eq!(cert.not_after - cert.not_before, 365);
+    }
+
+    #[test]
+    fn hijacker_gets_single_san_only() {
+        // The Figure 20 signature: the attacker can validate exactly the one
+        // subdomain they control.
+        let ok = issue(
+            CaId::LetsEncrypt,
+            AccountId::Attacker(0),
+            &[n("hijacked.example.com")],
+            &control,
+            &no_caa,
+            CertId(2),
+            SimTime(0),
+        )
+        .unwrap();
+        assert!(ok.is_single_san());
+        assert_eq!(ok.not_after - ok.not_before, 90);
+        // But not the parent or a sibling:
+        assert_eq!(
+            issue(
+                CaId::LetsEncrypt,
+                AccountId::Attacker(0),
+                &[n("hijacked.example.com"), n("example.com")],
+                &control,
+                &no_caa,
+                CertId(3),
+                SimTime(0),
+            ),
+            Err(IssueError::ValidationFailed(n("example.com")))
+        );
+    }
+
+    #[test]
+    fn caa_enforced_but_bypassable() {
+        let caa = |name: &Name| {
+            if name.ends_with(&n("example.com")) {
+                vec![CaaRecord::issue("letsencrypt.org")]
+            } else {
+                vec![]
+            }
+        };
+        // DigiCert refused...
+        assert_eq!(
+            issue(
+                CaId::DigiCert,
+                AccountId::Attacker(0),
+                &[n("hijacked.example.com")],
+                &control,
+                &caa,
+                CertId(4),
+                SimTime(0),
+            ),
+            Err(IssueError::CaaForbids(n("hijacked.example.com")))
+        );
+        // ...but the attacker just uses the authorized free CA (§5.6.2).
+        assert!(issue(
+            CaId::LetsEncrypt,
+            AccountId::Attacker(0),
+            &[n("hijacked.example.com")],
+            &control,
+            &caa,
+            CertId(5),
+            SimTime(0),
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn wildcard_requires_base_control() {
+        // Org(1) controls example.com, so it can get *.example.com.
+        assert!(issue(
+            CaId::LetsEncrypt,
+            AccountId::Org(1),
+            &[n("*.example.com")],
+            &control,
+            &no_caa,
+            CertId(6),
+            SimTime(0),
+        )
+        .is_ok());
+        // Attacker(0) controls only the subdomain: no wildcard.
+        assert!(matches!(
+            issue(
+                CaId::LetsEncrypt,
+                AccountId::Attacker(0),
+                &[n("*.example.com")],
+                &control,
+                &no_caa,
+                CertId(7),
+                SimTime(0),
+            ),
+            Err(IssueError::WildcardNeedsDnsValidation(_))
+        ));
+    }
+
+    #[test]
+    fn empty_sans_rejected() {
+        assert_eq!(
+            issue(
+                CaId::LetsEncrypt,
+                AccountId::Org(1),
+                &[],
+                &control,
+                &no_caa,
+                CertId(8),
+                SimTime(0)
+            ),
+            Err(IssueError::NoSans)
+        );
+    }
+
+    #[test]
+    fn free_paid_partition() {
+        assert!(CaId::LetsEncrypt.is_free());
+        assert!(CaId::ZeroSsl.is_free());
+        assert!(!CaId::DigiCert.is_free());
+        assert!(!CaId::Sectigo.is_free());
+    }
+}

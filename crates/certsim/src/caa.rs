@@ -1,0 +1,180 @@
+//! CAA evaluation (RFC 8659).
+//!
+//! Given the *relevant record set* for a name (found by climbing the DNS
+//! tree — `dns::Resolver::find_caa`), decide whether a CA may issue. §5.6.2
+//! measures how few domains set CAA at all (2% of parents) and how fewer
+//! still restrict issuance to paid CAs (0.4%) — and shows that even those are
+//! bypassable because the attacker can simply use an authorized CA.
+
+use crate::ca::CaId;
+use dns::CaaRecord;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a CAA check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CaaDecision {
+    /// No relevant CAA records: any CA may issue.
+    PermittedNoRecords,
+    /// Relevant records exist and authorize this CA.
+    PermittedAuthorized,
+    /// Relevant records exist and do not authorize this CA.
+    Forbidden,
+    /// An unrecognized record with the critical flag forces refusal.
+    ForbiddenCritical,
+}
+
+impl CaaDecision {
+    pub fn permits(self) -> bool {
+        matches!(
+            self,
+            CaaDecision::PermittedNoRecords | CaaDecision::PermittedAuthorized
+        )
+    }
+}
+
+/// Evaluate whether `ca` may issue for a name whose relevant CAA set is
+/// `records`. `wildcard` selects `issuewild` semantics (RFC 8659 §4.3: when
+/// any `issuewild` record exists it alone controls wildcard issuance,
+/// otherwise `issue` records apply).
+pub fn caa_permits(records: &[CaaRecord], ca: CaId, wildcard: bool) -> CaaDecision {
+    if records.is_empty() {
+        return CaaDecision::PermittedNoRecords;
+    }
+    // Unknown critical property → refuse.
+    if records
+        .iter()
+        .any(|r| r.is_critical() && r.tag != "issue" && r.tag != "issuewild" && r.tag != "iodef")
+    {
+        return CaaDecision::ForbiddenCritical;
+    }
+    let tag = if wildcard && records.iter().any(|r| r.tag == "issuewild") {
+        "issuewild"
+    } else {
+        "issue"
+    };
+    let relevant: Vec<&CaaRecord> = records.iter().filter(|r| r.tag == tag).collect();
+    if relevant.is_empty() {
+        // Records exist (e.g. only iodef): issuance is not restricted.
+        return CaaDecision::PermittedNoRecords;
+    }
+    let authorized = relevant.iter().any(|r| {
+        let v = r.value.trim();
+        // `;` (optionally with parameters) denies; otherwise compare the CA
+        // domain up to the first `;` parameter separator.
+        let domain = v.split(';').next().unwrap_or("").trim();
+        !domain.is_empty() && domain.eq_ignore_ascii_case(ca.caa_identity())
+    });
+    if authorized {
+        CaaDecision::PermittedAuthorized
+    } else {
+        CaaDecision::Forbidden
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_permits() {
+        assert_eq!(
+            caa_permits(&[], CaId::LetsEncrypt, false),
+            CaaDecision::PermittedNoRecords
+        );
+    }
+
+    #[test]
+    fn issue_match() {
+        let recs = vec![CaaRecord::issue("letsencrypt.org")];
+        assert!(caa_permits(&recs, CaId::LetsEncrypt, false).permits());
+        assert_eq!(
+            caa_permits(&recs, CaId::DigiCert, false),
+            CaaDecision::Forbidden
+        );
+    }
+
+    #[test]
+    fn deny_all() {
+        let recs = vec![CaaRecord::deny_all()];
+        for ca in [CaId::LetsEncrypt, CaId::DigiCert, CaId::ZeroSsl] {
+            assert_eq!(caa_permits(&recs, ca, false), CaaDecision::Forbidden);
+        }
+    }
+
+    #[test]
+    fn multiple_issue_records_any_match() {
+        let recs = vec![
+            CaaRecord::issue("digicert.com"),
+            CaaRecord::issue("letsencrypt.org"),
+        ];
+        assert!(caa_permits(&recs, CaId::LetsEncrypt, false).permits());
+        assert!(caa_permits(&recs, CaId::DigiCert, false).permits());
+        assert!(!caa_permits(&recs, CaId::Sectigo, false).permits());
+    }
+
+    #[test]
+    fn issuewild_controls_wildcards() {
+        let recs = vec![
+            CaaRecord::issue("letsencrypt.org"),
+            CaaRecord::issue_wild("digicert.com"),
+        ];
+        // Non-wildcard: issue applies.
+        assert!(caa_permits(&recs, CaId::LetsEncrypt, false).permits());
+        // Wildcard: only issuewild applies.
+        assert!(!caa_permits(&recs, CaId::LetsEncrypt, true).permits());
+        assert!(caa_permits(&recs, CaId::DigiCert, true).permits());
+    }
+
+    #[test]
+    fn iodef_only_does_not_restrict() {
+        let recs = vec![CaaRecord {
+            flags: 0,
+            tag: "iodef".into(),
+            value: "mailto:security@example.com".into(),
+        }];
+        assert!(caa_permits(&recs, CaId::LetsEncrypt, false).permits());
+    }
+
+    #[test]
+    fn unknown_critical_forbids() {
+        let recs = vec![CaaRecord {
+            flags: 0x80,
+            tag: "futuretag".into(),
+            value: "x".into(),
+        }];
+        assert_eq!(
+            caa_permits(&recs, CaId::LetsEncrypt, false),
+            CaaDecision::ForbiddenCritical
+        );
+        // Non-critical unknown tag is ignored.
+        let recs = vec![
+            CaaRecord {
+                flags: 0,
+                tag: "futuretag".into(),
+                value: "x".into(),
+            },
+            CaaRecord::issue("letsencrypt.org"),
+        ];
+        assert!(caa_permits(&recs, CaId::LetsEncrypt, false).permits());
+    }
+
+    #[test]
+    fn value_parameters_ignored() {
+        let recs = vec![CaaRecord::issue(
+            "letsencrypt.org; validationmethods=http-01",
+        )];
+        assert!(caa_permits(&recs, CaId::LetsEncrypt, false).permits());
+    }
+
+    #[test]
+    fn the_papers_point_authorized_ca_still_usable_by_attacker() {
+        // §5.6.2: CAA restricting to Let's Encrypt does NOT stop a hijacker —
+        // they register with Let's Encrypt too. The decision is identical
+        // regardless of who asks; there is no account binding.
+        let recs = vec![CaaRecord::issue("letsencrypt.org")];
+        let legit = caa_permits(&recs, CaId::LetsEncrypt, false);
+        let attacker = caa_permits(&recs, CaId::LetsEncrypt, false);
+        assert_eq!(legit, attacker);
+        assert!(attacker.permits());
+    }
+}

@@ -1,0 +1,107 @@
+//! X.509-lite certificates.
+//!
+//! Only the fields the paper's analysis touches: SAN list (single vs multi —
+//! Figure 20's discriminator), wildcard flags, issuer, validity window, and
+//! the requesting account (ground truth the real study lacked; used for
+//! evaluating the detection methodology, never *by* it).
+
+use crate::ca::CaId;
+use cloudsim::AccountId;
+use dns::Name;
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+
+/// Certificate serial / handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CertId(pub u64);
+
+/// A leaf certificate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Certificate {
+    pub id: CertId,
+    /// Subject common name (always the first SAN).
+    pub subject: Name,
+    /// Subject alternative names; entries may be wildcards (`*.example.com`).
+    pub sans: Vec<Name>,
+    pub issuer: CaId,
+    pub not_before: SimTime,
+    pub not_after: SimTime,
+    /// Ground-truth requester (simulation metadata, not an X.509 field).
+    pub requested_by: AccountId,
+}
+
+impl Certificate {
+    /// Is this a single-SAN, non-wildcard certificate? Figure 20 isolates
+    /// these because a hijacker can typically only validate the one
+    /// subdomain they control.
+    pub fn is_single_san(&self) -> bool {
+        self.sans.len() == 1 && !self.sans[0].is_wildcard()
+    }
+
+    pub fn has_wildcard(&self) -> bool {
+        self.sans.iter().any(Name::is_wildcard)
+    }
+
+    /// Does the certificate cover `host` (exact SAN or wildcard match)?
+    pub fn covers(&self, host: &Name) -> bool {
+        self.sans.iter().any(|san| {
+            if san.is_wildcard() {
+                host.matches_wildcard(san)
+            } else {
+                san == host
+            }
+        })
+    }
+
+    /// Valid at `t`?
+    pub fn valid_at(&self, t: SimTime) -> bool {
+        self.not_before <= t && t < self.not_after
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn cert(sans: &[&str]) -> Certificate {
+        Certificate {
+            id: CertId(1),
+            subject: n(sans[0]),
+            sans: sans.iter().map(|s| n(s)).collect(),
+            issuer: CaId::LetsEncrypt,
+            not_before: SimTime(100),
+            not_after: SimTime(190),
+            requested_by: AccountId::Org(0),
+        }
+    }
+
+    #[test]
+    fn single_san_classification() {
+        assert!(cert(&["www.example.com"]).is_single_san());
+        assert!(!cert(&["www.example.com", "example.com"]).is_single_san());
+        assert!(!cert(&["*.example.com"]).is_single_san());
+    }
+
+    #[test]
+    fn coverage() {
+        let c = cert(&["example.com", "*.example.com"]);
+        assert!(c.covers(&n("example.com")));
+        assert!(c.covers(&n("shop.example.com")));
+        assert!(c.covers(&n("a.b.example.com")));
+        assert!(!c.covers(&n("other.net")));
+        assert!(c.has_wildcard());
+    }
+
+    #[test]
+    fn validity_window() {
+        let c = cert(&["x.com"]);
+        assert!(!c.valid_at(SimTime(99)));
+        assert!(c.valid_at(SimTime(100)));
+        assert!(c.valid_at(SimTime(189)));
+        assert!(!c.valid_at(SimTime(190)));
+    }
+}

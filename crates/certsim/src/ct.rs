@@ -1,0 +1,259 @@
+//! Certificate Transparency log and monitoring.
+//!
+//! [`CtLog`] is the append-only history §5.6.1 queries: for every hijacked
+//! subdomain the study pulls *all* certificates ever logged for it, splits
+//! single-SAN from multi-SAN/wildcard, and finds the two anomaly windows
+//! where hijacker campaigns mass-issued single-SAN certificates.
+//! [`CtMonitor`] is the §5.6.3 countermeasure: a domain owner subscribes to
+//! their apex and gets an alert for every newly logged certificate covering
+//! any subdomain.
+
+use crate::cert::Certificate;
+use dns::Name;
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+use std::collections::HashMap;
+
+/// One log entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CtEntry {
+    /// Log index (monotone).
+    pub index: u64,
+    pub logged_at: SimTime,
+    pub cert: Certificate,
+}
+
+/// An append-only CT log with a per-apex index.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct CtLog {
+    entries: Vec<CtEntry>,
+    /// SLD apex → entry indices (covers lookups by subdomain).
+    by_apex: HashMap<Name, Vec<u64>>,
+}
+
+impl CtLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a certificate at time `now`; returns the log index.
+    pub fn append(&mut self, cert: Certificate, now: SimTime) -> u64 {
+        let index = self.entries.len() as u64;
+        for san in &cert.sans {
+            // Index under the registrable apex so subdomain queries are fast.
+            let apex = san.sld().unwrap_or_else(|| san.clone());
+            self.by_apex.entry(apex).or_default().push(index);
+        }
+        self.entries.push(CtEntry {
+            index,
+            logged_at: now,
+            cert,
+        });
+        index
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn get(&self, index: u64) -> Option<&CtEntry> {
+        self.entries.get(index as usize)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &CtEntry> {
+        self.entries.iter()
+    }
+
+    /// Every entry whose certificate covers `host` exactly (incl. via
+    /// wildcard SANs). This is the per-subdomain history of §5.6.1.
+    pub fn history_for(&self, host: &Name) -> Vec<&CtEntry> {
+        let apex = host.sld().unwrap_or_else(|| host.clone());
+        let Some(idxs) = self.by_apex.get(&apex) else {
+            return Vec::new();
+        };
+        idxs.iter()
+            .map(|&i| &self.entries[i as usize])
+            .filter(|e| e.cert.covers(host))
+            .collect()
+    }
+
+    /// Every entry whose certificate names `apex` or any of its subdomains.
+    pub fn history_under(&self, apex: &Name) -> Vec<&CtEntry> {
+        let Some(idxs) = self.by_apex.get(apex) else {
+            return Vec::new();
+        };
+        idxs.iter().map(|&i| &self.entries[i as usize]).collect()
+    }
+
+    /// The earliest issuance covering `host` (Figure 19's x-axis: "date of
+    /// first certificate issuance").
+    pub fn first_issuance(&self, host: &Name) -> Option<SimTime> {
+        self.history_for(host).first().map(|e| e.logged_at)
+    }
+}
+
+/// A §5.6.3 alert.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CtAlert {
+    pub watched: Name,
+    pub entry_index: u64,
+    pub logged_at: SimTime,
+    /// SANs that fall under the watched apex.
+    pub matching_sans: Vec<Name>,
+}
+
+/// A third-party CT monitor subscription for one apex domain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CtMonitor {
+    watched: Name,
+    cursor: u64,
+}
+
+impl CtMonitor {
+    /// Watch `apex` starting from the current end of `log` (pass a fresh log
+    /// position to also receive historical alerts).
+    pub fn new(apex: Name, from_index: u64) -> Self {
+        CtMonitor {
+            watched: apex,
+            cursor: from_index,
+        }
+    }
+
+    pub fn watched(&self) -> &Name {
+        &self.watched
+    }
+
+    /// Drain alerts for all entries logged since the last poll.
+    pub fn poll(&mut self, log: &CtLog) -> Vec<CtAlert> {
+        let mut alerts = Vec::new();
+        while let Some(entry) = log.get(self.cursor) {
+            let matching: Vec<Name> = entry
+                .cert
+                .sans
+                .iter()
+                .filter(|san| {
+                    let base = if san.is_wildcard() {
+                        Name::from_labels(san.labels()[1..].iter().cloned()).ok()
+                    } else {
+                        Some((*san).clone())
+                    };
+                    base.map(|b| b == self.watched || b.is_subdomain_of(&self.watched))
+                        .unwrap_or(false)
+                })
+                .cloned()
+                .collect();
+            if !matching.is_empty() {
+                alerts.push(CtAlert {
+                    watched: self.watched.clone(),
+                    entry_index: entry.index,
+                    logged_at: entry.logged_at,
+                    matching_sans: matching,
+                });
+            }
+            self.cursor += 1;
+        }
+        alerts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::CaId;
+    use crate::cert::CertId;
+    use cloudsim::AccountId;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn cert(id: u64, sans: &[&str], by: AccountId) -> Certificate {
+        Certificate {
+            id: CertId(id),
+            subject: n(sans[0]),
+            sans: sans.iter().map(|s| n(s)).collect(),
+            issuer: CaId::LetsEncrypt,
+            not_before: SimTime(0),
+            not_after: SimTime(90),
+            requested_by: by,
+        }
+    }
+
+    #[test]
+    fn history_by_exact_and_wildcard() {
+        let mut log = CtLog::new();
+        log.append(
+            cert(1, &["www.example.com"], AccountId::Org(1)),
+            SimTime(10),
+        );
+        log.append(cert(2, &["*.example.com"], AccountId::Org(1)), SimTime(20));
+        log.append(cert(3, &["other.net"], AccountId::Org(2)), SimTime(30));
+        let h = log.history_for(&n("www.example.com"));
+        assert_eq!(h.len(), 2); // exact + wildcard
+        assert_eq!(log.history_for(&n("x.example.com")).len(), 1); // wildcard only
+        assert_eq!(log.history_under(&n("example.com")).len(), 2);
+        assert_eq!(log.first_issuance(&n("www.example.com")), Some(SimTime(10)));
+        // The wildcard covers arbitrary subdomains of example.com...
+        assert_eq!(
+            log.first_issuance(&n("nope.example.com")),
+            Some(SimTime(20))
+        );
+        // ...but not other apexes or deeper-than-one-label names.
+        assert_eq!(log.first_issuance(&n("nope.example.net")), None);
+        assert_eq!(log.history_for(&n("a.b.example.com")).len(), 1); // RFC 4592 wildcard: any depth
+    }
+
+    #[test]
+    fn monitor_alerts_on_subdomain_issuance() {
+        let mut log = CtLog::new();
+        let mut mon = CtMonitor::new(n("example.com"), 0);
+        assert!(mon.poll(&log).is_empty());
+        // Attacker hijacks a subdomain and issues a cert (§5.6.3 scenario).
+        log.append(
+            cert(1, &["hijacked.example.com"], AccountId::Attacker(0)),
+            SimTime(100),
+        );
+        log.append(cert(2, &["unrelated.net"], AccountId::Org(9)), SimTime(101));
+        let alerts = mon.poll(&log);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].matching_sans, vec![n("hijacked.example.com")]);
+        assert_eq!(alerts[0].logged_at, SimTime(100));
+        // Poll is a cursor: no duplicate alerts.
+        assert!(mon.poll(&log).is_empty());
+    }
+
+    #[test]
+    fn monitor_catches_wildcards() {
+        let mut log = CtLog::new();
+        let mut mon = CtMonitor::new(n("example.com"), 0);
+        log.append(cert(1, &["*.example.com"], AccountId::Org(1)), SimTime(5));
+        assert_eq!(mon.poll(&log).len(), 1);
+    }
+
+    #[test]
+    fn monitor_ignores_other_apexes() {
+        let mut log = CtLog::new();
+        let mut mon = CtMonitor::new(n("example.com"), 0);
+        log.append(cert(1, &["a.example.org"], AccountId::Org(1)), SimTime(5));
+        // note: example.org != example.com; and "badexample.com" isn't a
+        // subdomain either.
+        log.append(cert(2, &["badexample.com"], AccountId::Org(1)), SimTime(6));
+        assert!(mon.poll(&log).is_empty());
+    }
+
+    #[test]
+    fn historical_subscription() {
+        let mut log = CtLog::new();
+        log.append(cert(1, &["old.example.com"], AccountId::Org(1)), SimTime(1));
+        // Subscribing from index 0 replays history.
+        let mut mon = CtMonitor::new(n("example.com"), 0);
+        assert_eq!(mon.poll(&log).len(), 1);
+        // Subscribing from the end does not.
+        let mut mon2 = CtMonitor::new(n("example.com"), log.len() as u64);
+        assert!(mon2.poll(&log).is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! # certsim — certificate authorities, CAA, and Certificate Transparency
+//!
+//! §5.6 of the paper analyses fraudulent-but-valid certificates on hijacked
+//! domains: hijackers control the webserver root, pass HTTP-based domain
+//! validation, and obtain real certificates (mostly from Let's Encrypt, free
+//! of charge). The paper then shows that **CAA records are not an effective
+//! countermeasure** (an attacker simply uses one of the authorized CAs, and
+//! almost nobody restricts issuance to paid CAs anyway) while **CT
+//! monitoring is** (reactive but cheap and reliable).
+//!
+//! This crate implements all three mechanisms:
+//! - [`ca`] — CAs with free/paid tiers and domain-validated issuance,
+//! - [`caa`] — RFC 8659 CAA evaluation (climbing lookup lives in
+//!   `dns::Resolver::find_caa`),
+//! - [`ct`] — an append-only CT log with per-domain history queries and the
+//!   single-SAN/multi-SAN classification behind Figure 20, plus the
+//!   [`ct::CtMonitor`] countermeasure of §5.6.3.
+
+pub mod ca;
+pub mod caa;
+pub mod cert;
+pub mod ct;
+
+pub use ca::{issue, CaId, DomainControl, IssueError};
+pub use caa::{caa_permits, CaaDecision};
+pub use cert::{CertId, Certificate};
+pub use ct::{CtAlert, CtEntry, CtLog, CtMonitor};

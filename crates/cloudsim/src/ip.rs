@@ -1,0 +1,384 @@
+//! IPv4 CIDR blocks, provider range tables, and the random IP pool.
+//!
+//! The paper's Algorithm 1 classifies an FQDN as cloud-hosted when one of its
+//! A records falls inside a published provider range (the analog of
+//! `ip-ranges.amazonaws.com/ip-ranges.json`); [`IpRangeTable`] is that
+//! lookup. [`IpPool`] models the random public-IP assignment of VM services,
+//! the mechanism that makes IP takeovers a lottery (§4.3).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// An IPv4 CIDR block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Cidr {
+    base: Ipv4Addr,
+    prefix_len: u8,
+}
+
+impl Cidr {
+    /// Construct, normalizing the base address to the network address.
+    /// Panics if `prefix_len > 32`.
+    pub fn new(base: Ipv4Addr, prefix_len: u8) -> Self {
+        assert!(prefix_len <= 32, "prefix length {prefix_len} > 32");
+        let mask = Self::mask_of(prefix_len);
+        Cidr {
+            base: Ipv4Addr::from(u32::from(base) & mask),
+            prefix_len,
+        }
+    }
+
+    fn mask_of(prefix_len: u8) -> u32 {
+        if prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix_len)
+        }
+    }
+
+    pub fn base(&self) -> Ipv4Addr {
+        self.base
+    }
+
+    pub fn prefix_len(&self) -> u8 {
+        self.prefix_len
+    }
+
+    /// Number of addresses covered.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.prefix_len)
+    }
+
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        (u32::from(ip) & Self::mask_of(self.prefix_len)) == u32::from(self.base)
+    }
+
+    /// True if `other` is entirely inside `self`.
+    pub fn covers(&self, other: &Cidr) -> bool {
+        other.prefix_len >= self.prefix_len && self.contains(other.base)
+    }
+
+    /// The `i`-th address in the block. Panics if out of range.
+    pub fn nth(&self, i: u64) -> Ipv4Addr {
+        assert!(
+            i < self.size(),
+            "index {i} out of /{} block",
+            self.prefix_len
+        );
+        Ipv4Addr::from(u32::from(self.base) + i as u32)
+    }
+}
+
+impl fmt::Display for Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.base, self.prefix_len)
+    }
+}
+
+/// `a.b.c.d/n` parser.
+impl FromStr for Cidr {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (ip, len) = s
+            .split_once('/')
+            .ok_or_else(|| format!("no '/' in {s:?}"))?;
+        let base: Ipv4Addr = ip.parse().map_err(|e| format!("bad address: {e}"))?;
+        let prefix_len: u8 = len.parse().map_err(|e| format!("bad prefix: {e}"))?;
+        if prefix_len > 32 {
+            return Err(format!("prefix {prefix_len} > 32"));
+        }
+        Ok(Cidr::new(base, prefix_len))
+    }
+}
+
+/// Longest-prefix-match table mapping IPs to a tag (provider, service, …).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IpRangeTable<T> {
+    /// Sorted by prefix length descending so the first hit is the longest
+    /// match.
+    entries: Vec<(Cidr, T)>,
+}
+
+impl<T: Clone> IpRangeTable<T> {
+    pub fn new() -> Self {
+        IpRangeTable {
+            entries: Vec::new(),
+        }
+    }
+
+    pub fn insert(&mut self, cidr: Cidr, tag: T) {
+        let pos = self
+            .entries
+            .partition_point(|(c, _)| c.prefix_len() >= cidr.prefix_len());
+        self.entries.insert(pos, (cidr, tag));
+    }
+
+    /// Longest-prefix match.
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<&T> {
+        self.entries
+            .iter()
+            .find(|(c, _)| c.contains(ip))
+            .map(|(_, t)| t)
+    }
+
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        self.lookup(ip).is_some()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &(Cidr, T)> {
+        self.entries.iter()
+    }
+}
+
+impl<T: Clone> Default for IpRangeTable<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A pool of public IPs with random allocation — the VM public-IP model.
+///
+/// Allocation picks uniformly among free addresses, which is exactly why a
+/// targeted takeover of one *specific* released address requires an expected
+/// `free_count` allocate/release cycles (the economics the paper's attackers
+/// decline, §4.3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IpPool {
+    blocks: Vec<Cidr>,
+    total: u64,
+    allocated: HashSet<Ipv4Addr>,
+}
+
+impl IpPool {
+    pub fn new(blocks: Vec<Cidr>) -> Self {
+        let total = blocks.iter().map(|b| b.size()).sum();
+        IpPool {
+            blocks,
+            total,
+            allocated: HashSet::new(),
+        }
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    pub fn allocated_count(&self) -> u64 {
+        self.allocated.len() as u64
+    }
+
+    pub fn free_count(&self) -> u64 {
+        self.total - self.allocated.len() as u64
+    }
+
+    pub fn is_allocated(&self, ip: Ipv4Addr) -> bool {
+        self.allocated.contains(&ip)
+    }
+
+    pub fn in_pool(&self, ip: Ipv4Addr) -> bool {
+        self.blocks.iter().any(|b| b.contains(ip))
+    }
+
+    /// Allocate a uniformly random free address. Returns `None` if exhausted.
+    pub fn allocate<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<Ipv4Addr> {
+        if self.free_count() == 0 {
+            return None;
+        }
+        // Rejection sampling over the blocks; the pools are never near-full
+        // in the simulation so this terminates fast, but guard anyway.
+        for _ in 0..10_000 {
+            let block = self.blocks.choose(rng)?;
+            let ip = block.nth(rng.gen_range(0..block.size()));
+            if !self.allocated.contains(&ip) {
+                self.allocated.insert(ip);
+                return Some(ip);
+            }
+        }
+        // Fall back to a scan (deterministic, only hit when nearly full).
+        for block in &self.blocks {
+            for i in 0..block.size() {
+                let ip = block.nth(i);
+                if !self.allocated.contains(&ip) {
+                    self.allocated.insert(ip);
+                    return Some(ip);
+                }
+            }
+        }
+        None
+    }
+
+    /// Release an address back to the pool. Returns false if it was not
+    /// allocated.
+    pub fn release(&mut self, ip: Ipv4Addr) -> bool {
+        self.allocated.remove(&ip)
+    }
+
+    /// The attacker primitive: try to obtain `target` by allocating. One
+    /// attempt = one allocation; returns `Ok(attempts)` on success within
+    /// `max_attempts`, `Err(attempts)` on giving up. All intermediate
+    /// allocations are released (as a real attacker would, to avoid cost).
+    pub fn lottery_for<R: Rng + ?Sized>(
+        &mut self,
+        target: Ipv4Addr,
+        max_attempts: u64,
+        rng: &mut R,
+    ) -> Result<u64, u64> {
+        if self.is_allocated(target) || !self.in_pool(target) {
+            return Err(0);
+        }
+        let mut held: Vec<Ipv4Addr> = Vec::new();
+        let mut attempts = 0;
+        let mut won = false;
+        while attempts < max_attempts {
+            attempts += 1;
+            match self.allocate(rng) {
+                Some(ip) if ip == target => {
+                    won = true;
+                    break;
+                }
+                Some(ip) => held.push(ip),
+                None => break,
+            }
+        }
+        for ip in held {
+            self.release(ip);
+        }
+        if won {
+            Ok(attempts)
+        } else {
+            Err(attempts)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cidr_contains() {
+        let c: Cidr = "20.40.0.0/16".parse().unwrap();
+        assert!(c.contains("20.40.1.2".parse().unwrap()));
+        assert!(!c.contains("20.41.0.0".parse().unwrap()));
+        assert_eq!(c.size(), 65_536);
+    }
+
+    #[test]
+    fn cidr_normalizes_base() {
+        let c = Cidr::new("10.1.2.3".parse().unwrap(), 24);
+        assert_eq!(c.base(), "10.1.2.0".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(c.to_string(), "10.1.2.0/24");
+    }
+
+    #[test]
+    fn cidr_parse_errors() {
+        assert!("10.0.0.0".parse::<Cidr>().is_err());
+        assert!("10.0.0.0/33".parse::<Cidr>().is_err());
+        assert!("10.0.0.x/8".parse::<Cidr>().is_err());
+    }
+
+    #[test]
+    fn cidr_covers() {
+        let big: Cidr = "10.0.0.0/8".parse().unwrap();
+        let small: Cidr = "10.1.0.0/16".parse().unwrap();
+        assert!(big.covers(&small));
+        assert!(!small.covers(&big));
+    }
+
+    #[test]
+    fn range_table_longest_match() {
+        let mut t = IpRangeTable::new();
+        t.insert("10.0.0.0/8".parse().unwrap(), "aws");
+        t.insert("10.1.0.0/16".parse().unwrap(), "aws-s3");
+        assert_eq!(t.lookup("10.1.2.3".parse().unwrap()), Some(&"aws-s3"));
+        assert_eq!(t.lookup("10.2.0.1".parse().unwrap()), Some(&"aws"));
+        assert_eq!(t.lookup("11.0.0.1".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn pool_allocate_release() {
+        let mut pool = IpPool::new(vec!["192.0.2.0/28".parse().unwrap()]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(pool.total(), 16);
+        let ip = pool.allocate(&mut rng).unwrap();
+        assert!(pool.is_allocated(ip));
+        assert_eq!(pool.free_count(), 15);
+        assert!(pool.release(ip));
+        assert!(!pool.release(ip));
+        assert_eq!(pool.free_count(), 16);
+    }
+
+    #[test]
+    fn pool_exhaustion() {
+        let mut pool = IpPool::new(vec!["192.0.2.0/30".parse().unwrap()]);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..4 {
+            assert!(pool.allocate(&mut rng).is_some());
+        }
+        assert!(pool.allocate(&mut rng).is_none());
+    }
+
+    #[test]
+    fn lottery_expected_cost_scales_with_pool() {
+        // In a pool of 256 with the target free, expected attempts ~ pool
+        // size (sampling with replacement released back each round).
+        let mut pool = IpPool::new(vec!["198.51.100.0/24".parse().unwrap()]);
+        let target: Ipv4Addr = "198.51.100.77".parse().unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut total_attempts = 0u64;
+        let mut wins = 0;
+        for _ in 0..20 {
+            match pool.lottery_for(target, 10_000, &mut rng) {
+                Ok(n) => {
+                    wins += 1;
+                    total_attempts += n;
+                    pool.release(target);
+                }
+                Err(n) => total_attempts += n,
+            }
+        }
+        assert_eq!(wins, 20);
+        let mean = total_attempts as f64 / 20.0;
+        // Uniform over 256 free addresses => geometric with p≈1/256 but the
+        // attacker *holds* non-target allocations within a round, improving
+        // odds as the round progresses; expected ≈ (N+1)/2 ≈ 128.
+        assert!(mean > 40.0 && mean < 400.0, "mean attempts = {mean}");
+    }
+
+    #[test]
+    fn lottery_refuses_allocated_target() {
+        let mut pool = IpPool::new(vec!["192.0.2.0/28".parse().unwrap()]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let ip = pool.allocate(&mut rng).unwrap();
+        assert_eq!(pool.lottery_for(ip, 100, &mut rng), Err(0));
+    }
+
+    #[test]
+    fn lottery_gives_up() {
+        // Huge pool, tiny budget: must fail and must not leak allocations.
+        let mut pool = IpPool::new(vec!["10.0.0.0/16".parse().unwrap()]);
+        let target: Ipv4Addr = "10.0.77.77".parse().unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let before = pool.allocated_count();
+        let r = pool.lottery_for(target, 10, &mut rng);
+        assert!(matches!(r, Err(10)) || matches!(r, Ok(_)));
+        if r.is_err() {
+            assert_eq!(pool.allocated_count(), before);
+        }
+    }
+}

@@ -1,0 +1,545 @@
+//! Provider and service catalog.
+//!
+//! One [`ServiceSpec`] per row of the paper's Tables 2/3, each carrying the
+//! naming model (§4.3), the DNS record type customers point at it, the
+//! attacker-capability class (Table 4), and the provider IP ranges used by
+//! Algorithm 1's `cloud_IPs` check.
+
+use crate::ip::Cidr;
+use dns::Name;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Cloud providers in the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ProviderId {
+    Azure,
+    Aws,
+    Heroku,
+    Pantheon,
+    Netlify,
+    GoogleCloud,
+    Cloudflare,
+    /// §7's prediction: freetext blog subdomains outside the cloud market
+    /// proper ("we expect a large number of hijacks of
+    /// [freetext].wordpress.com subdomains").
+    WordPressCom,
+}
+
+impl ProviderId {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ProviderId::Azure => "Azure",
+            ProviderId::Aws => "AWS",
+            ProviderId::Heroku => "Heroku",
+            ProviderId::Pantheon => "Pantheon",
+            ProviderId::Netlify => "Netlify",
+            ProviderId::GoogleCloud => "Google Cloud",
+            ProviderId::Cloudflare => "Cloudflare",
+            ProviderId::WordPressCom => "WordPress.com",
+        }
+    }
+}
+
+impl fmt::Display for ProviderId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Service identity — one per monitored service row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ServiceId {
+    AzureWebApp,
+    AzureTrafficManager,
+    AzureCloudappLegacy,
+    AzureEdge,
+    AzureCloudappRegional,
+    AzureWebAppSip,
+    AwsS3Website,
+    AwsElasticBeanstalk,
+    HerokuApp,
+    PantheonSite,
+    NetlifyApp,
+    GoogleAppEngine,
+    CloudflarePages,
+    /// EC2 dedicated public IPs (A records, random pool).
+    AwsEc2PublicIp,
+    /// Azure VM dedicated public IPs (A records, random pool).
+    AzureVmPublicIp,
+    /// §7 extension: WordPress.com freetext blog subdomains.
+    WordPressCom,
+}
+
+impl ServiceId {
+    pub fn all() -> &'static [ServiceId] {
+        &[
+            ServiceId::AzureWebApp,
+            ServiceId::AzureTrafficManager,
+            ServiceId::AzureCloudappLegacy,
+            ServiceId::AzureEdge,
+            ServiceId::AzureCloudappRegional,
+            ServiceId::AzureWebAppSip,
+            ServiceId::AwsS3Website,
+            ServiceId::AwsElasticBeanstalk,
+            ServiceId::HerokuApp,
+            ServiceId::PantheonSite,
+            ServiceId::NetlifyApp,
+            ServiceId::GoogleAppEngine,
+            ServiceId::CloudflarePages,
+            ServiceId::AwsEc2PublicIp,
+            ServiceId::AzureVmPublicIp,
+            ServiceId::WordPressCom,
+        ]
+    }
+}
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(spec(*self).display_name)
+    }
+}
+
+/// What the service functionally is (Table 3's "Function" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServiceFunction {
+    WebApp,
+    TrafficRouter,
+    Vm,
+    Cdn,
+    StaticHosting,
+    Orchestration,
+    Cms,
+}
+
+impl ServiceFunction {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServiceFunction::WebApp => "Web App",
+            ServiceFunction::TrafficRouter => "Traffic Router",
+            ServiceFunction::Vm => "VM",
+            ServiceFunction::Cdn => "CDN",
+            ServiceFunction::StaticHosting => "Static Hosting",
+            ServiceFunction::Orchestration => "Orchestration",
+            ServiceFunction::Cms => "CMS",
+        }
+    }
+}
+
+/// How resource identities are allocated — the §4.3 trichotomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NamingModel {
+    /// Customer picks the name; the generated FQDN is deterministic and
+    /// re-registrable after release.
+    Freetext,
+    /// Dedicated IP drawn uniformly at random from the provider pool.
+    IpPool,
+    /// Provider generates an unguessable name; customers cannot influence it.
+    RandomName,
+}
+
+/// Attacker capability class once the resource is controlled (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CapabilityClass {
+    /// Static content only: file/content/html/javascript. No header control,
+    /// no HTTPS by default (Figure 17, left).
+    StaticContent,
+    /// Full webserver: additionally headers + https (Figure 17, center/right).
+    FullWebserver,
+}
+
+/// One service row. (Not serde-serializable: it is a static catalog entry;
+/// serialize the [`ServiceId`] instead.)
+#[derive(Debug, Clone)]
+pub struct ServiceSpec {
+    pub id: ServiceId,
+    pub provider: ProviderId,
+    pub display_name: &'static str,
+    pub function: ServiceFunction,
+    pub naming: NamingModel,
+    /// Suffix under which generated FQDNs live (None for pure IP services).
+    /// Presentation uses `[freetext]` / `[random]` per Table 3.
+    pub suffix: Option<&'static str>,
+    /// Regions substituted into `REGION`-bearing suffixes.
+    pub regions: &'static [&'static str],
+    pub capability: CapabilityClass,
+    /// Published IP ranges for this service (Algorithm 1's `cloud_IPs`).
+    pub ranges: &'static [&'static str],
+    /// Do the front ends respond to ICMP echo? (§2: many filter it.)
+    pub icmp_open: bool,
+}
+
+impl ServiceSpec {
+    /// The generated FQDN for a resource named `name` in `region`.
+    ///
+    /// Panics on IP-pool services (which generate no name) — callers must
+    /// branch on [`NamingModel`] first.
+    pub fn generated_fqdn(&self, name: &str, region: Option<&str>) -> Result<Name, dns::NameError> {
+        let suffix = self.suffix.expect("generated_fqdn on an IP-pool service");
+        let filled = match region {
+            Some(r) => suffix.replace("REGION", r),
+            None => suffix.to_string(),
+        };
+        debug_assert!(!filled.contains("REGION"), "suffix {suffix} needs a region");
+        Name::parse(&format!("{name}.{filled}"))
+    }
+
+    /// Whether the suffix requires a region.
+    pub fn needs_region(&self) -> bool {
+        self.suffix.map(|s| s.contains("REGION")).unwrap_or(false)
+    }
+
+    /// The registrable suffix zone this service's names live under (e.g.
+    /// `azurewebsites.net`), i.e. the last two labels of the suffix.
+    pub fn suffix_zone(&self) -> Option<Name> {
+        let s = self.suffix?;
+        let parts: Vec<&str> = s.split('.').collect();
+        let n = parts.len();
+        Name::parse(&parts[n.saturating_sub(2)..].join(".")).ok()
+    }
+}
+
+/// Regions used by REGION-bearing services.
+pub const AWS_REGIONS: &[&str] = &["us-east-1", "us-west-2", "eu-west-1", "ap-southeast-1"];
+pub const AZURE_REGIONS: &[&str] = &["eastus", "westeurope", "southeastasia"];
+
+/// The full service catalog — Tables 2 and 3 of the paper, plus the
+/// randomized-allocation services whose absence from the abuse data is
+/// itself a finding.
+pub static CATALOG: &[ServiceSpec] = &[
+    ServiceSpec {
+        id: ServiceId::AzureWebApp,
+        provider: ProviderId::Azure,
+        display_name: "Azure Web App",
+        function: ServiceFunction::WebApp,
+        naming: NamingModel::Freetext,
+        suffix: Some("azurewebsites.net"),
+        regions: &[],
+        capability: CapabilityClass::FullWebserver,
+        ranges: &["20.40.0.0/16"],
+        icmp_open: false,
+    },
+    ServiceSpec {
+        id: ServiceId::AzureTrafficManager,
+        provider: ProviderId::Azure,
+        display_name: "Azure Traffic Manager",
+        function: ServiceFunction::TrafficRouter,
+        naming: NamingModel::Freetext,
+        suffix: Some("trafficmanager.net"),
+        regions: &[],
+        capability: CapabilityClass::FullWebserver,
+        ranges: &["20.41.0.0/16"],
+        icmp_open: false,
+    },
+    ServiceSpec {
+        id: ServiceId::AzureCloudappLegacy,
+        provider: ProviderId::Azure,
+        display_name: "Azure Cloud Service (legacy)",
+        function: ServiceFunction::Vm,
+        naming: NamingModel::Freetext,
+        suffix: Some("cloudapp.net"),
+        regions: &[],
+        capability: CapabilityClass::FullWebserver,
+        ranges: &["20.42.0.0/16"],
+        icmp_open: true,
+    },
+    ServiceSpec {
+        id: ServiceId::AzureEdge,
+        provider: ProviderId::Azure,
+        display_name: "Azure CDN",
+        function: ServiceFunction::Cdn,
+        naming: NamingModel::Freetext,
+        suffix: Some("azureedge.net"),
+        regions: &[],
+        capability: CapabilityClass::FullWebserver,
+        ranges: &["20.43.0.0/16"],
+        icmp_open: false,
+    },
+    ServiceSpec {
+        id: ServiceId::AzureCloudappRegional,
+        provider: ProviderId::Azure,
+        display_name: "Azure VM (regional)",
+        function: ServiceFunction::Vm,
+        naming: NamingModel::Freetext,
+        suffix: Some("REGION.cloudapp.azure.com"),
+        regions: AZURE_REGIONS,
+        capability: CapabilityClass::FullWebserver,
+        ranges: &["20.44.0.0/16"],
+        icmp_open: true,
+    },
+    ServiceSpec {
+        id: ServiceId::AzureWebAppSip,
+        provider: ProviderId::Azure,
+        display_name: "Azure Web App (SIP)",
+        function: ServiceFunction::WebApp,
+        naming: NamingModel::Freetext,
+        suffix: Some("sip.azurewebsites.windows.net"),
+        regions: &[],
+        capability: CapabilityClass::FullWebserver,
+        ranges: &["20.45.0.0/16"],
+        icmp_open: false,
+    },
+    ServiceSpec {
+        id: ServiceId::AwsS3Website,
+        provider: ProviderId::Aws,
+        display_name: "AWS S3 Static Hosting",
+        function: ServiceFunction::StaticHosting,
+        naming: NamingModel::Freetext,
+        suffix: Some("s3-website.REGION.amazonaws.com"),
+        regions: AWS_REGIONS,
+        capability: CapabilityClass::StaticContent,
+        ranges: &["52.216.0.0/15"],
+        icmp_open: false,
+    },
+    ServiceSpec {
+        id: ServiceId::AwsElasticBeanstalk,
+        provider: ProviderId::Aws,
+        display_name: "AWS Elastic Beanstalk",
+        function: ServiceFunction::Orchestration,
+        naming: NamingModel::Freetext,
+        suffix: Some("REGION.elasticbeanstalk.com"),
+        regions: AWS_REGIONS,
+        capability: CapabilityClass::FullWebserver,
+        ranges: &["52.20.0.0/14"],
+        icmp_open: true,
+    },
+    ServiceSpec {
+        id: ServiceId::HerokuApp,
+        provider: ProviderId::Heroku,
+        display_name: "Heroku App",
+        function: ServiceFunction::WebApp,
+        naming: NamingModel::Freetext,
+        suffix: Some("herokuapp.com"),
+        regions: &[],
+        capability: CapabilityClass::FullWebserver,
+        ranges: &["54.81.0.0/16"],
+        icmp_open: false,
+    },
+    ServiceSpec {
+        id: ServiceId::PantheonSite,
+        provider: ProviderId::Pantheon,
+        display_name: "Pantheon Site",
+        function: ServiceFunction::Cms,
+        naming: NamingModel::Freetext,
+        suffix: Some("pantheonsite.io"),
+        regions: &[],
+        capability: CapabilityClass::StaticContent,
+        ranges: &["23.185.0.0/18"],
+        icmp_open: true,
+    },
+    ServiceSpec {
+        id: ServiceId::NetlifyApp,
+        provider: ProviderId::Netlify,
+        display_name: "Netlify App",
+        function: ServiceFunction::WebApp,
+        naming: NamingModel::Freetext,
+        suffix: Some("netlify.app"),
+        regions: &[],
+        capability: CapabilityClass::FullWebserver,
+        ranges: &["75.2.60.0/24"],
+        icmp_open: false,
+    },
+    ServiceSpec {
+        id: ServiceId::GoogleAppEngine,
+        provider: ProviderId::GoogleCloud,
+        display_name: "Google App Engine",
+        function: ServiceFunction::WebApp,
+        naming: NamingModel::RandomName,
+        suffix: Some("googleusercontent.com"),
+        regions: &[],
+        capability: CapabilityClass::FullWebserver,
+        ranges: &["35.190.0.0/17"],
+        icmp_open: false,
+    },
+    ServiceSpec {
+        id: ServiceId::CloudflarePages,
+        provider: ProviderId::Cloudflare,
+        display_name: "Cloudflare Pages",
+        function: ServiceFunction::Cdn,
+        naming: NamingModel::RandomName,
+        suffix: Some("pages.dev"),
+        regions: &[],
+        capability: CapabilityClass::FullWebserver,
+        ranges: &["104.16.0.0/13"],
+        icmp_open: false,
+    },
+    ServiceSpec {
+        id: ServiceId::WordPressCom,
+        provider: ProviderId::WordPressCom,
+        display_name: "WordPress.com Blog",
+        function: ServiceFunction::Cms,
+        naming: NamingModel::Freetext,
+        suffix: Some("wordpress.com"),
+        regions: &[],
+        capability: CapabilityClass::StaticContent,
+        ranges: &["192.0.78.0/24"],
+        icmp_open: true,
+    },
+    ServiceSpec {
+        id: ServiceId::AwsEc2PublicIp,
+        provider: ProviderId::Aws,
+        display_name: "AWS EC2 Public IP",
+        function: ServiceFunction::Vm,
+        naming: NamingModel::IpPool,
+        suffix: None,
+        regions: &[],
+        capability: CapabilityClass::FullWebserver,
+        ranges: &["54.144.0.0/14"],
+        icmp_open: true,
+    },
+    ServiceSpec {
+        id: ServiceId::AzureVmPublicIp,
+        provider: ProviderId::Azure,
+        display_name: "Azure VM Public IP",
+        function: ServiceFunction::Vm,
+        naming: NamingModel::IpPool,
+        suffix: None,
+        regions: &[],
+        capability: CapabilityClass::FullWebserver,
+        ranges: &["40.112.0.0/13"],
+        icmp_open: true,
+    },
+];
+
+/// Find the spec for a service.
+pub fn spec(id: ServiceId) -> &'static ServiceSpec {
+    CATALOG
+        .iter()
+        .find(|s| s.id == id)
+        .expect("every ServiceId has a catalog row")
+}
+
+/// All cloud suffixes (Appendix A.1's list) for Algorithm 1.
+pub fn cloud_suffixes() -> Vec<Name> {
+    let mut out = Vec::new();
+    for s in CATALOG {
+        let Some(suffix) = s.suffix else { continue };
+        if suffix.contains("REGION") {
+            for r in s.regions {
+                out.push(Name::parse(&suffix.replace("REGION", r)).unwrap());
+            }
+        } else {
+            out.push(Name::parse(suffix).unwrap());
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Build the provider IP range table (Algorithm 1's `cloud_IPs`).
+pub fn cloud_ip_ranges() -> crate::ip::IpRangeTable<ServiceId> {
+    let mut t = crate::ip::IpRangeTable::new();
+    for s in CATALOG {
+        for r in s.ranges {
+            t.insert(r.parse::<Cidr>().unwrap(), s.id);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_all_ids() {
+        for id in ServiceId::all() {
+            let s = spec(*id);
+            assert_eq!(s.id, *id);
+        }
+        assert_eq!(CATALOG.len(), ServiceId::all().len());
+    }
+
+    #[test]
+    fn freetext_services_have_suffixes() {
+        for s in CATALOG {
+            match s.naming {
+                NamingModel::Freetext | NamingModel::RandomName => {
+                    assert!(s.suffix.is_some(), "{:?} needs a suffix", s.id)
+                }
+                NamingModel::IpPool => assert!(s.suffix.is_none(), "{:?}", s.id),
+            }
+        }
+    }
+
+    #[test]
+    fn generated_fqdn_plain() {
+        let s = spec(ServiceId::AzureWebApp);
+        let n = s.generated_fqdn("contoso-shop", None).unwrap();
+        assert_eq!(n.to_string(), "contoso-shop.azurewebsites.net");
+    }
+
+    #[test]
+    fn generated_fqdn_with_region() {
+        let s = spec(ServiceId::AwsS3Website);
+        assert!(s.needs_region());
+        let n = s.generated_fqdn("assets", Some("eu-west-1")).unwrap();
+        assert_eq!(n.to_string(), "assets.s3-website.eu-west-1.amazonaws.com");
+    }
+
+    #[test]
+    fn suffix_zone_is_registrable() {
+        assert_eq!(
+            spec(ServiceId::AwsS3Website)
+                .suffix_zone()
+                .unwrap()
+                .to_string(),
+            "amazonaws.com"
+        );
+        assert_eq!(
+            spec(ServiceId::AzureWebApp)
+                .suffix_zone()
+                .unwrap()
+                .to_string(),
+            "azurewebsites.net"
+        );
+        assert!(spec(ServiceId::AwsEc2PublicIp).suffix_zone().is_none());
+    }
+
+    #[test]
+    fn cloud_suffixes_expand_regions() {
+        let sufs = cloud_suffixes();
+        assert!(sufs.contains(&"azurewebsites.net".parse().unwrap()));
+        assert!(sufs.contains(&"s3-website.us-east-1.amazonaws.com".parse().unwrap()));
+        assert!(sufs.contains(&"s3-website.eu-west-1.amazonaws.com".parse().unwrap()));
+        // no REGION placeholders leaked
+        assert!(sufs.iter().all(|s| !s.to_string().contains("region")));
+    }
+
+    #[test]
+    fn ranges_parse_and_disjoint_lookup() {
+        let t = cloud_ip_ranges();
+        assert!(t.len() >= CATALOG.len());
+        assert_eq!(
+            t.lookup("20.40.1.1".parse().unwrap()),
+            Some(&ServiceId::AzureWebApp)
+        );
+        assert_eq!(
+            t.lookup("54.144.9.9".parse().unwrap()),
+            Some(&ServiceId::AwsEc2PublicIp)
+        );
+        assert_eq!(t.lookup("8.8.8.8".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn table4_capability_classes() {
+        // Table 4: S3 + Pantheon are static-content; the rest full webserver.
+        assert_eq!(
+            spec(ServiceId::AwsS3Website).capability,
+            CapabilityClass::StaticContent
+        );
+        assert_eq!(
+            spec(ServiceId::PantheonSite).capability,
+            CapabilityClass::StaticContent
+        );
+        assert_eq!(
+            spec(ServiceId::HerokuApp).capability,
+            CapabilityClass::FullWebserver
+        );
+        assert_eq!(
+            spec(ServiceId::AzureEdge).capability,
+            CapabilityClass::FullWebserver
+        );
+    }
+}

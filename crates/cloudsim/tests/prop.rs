@@ -1,0 +1,140 @@
+//! Property tests for the cloud platform: allocation-model invariants and
+//! CIDR algebra.
+
+use cloudsim::{AccountId, Cidr, CloudPlatform, IpPool, PlatformConfig, ServiceId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simcore::SimTime;
+use std::collections::HashSet;
+
+fn arb_cidr() -> impl Strategy<Value = Cidr> {
+    (any::<u32>(), 8u8..=30).prop_map(|(base, len)| Cidr::new(base.into(), len))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every address enumerated by a CIDR is contained by it, and the block
+    /// boundary addresses are not.
+    #[test]
+    fn cidr_membership(cidr in arb_cidr()) {
+        let size = cidr.size();
+        for i in [0, size / 2, size - 1] {
+            prop_assert!(cidr.contains(cidr.nth(i)));
+        }
+        let before = u32::from(cidr.base()).checked_sub(1);
+        if let Some(b) = before {
+            prop_assert!(!cidr.contains(b.into()));
+        }
+        let after = u32::from(cidr.base()).checked_add(size as u32);
+        if let Some(a) = after {
+            prop_assert!(!cidr.contains(a.into()));
+        }
+    }
+
+    /// Parse/display roundtrip.
+    #[test]
+    fn cidr_parse_roundtrip(cidr in arb_cidr()) {
+        let s = cidr.to_string();
+        let back: Cidr = s.parse().unwrap();
+        prop_assert_eq!(back, cidr);
+    }
+
+    /// A `covers` B and B `covers` A only when equal.
+    #[test]
+    fn cidr_covers_antisymmetry(a in arb_cidr(), b in arb_cidr()) {
+        if a.covers(&b) && b.covers(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Pool allocations are unique until released.
+    #[test]
+    fn pool_allocations_unique(seed in any::<u64>(), n in 1usize..60) {
+        let mut pool = IpPool::new(vec!["192.0.2.0/26".parse().unwrap()]); // 64 addrs
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seen = HashSet::new();
+        for _ in 0..n {
+            let ip = pool.allocate(&mut rng).unwrap();
+            prop_assert!(seen.insert(ip), "duplicate allocation {}", ip);
+        }
+        prop_assert_eq!(pool.allocated_count(), n as u64);
+    }
+
+    /// Freetext re-registration after release always yields the *same*
+    /// generated FQDN — the determinism the attack depends on.
+    #[test]
+    fn freetext_reregistration_deterministic(
+        name in "[a-z][a-z0-9-]{0,20}",
+        seed in any::<u64>(),
+    ) {
+        let mut p = CloudPlatform::new(PlatformConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let id = p.register(ServiceId::AzureWebApp, Some(&name), None, AccountId::Org(1), SimTime(0), &mut rng).unwrap();
+        let fqdn1 = p.resource(id).unwrap().generated_fqdn.clone().unwrap();
+        p.release(id, SimTime(1));
+        let id2 = p.register(ServiceId::AzureWebApp, Some(&name), None, AccountId::Attacker(0), SimTime(2), &mut rng).unwrap();
+        let fqdn2 = p.resource(id2).unwrap().generated_fqdn.clone().unwrap();
+        prop_assert_eq!(fqdn1, fqdn2);
+    }
+
+    /// Under the randomized-names mitigation the generated FQDN never equals
+    /// the one freed by a release (the takeover becomes impossible).
+    #[test]
+    fn randomized_names_never_recaptured(
+        name in "[a-z][a-z0-9-]{0,20}",
+        seed in any::<u64>(),
+    ) {
+        let mut p = CloudPlatform::new(PlatformConfig {
+            randomize_freetext_names: true,
+            ..Default::default()
+        });
+        let mut rng = StdRng::seed_from_u64(seed);
+        let id = p.register(ServiceId::AzureWebApp, Some(&name), None, AccountId::Org(1), SimTime(0), &mut rng).unwrap();
+        let fqdn1 = p.resource(id).unwrap().generated_fqdn.clone().unwrap();
+        p.release(id, SimTime(1));
+        let id2 = p.register(ServiceId::AzureWebApp, Some(&name), None, AccountId::Attacker(0), SimTime(2), &mut rng).unwrap();
+        let fqdn2 = p.resource(id2).unwrap().generated_fqdn.clone().unwrap();
+        prop_assert_ne!(fqdn1, fqdn2);
+    }
+
+    /// Two active resources never share a freetext name (per service+region),
+    /// regardless of interleaving of registers and releases.
+    #[test]
+    fn no_active_name_collision(ops in proptest::collection::vec((0u8..3, 0usize..5), 1..40)) {
+        let mut p = CloudPlatform::new(PlatformConfig::default());
+        let mut rng = StdRng::seed_from_u64(7);
+        let names = ["alpha", "beta", "gamma", "delta", "epsilon"];
+        let mut live: Vec<(usize, cloudsim::ResourceId)> = Vec::new();
+        let mut t = 0;
+        for (op, which) in ops {
+            t += 1;
+            match op {
+                0 | 1 => {
+                    let r = p.register(
+                        ServiceId::HerokuApp,
+                        Some(names[which]),
+                        None,
+                        AccountId::Org(1),
+                        SimTime(t),
+                        &mut rng,
+                    );
+                    let name_live = live.iter().any(|(w, _)| *w == which);
+                    if name_live {
+                        prop_assert!(r.is_err());
+                    } else {
+                        prop_assert!(r.is_ok());
+                        live.push((which, r.unwrap()));
+                    }
+                }
+                _ => {
+                    if let Some(pos) = live.iter().position(|(w, _)| *w == which) {
+                        let (_, id) = live.remove(pos);
+                        p.release(id, SimTime(t));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Word lists and phrase corpora.
+//!
+//! The abuse vocabularies reproduce the paper's Tables 1 and 5 (Indonesian
+//! gambling dominates, adult content second) and the Appendix Figure 29
+//! fragments (maintenance shells in many languages, the "Comming soon" typo
+//! signature, popunder script references).
+
+/// Table 5's meta-keyword vocabulary, ordered roughly by paper frequency.
+pub const GAMBLING_KEYWORDS: &[&str] = &[
+    "slot",
+    "online",
+    "judi",
+    "situs",
+    "joker123",
+    "terpercaya",
+    "gacor",
+    "agen",
+    "daftar",
+    "game",
+    "bola",
+    "pulsa",
+    "sbobet",
+    "slotxo",
+    "dominoqq",
+    "jili",
+    "xinslot",
+    "pkv",
+];
+
+/// Adult-content keywords (Table 1 rows 4/6).
+pub const ADULT_KEYWORDS: &[&str] = &[
+    "sex", "porn", "adult", "videos", "photos", "xxx", "onlyfuns",
+];
+
+/// Pharmaceutical spam keywords (a minor topic in Figure 3).
+pub const PHARMA_KEYWORDS: &[&str] = &[
+    "viagra",
+    "cialis",
+    "pharmacy",
+    "pills",
+    "prescription",
+    "cheap",
+];
+
+/// Counterfeit-shopping keywords.
+pub const SHOPPING_KEYWORDS: &[&str] = &[
+    "replica", "outlet", "discount", "handbags", "sneakers", "luxury", "sale",
+];
+
+/// Japanese fragments for the Japanese Keyword Hack pages.
+pub const JAPANESE_FRAGMENTS: &[&str] = &[
+    "ページディレクトリ",
+    "日本の無料プログ",
+    "全著作権所有",
+    "現在作成中です",
+    "脱出 ゲーム 攻略",
+    "著作権",
+    "当社のウェブサイト",
+];
+
+/// Thai gambling fragments (Figure 29).
+pub const THAI_FRAGMENTS: &[&str] = &["สล็อตออนไลน์", "การพนัน", "บาคาร่าออนไลน์", "สล็อตแตกง่าย"];
+
+/// Maintenance-shell phrases per language — the error pages that made the
+/// authors notice the hijacks in the first place (§3, Figure 23).
+pub const MAINTENANCE_SHELLS: &[(&str, &str)] = &[
+    (
+        "en",
+        "Our website is currently undergoing scheduled maintenance. \
+         We're working to restore all services as soon as possible. Please check back soon.",
+    ),
+    ("de", "Unsere Website wird derzeit planmäßig gewartet."),
+    ("ja", "当社のウェブサイトは現在メンテナンス中です"),
+    ("ar", "يخضع موقعنا حاليًا للصيانة المجدولة"),
+    (
+        "ru",
+        "Наш сайт в настоящее время находится на плановом обслуживании",
+    ),
+];
+
+/// The famous typo signature (signature example 1 in §3.2).
+pub const COMMING_SOON: &str = "Comming soon ...";
+
+/// Attacker script names seen in the wild (signature example 3).
+pub const POPUNDER_SCRIPTS: &[&str] = &["popunder.js", "pops.js", "push.js"];
+
+/// Benign vocabulary per organization sector (Figure 12's sector axis).
+pub fn sector_words(sector: &str) -> &'static [&'static str] {
+    match sector {
+        "Industrials" => &[
+            "manufacturing",
+            "engineering",
+            "equipment",
+            "industrial",
+            "supply",
+            "quality",
+        ],
+        "Energy" => &[
+            "energy",
+            "power",
+            "renewable",
+            "grid",
+            "oil",
+            "sustainability",
+        ],
+        "Motor Vehicles" => &[
+            "vehicles",
+            "automotive",
+            "dealers",
+            "models",
+            "electric",
+            "parts",
+        ],
+        "Financials" => &[
+            "banking",
+            "investment",
+            "insurance",
+            "accounts",
+            "credit",
+            "wealth",
+        ],
+        "Technology" => &[
+            "software",
+            "cloud",
+            "platform",
+            "solutions",
+            "digital",
+            "data",
+        ],
+        "Healthcare" => &[
+            "health", "patients", "medical", "clinical", "care", "hospital",
+        ],
+        "Retail" => &[
+            "stores",
+            "shopping",
+            "brands",
+            "customers",
+            "delivery",
+            "catalog",
+        ],
+        "Telecommunications" => &[
+            "network",
+            "mobile",
+            "broadband",
+            "coverage",
+            "plans",
+            "fiber",
+        ],
+        "Media" => &[
+            "news",
+            "entertainment",
+            "streaming",
+            "content",
+            "studios",
+            "audience",
+        ],
+        "Education" => &[
+            "students",
+            "research",
+            "faculty",
+            "admissions",
+            "campus",
+            "academics",
+        ],
+        "Government" => &[
+            "citizens",
+            "public",
+            "department",
+            "policy",
+            "permits",
+            "regulations",
+        ],
+        "Food & Beverage" => &[
+            "food",
+            "beverage",
+            "recipes",
+            "nutrition",
+            "restaurants",
+            "fresh",
+        ],
+        "Aerospace" => &[
+            "aerospace",
+            "defense",
+            "aircraft",
+            "systems",
+            "avionics",
+            "flight",
+        ],
+        "Chemicals" => &[
+            "chemicals",
+            "materials",
+            "polymers",
+            "coatings",
+            "research",
+            "safety",
+        ],
+        _ => &["company", "about", "contact", "careers", "news", "services"],
+    }
+}
+
+/// All sectors used by the world generator.
+pub const SECTORS: &[&str] = &[
+    "Industrials",
+    "Energy",
+    "Motor Vehicles",
+    "Financials",
+    "Technology",
+    "Healthcare",
+    "Retail",
+    "Telecommunications",
+    "Media",
+    "Education",
+    "Government",
+    "Food & Beverage",
+    "Aerospace",
+    "Chemicals",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabularies_nonempty_and_lowercase() {
+        for w in GAMBLING_KEYWORDS
+            .iter()
+            .chain(ADULT_KEYWORDS)
+            .chain(PHARMA_KEYWORDS)
+            .chain(SHOPPING_KEYWORDS)
+        {
+            assert!(!w.is_empty());
+            assert_eq!(*w, w.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn every_sector_has_words() {
+        for s in SECTORS {
+            assert!(sector_words(s).len() >= 5, "{s}");
+        }
+        // Fallback.
+        assert!(!sector_words("Unknown Sector").is_empty());
+    }
+
+    #[test]
+    fn table5_top_keywords_present() {
+        // The paper's top meta keywords must be representable.
+        for k in ["slot", "online", "judi", "situs", "gacor", "daftar"] {
+            assert!(GAMBLING_KEYWORDS.contains(&k), "{k}");
+        }
+    }
+}

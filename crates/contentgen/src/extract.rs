@@ -1,0 +1,354 @@
+//! HTML feature extraction — the crawler-side inverse of [`crate::html`].
+//!
+//! The detection pipeline never re-parses with a browser; it extracts
+//! exactly the features §3.2 and §6 use: visible text and keywords, the
+//! keywords/generator meta tags, all hrefs and script srcs, and the §6
+//! identifier classes (WhatsApp phone links, Telegram/social handles, URL
+//! shorteners, raw IP-literal links).
+//!
+//! The extractors are regex-free, single-pass scanners that tolerate
+//! malformed markup (hostile input never panics).
+
+use std::net::Ipv4Addr;
+
+/// Pull the content of the first `<tag ...>...</tag>` occurrence.
+fn tag_content(html: &str, tag: &str) -> Option<String> {
+    let lower = html.to_ascii_lowercase();
+    let open = format!("<{tag}");
+    let start = lower.find(&open)?;
+    let after_open = start + lower[start..].find('>')? + 1;
+    let close = format!("</{tag}>");
+    let end = after_open + lower[after_open..].find(&close)?;
+    Some(html[after_open..end].to_string())
+}
+
+/// The `<title>` text.
+pub fn title(html: &str) -> Option<String> {
+    tag_content(html, "title").map(|t| t.trim().to_string())
+}
+
+/// All values of `attr` inside `tag` elements, e.g. (`a`, `href`).
+fn attr_values(html: &str, tag: &str, attr: &str) -> Vec<String> {
+    let lower = html.to_ascii_lowercase();
+    let mut out = Vec::new();
+    let open = format!("<{tag}");
+    let needle = format!("{attr}=\"");
+    let mut pos = 0;
+    while let Some(rel) = lower[pos..].find(&open) {
+        let tag_start = pos + rel;
+        let Some(tag_end_rel) = lower[tag_start..].find('>') else {
+            break;
+        };
+        let tag_end = tag_start + tag_end_rel;
+        let tag_text = &lower[tag_start..tag_end];
+        if let Some(a) = tag_text.find(&needle) {
+            let vstart = tag_start + a + needle.len();
+            if let Some(vlen) = html[vstart..].find('"') {
+                out.push(html[vstart..vstart + vlen].to_string());
+            }
+        }
+        pos = tag_end + 1;
+    }
+    out
+}
+
+/// All `<a href>` and `<link href>` values.
+pub fn hrefs(html: &str) -> Vec<String> {
+    let mut out = attr_values(html, "a ", "href");
+    out.extend(attr_values(html, "link ", "href"));
+    out
+}
+
+/// All `<script src>` values.
+pub fn script_srcs(html: &str) -> Vec<String> {
+    attr_values(html, "script", "src")
+}
+
+/// The value of a `<meta name="...">` tag's content attribute.
+pub fn meta(html: &str, name: &str) -> Option<String> {
+    let lower = html.to_ascii_lowercase();
+    let needle = format!("name=\"{}\"", name.to_lowercase());
+    let pos = lower.find(&needle)?;
+    // Search for content="..." within the same tag.
+    let tag_end = lower[pos..].find('>')? + pos;
+    let tag_start = lower[..pos].rfind('<')?;
+    let tag = &html[tag_start..tag_end];
+    let c = tag.to_ascii_lowercase().find("content=\"")?;
+    let vstart = tag_start + c + "content=\"".len();
+    let vlen = html[vstart..].find('"')?;
+    Some(html[vstart..vstart + vlen].to_string())
+}
+
+/// Comma-separated keywords from the keywords meta tag, lowercased.
+pub fn meta_keywords(html: &str) -> Vec<String> {
+    meta(html, "keywords")
+        .map(|v| {
+            v.split(',')
+                .map(|k| k.trim().to_lowercase())
+                .filter(|k| !k.is_empty())
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// The generator meta tag (WordPress fingerprinting in §6).
+pub fn generator(html: &str) -> Option<String> {
+    meta(html, "generator")
+}
+
+/// Lowercased word tokens of the visible text.
+pub fn tokens(html: &str) -> Vec<String> {
+    visible_text_chars(html)
+        .to_lowercase()
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|w| w.len() >= 2)
+        .map(str::to_string)
+        .collect()
+}
+
+/// ASCII-case-insensitive byte search; `needle` must be pure ASCII. The
+/// returned index is always a char boundary because the needle starts with
+/// an ASCII byte that can only match an ASCII byte in the haystack.
+fn find_ci(haystack: &str, needle: &str) -> Option<usize> {
+    debug_assert!(needle.is_ascii());
+    let h = haystack.as_bytes();
+    let n = needle.as_bytes();
+    if n.is_empty() || h.len() < n.len() {
+        return None;
+    }
+    (0..=h.len() - n.len()).find(|&i| h[i..i + n.len()].eq_ignore_ascii_case(n))
+}
+
+/// Char-correct visible text (UTF-8 safe).
+pub fn visible_text_chars(html: &str) -> String {
+    let mut out = String::with_capacity(html.len() / 2);
+    let mut in_tag = false;
+    let mut rest = html;
+    loop {
+        let lower_starts = |s: &str, p: &str| {
+            s.len() >= p.len() && s.as_bytes()[..p.len()].eq_ignore_ascii_case(p.as_bytes())
+        };
+        if rest.is_empty() {
+            break;
+        }
+        if lower_starts(rest, "<script") {
+            if let Some(idx) = find_ci(rest, "</script>") {
+                rest = &rest[idx + "</script>".len()..];
+                continue;
+            }
+            break;
+        }
+        if lower_starts(rest, "<style") {
+            if let Some(idx) = find_ci(rest, "</style>") {
+                rest = &rest[idx + "</style>".len()..];
+                continue;
+            }
+            break;
+        }
+        let mut chars = rest.char_indices();
+        let (_, c) = chars.next().unwrap();
+        let next_idx = chars.next().map(|(i, _)| i).unwrap_or(rest.len());
+        match c {
+            '<' => {
+                in_tag = true;
+            }
+            '>' => {
+                in_tag = false;
+                out.push(' ');
+            }
+            _ if !in_tag => out.push(c),
+            _ => {}
+        }
+        rest = &rest[next_idx..];
+    }
+    out
+}
+
+/// §6 identifier classes extracted from a page.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Identifiers {
+    /// Phone numbers from WhatsApp links (`wa.me/<digits>`), with country
+    /// code prefix preserved.
+    pub phones: Vec<String>,
+    /// Telegram/social handles (`t.me/<handle>`, `instagram.com/<h>`, …).
+    pub social: Vec<String>,
+    /// URL-shortener links.
+    pub shortlinks: Vec<String>,
+    /// Raw IPv4 literals in hrefs or script srcs.
+    pub ips: Vec<Ipv4Addr>,
+}
+
+impl Identifiers {
+    pub fn is_empty(&self) -> bool {
+        self.phones.is_empty()
+            && self.social.is_empty()
+            && self.shortlinks.is_empty()
+            && self.ips.is_empty()
+    }
+
+    /// All identifiers as tagged strings (for clustering keys).
+    pub fn tagged(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        out.extend(self.phones.iter().map(|p| format!("phone:{p}")));
+        out.extend(self.social.iter().map(|s| format!("social:{s}")));
+        out.extend(self.shortlinks.iter().map(|s| format!("short:{s}")));
+        out.extend(self.ips.iter().map(|ip| format!("ip:{ip}")));
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+const SOCIAL_HOSTS: &[&str] = &[
+    "t.me",
+    "telegram.me",
+    "instagram.com",
+    "facebook.com",
+    "twitter.com",
+];
+
+const SHORTENER_HOSTS: &[&str] = &["bit.ly", "cutt.ly", "s.id", "tinyurl.com", "linktr.ee"];
+
+/// Extract §6 identifiers from a page.
+pub fn identifiers(html: &str) -> Identifiers {
+    let mut ids = Identifiers::default();
+    let mut urls = hrefs(html);
+    urls.extend(script_srcs(html));
+    for url in urls {
+        let stripped = url
+            .trim_start_matches("https://")
+            .trim_start_matches("http://")
+            .trim_start_matches("www.");
+        let (host, path) = match stripped.split_once('/') {
+            Some((h, p)) => (h, p),
+            None => (stripped, ""),
+        };
+        if host == "wa.me" || host == "api.whatsapp.com" {
+            let digits: String = path
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '+')
+                .collect();
+            if digits.len() >= 8 {
+                ids.phones.push(digits);
+            }
+        } else if SOCIAL_HOSTS.contains(&host) {
+            let handle: String = path
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == '.')
+                .collect();
+            if !handle.is_empty() {
+                ids.social.push(format!("{host}/{handle}"));
+            }
+        } else if SHORTENER_HOSTS.contains(&host) {
+            let code: String = path
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric())
+                .collect();
+            if !code.is_empty() {
+                ids.shortlinks.push(format!("{host}/{code}"));
+            }
+        } else if let Ok(ip) = host.split(':').next().unwrap_or("").parse::<Ipv4Addr>() {
+            ids.ips.push(ip);
+        }
+    }
+    for v in [&mut ids.phones, &mut ids.social, &mut ids.shortlinks] {
+        v.sort();
+        v.dedup();
+    }
+    ids.ips.sort();
+    ids.ips.dedup();
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGE: &str = r#"<!DOCTYPE html><html><head>
+        <title>SLOT GACOR</title>
+        <meta name="keywords" content="slot, Judi, situs ">
+        <meta name="generator" content="WordPress 5.8">
+        <script type="text/javascript" src="http://203.0.113.7/js/popunder.js"></script>
+        </head><body>
+        <h1>daftar situs judi slot online terpercaya</h1>
+        <p>hubungi kami</p>
+        <a href="https://wa.me/6281234567890">WhatsApp</a>
+        <a href="https://t.me/slotgacor88">Telegram</a>
+        <a href="https://bit.ly/3xyzAb">Promo</a>
+        <a href="http://198.51.100.9/land?ref=xyz">Masuk</a>
+        <script>var x = 1;</script>
+        </body></html>"#;
+
+    #[test]
+    fn title_and_meta() {
+        assert_eq!(title(PAGE).unwrap(), "SLOT GACOR");
+        assert_eq!(meta_keywords(PAGE), vec!["slot", "judi", "situs"]);
+        assert_eq!(generator(PAGE).unwrap(), "WordPress 5.8");
+        assert_eq!(meta(PAGE, "missing"), None);
+    }
+
+    #[test]
+    fn href_and_script_extraction() {
+        let h = hrefs(PAGE);
+        assert!(h.iter().any(|u| u.contains("wa.me")));
+        assert!(h.iter().any(|u| u.contains("bit.ly")));
+        assert_eq!(script_srcs(PAGE), vec!["http://203.0.113.7/js/popunder.js"]);
+    }
+
+    #[test]
+    fn visible_text_skips_scripts() {
+        let t = visible_text_chars(PAGE);
+        assert!(t.contains("daftar situs judi"));
+        assert!(!t.contains("var x"));
+        assert!(!t.contains("popunder"));
+    }
+
+    #[test]
+    fn tokens_lowercased() {
+        let toks = tokens(PAGE);
+        assert!(toks.contains(&"slot".to_string()));
+        assert!(toks.contains(&"gacor".to_string()));
+        assert!(toks.contains(&"terpercaya".to_string()));
+    }
+
+    #[test]
+    fn identifier_classes() {
+        let ids = identifiers(PAGE);
+        assert_eq!(ids.phones, vec!["6281234567890"]);
+        assert_eq!(ids.social, vec!["t.me/slotgacor88"]);
+        assert_eq!(ids.shortlinks, vec!["bit.ly/3xyzAb"]);
+        assert_eq!(
+            ids.ips,
+            vec![
+                "198.51.100.9".parse::<Ipv4Addr>().unwrap(),
+                "203.0.113.7".parse().unwrap()
+            ]
+        );
+        let tagged = ids.tagged();
+        assert_eq!(tagged.len(), 5);
+        assert!(tagged[0].starts_with("ip:"));
+    }
+
+    #[test]
+    fn tolerates_malformed_html() {
+        for bad in [
+            "",
+            "<a href=\"unterminated",
+            "<title>no close",
+            "<script>never closed",
+            "<<<>>><a><a href=\"\">",
+        ] {
+            let _ = title(bad);
+            let _ = hrefs(bad);
+            let _ = identifiers(bad);
+            let _ = visible_text_chars(bad);
+            let _ = tokens(bad);
+        }
+    }
+
+    #[test]
+    fn no_identifiers_on_benign_page() {
+        let benign = "<html><body><a href=\"https://example.com/about\">About</a></body></html>";
+        assert!(identifiers(benign).is_empty());
+    }
+}

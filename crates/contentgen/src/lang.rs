@@ -1,0 +1,231 @@
+//! Language tagging and detection.
+//!
+//! The monitoring pipeline flags *language changes* as a hijack indicator
+//! (signature type 6 in §3.2): a Fortune-500 product page suddenly serving
+//! Indonesian gambling text or auto-generated Japanese is a strong signal.
+//! Detection combines Unicode-script counting (ja/th/ru/ar) with stopword
+//! scoring (en/id/de).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Languages that occur in the study's content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Language {
+    English,
+    Indonesian,
+    Japanese,
+    Thai,
+    Russian,
+    German,
+    Arabic,
+}
+
+impl Language {
+    pub fn tag(self) -> &'static str {
+        match self {
+            Language::English => "en",
+            Language::Indonesian => "id",
+            Language::Japanese => "ja",
+            Language::Thai => "th",
+            Language::Russian => "ru",
+            Language::German => "de",
+            Language::Arabic => "ar",
+        }
+    }
+
+    pub fn from_tag(tag: &str) -> Option<Language> {
+        Some(match tag {
+            "en" => Language::English,
+            "id" => Language::Indonesian,
+            "ja" => Language::Japanese,
+            "th" => Language::Thai,
+            "ru" => Language::Russian,
+            "de" => Language::German,
+            "ar" => Language::Arabic,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Language {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+const EN_STOPWORDS: &[&str] = &[
+    "the", "and", "for", "with", "our", "your", "from", "this", "that", "are", "was", "have",
+    "will", "more", "about", "service", "services", "products",
+];
+
+const ID_STOPWORDS: &[&str] = &[
+    "yang",
+    "dan",
+    "di",
+    "dengan",
+    "untuk",
+    "dari",
+    "ini",
+    "itu",
+    "anda",
+    "kami",
+    "situs",
+    "judi",
+    "daftar",
+    "terpercaya",
+    "agen",
+    "bola",
+    "pulsa",
+    "gacor",
+    "slot",
+];
+
+const DE_STOPWORDS: &[&str] = &[
+    "der", "die", "das", "und", "mit", "für", "von", "ist", "wird", "unsere", "sie", "nicht",
+    "eine", "auf", "werden", "derzeit",
+];
+
+/// Detect the dominant language of a text. Returns `None` for texts with no
+/// recognizable signal (e.g. pure markup).
+pub fn detect(text: &str) -> Option<Language> {
+    // Script-based detection first: count characters per script.
+    let mut ja = 0usize;
+    let mut th = 0usize;
+    let mut ru = 0usize;
+    let mut ar = 0usize;
+    let mut latin = 0usize;
+    for c in text.chars() {
+        let u = c as u32;
+        match u {
+            // Hiragana, Katakana, CJK unified ideographs.
+            0x3040..=0x30FF | 0x4E00..=0x9FFF => ja += 1,
+            0x0E00..=0x0E7F => th += 1,
+            0x0400..=0x04FF => ru += 1,
+            0x0600..=0x06FF => ar += 1,
+            _ if c.is_ascii_alphabetic() => latin += 1,
+            _ => {}
+        }
+    }
+    let script_max = ja.max(th).max(ru).max(ar);
+    if script_max > 0 && script_max * 4 >= latin {
+        if ja == script_max {
+            return Some(Language::Japanese);
+        }
+        if th == script_max {
+            return Some(Language::Thai);
+        }
+        if ru == script_max {
+            return Some(Language::Russian);
+        }
+        return Some(Language::Arabic);
+    }
+    if latin == 0 {
+        return None;
+    }
+    // Stopword scoring for Latin-script languages.
+    let lower = text.to_lowercase();
+    let words: Vec<&str> = lower
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .collect();
+    if words.is_empty() {
+        return None;
+    }
+    let score = |stop: &[&str]| words.iter().filter(|w| stop.contains(&w.as_ref())).count();
+    let en = score(EN_STOPWORDS);
+    let id = score(ID_STOPWORDS);
+    let de = score(DE_STOPWORDS);
+    let best = en.max(id).max(de);
+    if best == 0 {
+        return None;
+    }
+    if id == best {
+        Some(Language::Indonesian)
+    } else if de == best {
+        Some(Language::German)
+    } else {
+        Some(Language::English)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_english() {
+        assert_eq!(
+            detect("Welcome to our services, learn more about the products we have for you"),
+            Some(Language::English)
+        );
+    }
+
+    #[test]
+    fn detects_indonesian_gambling() {
+        assert_eq!(
+            detect("daftar situs judi slot online terpercaya dengan agen bola gacor"),
+            Some(Language::Indonesian)
+        );
+    }
+
+    #[test]
+    fn detects_japanese() {
+        assert_eq!(
+            detect("当社のウェブサイトは現在メンテナンス中です"),
+            Some(Language::Japanese)
+        );
+    }
+
+    #[test]
+    fn detects_thai() {
+        assert_eq!(detect("สล็อตออนไลน์ การพนัน"), Some(Language::Thai));
+    }
+
+    #[test]
+    fn detects_russian() {
+        assert_eq!(
+            detect("Как вы здесь оказались? создайте алиас в настройках"),
+            Some(Language::Russian)
+        );
+    }
+
+    #[test]
+    fn detects_german() {
+        assert_eq!(
+            detect("Unsere Website wird derzeit planmäßig gewartet und ist nicht erreichbar"),
+            Some(Language::German)
+        );
+    }
+
+    #[test]
+    fn detects_arabic() {
+        assert_eq!(
+            detect("يخضع موقعنا حاليًا للصيانة المجدولة"),
+            Some(Language::Arabic)
+        );
+    }
+
+    #[test]
+    fn no_signal() {
+        assert_eq!(detect(""), None);
+        assert_eq!(detect("12345 --- ###"), None);
+        assert_eq!(detect("zzz qqq xxx"), None);
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        for l in [
+            Language::English,
+            Language::Indonesian,
+            Language::Japanese,
+            Language::Thai,
+            Language::Russian,
+            Language::German,
+            Language::Arabic,
+        ] {
+            assert_eq!(Language::from_tag(l.tag()), Some(l));
+        }
+        assert_eq!(Language::from_tag("xx"), None);
+    }
+}

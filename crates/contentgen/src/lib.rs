@@ -1,0 +1,25 @@
+//! # contentgen — synthetic web content
+//!
+//! Generates everything the crawler downloads: benign organization sites,
+//! parked-domain pages, and the abuse content families the paper catalogues
+//! in §5.2 (doorway pages, the Japanese Keyword Hack, private link networks,
+//! keyword stuffing, clickjacking), with the Indonesian-gambling and adult
+//! keyword vocabularies of Tables 1/5 and the multi-language maintenance
+//! shells of Figure 23 / Appendix Figure 29.
+//!
+//! The companion [`extract`] module holds the HTML feature extractors the
+//! detection pipeline (and §6's identifier clustering) runs over downloaded
+//! pages: hrefs, meta keywords, generator tags, visible text, embedded
+//! IP-literal links, WhatsApp/Telegram contact links, and shortener URLs.
+
+pub mod abuse;
+pub mod benign;
+pub mod corpus;
+pub mod extract;
+pub mod html;
+pub mod lang;
+
+pub use abuse::{AbuseSpec, AbuseTopic, SeoTechnique};
+pub use benign::{benign_site, benign_topical_site, parked_site, BenignKind};
+pub use html::HtmlDoc;
+pub use lang::Language;

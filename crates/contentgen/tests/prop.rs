@@ -1,0 +1,68 @@
+//! Property tests: extractor totality on hostile input, builder/extractor
+//! roundtrips, and language-detection stability.
+
+use contentgen::extract;
+use contentgen::html::HtmlDoc;
+use contentgen::lang;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every extractor is total on arbitrary (including multi-byte) input.
+    #[test]
+    fn extractors_total(s in "\\PC{0,400}") {
+        let _ = extract::title(&s);
+        let _ = extract::hrefs(&s);
+        let _ = extract::script_srcs(&s);
+        let _ = extract::meta_keywords(&s);
+        let _ = extract::generator(&s);
+        let _ = extract::visible_text_chars(&s);
+        let _ = extract::tokens(&s);
+        let _ = extract::identifiers(&s);
+        let _ = lang::detect(&s);
+    }
+
+    /// Extractors survive byte-noise wrapped in angle brackets.
+    #[test]
+    fn extractors_total_on_taggy_garbage(parts in proptest::collection::vec("[<>\"a-z= /]{0,20}", 0..30)) {
+        let s: String = parts.concat();
+        let _ = extract::title(&s);
+        let _ = extract::hrefs(&s);
+        let _ = extract::identifiers(&s);
+        let _ = extract::visible_text_chars(&s);
+    }
+
+    /// What the builder writes, the extractor reads back.
+    #[test]
+    fn builder_extractor_roundtrip(
+        title in "[a-zA-Z ]{1,30}",
+        kws in proptest::collection::vec("[a-z]{2,10}", 1..6),
+        hrefs in proptest::collection::vec("[a-z0-9./:-]{5,30}", 0..5),
+    ) {
+        let mut doc = HtmlDoc::new(title.clone());
+        for k in &kws {
+            doc = doc.keyword(k);
+        }
+        for h in &hrefs {
+            doc = doc.link(h.clone(), "x");
+        }
+        let html = doc.render();
+        prop_assert_eq!(extract::title(&html).unwrap(), title.trim());
+        let mut got = extract::meta_keywords(&html);
+        let mut want: Vec<String> = kws.clone();
+        got.sort(); got.dedup();
+        want.sort(); want.dedup();
+        prop_assert_eq!(got, want);
+        let got_hrefs = extract::hrefs(&html);
+        for h in &hrefs {
+            prop_assert!(got_hrefs.contains(h), "missing href {}", h);
+        }
+    }
+
+    /// Language detection is deterministic.
+    #[test]
+    fn lang_detect_deterministic(s in "\\PC{0,200}") {
+        prop_assert_eq!(lang::detect(&s), lang::detect(&s));
+    }
+}

@@ -1,0 +1,251 @@
+//! Certificate analysis (§5.6, Figure 20).
+//!
+//! Over the full CT history of the hijacked subdomains: single-SAN vs
+//! multi-SAN/wildcard monthly series, detection of mass-issuance anomaly
+//! windows, the Let's Encrypt share inside them, and the §5.6.2 CAA census.
+
+use analysis::MonthlySeries;
+use certsim::{CaId, CtLog};
+use dns::Name;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Figure 20's two series plus window anomalies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CertTimeline {
+    pub single_san_total: usize,
+    pub multi_san_total: usize,
+    pub single_by_month: Vec<(i32, f64)>,
+    pub multi_by_month: Vec<(i32, f64)>,
+    /// Months where single-SAN issuance spikes ≥ `spike_factor` × median.
+    pub anomaly_months: Vec<i32>,
+    /// Let's Encrypt share of single-SAN certs inside anomaly months.
+    pub le_share_in_anomalies: f64,
+    /// Let's Encrypt share of single-SAN certs outside them.
+    pub le_share_elsewhere: f64,
+}
+
+/// Build the Figure 20 analysis for a set of hijacked FQDNs.
+pub fn cert_timeline(ct: &CtLog, hijacked: &[Name], spike_factor: f64) -> CertTimeline {
+    let hijacked_set: BTreeSet<&Name> = hijacked.iter().collect();
+    let mut single = MonthlySeries::new();
+    let mut multi = MonthlySeries::new();
+    let mut single_entries: Vec<(i32, CaId)> = Vec::new();
+    let mut single_total = 0;
+    let mut multi_total = 0;
+    for entry in ct.iter() {
+        let covers_hijacked = entry.cert.sans.iter().any(|san| {
+            if san.is_wildcard() {
+                hijacked_set.iter().any(|h| h.matches_wildcard(san))
+            } else {
+                hijacked_set.contains(san)
+            }
+        });
+        if !covers_hijacked {
+            continue;
+        }
+        let m = entry.logged_at.month_index();
+        if entry.cert.is_single_san() {
+            single.increment(m);
+            single_entries.push((m, entry.cert.issuer));
+            single_total += 1;
+        } else {
+            multi.increment(m);
+            multi_total += 1;
+        }
+    }
+    // Anomaly months: single-SAN count >= spike_factor * positive-median.
+    let dense = single.dense();
+    let mut positives: Vec<f64> = dense.iter().map(|(_, v)| *v).filter(|v| *v > 0.0).collect();
+    positives.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = positives.get(positives.len() / 2).copied().unwrap_or(0.0);
+    let anomaly_months: Vec<i32> = dense
+        .iter()
+        .filter(|(_, v)| median > 0.0 && *v >= spike_factor * median && *v >= 3.0)
+        .map(|(m, _)| *m)
+        .collect();
+    let in_window = |m: i32| anomaly_months.contains(&m);
+    let le = |entries: &[(i32, CaId)], inside: bool| -> f64 {
+        let relevant: Vec<&(i32, CaId)> = entries
+            .iter()
+            .filter(|(m, _)| in_window(*m) == inside)
+            .collect();
+        if relevant.is_empty() {
+            return 0.0;
+        }
+        relevant
+            .iter()
+            .filter(|(_, ca)| *ca == CaId::LetsEncrypt)
+            .count() as f64
+            / relevant.len() as f64
+    };
+    CertTimeline {
+        single_san_total: single_total,
+        multi_san_total: multi_total,
+        single_by_month: single.dense(),
+        multi_by_month: multi.dense(),
+        le_share_in_anomalies: le(&single_entries, true),
+        le_share_elsewhere: le(&single_entries, false),
+        anomaly_months,
+    }
+}
+
+/// §5.6.2's CAA census over the parents of hijacked subdomains.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CaaCensus {
+    pub parents: usize,
+    /// Parents with any CAA record.
+    pub with_caa: usize,
+    /// Parents whose CAA authorizes only paid CAs.
+    pub paid_only: usize,
+    /// Of parents with CAA, how many still had a hijacked subdomain with a
+    /// valid certificate (the paper: about half).
+    pub caa_but_hijack_cert: usize,
+}
+
+/// Compute the census. `caa_of` reports (has_caa, paid_only) for an apex;
+/// `hijack_has_cert` reports whether any hijacked subdomain of the apex got
+/// a certificate.
+pub fn caa_census<F, G>(parents: &[Name], caa_of: F, hijack_has_cert: G) -> CaaCensus
+where
+    F: Fn(&Name) -> (bool, bool),
+    G: Fn(&Name) -> bool,
+{
+    let mut census = CaaCensus {
+        parents: parents.len(),
+        with_caa: 0,
+        paid_only: 0,
+        caa_but_hijack_cert: 0,
+    };
+    for p in parents {
+        let (has, paid) = caa_of(p);
+        if has {
+            census.with_caa += 1;
+            if hijack_has_cert(p) {
+                census.caa_but_hijack_cert += 1;
+            }
+        }
+        if paid {
+            census.paid_only += 1;
+        }
+    }
+    census
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certsim::{CertId, Certificate};
+    use cloudsim::AccountId;
+    use simcore::{Date, SimTime};
+
+    fn cert(id: u64, sans: &[&str], ca: CaId, by: AccountId) -> Certificate {
+        Certificate {
+            id: CertId(id),
+            subject: sans[0].parse().unwrap(),
+            sans: sans.iter().map(|s| s.parse().unwrap()).collect(),
+            issuer: ca,
+            not_before: SimTime(0),
+            not_after: SimTime(90),
+            requested_by: by,
+        }
+    }
+
+    #[test]
+    fn timeline_splits_and_finds_anomaly() {
+        let mut ct = CtLog::new();
+        let hijacked: Vec<Name> = (0..10)
+            .map(|i| format!("h{i}.victim{i}.com").parse().unwrap())
+            .collect();
+        // Background: monthly multi-SAN renewals + occasional single-SAN.
+        for m in 0..24 {
+            let t = Date::new(2020, 1, 15).to_sim() + m * 30;
+            ct.append(
+                cert(
+                    m as u64,
+                    &["h0.victim0.com", "victim0.com"],
+                    CaId::DigiCert,
+                    AccountId::Org(0),
+                ),
+                t,
+            );
+            if m % 6 == 0 {
+                ct.append(
+                    cert(
+                        100 + m as u64,
+                        &["h1.victim1.com"],
+                        CaId::ZeroSsl,
+                        AccountId::Org(1),
+                    ),
+                    t,
+                );
+            }
+        }
+        // Anomaly burst: 8 single-SAN LE certs in one month.
+        let burst = Date::new(2021, 9, 10).to_sim();
+        for i in 0..8 {
+            ct.append(
+                cert(
+                    200 + i,
+                    &[format!("h{}.victim{}.com", i % 10, i % 10).as_str()],
+                    CaId::LetsEncrypt,
+                    AccountId::Attacker(0),
+                ),
+                burst + (i as i32 % 20),
+            );
+        }
+        // Unrelated noise must be ignored.
+        ct.append(
+            cert(
+                999,
+                &["x.unrelated.net"],
+                CaId::LetsEncrypt,
+                AccountId::Org(9),
+            ),
+            burst,
+        );
+
+        let tl = cert_timeline(&ct, &hijacked, 3.0);
+        assert_eq!(tl.multi_san_total, 24);
+        assert_eq!(tl.single_san_total, 4 + 8);
+        assert_eq!(tl.anomaly_months.len(), 1);
+        assert_eq!(tl.anomaly_months[0], burst.month_index());
+        assert!(tl.le_share_in_anomalies > 0.9);
+        assert!(tl.le_share_elsewhere < 0.5);
+    }
+
+    #[test]
+    fn wildcards_count_as_multi() {
+        let mut ct = CtLog::new();
+        let hijacked: Vec<Name> = vec!["h.victim.com".parse().unwrap()];
+        ct.append(
+            cert(1, &["*.victim.com"], CaId::DigiCert, AccountId::Org(0)),
+            SimTime(10),
+        );
+        let tl = cert_timeline(&ct, &hijacked, 3.0);
+        assert_eq!(tl.multi_san_total, 1);
+        assert_eq!(tl.single_san_total, 0);
+    }
+
+    #[test]
+    fn census_counts() {
+        let parents: Vec<Name> = (0..100)
+            .map(|i| format!("p{i}.com").parse().unwrap())
+            .collect();
+        let census = caa_census(
+            &parents,
+            |p| {
+                let i: usize = p.labels()[0][1..].parse().unwrap();
+                (i < 4, i == 0) // 4 with CAA, 1 paid-only
+            },
+            |p| {
+                let i: usize = p.labels()[0][1..].parse().unwrap();
+                i % 2 == 0 // half the CAA parents still had hijack certs
+            },
+        );
+        assert_eq!(census.parents, 100);
+        assert_eq!(census.with_caa, 4);
+        assert_eq!(census.paid_only, 1);
+        assert_eq!(census.caa_but_hijack_cert, 2);
+    }
+}

@@ -1,0 +1,119 @@
+//! Keyword extraction (§3.2 "Signatures", Tables 1 and 5).
+//!
+//! The pipeline extracted 56,946 keywords with an average of 2.72 per
+//! signature. We tokenize visible text, drop a small English stopword list
+//! (the abuse vocabulary is mostly non-English, which is itself signal),
+//! and rank by frequency with deterministic tie-breaking.
+
+use contentgen::extract;
+
+/// Stopwords excluded from keyword ranking — high-frequency English and
+/// structural tokens that carry no abuse signal.
+const STOPWORDS: &[&str] = &[
+    "the", "and", "for", "with", "our", "your", "from", "this", "that", "are", "was", "were",
+    "have", "has", "will", "more", "about", "all", "can", "you", "not", "but", "its", "into",
+    "than", "then", "they", "them", "their", "out", "who", "what", "when", "where", "how", "html",
+    "http", "https", "www", "com", "net", "org", "page", "site", "website", "home", "welcome",
+    "learn", "contact", "us",
+];
+
+/// Extract the top `k` content keywords from an HTML document.
+pub fn extract_keywords(html: &str, k: usize) -> Vec<String> {
+    let tokens = extract::tokens(html);
+    rank_tokens(tokens, k)
+}
+
+/// Rank a token stream into top-k keywords.
+pub fn rank_tokens(tokens: Vec<String>, k: usize) -> Vec<String> {
+    let mut counts: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
+    for t in tokens {
+        if t.len() < 3 && !t.chars().any(|c| !c.is_ascii()) {
+            continue; // short ASCII tokens are noise; short CJK tokens are words
+        }
+        if STOPWORDS.contains(&t.as_str()) {
+            continue;
+        }
+        if t.chars().all(|c| c.is_ascii_digit()) {
+            continue;
+        }
+        *counts.entry(t).or_insert(0) += 1;
+    }
+    let mut v: Vec<(String, u32)> = counts.into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    v.truncate(k);
+    v.into_iter().map(|(t, _)| t).collect()
+}
+
+/// Canonical cluster key for a keyword list: sorted + joined. Snapshots with
+/// the same key carry "identical keyword lists [which] indicate the same
+/// page content" (§3.2's clustering step).
+pub fn cluster_key(keywords: &[String]) -> String {
+    let mut ks: Vec<&str> = keywords.iter().map(String::as_str).collect();
+    ks.sort_unstable();
+    ks.dedup();
+    ks.join("|")
+}
+
+/// Overlap coefficient between two keyword lists (|∩| / min(|A|,|B|)).
+pub fn overlap(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.iter().filter(|k| b.contains(k)).count();
+    inter as f64 / a.len().min(b.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_abuse_vocabulary() {
+        let html = "<html><body><h1>daftar situs judi slot online</h1>\
+                    <p>slot gacor slot terpercaya judi bola</p></body></html>";
+        let kws = extract_keywords(html, 5);
+        assert_eq!(kws[0], "slot"); // highest frequency
+        assert!(kws.contains(&"judi".to_string()));
+        assert!(!kws.contains(&"the".to_string()));
+    }
+
+    #[test]
+    fn stopwords_and_digits_dropped() {
+        let html = "<html><body>the the the and and 12345 welcome</body></html>";
+        assert!(extract_keywords(html, 10).is_empty());
+    }
+
+    #[test]
+    fn deterministic_tiebreak() {
+        let html = "<html><body>zebra apple zebra apple</body></html>";
+        assert_eq!(extract_keywords(html, 2), vec!["apple", "zebra"]);
+    }
+
+    #[test]
+    fn cluster_key_order_insensitive() {
+        let a = vec!["slot".to_string(), "judi".to_string()];
+        let b = vec!["judi".to_string(), "slot".to_string()];
+        assert_eq!(cluster_key(&a), cluster_key(&b));
+        assert_ne!(cluster_key(&a), cluster_key(&[]));
+    }
+
+    #[test]
+    fn overlap_coefficient() {
+        let a = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+        let b = vec![
+            "b".to_string(),
+            "c".to_string(),
+            "d".to_string(),
+            "e".to_string(),
+        ];
+        assert!((overlap(&a, &b) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(overlap(&a, &[]), 0.0);
+    }
+
+    #[test]
+    fn cjk_tokens_survive_length_filter() {
+        let html = "<html><body>脱出 攻略 脱出</body></html>";
+        let kws = extract_keywords(html, 3);
+        assert!(kws.contains(&"脱出".to_string()));
+    }
+}

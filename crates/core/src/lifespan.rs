@@ -1,0 +1,156 @@
+//! Hijack duration analysis (§4.4, Figures 15/16).
+//!
+//! Lifespan = first HTML sample recognized as abused → the DNS correction
+//! that ends the hijack. Open hijacks (no correction by study end) are
+//! right-censored at the horizon.
+
+use analysis::Ecdf;
+use dns::Name;
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+
+/// One abuse interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AbuseInterval {
+    pub fqdn: Name,
+    pub first_seen: SimTime,
+    /// DNS correction time (None = still live at the horizon).
+    pub corrected_at: Option<SimTime>,
+}
+
+impl AbuseInterval {
+    /// Duration in days, censored at `horizon`.
+    pub fn duration_days(&self, horizon: SimTime) -> i32 {
+        let end = self.corrected_at.unwrap_or(horizon);
+        (end - self.first_seen).max(0)
+    }
+
+    pub fn is_open(&self) -> bool {
+        self.corrected_at.is_none()
+    }
+}
+
+/// Figure 15 summary statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LifespanStats {
+    pub count: usize,
+    /// Fraction removed within 15 days.
+    pub frac_within_15d: f64,
+    /// Fraction lasting longer than 65 days (paper: > 1/3).
+    pub frac_over_65d: f64,
+    /// Fraction lasting longer than a year.
+    pub frac_over_1y: f64,
+    pub median_days: f64,
+}
+
+/// Compute the duration ECDF and headline stats.
+pub fn lifespan_stats(intervals: &[AbuseInterval], horizon: SimTime) -> (Ecdf, LifespanStats) {
+    let durations: Vec<f64> = intervals
+        .iter()
+        .map(|i| i.duration_days(horizon) as f64)
+        .collect();
+    let ecdf = Ecdf::new(durations);
+    let stats = LifespanStats {
+        count: intervals.len(),
+        frac_within_15d: ecdf.fraction_le(15.0),
+        frac_over_65d: 1.0 - ecdf.fraction_le(65.0),
+        frac_over_1y: 1.0 - ecdf.fraction_le(365.0),
+        median_days: ecdf.quantile(0.5).unwrap_or(0.0),
+    };
+    (ecdf, stats)
+}
+
+/// Figure 16: per-domain (start, end) bars sorted by start date, plus the
+/// monthly count of concurrently-active hijacks.
+pub fn timeframes(
+    intervals: &[AbuseInterval],
+    horizon: SimTime,
+) -> (Vec<(Name, SimTime, SimTime)>, Vec<(i32, u32)>) {
+    let mut bars: Vec<(Name, SimTime, SimTime)> = intervals
+        .iter()
+        .map(|i| {
+            (
+                i.fqdn.clone(),
+                i.first_seen,
+                i.corrected_at.unwrap_or(horizon),
+            )
+        })
+        .collect();
+    bars.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    // Concurrency by month.
+    let mut monthly: Vec<(i32, u32)> = Vec::new();
+    if let (Some(first), Some(_)) = (bars.first(), bars.last()) {
+        let mut m = first.1.month_floor();
+        while m <= horizon {
+            let month_idx = m.month_index();
+            let next = m + 31;
+            let next = next.month_floor();
+            let active = bars.iter().filter(|(_, s, e)| *s < next && *e >= m).count() as u32;
+            monthly.push((month_idx, active));
+            m = next;
+        }
+    }
+    (bars, monthly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(fqdn: &str, start: i32, end: Option<i32>) -> AbuseInterval {
+        AbuseInterval {
+            fqdn: fqdn.parse().unwrap(),
+            first_seen: SimTime(start),
+            corrected_at: end.map(SimTime),
+        }
+    }
+
+    #[test]
+    fn durations_and_censoring() {
+        let horizon = SimTime(1000);
+        let a = iv("a.x.com", 100, Some(110));
+        assert_eq!(a.duration_days(horizon), 10);
+        assert!(!a.is_open());
+        let b = iv("b.x.com", 900, None);
+        assert_eq!(b.duration_days(horizon), 100);
+        assert!(b.is_open());
+    }
+
+    #[test]
+    fn stats_fractions() {
+        let horizon = SimTime(1000);
+        let intervals = vec![
+            iv("a.x.com", 0, Some(5)),   // 5d
+            iv("b.x.com", 0, Some(14)),  // 14d
+            iv("c.x.com", 0, Some(100)), // 100d
+            iv("d.x.com", 0, Some(400)), // 400d
+        ];
+        let (_, s) = lifespan_stats(&intervals, horizon);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.frac_within_15d, 0.5);
+        assert_eq!(s.frac_over_65d, 0.5);
+        assert_eq!(s.frac_over_1y, 0.25);
+    }
+
+    #[test]
+    fn timeframes_sorted_and_concurrency() {
+        let horizon = SimTime(100);
+        let intervals = vec![iv("b.x.com", 40, Some(80)), iv("a.x.com", 10, Some(50))];
+        let (bars, monthly) = timeframes(&intervals, horizon);
+        assert_eq!(bars[0].0.to_string(), "a.x.com");
+        assert!(!monthly.is_empty());
+        // Both active around day 45 (second month window).
+        let max_active = monthly.iter().map(|(_, c)| *c).max().unwrap();
+        assert_eq!(max_active, 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (ecdf, s) = lifespan_stats(&[], SimTime(10));
+        assert!(ecdf.is_empty());
+        assert_eq!(s.count, 0);
+        let (bars, monthly) = timeframes(&[], SimTime(10));
+        assert!(bars.is_empty());
+        assert!(monthly.is_empty());
+    }
+}

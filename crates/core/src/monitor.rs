@@ -1,0 +1,216 @@
+//! The weekly crawler (§3.2 / ethics §1).
+//!
+//! Per FQDN and round, at most two HTTP requests: the index page, and the
+//! sitemap only when the index responded. DNS state is recorded either way.
+//! Content features are extracted lazily — only when the body hash differs
+//! from the previous snapshot — which is also how the real system avoided
+//! re-analyzing terabytes of unchanged HTML.
+
+use crate::snapshot::{body_hash, Snapshot};
+use dns::resolver::Transport;
+use dns::{Name, Resolver};
+use httpsim::{Endpoint, Request};
+use simcore::SimTime;
+
+/// Crawler over a DNS transport and an HTTP endpoint.
+pub struct Crawler;
+
+impl Crawler {
+    /// Take one observation of `fqdn`. `prev` enables the lazy feature
+    /// extraction: an unchanged body inherits the previous features instead
+    /// of re-parsing (and instead of losing them).
+    pub fn sample<T: Transport, E: Endpoint + ?Sized>(
+        fqdn: &Name,
+        resolver: &Resolver<T>,
+        web: &E,
+        prev: Option<&Snapshot>,
+        now: SimTime,
+    ) -> Snapshot {
+        let prev_hash = prev.map(|p| p.index_hash);
+        let outcome = resolver.resolve_a(fqdn, now);
+        let cname = outcome.final_cname().cloned();
+        let Some(ip) = outcome.addresses.first().copied() else {
+            return Snapshot::unreachable(fqdn.clone(), now, outcome.rcode, cname);
+        };
+        let host = fqdn.to_string();
+        // Request 1: the index page.
+        let resp = web.http_serve(ip, &Request::get(&host, "/"), now);
+        let Some(resp) = resp else {
+            let mut s = Snapshot::unreachable(fqdn.clone(), now, outcome.rcode, cname);
+            s.ip = Some(ip);
+            return s;
+        };
+        let hash = body_hash(&resp.body);
+        let mut snap = Snapshot {
+            fqdn: fqdn.clone(),
+            day: now,
+            rcode: outcome.rcode,
+            cname_target: cname,
+            ip: Some(ip),
+            http_status: Some(resp.status.0),
+            index_hash: hash,
+            index_size: resp.body.len() as u32,
+            title: None,
+            language: None,
+            keywords: Vec::new(),
+            meta_keywords: Vec::new(),
+            generator: None,
+            sitemap_bytes: None,
+            script_srcs: Vec::new(),
+            identifiers: Vec::new(),
+            html: None,
+        };
+        let changed = prev_hash != Some(hash);
+        if changed && resp.status.is_success() {
+            let html = String::from_utf8_lossy(&resp.body);
+            snap.ingest_content(&html, true);
+            // Request 2: the sitemap (only when we need to look closer).
+            if let Some(sm) = web.http_serve(ip, &Request::get(&host, "/sitemap.xml"), now) {
+                if sm.status.is_success() {
+                    snap.sitemap_bytes = sm
+                        .headers
+                        .get("Content-Length")
+                        .and_then(|v| v.parse().ok())
+                        .or(Some(sm.body.len() as u64));
+                }
+            }
+        } else if !changed {
+            if let Some(p) = prev {
+                snap.inherit_features(p);
+            }
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsim::{AccountId, CloudPlatform, PlatformConfig, ServiceId, SiteContent, Sitemap};
+    use dns::{Authority, RecordData, ResourceRecord, Zone, ZoneSet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build() -> (CloudPlatform, Resolver<Authority>) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut platform = CloudPlatform::new(PlatformConfig::default());
+        let id = platform
+            .register(
+                ServiceId::AzureWebApp,
+                Some("acme-shop"),
+                None,
+                AccountId::Org(1),
+                SimTime(0),
+                &mut rng,
+            )
+            .unwrap();
+        let mut content = SiteContent::placeholder("ACME shop");
+        content.sitemap = Some(Sitemap::synthetic(40_000, "<urlset/>".into()));
+        platform.set_content(id, content);
+        platform.bind_custom_domain(id, "shop.acme.com".parse().unwrap());
+
+        let mut zs = ZoneSet::new();
+        let mut z = Zone::new("acme.com".parse().unwrap());
+        z.add(ResourceRecord::new(
+            "shop.acme.com".parse().unwrap(),
+            300,
+            RecordData::Cname("acme-shop.azurewebsites.net".parse().unwrap()),
+        ));
+        zs.insert(z);
+        for pz in platform.zones().iter() {
+            zs.insert(pz.clone());
+        }
+        (platform, Resolver::new(Authority::new(zs)))
+    }
+
+    #[test]
+    fn samples_content_and_sitemap() {
+        let (platform, resolver) = build();
+        let fqdn: Name = "shop.acme.com".parse().unwrap();
+        let s = Crawler::sample(&fqdn, &resolver, &platform, None, SimTime(7));
+        assert_eq!(s.http_status, Some(200));
+        assert!(s.title.as_deref().unwrap().contains("ACME"));
+        assert_eq!(s.sitemap_bytes, Some(120 + 40_000 * 80));
+        assert!(s.html.is_some());
+        assert!(s.ip.is_some());
+    }
+
+    #[test]
+    fn unchanged_body_skips_extraction() {
+        let (platform, resolver) = build();
+        let fqdn: Name = "shop.acme.com".parse().unwrap();
+        let first = Crawler::sample(&fqdn, &resolver, &platform, None, SimTime(7));
+        let second = Crawler::sample(&fqdn, &resolver, &platform, Some(&first), SimTime(14));
+        assert_eq!(second.index_hash, first.index_hash);
+        // Lazy path: no re-extraction and no second request, but features
+        // are inherited so downstream consumers never see an empty view.
+        assert_eq!(second.title, first.title);
+        assert_eq!(second.sitemap_bytes, first.sitemap_bytes);
+        assert!(second.html.is_none());
+    }
+
+    #[test]
+    fn dangling_fqdn_yields_unreachable() {
+        let (mut platform, _) = build();
+        // Release the resource: the CNAME now dangles.
+        let id = platform
+            .resource_by_host(&"acme-shop.azurewebsites.net".parse().unwrap())
+            .unwrap()
+            .id;
+        platform.release(id, SimTime(8));
+        let mut zs = ZoneSet::new();
+        let mut z = Zone::new("acme.com".parse().unwrap());
+        z.add(ResourceRecord::new(
+            "shop.acme.com".parse().unwrap(),
+            300,
+            RecordData::Cname("acme-shop.azurewebsites.net".parse().unwrap()),
+        ));
+        zs.insert(z);
+        for pz in platform.zones().iter() {
+            zs.insert(pz.clone());
+        }
+        let resolver = Resolver::new(Authority::new(zs));
+        let s = Crawler::sample(
+            &"shop.acme.com".parse().unwrap(),
+            &resolver,
+            &platform,
+            None,
+            SimTime(9),
+        );
+        assert!(!s.is_serving());
+        assert_eq!(s.http_status, None);
+        assert!(s.cname_target.is_some());
+    }
+
+    #[test]
+    fn platform_404_is_a_response() {
+        // A Host the front end does not know still yields an HTTP response
+        // (the provider error page) — §2's point about application-layer
+        // liveness.
+        let (platform, resolver) = build();
+        let mut zs = ZoneSet::new();
+        let mut z = Zone::new("other.com".parse().unwrap());
+        z.add(ResourceRecord::new(
+            "x.other.com".parse().unwrap(),
+            300,
+            RecordData::A(
+                platform
+                    .resource_by_host(&"acme-shop.azurewebsites.net".parse().unwrap())
+                    .unwrap()
+                    .ip,
+            ),
+        ));
+        zs.insert(z);
+        let r2 = Resolver::new(Authority::new(zs));
+        let _ = resolver;
+        let s = Crawler::sample(
+            &"x.other.com".parse().unwrap(),
+            &r2,
+            &platform,
+            None,
+            SimTime(0),
+        );
+        assert_eq!(s.http_status, Some(404));
+        assert!(s.is_serving()); // responded, just negatively
+    }
+}

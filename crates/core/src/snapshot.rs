@@ -1,0 +1,205 @@
+//! Site snapshots — the unit of longitudinal observation (§3.2).
+//!
+//! A [`Snapshot`] captures what one weekly crawl of one FQDN saw: the DNS
+//! state, the HTTP outcome, and content features. Full HTML is retained only
+//! on *change* (the real system also stores samples, not every fetch — the
+//! study kept 54,325 abused index files out of millions of fetches).
+
+use contentgen::{extract, lang};
+use dns::{Name, Rcode};
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// One observation of one FQDN.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    pub fqdn: Name,
+    pub day: SimTime,
+    pub rcode: Rcode,
+    pub cname_target: Option<Name>,
+    pub ip: Option<Ipv4Addr>,
+    /// `None` = no HTTP response at all (connection failed / no address).
+    pub http_status: Option<u16>,
+    /// FNV hash of the served index body (cheap change detector).
+    pub index_hash: u64,
+    pub index_size: u32,
+    pub title: Option<String>,
+    /// BCP47-ish tag from content language detection.
+    pub language: Option<String>,
+    /// Top content keywords (extracted lazily, only when content changed).
+    pub keywords: Vec<String>,
+    pub meta_keywords: Vec<String>,
+    pub generator: Option<String>,
+    /// Advertised sitemap size in bytes (`Content-Length` of /sitemap.xml).
+    pub sitemap_bytes: Option<u64>,
+    pub script_srcs: Vec<String>,
+    /// Tagged §6 identifiers found on the page.
+    pub identifiers: Vec<String>,
+    /// Retained HTML (only populated for changed/flagged snapshots).
+    pub html: Option<String>,
+}
+
+impl Snapshot {
+    /// An "unreachable" snapshot (NXDOMAIN / no response).
+    pub fn unreachable(fqdn: Name, day: SimTime, rcode: Rcode, cname: Option<Name>) -> Self {
+        Snapshot {
+            fqdn,
+            day,
+            rcode,
+            cname_target: cname,
+            ip: None,
+            http_status: None,
+            index_hash: 0,
+            index_size: 0,
+            title: None,
+            language: None,
+            keywords: Vec::new(),
+            meta_keywords: Vec::new(),
+            generator: None,
+            sitemap_bytes: None,
+            script_srcs: Vec::new(),
+            identifiers: Vec::new(),
+            html: None,
+        }
+    }
+
+    /// Populate content features from an HTML body (the expensive path, run
+    /// only when the body hash differs from the previous snapshot).
+    pub fn ingest_content(&mut self, html: &str, keep_html: bool) {
+        self.index_size = html.len() as u32;
+        self.title = extract::title(html);
+        self.language = lang::detect(&extract::visible_text_chars(html)).map(|l| l.tag().into());
+        self.keywords = crate::keywords::extract_keywords(html, 10);
+        self.meta_keywords = extract::meta_keywords(html);
+        self.generator = extract::generator(html);
+        self.script_srcs = extract::script_srcs(html);
+        self.identifiers = extract::identifiers(html).tagged();
+        if keep_html {
+            self.html = Some(html.to_string());
+        }
+    }
+
+    /// Carry content features forward from the previous snapshot when the
+    /// body hash is unchanged (the lazy-extraction fast path must not erase
+    /// what we know about the site).
+    pub fn inherit_features(&mut self, prev: &Snapshot) {
+        self.title = prev.title.clone();
+        self.language = prev.language.clone();
+        self.keywords = prev.keywords.clone();
+        self.meta_keywords = prev.meta_keywords.clone();
+        self.generator = prev.generator.clone();
+        self.sitemap_bytes = prev.sitemap_bytes;
+        self.script_srcs = prev.script_srcs.clone();
+        self.identifiers = prev.identifiers.clone();
+    }
+
+    /// Is the FQDN serving content at all?
+    pub fn is_serving(&self) -> bool {
+        matches!(self.http_status, Some(s) if s < 500)
+    }
+}
+
+/// FNV-1a body hash.
+pub fn body_hash(body: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in body {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Latest-snapshot store with change history hooks.
+#[derive(Debug, Default)]
+pub struct SnapshotStore {
+    latest: HashMap<Name, Snapshot>,
+}
+
+impl SnapshotStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn latest(&self, fqdn: &Name) -> Option<&Snapshot> {
+        self.latest.get(fqdn)
+    }
+
+    /// Insert a new snapshot, returning the previous one (for diffing).
+    pub fn insert(&mut self, snap: Snapshot) -> Option<Snapshot> {
+        self.latest.insert(snap.fqdn.clone(), snap)
+    }
+
+    pub fn len(&self) -> usize {
+        self.latest.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.latest.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Snapshot> {
+        self.latest.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingest_extracts_features() {
+        let mut s = Snapshot::unreachable(
+            "x.example.com".parse().unwrap(),
+            SimTime(0),
+            Rcode::NoError,
+            None,
+        );
+        s.http_status = Some(200);
+        s.ingest_content(
+            "<html><head><title>SLOT GACOR</title>\
+             <meta name=\"keywords\" content=\"slot, judi\"></head>\
+             <body>daftar situs judi slot online slot</body></html>",
+            true,
+        );
+        assert_eq!(s.title.as_deref(), Some("SLOT GACOR"));
+        assert_eq!(s.language.as_deref(), Some("id"));
+        assert!(s.keywords.contains(&"slot".to_string()));
+        assert_eq!(s.meta_keywords, vec!["slot", "judi"]);
+        assert!(s.html.is_some());
+        assert!(s.is_serving());
+    }
+
+    #[test]
+    fn unreachable_defaults() {
+        let s = Snapshot::unreachable(
+            "gone.example.com".parse().unwrap(),
+            SimTime(5),
+            Rcode::NxDomain,
+            Some("gone.azurewebsites.net".parse().unwrap()),
+        );
+        assert!(!s.is_serving());
+        assert_eq!(s.http_status, None);
+        assert!(s.cname_target.is_some());
+    }
+
+    #[test]
+    fn store_returns_previous() {
+        let mut store = SnapshotStore::new();
+        let n: Name = "a.b.com".parse().unwrap();
+        let s1 = Snapshot::unreachable(n.clone(), SimTime(0), Rcode::NoError, None);
+        assert!(store.insert(s1.clone()).is_none());
+        let s2 = Snapshot::unreachable(n.clone(), SimTime(7), Rcode::NxDomain, None);
+        let prev = store.insert(s2).unwrap();
+        assert_eq!(prev.day, SimTime(0));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.latest(&n).unwrap().day, SimTime(7));
+    }
+
+    #[test]
+    fn body_hash_distinguishes() {
+        assert_ne!(body_hash(b"a"), body_hash(b"b"));
+        assert_eq!(body_hash(b"same"), body_hash(b"same"));
+    }
+}

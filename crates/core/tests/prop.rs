@@ -1,0 +1,179 @@
+//! Property tests for the detection pipeline: keyword extraction, diffing,
+//! signature matching, and the capability model.
+
+use dangling_core::capability::{can_steal_cookie, capabilities};
+use dangling_core::diff::{diff, ChangeKind};
+use dangling_core::keywords::{cluster_key, extract_keywords, overlap, rank_tokens};
+use dangling_core::signature::Signature;
+use dangling_core::snapshot::{body_hash, Snapshot};
+use dns::Rcode;
+use proptest::prelude::*;
+use simcore::SimTime;
+
+fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+    (
+        proptest::collection::vec("[a-z]{3,8}", 0..8),
+        proptest::collection::vec("[a-z]{3,8}", 0..5),
+        proptest::option::of(0u64..2_000_000),
+        any::<bool>(),
+        any::<u64>(),
+    )
+        .prop_map(|(kws, meta, sitemap, serving, hash)| {
+            let mut s = Snapshot::unreachable(
+                "x.victim.com".parse().unwrap(),
+                SimTime(10),
+                Rcode::NoError,
+                None,
+            );
+            if serving {
+                s.http_status = Some(200);
+            }
+            s.index_hash = hash;
+            s.keywords = kws;
+            s.meta_keywords = meta;
+            s.sitemap_bytes = sitemap;
+            s
+        })
+}
+
+fn arb_signature() -> impl Strategy<Value = Signature> {
+    (
+        proptest::collection::vec("[a-z]{3,8}", 1..4),
+        proptest::option::of(Just(400_000u64)),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(keywords, min_sitemap_bytes, requires_identifiers)| Signature {
+                id: 0,
+                keywords,
+                min_sitemap_bytes,
+                script_markers: Vec::new(),
+                requires_identifiers,
+                source_members: 2,
+                source_slds: 2,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Keyword extraction is total, deterministic, bounded, and lowercase.
+    #[test]
+    fn keywords_total_and_bounded(html in "\\PC{0,500}", k in 0usize..20) {
+        let a = extract_keywords(&html, k);
+        let b = extract_keywords(&html, k);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.len() <= k);
+        for kw in &a {
+            prop_assert_eq!(kw.clone(), kw.to_lowercase());
+        }
+    }
+
+    /// cluster_key is order- and duplicate-insensitive.
+    #[test]
+    fn cluster_key_canonical(mut kws in proptest::collection::vec("[a-z]{2,6}", 0..8)) {
+        let k1 = cluster_key(&kws);
+        kws.reverse();
+        let dup = kws.first().cloned();
+        if let Some(d) = dup {
+            kws.push(d);
+        }
+        prop_assert_eq!(cluster_key(&kws), k1);
+    }
+
+    /// overlap is symmetric and within [0, 1].
+    #[test]
+    fn overlap_symmetric(
+        a in proptest::collection::vec("[a-z]{2,5}", 0..8),
+        b in proptest::collection::vec("[a-z]{2,5}", 0..8),
+    ) {
+        let ab = overlap(&a, &b);
+        let ba = overlap(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        if !a.is_empty() {
+            prop_assert_eq!(overlap(&a, &a), 1.0);
+        }
+    }
+
+    /// diff(x, x) is always empty; diff never panics on arbitrary pairs.
+    #[test]
+    fn diff_reflexive_and_total(a in arb_snapshot(), b in arb_snapshot()) {
+        prop_assert!(diff(&a, &a).is_empty());
+        let kinds = diff(&a, &b);
+        // No duplicates.
+        let mut sorted: Vec<ChangeKind> = kinds.clone();
+        sorted.sort_by_key(|k| format!("{k:?}"));
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), kinds.len());
+    }
+
+    /// An unreachable snapshot never matches any signature.
+    #[test]
+    fn dead_snapshots_never_match(sig in arb_signature(), mut snap in arb_snapshot()) {
+        snap.http_status = None;
+        prop_assert!(!sig.matches(&snap));
+    }
+
+    /// Matching is monotone in snapshot richness: adding the signature's own
+    /// keywords and raising the sitemap never turns a match into a non-match.
+    #[test]
+    fn matching_monotone(sig in arb_signature(), mut snap in arb_snapshot()) {
+        snap.http_status = Some(200);
+        snap.identifiers = vec!["phone:62".into()];
+        let before = sig.matches(&snap);
+        snap.keywords.extend(sig.keywords.iter().cloned());
+        snap.sitemap_bytes = Some(snap.sitemap_bytes.unwrap_or(0).max(10_000_000));
+        let after = sig.matches(&snap);
+        prop_assert!(!before || after);
+        // And the enriched snapshot always matches.
+        prop_assert!(after);
+    }
+
+    /// body_hash is deterministic and collision-free on short distinct inputs
+    /// differing in one byte.
+    #[test]
+    fn body_hash_sensitivity(data in proptest::collection::vec(any::<u8>(), 1..128), idx in any::<prop::sample::Index>()) {
+        let h1 = body_hash(&data);
+        prop_assert_eq!(h1, body_hash(&data));
+        let mut flipped = data.clone();
+        let i = idx.index(flipped.len());
+        flipped[i] ^= 0xFF;
+        prop_assert_ne!(h1, body_hash(&flipped));
+    }
+
+    /// rank_tokens respects k and never returns stopword-class junk tokens.
+    #[test]
+    fn rank_tokens_bounds(tokens in proptest::collection::vec("[a-z]{1,8}", 0..60), k in 0usize..10) {
+        let ranked = rank_tokens(tokens, k);
+        prop_assert!(ranked.len() <= k);
+        for t in &ranked {
+            prop_assert!(t.len() >= 3);
+            prop_assert!(!t.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    /// Capability monotonicity: anything stealable from static content is
+    /// stealable from a full webserver (given the same HTTPS capability).
+    #[test]
+    fn capability_monotone(https in any::<bool>(), http_only in any::<bool>(), secure in any::<bool>()) {
+        use cloudsim::CapabilityClass::*;
+        if can_steal_cookie(StaticContent, https, http_only, secure) {
+            prop_assert!(can_steal_cookie(FullWebserver, https, http_only, secure));
+        }
+        // Full webserver capabilities strictly dominate.
+        let s = capabilities(StaticContent);
+        let f = capabilities(FullWebserver);
+        for (a, b) in [
+            (s.file, f.file),
+            (s.content, f.content),
+            (s.html, f.html),
+            (s.javascript, f.javascript),
+            (s.headers, f.headers),
+            (s.https, f.https),
+        ] {
+            prop_assert!(!a || b);
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Domain names.
+//!
+//! [`Name`] stores a fully-qualified domain name as a vector of lowercase
+//! labels. Comparison, hashing and suffix matching are case-insensitive, as
+//! DNS requires. RFC 1035 length limits (63 octets per label, 255 octets per
+//! name including the root length byte) are enforced at construction so wire
+//! encoding can never fail on a valid `Name`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Errors produced when constructing a [`Name`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameError {
+    /// A label was empty (e.g. `foo..com`).
+    EmptyLabel,
+    /// A label exceeded 63 octets.
+    LabelTooLong(String),
+    /// The whole name exceeded 255 octets in wire form.
+    NameTooLong,
+    /// A label contained a byte outside `[A-Za-z0-9-_*]`.
+    ///
+    /// Underscore is permitted (service labels like `_acme-challenge`),
+    /// asterisk only as a standalone leftmost label (wildcards).
+    InvalidCharacter(char),
+    /// `*` appeared somewhere other than as the entire leftmost label.
+    BadWildcard,
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameError::EmptyLabel => write!(f, "empty label"),
+            NameError::LabelTooLong(l) => write!(f, "label too long: {l:?}"),
+            NameError::NameTooLong => write!(f, "name exceeds 255 octets"),
+            NameError::InvalidCharacter(c) => write!(f, "invalid character {c:?}"),
+            NameError::BadWildcard => write!(f, "wildcard label must be leftmost and alone"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+/// A fully-qualified, case-normalized domain name.
+///
+/// ```
+/// use dns::Name;
+/// let n: Name = "Foo.Example.COM".parse().unwrap();
+/// assert_eq!(n.to_string(), "foo.example.com");
+/// assert!(n.ends_with(&"example.com".parse().unwrap()));
+/// assert_eq!(n.label_count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Name {
+    /// Labels in most-significant-last order: `www.example.com` is
+    /// `["www", "example", "com"]`. Always lowercase.
+    labels: Vec<String>,
+}
+
+impl Name {
+    /// The DNS root (empty name).
+    pub fn root() -> Self {
+        Name { labels: Vec::new() }
+    }
+
+    /// Build from an iterator of labels (leftmost first).
+    pub fn from_labels<I, S>(labels: I) -> Result<Self, NameError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut out = Vec::new();
+        for l in labels {
+            out.push(validate_label(l.as_ref())?);
+        }
+        let name = Name { labels: out };
+        name.check_total_length()?;
+        name.check_wildcard()?;
+        Ok(name)
+    }
+
+    /// Parse from dotted presentation form. A single trailing dot is allowed
+    /// and ignored (`"example.com."`).
+    pub fn parse(s: &str) -> Result<Self, NameError> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Ok(Name::root());
+        }
+        Self::from_labels(s.split('.'))
+    }
+
+    /// The labels, leftmost first.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Whether the leftmost label is `*`.
+    pub fn is_wildcard(&self) -> bool {
+        self.labels.first().map(|l| l == "*").unwrap_or(false)
+    }
+
+    /// Length of the name in uncompressed wire form, including the root byte.
+    pub fn wire_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| 1 + l.len()).sum::<usize>()
+    }
+
+    /// True if `self` equals `suffix` or is a subdomain of it.
+    /// `ends_with(root)` is true for every name.
+    pub fn ends_with(&self, suffix: &Name) -> bool {
+        if suffix.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - suffix.labels.len();
+        self.labels[offset..] == suffix.labels[..]
+    }
+
+    /// True if `self` is a *strict* subdomain of `ancestor`.
+    pub fn is_subdomain_of(&self, ancestor: &Name) -> bool {
+        self.label_count() > ancestor.label_count() && self.ends_with(ancestor)
+    }
+
+    /// The immediate parent (drops the leftmost label). Root's parent is None.
+    pub fn parent(&self) -> Option<Name> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(Name {
+                labels: self.labels[1..].to_vec(),
+            })
+        }
+    }
+
+    /// Prepend a label, producing a child name.
+    pub fn child(&self, label: &str) -> Result<Name, NameError> {
+        let l = validate_label(label)?;
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(l);
+        labels.extend(self.labels.iter().cloned());
+        let name = Name { labels };
+        name.check_total_length()?;
+        name.check_wildcard()?;
+        Ok(name)
+    }
+
+    /// The top-level domain label, if any (`"com"` for `www.example.com`).
+    pub fn tld(&self) -> Option<&str> {
+        self.labels.last().map(|s| s.as_str())
+    }
+
+    /// The registrable second-level domain (`example.com` for
+    /// `a.b.example.com`), treating the last two labels as the SLD. The
+    /// paper's dataset reasons in terms of SLDs (Figures 4, 5, 10, 18); a
+    /// public-suffix list is out of scope for the synthetic world, which only
+    /// generates two-label registrable domains.
+    pub fn sld(&self) -> Option<Name> {
+        if self.labels.len() < 2 {
+            return None;
+        }
+        Some(Name {
+            labels: self.labels[self.labels.len() - 2..].to_vec(),
+        })
+    }
+
+    /// True if the name has more labels than its SLD, i.e. it is a subdomain
+    /// like `www.example.com` rather than `example.com` itself.
+    pub fn is_subdomain(&self) -> bool {
+        self.labels.len() > 2
+    }
+
+    /// Match against a wildcard owner name per RFC 4592: `*.example.com`
+    /// matches any name with at least one label followed by `example.com`.
+    pub fn matches_wildcard(&self, pattern: &Name) -> bool {
+        if !pattern.is_wildcard() {
+            return self == pattern;
+        }
+        let suffix = Name {
+            labels: pattern.labels[1..].to_vec(),
+        };
+        self.is_subdomain_of(&suffix)
+    }
+
+    fn check_total_length(&self) -> Result<(), NameError> {
+        if self.wire_len() > 255 {
+            Err(NameError::NameTooLong)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_wildcard(&self) -> Result<(), NameError> {
+        for (i, l) in self.labels.iter().enumerate() {
+            if l.contains('*') && (l != "*" || i != 0) {
+                return Err(NameError::BadWildcard);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn validate_label(label: &str) -> Result<String, NameError> {
+    if label.is_empty() {
+        return Err(NameError::EmptyLabel);
+    }
+    if label.len() > 63 {
+        return Err(NameError::LabelTooLong(label.to_string()));
+    }
+    for c in label.chars() {
+        let ok = c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '*';
+        if !ok {
+            return Err(NameError::InvalidCharacter(c));
+        }
+    }
+    Ok(label.to_ascii_lowercase())
+}
+
+impl fmt::Display for Name {
+    /// The root displays as `"."`; other names display dotted without a
+    /// trailing dot (presentation form used throughout the study output).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return write!(f, ".");
+        }
+        write!(f, "{}", self.labels.join("."))
+    }
+}
+
+impl FromStr for Name {
+    type Err = NameError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Name::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!(n("Example.COM").to_string(), "example.com");
+        assert_eq!(n("example.com.").to_string(), "example.com");
+        assert_eq!(Name::root().to_string(), ".");
+        assert_eq!(n("").label_count(), 0);
+    }
+
+    #[test]
+    fn case_insensitive_equality() {
+        assert_eq!(n("WWW.Example.Com"), n("www.example.com"));
+    }
+
+    #[test]
+    fn label_limits() {
+        let long = "a".repeat(63);
+        assert!(Name::parse(&format!("{long}.com")).is_ok());
+        let too_long = "a".repeat(64);
+        assert!(matches!(
+            Name::parse(&format!("{too_long}.com")),
+            Err(NameError::LabelTooLong(_))
+        ));
+    }
+
+    #[test]
+    fn total_length_limit() {
+        // 4 labels of 63 = 4*64+1 = 257 > 255
+        let l = "a".repeat(63);
+        let s = format!("{l}.{l}.{l}.{l}");
+        assert_eq!(Name::parse(&s), Err(NameError::NameTooLong));
+        // 3 labels of 63 + one of 59: 3*64 + 60 + 1 = 253 <= 255
+        let s = format!("{l}.{l}.{l}.{}", "a".repeat(59));
+        assert!(Name::parse(&s).is_ok());
+    }
+
+    #[test]
+    fn invalid_characters() {
+        assert!(matches!(
+            Name::parse("exa mple.com"),
+            Err(NameError::InvalidCharacter(' '))
+        ));
+        assert!(matches!(
+            Name::parse("foo..com"),
+            Err(NameError::EmptyLabel)
+        ));
+        assert!(Name::parse("_acme-challenge.example.com").is_ok());
+    }
+
+    #[test]
+    fn suffix_matching() {
+        let fqdn = n("shop.assets.example.azurewebsites.net");
+        assert!(fqdn.ends_with(&n("azurewebsites.net")));
+        assert!(fqdn.ends_with(&n("example.azurewebsites.net")));
+        assert!(!fqdn.ends_with(&n("amazonaws.com")));
+        assert!(fqdn.ends_with(&Name::root()));
+        assert!(fqdn.ends_with(&fqdn));
+        assert!(!n("net").ends_with(&fqdn));
+    }
+
+    #[test]
+    fn subdomain_relations() {
+        assert!(n("a.example.com").is_subdomain_of(&n("example.com")));
+        assert!(!n("example.com").is_subdomain_of(&n("example.com")));
+        assert!(!n("badexample.com").is_subdomain_of(&n("example.com")));
+    }
+
+    #[test]
+    fn parent_child() {
+        let p = n("example.com");
+        let c = p.child("www").unwrap();
+        assert_eq!(c, n("www.example.com"));
+        assert_eq!(c.parent().unwrap(), p);
+        assert_eq!(Name::root().parent(), None);
+    }
+
+    #[test]
+    fn sld_and_tld() {
+        assert_eq!(n("a.b.example.com").sld().unwrap(), n("example.com"));
+        assert_eq!(n("example.com").sld().unwrap(), n("example.com"));
+        assert_eq!(n("com").sld(), None);
+        assert_eq!(n("a.b.example.com").tld(), Some("com"));
+        assert!(n("a.example.com").is_subdomain());
+        assert!(!n("example.com").is_subdomain());
+    }
+
+    #[test]
+    fn wildcards() {
+        let w = n("*.example.com");
+        assert!(w.is_wildcard());
+        assert!(n("foo.example.com").matches_wildcard(&w));
+        assert!(n("a.b.example.com").matches_wildcard(&w));
+        assert!(!n("example.com").matches_wildcard(&w));
+        assert!(!n("other.com").matches_wildcard(&w));
+        // wildcard must be leftmost and alone
+        assert_eq!(Name::parse("foo.*.com"), Err(NameError::BadWildcard));
+        assert_eq!(Name::parse("f*o.com"), Err(NameError::BadWildcard));
+    }
+
+    #[test]
+    fn wire_len() {
+        // example.com: 1+7 + 1+3 + 1 = 13
+        assert_eq!(n("example.com").wire_len(), 13);
+        assert_eq!(Name::root().wire_len(), 1);
+    }
+}

@@ -1,0 +1,290 @@
+//! Resource records.
+//!
+//! Covers the record types the study touches: `A` and `CNAME` (Algorithm 1's
+//! inputs), `NS`/`SOA` (zone plumbing and the stale-NS attack surface of
+//! related work), `TXT` (ACME DNS-01 style validation), `MX`, `AAAA`, and
+//! `CAA` (§5.6.2's proposed-and-rejected countermeasure).
+
+use crate::name::Name;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// DNS record type codes (RFC 1035 / RFC 3596 / RFC 8659).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RecordType {
+    A,
+    Ns,
+    Cname,
+    Soa,
+    Mx,
+    Txt,
+    Aaaa,
+    Caa,
+}
+
+impl RecordType {
+    /// Numeric RR TYPE for wire encoding.
+    pub fn code(self) -> u16 {
+        match self {
+            RecordType::A => 1,
+            RecordType::Ns => 2,
+            RecordType::Cname => 5,
+            RecordType::Soa => 6,
+            RecordType::Mx => 15,
+            RecordType::Txt => 16,
+            RecordType::Aaaa => 28,
+            RecordType::Caa => 257,
+        }
+    }
+
+    /// Inverse of [`RecordType::code`].
+    pub fn from_code(code: u16) -> Option<Self> {
+        Some(match code {
+            1 => RecordType::A,
+            2 => RecordType::Ns,
+            5 => RecordType::Cname,
+            6 => RecordType::Soa,
+            15 => RecordType::Mx,
+            16 => RecordType::Txt,
+            28 => RecordType::Aaaa,
+            257 => RecordType::Caa,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for RecordType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RecordType::A => "A",
+            RecordType::Ns => "NS",
+            RecordType::Cname => "CNAME",
+            RecordType::Soa => "SOA",
+            RecordType::Mx => "MX",
+            RecordType::Txt => "TXT",
+            RecordType::Aaaa => "AAAA",
+            RecordType::Caa => "CAA",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Record class. Only `IN` is used; kept for wire fidelity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecordClass {
+    In,
+}
+
+impl RecordClass {
+    pub fn code(self) -> u16 {
+        1
+    }
+
+    pub fn from_code(code: u16) -> Option<Self> {
+        (code == 1).then_some(RecordClass::In)
+    }
+}
+
+/// SOA RDATA.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Soa {
+    pub mname: Name,
+    pub rname: Name,
+    pub serial: u32,
+    pub refresh: u32,
+    pub retry: u32,
+    pub expire: u32,
+    pub minimum: u32,
+}
+
+/// CAA RDATA (RFC 8659).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CaaRecord {
+    /// Only the critical bit (0x80) of the flags octet is defined.
+    pub flags: u8,
+    /// Property tag: `issue`, `issuewild`, or `iodef`.
+    pub tag: String,
+    /// Property value, e.g. a CA domain (`letsencrypt.org`) or `";"` to deny
+    /// all issuance.
+    pub value: String,
+}
+
+impl CaaRecord {
+    pub fn issue(ca: &str) -> Self {
+        CaaRecord {
+            flags: 0,
+            tag: "issue".into(),
+            value: ca.into(),
+        }
+    }
+
+    pub fn issue_wild(ca: &str) -> Self {
+        CaaRecord {
+            flags: 0,
+            tag: "issuewild".into(),
+            value: ca.into(),
+        }
+    }
+
+    /// `issue ";"` — forbid all issuance.
+    pub fn deny_all() -> Self {
+        CaaRecord {
+            flags: 0,
+            tag: "issue".into(),
+            value: ";".into(),
+        }
+    }
+
+    pub fn is_critical(&self) -> bool {
+        self.flags & 0x80 != 0
+    }
+}
+
+/// Typed RDATA.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecordData {
+    A(Ipv4Addr),
+    Aaaa(Ipv6Addr),
+    Cname(Name),
+    Ns(Name),
+    Soa(Soa),
+    Mx { preference: u16, exchange: Name },
+    Txt(Vec<String>),
+    Caa(CaaRecord),
+}
+
+impl RecordData {
+    pub fn rtype(&self) -> RecordType {
+        match self {
+            RecordData::A(_) => RecordType::A,
+            RecordData::Aaaa(_) => RecordType::Aaaa,
+            RecordData::Cname(_) => RecordType::Cname,
+            RecordData::Ns(_) => RecordType::Ns,
+            RecordData::Soa(_) => RecordType::Soa,
+            RecordData::Mx { .. } => RecordType::Mx,
+            RecordData::Txt(_) => RecordType::Txt,
+            RecordData::Caa(_) => RecordType::Caa,
+        }
+    }
+}
+
+impl fmt::Display for RecordData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordData::A(ip) => write!(f, "{ip}"),
+            RecordData::Aaaa(ip) => write!(f, "{ip}"),
+            RecordData::Cname(n) => write!(f, "{n}"),
+            RecordData::Ns(n) => write!(f, "{n}"),
+            RecordData::Soa(s) => write!(f, "{} {} {}", s.mname, s.rname, s.serial),
+            RecordData::Mx {
+                preference,
+                exchange,
+            } => write!(f, "{preference} {exchange}"),
+            RecordData::Txt(parts) => write!(f, "{:?}", parts),
+            RecordData::Caa(c) => write!(f, "{} {} {:?}", c.flags, c.tag, c.value),
+        }
+    }
+}
+
+/// A complete resource record.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ResourceRecord {
+    pub name: Name,
+    pub class: RecordClass,
+    pub ttl: u32,
+    pub data: RecordData,
+}
+
+impl ResourceRecord {
+    pub fn new(name: Name, ttl: u32, data: RecordData) -> Self {
+        ResourceRecord {
+            name,
+            class: RecordClass::In,
+            ttl,
+            data,
+        }
+    }
+
+    pub fn rtype(&self) -> RecordType {
+        self.data.rtype()
+    }
+}
+
+impl fmt::Display for ResourceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} IN {} {}",
+            self.name,
+            self.ttl,
+            self.rtype(),
+            self.data
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_codes_roundtrip() {
+        for t in [
+            RecordType::A,
+            RecordType::Ns,
+            RecordType::Cname,
+            RecordType::Soa,
+            RecordType::Mx,
+            RecordType::Txt,
+            RecordType::Aaaa,
+            RecordType::Caa,
+        ] {
+            assert_eq!(RecordType::from_code(t.code()), Some(t));
+        }
+        assert_eq!(RecordType::from_code(999), None);
+    }
+
+    #[test]
+    fn data_knows_its_type() {
+        let n: Name = "x.example.com".parse().unwrap();
+        assert_eq!(RecordData::Cname(n.clone()).rtype(), RecordType::Cname);
+        assert_eq!(
+            RecordData::A(Ipv4Addr::new(1, 2, 3, 4)).rtype(),
+            RecordType::A
+        );
+        assert_eq!(
+            RecordData::Mx {
+                preference: 10,
+                exchange: n
+            }
+            .rtype(),
+            RecordType::Mx
+        );
+    }
+
+    #[test]
+    fn caa_helpers() {
+        let c = CaaRecord::issue("letsencrypt.org");
+        assert_eq!(c.tag, "issue");
+        assert!(!c.is_critical());
+        let d = CaaRecord::deny_all();
+        assert_eq!(d.value, ";");
+        let crit = CaaRecord {
+            flags: 0x80,
+            tag: "issue".into(),
+            value: "x".into(),
+        };
+        assert!(crit.is_critical());
+    }
+
+    #[test]
+    fn display_presentation() {
+        let rr = ResourceRecord::new(
+            "www.example.com".parse().unwrap(),
+            300,
+            RecordData::A(Ipv4Addr::new(93, 184, 216, 34)),
+        );
+        assert_eq!(rr.to_string(), "www.example.com 300 IN A 93.184.216.34");
+    }
+}

@@ -1,0 +1,410 @@
+//! Stub resolver with CNAME chasing and a TTL cache.
+//!
+//! [`Resolver::resolve_a`] is the exact primitive Algorithm 1 of the paper
+//! consumes: given an FQDN it returns the full CNAME chain *and* the terminal
+//! A records (`A_results, CNAME_results ← DNS_A_query(fqdn)`), or the
+//! negative outcome (NXDOMAIN / NODATA / SERVFAIL). The resolver queries an
+//! [`Authority`] through the [`Transport`] trait so tests can interpose
+//! failures, and caches positive and negative answers with day-granularity
+//! TTLs driven by simulated time.
+
+use crate::message::{Message, Rcode};
+use crate::name::Name;
+use crate::record::{RecordData, RecordType, ResourceRecord};
+use crate::server::Authority;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Where queries go. The production implementation is [`Authority`]; tests
+/// can inject flaky or adversarial transports.
+pub trait Transport {
+    fn exchange(&self, query: &Message) -> Message;
+}
+
+impl Transport for Authority {
+    fn exchange(&self, query: &Message) -> Message {
+        self.answer(query)
+    }
+}
+
+impl<T: Transport + ?Sized> Transport for Arc<T> {
+    fn exchange(&self, query: &Message) -> Message {
+        (**self).exchange(query)
+    }
+}
+
+/// Outcome of resolving an FQDN's A record, the unit of observation for the
+/// collection and monitoring pipelines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResolutionOutcome {
+    /// Final response code of the chain.
+    pub rcode: Rcode,
+    /// CNAME chain in order of traversal (may be empty).
+    pub cname_chain: Vec<Name>,
+    /// Terminal A records (empty on negative outcomes).
+    pub addresses: Vec<Ipv4Addr>,
+}
+
+impl ResolutionOutcome {
+    /// True if the name ultimately resolved to at least one address.
+    pub fn is_resolvable(&self) -> bool {
+        self.rcode == Rcode::NoError && !self.addresses.is_empty()
+    }
+
+    /// True if the chain contains a CNAME whose target does not exist — the
+    /// *dangling record* signature the attackers and the pipeline both hunt
+    /// for.
+    pub fn is_dangling_cname(&self) -> bool {
+        !self.cname_chain.is_empty()
+            && (self.rcode == Rcode::NxDomain
+                || (self.rcode == Rcode::NoError && self.addresses.is_empty()))
+    }
+
+    /// The last CNAME in the chain (the cloud-side generated name, when the
+    /// chain points into a cloud platform).
+    pub fn final_cname(&self) -> Option<&Name> {
+        self.cname_chain.last()
+    }
+}
+
+/// Resolver tuning knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResolverConfig {
+    /// Maximum total CNAME indirections across queries.
+    pub max_chain: usize,
+    /// Enable the TTL cache.
+    pub cache: bool,
+    /// Cap on cached entries (FIFO-ish eviction by insertion day).
+    pub cache_capacity: usize,
+}
+
+impl Default for ResolverConfig {
+    fn default() -> Self {
+        ResolverConfig {
+            max_chain: 16,
+            cache: true,
+            cache_capacity: 100_000,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    expires: SimTime,
+    outcome: ResolutionOutcome,
+}
+
+/// A caching stub resolver.
+pub struct Resolver<T: Transport> {
+    transport: T,
+    config: ResolverConfig,
+    cache: Mutex<HashMap<(Name, RecordType), CacheEntry>>,
+    next_id: Mutex<u16>,
+    /// Counters for the benchmark harness.
+    stats: Mutex<ResolverStats>,
+}
+
+/// Query statistics.
+#[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
+pub struct ResolverStats {
+    pub queries_sent: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+}
+
+impl<T: Transport> Resolver<T> {
+    pub fn new(transport: T) -> Self {
+        Self::with_config(transport, ResolverConfig::default())
+    }
+
+    pub fn with_config(transport: T, config: ResolverConfig) -> Self {
+        Resolver {
+            transport,
+            config,
+            cache: Mutex::new(HashMap::new()),
+            next_id: Mutex::new(1),
+            stats: Mutex::new(ResolverStats::default()),
+        }
+    }
+
+    pub fn stats(&self) -> ResolverStats {
+        *self.stats.lock()
+    }
+
+    /// Drop all cached entries (tests / epoch changes).
+    pub fn flush_cache(&self) {
+        self.cache.lock().clear();
+    }
+
+    fn fresh_id(&self) -> u16 {
+        let mut id = self.next_id.lock();
+        *id = id.wrapping_add(1);
+        *id
+    }
+
+    /// Resolve the A records for `name` at simulated time `now`, chasing
+    /// CNAME chains with loop detection.
+    pub fn resolve_a(&self, name: &Name, now: SimTime) -> ResolutionOutcome {
+        if self.config.cache {
+            let cache = self.cache.lock();
+            if let Some(e) = cache.get(&(name.clone(), RecordType::A)) {
+                if e.expires > now {
+                    self.stats.lock().cache_hits += 1;
+                    return e.outcome.clone();
+                }
+            }
+        }
+        self.stats.lock().cache_misses += 1;
+
+        let mut chain: Vec<Name> = Vec::new();
+        let mut seen: Vec<Name> = vec![name.clone()];
+        let mut current = name.clone();
+        let mut addresses: Vec<Ipv4Addr> = Vec::new();
+        let mut rcode = Rcode::NoError;
+        let mut min_ttl: u32 = 86_400 * 7; // cap cache residency at a week
+
+        'outer: for _ in 0..=self.config.max_chain {
+            let q = Message::query(self.fresh_id(), current.clone(), RecordType::A);
+            self.stats.lock().queries_sent += 1;
+            let resp = self.transport.exchange(&q);
+            rcode = resp.header.rcode;
+            if rcode == Rcode::Refused || rcode == Rcode::ServFail {
+                break;
+            }
+            let mut progressed = false;
+            for rr in &resp.answers {
+                min_ttl = min_ttl.min(rr.ttl);
+                match &rr.data {
+                    RecordData::A(ip) => {
+                        addresses.push(*ip);
+                    }
+                    RecordData::Cname(target) => {
+                        if seen.contains(target) {
+                            // CNAME loop crossing authorities.
+                            rcode = Rcode::ServFail;
+                            break 'outer;
+                        }
+                        chain.push(target.clone());
+                        seen.push(target.clone());
+                        current = target.clone();
+                        progressed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !addresses.is_empty() || rcode == Rcode::NxDomain || !progressed {
+                break;
+            }
+        }
+
+        let outcome = ResolutionOutcome {
+            rcode,
+            cname_chain: chain,
+            addresses,
+        };
+
+        if self.config.cache && rcode != Rcode::ServFail && rcode != Rcode::Refused {
+            let ttl_days = (min_ttl / 86_400) as i32;
+            if ttl_days >= 1 {
+                let mut cache = self.cache.lock();
+                if cache.len() >= self.config.cache_capacity {
+                    cache.clear(); // crude but deterministic
+                }
+                cache.insert(
+                    (name.clone(), RecordType::A),
+                    CacheEntry {
+                        expires: now + ttl_days,
+                        outcome: outcome.clone(),
+                    },
+                );
+            }
+        }
+        outcome
+    }
+
+    /// Fetch records of an arbitrary type at a single name (no chain
+    /// chasing); used for CAA/TXT lookups by the certificate machinery.
+    pub fn query_raw(&self, name: &Name, rtype: RecordType) -> (Rcode, Vec<ResourceRecord>) {
+        let q = Message::query(self.fresh_id(), name.clone(), rtype);
+        self.stats.lock().queries_sent += 1;
+        let resp = self.transport.exchange(&q);
+        (resp.header.rcode, resp.answers)
+    }
+
+    /// RFC 8659 §3 relevant-CAA lookup: climb from `name` toward the root and
+    /// return the first non-empty CAA record set found.
+    pub fn find_caa(&self, name: &Name) -> Vec<crate::record::CaaRecord> {
+        let mut probe = Some(name.clone());
+        while let Some(p) = probe {
+            let (rcode, answers) = self.query_raw(&p, RecordType::Caa);
+            if rcode == Rcode::NoError {
+                let caa: Vec<_> = answers
+                    .into_iter()
+                    .filter_map(|rr| match rr.data {
+                        RecordData::Caa(c) => Some(c),
+                        _ => None,
+                    })
+                    .collect();
+                if !caa.is_empty() {
+                    return caa;
+                }
+            }
+            probe = p.parent();
+            // Stop below the TLD: the synthetic world never sets CAA at TLDs.
+            if probe.as_ref().map(|n| n.label_count() < 2).unwrap_or(true) {
+                break;
+            }
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::CaaRecord;
+    use crate::zone::{Zone, ZoneSet};
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn authority() -> Authority {
+        let mut zs = ZoneSet::new();
+        let mut ex = Zone::new(n("example.com"));
+        ex.add(ResourceRecord::new(
+            n("www.example.com"),
+            86_400 * 2,
+            RecordData::A(Ipv4Addr::new(1, 2, 3, 4)),
+        ));
+        ex.add(ResourceRecord::new(
+            n("shop.example.com"),
+            300,
+            RecordData::Cname(n("shop-prod.azurewebsites.net")),
+        ));
+        ex.add(ResourceRecord::new(
+            n("example.com"),
+            3600,
+            RecordData::Caa(CaaRecord::issue("digicert.com")),
+        ));
+        zs.insert(ex);
+        let mut az = Zone::new(n("azurewebsites.net"));
+        az.add(ResourceRecord::new(
+            n("shop-prod.azurewebsites.net"),
+            60,
+            RecordData::A(Ipv4Addr::new(20, 40, 60, 80)),
+        ));
+        zs.insert(az);
+        Authority::new(zs)
+    }
+
+    #[test]
+    fn resolves_direct_a() {
+        let r = Resolver::new(authority());
+        let out = r.resolve_a(&n("www.example.com"), SimTime(0));
+        assert!(out.is_resolvable());
+        assert_eq!(out.addresses, vec![Ipv4Addr::new(1, 2, 3, 4)]);
+        assert!(out.cname_chain.is_empty());
+    }
+
+    #[test]
+    fn resolves_through_cname() {
+        let r = Resolver::new(authority());
+        let out = r.resolve_a(&n("shop.example.com"), SimTime(0));
+        assert!(out.is_resolvable());
+        assert_eq!(out.cname_chain, vec![n("shop-prod.azurewebsites.net")]);
+        assert_eq!(out.addresses, vec![Ipv4Addr::new(20, 40, 60, 80)]);
+        assert_eq!(out.final_cname(), Some(&n("shop-prod.azurewebsites.net")));
+    }
+
+    #[test]
+    fn dangling_cname_detected() {
+        let mut auth = authority();
+        auth.zones_mut()
+            .get_mut(&n("azurewebsites.net"))
+            .unwrap()
+            .remove_name(&n("shop-prod.azurewebsites.net"));
+        let r = Resolver::new(auth);
+        let out = r.resolve_a(&n("shop.example.com"), SimTime(0));
+        assert!(!out.is_resolvable());
+        assert!(out.is_dangling_cname());
+        assert_eq!(out.rcode, Rcode::NxDomain);
+        assert_eq!(out.cname_chain, vec![n("shop-prod.azurewebsites.net")]);
+    }
+
+    #[test]
+    fn nxdomain_plain() {
+        let r = Resolver::new(authority());
+        let out = r.resolve_a(&n("nope.example.com"), SimTime(0));
+        assert_eq!(out.rcode, Rcode::NxDomain);
+        assert!(!out.is_dangling_cname()); // no CNAME involved
+    }
+
+    #[test]
+    fn cache_hits_within_ttl() {
+        let r = Resolver::new(authority());
+        let day0 = SimTime(0);
+        r.resolve_a(&n("www.example.com"), day0); // ttl 2 days -> cached
+        let sent_before = r.stats().queries_sent;
+        let out = r.resolve_a(&n("www.example.com"), SimTime(1));
+        assert!(out.is_resolvable());
+        assert_eq!(r.stats().queries_sent, sent_before, "should hit cache");
+        // After expiry it re-queries.
+        r.resolve_a(&n("www.example.com"), SimTime(3));
+        assert!(r.stats().queries_sent > sent_before);
+    }
+
+    #[test]
+    fn short_ttl_not_cached() {
+        let r = Resolver::new(authority());
+        r.resolve_a(&n("shop.example.com"), SimTime(0)); // min ttl 60s
+        let sent = r.stats().queries_sent;
+        r.resolve_a(&n("shop.example.com"), SimTime(0));
+        assert!(r.stats().queries_sent > sent);
+    }
+
+    #[test]
+    fn cross_authority_loop_detected() {
+        let mut zs = ZoneSet::new();
+        let mut a = Zone::new(n("a.test"));
+        a.add(ResourceRecord::new(
+            n("x.a.test"),
+            60,
+            RecordData::Cname(n("y.b.test")),
+        ));
+        zs.insert(a);
+        let mut b = Zone::new(n("b.test"));
+        b.add(ResourceRecord::new(
+            n("y.b.test"),
+            60,
+            RecordData::Cname(n("x.a.test")),
+        ));
+        zs.insert(b);
+        let r = Resolver::new(Authority::new(zs));
+        let out = r.resolve_a(&n("x.a.test"), SimTime(0));
+        assert_eq!(out.rcode, Rcode::ServFail);
+    }
+
+    #[test]
+    fn caa_climbing() {
+        let r = Resolver::new(authority());
+        // No CAA at the subdomain; must climb to example.com.
+        let caa = r.find_caa(&n("shop.example.com"));
+        assert_eq!(caa.len(), 1);
+        assert_eq!(caa[0].value, "digicert.com");
+        // Unrelated domain: none.
+        assert!(r.find_caa(&n("x.other.net")).is_empty());
+    }
+
+    #[test]
+    fn refused_propagates() {
+        let r = Resolver::new(authority());
+        let out = r.resolve_a(&n("www.unknown-zone.net"), SimTime(0));
+        assert_eq!(out.rcode, Rcode::Refused);
+        assert!(!out.is_resolvable());
+    }
+}

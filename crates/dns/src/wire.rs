@@ -1,0 +1,623 @@
+//! RFC 1035 wire-format encoding and decoding.
+//!
+//! Full binary fidelity for the message model: 12-octet header, question and
+//! RR sections, and **name compression** (RFC 1035 §4.1.4) on both encode and
+//! decode, with the standard hardening against malicious messages — pointer
+//! loops, forward pointers, overlong names, truncated RDATA.
+//!
+//! The simulation does not strictly need a byte-level codec (queries travel
+//! in-process), but the paper's pipeline is a network measurement system and
+//! the codec lets the test suite exercise realistic failure modes (and gives
+//! the benchmark harness a DNS-throughput baseline).
+
+use crate::message::{Header, Message, Opcode, Question, Rcode};
+use crate::name::Name;
+use crate::record::{CaaRecord, RecordClass, RecordData, RecordType, ResourceRecord, Soa};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::HashMap;
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Decode errors. Every variant corresponds to a malformed or hostile input
+/// a real resolver must survive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Ran out of bytes while a length field promised more.
+    Truncated,
+    /// A compression pointer pointed at or after its own location.
+    ForwardPointer,
+    /// Followed more pointers than a legal message can contain.
+    PointerLoop,
+    /// A label length octet used the reserved 0b10/0b01 prefixes.
+    BadLabelLength(u8),
+    /// Decoded name exceeded 255 octets.
+    NameTooLong,
+    /// Label contained invalid characters.
+    BadLabel,
+    /// Unknown RR TYPE that we cannot represent.
+    UnknownType(u16),
+    /// Unknown CLASS.
+    UnknownClass(u16),
+    /// Unknown OPCODE / RCODE.
+    BadHeaderField,
+    /// RDATA length disagreed with the parsed content.
+    RdataLengthMismatch,
+    /// Trailing garbage after the final section.
+    TrailingBytes,
+    /// TXT/CAA string exceeded 255 octets or was malformed.
+    BadCharacterString,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::ForwardPointer => write!(f, "compression pointer not backwards"),
+            WireError::PointerLoop => write!(f, "compression pointer loop"),
+            WireError::BadLabelLength(b) => write!(f, "reserved label length {b:#04x}"),
+            WireError::NameTooLong => write!(f, "decoded name exceeds 255 octets"),
+            WireError::BadLabel => write!(f, "label contains invalid bytes"),
+            WireError::UnknownType(t) => write!(f, "unknown RR type {t}"),
+            WireError::UnknownClass(c) => write!(f, "unknown RR class {c}"),
+            WireError::BadHeaderField => write!(f, "unknown opcode or rcode"),
+            WireError::RdataLengthMismatch => write!(f, "RDLENGTH mismatch"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after message"),
+            WireError::BadCharacterString => write!(f, "malformed character-string"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Encoder with name-compression dictionary.
+struct Encoder {
+    buf: BytesMut,
+    /// Maps a name (by its label-suffix presentation) to the offset of its
+    /// first occurrence. Only offsets < 0x3FFF are usable as pointers.
+    dict: HashMap<String, u16>,
+}
+
+impl Encoder {
+    fn new() -> Self {
+        Encoder {
+            buf: BytesMut::with_capacity(512),
+            dict: HashMap::new(),
+        }
+    }
+
+    fn put_name(&mut self, name: &Name) {
+        let labels = name.labels();
+        for i in 0..labels.len() {
+            let suffix_key = labels[i..].join(".");
+            if let Some(&off) = self.dict.get(&suffix_key) {
+                // Emit pointer and stop.
+                self.buf.put_u16(0xC000 | off);
+                return;
+            }
+            let here = self.buf.len();
+            if here <= 0x3FFF as usize {
+                self.dict.insert(suffix_key, here as u16);
+            }
+            let l = labels[i].as_bytes();
+            debug_assert!(l.len() <= 63);
+            self.buf.put_u8(l.len() as u8);
+            self.buf.put_slice(l);
+        }
+        self.buf.put_u8(0); // root
+    }
+
+    fn put_character_string(&mut self, s: &str) {
+        debug_assert!(s.len() <= 255);
+        self.buf.put_u8(s.len() as u8);
+        self.buf.put_slice(s.as_bytes());
+    }
+
+    fn put_question(&mut self, q: &Question) {
+        self.put_name(&q.name);
+        self.buf.put_u16(q.qtype.code());
+        self.buf.put_u16(q.qclass.code());
+    }
+
+    fn put_record(&mut self, rr: &ResourceRecord) {
+        self.put_name(&rr.name);
+        self.buf.put_u16(rr.rtype().code());
+        self.buf.put_u16(rr.class.code());
+        self.buf.put_u32(rr.ttl);
+        // Reserve RDLENGTH, fill after writing RDATA.
+        let len_pos = self.buf.len();
+        self.buf.put_u16(0);
+        let start = self.buf.len();
+        match &rr.data {
+            RecordData::A(ip) => self.buf.put_slice(&ip.octets()),
+            RecordData::Aaaa(ip) => self.buf.put_slice(&ip.octets()),
+            RecordData::Cname(n) | RecordData::Ns(n) => self.put_name(n),
+            RecordData::Soa(soa) => {
+                self.put_name(&soa.mname);
+                self.put_name(&soa.rname);
+                self.buf.put_u32(soa.serial);
+                self.buf.put_u32(soa.refresh);
+                self.buf.put_u32(soa.retry);
+                self.buf.put_u32(soa.expire);
+                self.buf.put_u32(soa.minimum);
+            }
+            RecordData::Mx {
+                preference,
+                exchange,
+            } => {
+                self.buf.put_u16(*preference);
+                self.put_name(exchange);
+            }
+            RecordData::Txt(strings) => {
+                for s in strings {
+                    self.put_character_string(s);
+                }
+            }
+            RecordData::Caa(caa) => {
+                self.buf.put_u8(caa.flags);
+                self.put_character_string(&caa.tag);
+                self.buf.put_slice(caa.value.as_bytes());
+            }
+        }
+        let rdlen = (self.buf.len() - start) as u16;
+        self.buf[len_pos..len_pos + 2].copy_from_slice(&rdlen.to_be_bytes());
+    }
+}
+
+/// Encode a message to wire format.
+pub fn encode(msg: &Message) -> Bytes {
+    let mut e = Encoder::new();
+    e.buf.put_u16(msg.header.id);
+    let mut flags: u16 = 0;
+    if msg.header.qr {
+        flags |= 0x8000;
+    }
+    flags |= (msg.header.opcode.code() as u16) << 11;
+    if msg.header.aa {
+        flags |= 0x0400;
+    }
+    if msg.header.tc {
+        flags |= 0x0200;
+    }
+    if msg.header.rd {
+        flags |= 0x0100;
+    }
+    if msg.header.ra {
+        flags |= 0x0080;
+    }
+    flags |= msg.header.rcode.code() as u16;
+    e.buf.put_u16(flags);
+    e.buf.put_u16(msg.questions.len() as u16);
+    e.buf.put_u16(msg.answers.len() as u16);
+    e.buf.put_u16(msg.authority.len() as u16);
+    e.buf.put_u16(msg.additional.len() as u16);
+    for q in &msg.questions {
+        e.put_question(q);
+    }
+    for rr in &msg.answers {
+        e.put_record(rr);
+    }
+    for rr in &msg.authority {
+        e.put_record(rr);
+    }
+    for rr in &msg.additional {
+        e.put_record(rr);
+    }
+    e.buf.freeze()
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct Decoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn need(&self, n: usize) -> Result<(), WireError> {
+        if self.remaining() < n {
+            Err(WireError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn get_u8(&mut self) -> Result<u8, WireError> {
+        self.need(1)?;
+        let b = self.data[self.pos];
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn get_u16(&mut self) -> Result<u16, WireError> {
+        self.need(2)?;
+        let mut s = &self.data[self.pos..];
+        self.pos += 2;
+        Ok(s.get_u16())
+    }
+
+    fn get_u32(&mut self) -> Result<u32, WireError> {
+        self.need(4)?;
+        let mut s = &self.data[self.pos..];
+        self.pos += 4;
+        Ok(s.get_u32())
+    }
+
+    fn get_slice(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.need(n)?;
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Decode a (possibly compressed) name starting at the cursor.
+    fn get_name(&mut self) -> Result<Name, WireError> {
+        let mut labels: Vec<String> = Vec::new();
+        let mut wire_len = 1usize; // terminal root byte
+        let mut jumps = 0usize;
+        // After the first pointer jump the cursor no longer advances; track
+        // the resume position.
+        let mut resume: Option<usize> = None;
+        let mut pos = self.pos;
+        loop {
+            if pos >= self.data.len() {
+                return Err(WireError::Truncated);
+            }
+            let len = self.data[pos];
+            match len & 0xC0 {
+                0x00 => {
+                    if len == 0 {
+                        pos += 1;
+                        break;
+                    }
+                    let l = len as usize;
+                    if pos + 1 + l > self.data.len() {
+                        return Err(WireError::Truncated);
+                    }
+                    wire_len += 1 + l;
+                    if wire_len > 255 {
+                        return Err(WireError::NameTooLong);
+                    }
+                    let raw = &self.data[pos + 1..pos + 1 + l];
+                    let label = std::str::from_utf8(raw).map_err(|_| WireError::BadLabel)?;
+                    labels.push(label.to_ascii_lowercase());
+                    pos += 1 + l;
+                }
+                0xC0 => {
+                    if pos + 1 >= self.data.len() {
+                        return Err(WireError::Truncated);
+                    }
+                    let target = (((len & 0x3F) as usize) << 8) | self.data[pos + 1] as usize;
+                    // RFC 1035 pointers must point strictly backwards.
+                    if target >= pos {
+                        return Err(WireError::ForwardPointer);
+                    }
+                    if resume.is_none() {
+                        resume = Some(pos + 2);
+                    }
+                    jumps += 1;
+                    // A 64KiB message cannot legitimately contain more than
+                    // 128 jumps for one name (each jump must go backwards by
+                    // at least 2 octets); be stricter.
+                    if jumps > 63 {
+                        return Err(WireError::PointerLoop);
+                    }
+                    pos = target;
+                }
+                other => return Err(WireError::BadLabelLength(other)),
+            }
+        }
+        self.pos = resume.unwrap_or(pos);
+        Name::from_labels(labels).map_err(|e| match e {
+            crate::name::NameError::NameTooLong => WireError::NameTooLong,
+            _ => WireError::BadLabel,
+        })
+    }
+
+    fn get_character_string(&mut self) -> Result<String, WireError> {
+        let len = self.get_u8()? as usize;
+        let raw = self.get_slice(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadCharacterString)
+    }
+
+    fn get_question(&mut self) -> Result<Question, WireError> {
+        let name = self.get_name()?;
+        let qtype =
+            RecordType::from_code(self.get_u16()?).ok_or_else(|| WireError::UnknownType(0))?;
+        let qclass = RecordClass::from_code(self.get_u16()?).ok_or(WireError::UnknownClass(0))?;
+        Ok(Question {
+            name,
+            qtype,
+            qclass,
+        })
+    }
+
+    fn get_record(&mut self) -> Result<ResourceRecord, WireError> {
+        let name = self.get_name()?;
+        let tcode = self.get_u16()?;
+        let rtype = RecordType::from_code(tcode).ok_or(WireError::UnknownType(tcode))?;
+        let ccode = self.get_u16()?;
+        let class = RecordClass::from_code(ccode).ok_or(WireError::UnknownClass(ccode))?;
+        let ttl = self.get_u32()?;
+        let rdlen = self.get_u16()? as usize;
+        self.need(rdlen)?;
+        let rdata_end = self.pos + rdlen;
+        let data = match rtype {
+            RecordType::A => {
+                if rdlen != 4 {
+                    return Err(WireError::RdataLengthMismatch);
+                }
+                let o = self.get_slice(4)?;
+                RecordData::A(Ipv4Addr::new(o[0], o[1], o[2], o[3]))
+            }
+            RecordType::Aaaa => {
+                if rdlen != 16 {
+                    return Err(WireError::RdataLengthMismatch);
+                }
+                let o = self.get_slice(16)?;
+                let mut b = [0u8; 16];
+                b.copy_from_slice(o);
+                RecordData::Aaaa(Ipv6Addr::from(b))
+            }
+            RecordType::Cname => RecordData::Cname(self.get_name()?),
+            RecordType::Ns => RecordData::Ns(self.get_name()?),
+            RecordType::Soa => RecordData::Soa(Soa {
+                mname: self.get_name()?,
+                rname: self.get_name()?,
+                serial: self.get_u32()?,
+                refresh: self.get_u32()?,
+                retry: self.get_u32()?,
+                expire: self.get_u32()?,
+                minimum: self.get_u32()?,
+            }),
+            RecordType::Mx => RecordData::Mx {
+                preference: self.get_u16()?,
+                exchange: self.get_name()?,
+            },
+            RecordType::Txt => {
+                let mut strings = Vec::new();
+                while self.pos < rdata_end {
+                    strings.push(self.get_character_string()?);
+                }
+                RecordData::Txt(strings)
+            }
+            RecordType::Caa => {
+                let flags = self.get_u8()?;
+                let tag = self.get_character_string()?;
+                if self.pos > rdata_end {
+                    return Err(WireError::RdataLengthMismatch);
+                }
+                let vlen = rdata_end - self.pos;
+                let raw = self.get_slice(vlen)?;
+                let value =
+                    String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadCharacterString)?;
+                RecordData::Caa(CaaRecord { flags, tag, value })
+            }
+        };
+        if self.pos != rdata_end {
+            return Err(WireError::RdataLengthMismatch);
+        }
+        Ok(ResourceRecord {
+            name,
+            class,
+            ttl,
+            data,
+        })
+    }
+}
+
+/// Decode a wire-format message. Rejects trailing bytes.
+pub fn decode(data: &[u8]) -> Result<Message, WireError> {
+    let mut d = Decoder { data, pos: 0 };
+    let id = d.get_u16()?;
+    let flags = d.get_u16()?;
+    let header = Header {
+        id,
+        qr: flags & 0x8000 != 0,
+        opcode: Opcode::from_code(((flags >> 11) & 0x0F) as u8).ok_or(WireError::BadHeaderField)?,
+        aa: flags & 0x0400 != 0,
+        tc: flags & 0x0200 != 0,
+        rd: flags & 0x0100 != 0,
+        ra: flags & 0x0080 != 0,
+        rcode: Rcode::from_code((flags & 0x0F) as u8).ok_or(WireError::BadHeaderField)?,
+    };
+    let qd = d.get_u16()? as usize;
+    let an = d.get_u16()? as usize;
+    let ns = d.get_u16()? as usize;
+    let ar = d.get_u16()? as usize;
+    let mut questions = Vec::with_capacity(qd.min(32));
+    for _ in 0..qd {
+        questions.push(d.get_question()?);
+    }
+    let mut answers = Vec::with_capacity(an.min(64));
+    for _ in 0..an {
+        answers.push(d.get_record()?);
+    }
+    let mut authority = Vec::with_capacity(ns.min(64));
+    for _ in 0..ns {
+        authority.push(d.get_record()?);
+    }
+    let mut additional = Vec::with_capacity(ar.min(64));
+    for _ in 0..ar {
+        additional.push(d.get_record()?);
+    }
+    if d.remaining() != 0 {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok(Message {
+        header,
+        questions,
+        answers,
+        authority,
+        additional,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+    use crate::record::{CaaRecord, RecordData, ResourceRecord};
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn sample_response() -> Message {
+        let q = Message::query(0x1234, n("shop.example.com"), RecordType::A);
+        let mut r = Message::response(&q, Rcode::NoError);
+        r.answers.push(ResourceRecord::new(
+            n("shop.example.com"),
+            300,
+            RecordData::Cname(n("shop-prod.azurewebsites.net")),
+        ));
+        r.answers.push(ResourceRecord::new(
+            n("shop-prod.azurewebsites.net"),
+            60,
+            RecordData::A(Ipv4Addr::new(20, 40, 60, 80)),
+        ));
+        r.authority.push(ResourceRecord::new(
+            n("example.com"),
+            3600,
+            RecordData::Soa(Soa {
+                mname: n("ns1.example.com"),
+                rname: n("hostmaster.example.com"),
+                serial: 2023010101,
+                refresh: 7200,
+                retry: 600,
+                expire: 1209600,
+                minimum: 300,
+            }),
+        ));
+        r.additional.push(ResourceRecord::new(
+            n("example.com"),
+            3600,
+            RecordData::Caa(CaaRecord::issue("letsencrypt.org")),
+        ));
+        r
+    }
+
+    #[test]
+    fn roundtrip_full_message() {
+        let msg = sample_response();
+        let wire = encode(&msg);
+        let back = decode(&wire).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn compression_shrinks_output() {
+        let msg = sample_response();
+        let wire = encode(&msg);
+        // "example.com" appears 5 times; without compression the message
+        // would be much larger. Sanity bound: well under the naive size.
+        let naive: usize = 12
+            + msg
+                .questions
+                .iter()
+                .map(|q| q.name.wire_len() + 4)
+                .sum::<usize>()
+            + 200; // loose bound for RRs
+        assert!(wire.len() < naive);
+        // And the suffix "example.com" must be emitted in full exactly once.
+        let needle = b"\x07example\x03com\x00";
+        let count = wire.windows(needle.len()).filter(|w| w == needle).count();
+        assert_eq!(count, 1, "example.com should be compressed after first use");
+    }
+
+    #[test]
+    fn txt_multiple_strings() {
+        let q = Message::query(9, n("_acme-challenge.example.com"), RecordType::Txt);
+        let mut r = Message::response(&q, Rcode::NoError);
+        r.answers.push(ResourceRecord::new(
+            n("_acme-challenge.example.com"),
+            120,
+            RecordData::Txt(vec!["token-one".into(), "token-two".into()]),
+        ));
+        let back = decode(&encode(&r)).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let wire = encode(&sample_response());
+        for cut in [0, 5, 11, wire.len() / 2, wire.len() - 1] {
+            assert!(decode(&wire[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut wire = encode(&sample_response()).to_vec();
+        wire.push(0xAB);
+        assert_eq!(decode(&wire), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn rejects_pointer_loop() {
+        // Header (12 bytes) for 1 question, then a name that is a pointer to
+        // itself at offset 12.
+        let mut wire = vec![
+            0x00, 0x01, 0x01, 0x00, // id, flags (rd)
+            0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+        ];
+        wire.extend_from_slice(&[0xC0, 0x0C]); // pointer to offset 12 = itself
+        wire.extend_from_slice(&[0x00, 0x01, 0x00, 0x01]); // qtype/qclass
+        let err = decode(&wire).unwrap_err();
+        assert_eq!(err, WireError::ForwardPointer);
+    }
+
+    #[test]
+    fn rejects_forward_pointer() {
+        let mut wire = vec![
+            0x00, 0x01, 0x01, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+        ];
+        wire.extend_from_slice(&[0xC0, 0x20]); // points forward
+        wire.extend_from_slice(&[0x00, 0x01, 0x00, 0x01]);
+        assert_eq!(decode(&wire), Err(WireError::ForwardPointer));
+    }
+
+    #[test]
+    fn rejects_reserved_label_bits() {
+        let mut wire = vec![
+            0x00, 0x01, 0x01, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+        ];
+        wire.push(0x80); // reserved 0b10 prefix
+        wire.extend_from_slice(&[0x00, 0x01, 0x00, 0x01]);
+        assert!(matches!(decode(&wire), Err(WireError::BadLabelLength(_))));
+    }
+
+    #[test]
+    fn nxdomain_roundtrip() {
+        let q = Message::query(3, n("gone.example.com"), RecordType::A);
+        let r = Message::response(&q, Rcode::NxDomain);
+        let back = decode(&encode(&r)).unwrap();
+        assert_eq!(back.header.rcode, Rcode::NxDomain);
+        assert!(back.answers.is_empty());
+    }
+
+    #[test]
+    fn decode_normalizes_case() {
+        // Hand-encode a query with mixed-case label.
+        let mut wire = vec![
+            0x00, 0x01, 0x01, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+        ];
+        wire.push(3);
+        wire.extend_from_slice(b"FoO");
+        wire.push(3);
+        wire.extend_from_slice(b"cOm");
+        wire.push(0);
+        wire.extend_from_slice(&[0x00, 0x01, 0x00, 0x01]);
+        let m = decode(&wire).unwrap();
+        assert_eq!(m.questions[0].name.to_string(), "foo.com");
+    }
+}

@@ -1,0 +1,352 @@
+//! Cookies, `Set-Cookie` parsing, and the browser cookie-sending policy.
+//!
+//! §5.5 of the paper rests on exactly these semantics: a cookie is sent back
+//! to the domain that created it *or any subdomain thereof* (when a `Domain`
+//! attribute widens scope), `HttpOnly` cookies are invisible to JavaScript
+//! (so content-only hijacks cannot read them), and `Secure` cookies are only
+//! sent over HTTPS (so stealing them requires the hijacker to obtain a valid
+//! certificate — the bridge to §5.6).
+
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+
+/// The `SameSite` attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SameSite {
+    Strict,
+    Lax,
+    None,
+}
+
+/// A cookie as stored by a client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cookie {
+    pub name: String,
+    pub value: String,
+    /// Scope domain. When set via the `Domain` attribute the cookie is sent
+    /// to that domain and all subdomains ("domain cookie"); when absent it is
+    /// host-only.
+    pub domain: String,
+    /// True if the `Domain` attribute was present (subdomains included).
+    pub domain_wide: bool,
+    pub path: String,
+    pub secure: bool,
+    pub http_only: bool,
+    pub same_site: Option<SameSite>,
+    /// Absolute expiry in simulated time; `None` = session cookie.
+    pub expires: Option<SimTime>,
+    /// Heuristic: does this look like an authentication/session cookie?
+    /// (Used by the §5.5 leak analysis to count *authentication* cookies.)
+    pub is_auth_like: bool,
+}
+
+impl Cookie {
+    /// Parse a `Set-Cookie` header value in the context of `request_host`.
+    /// Returns `None` on malformed input or an out-of-scope `Domain`
+    /// attribute (a host may only set cookies for itself or its ancestors).
+    pub fn parse_set_cookie(value: &str, request_host: &str, now: SimTime) -> Option<Cookie> {
+        let mut parts = value.split(';');
+        let nv = parts.next()?.trim();
+        let (name, val) = nv.split_once('=')?;
+        let name = name.trim();
+        if name.is_empty() {
+            return None;
+        }
+        let mut cookie = Cookie {
+            name: name.to_string(),
+            value: val.trim().to_string(),
+            domain: request_host.to_ascii_lowercase(),
+            domain_wide: false,
+            path: "/".to_string(),
+            secure: false,
+            http_only: false,
+            same_site: None,
+            expires: None,
+            is_auth_like: looks_auth_like(name),
+        };
+        for attr in parts {
+            let attr = attr.trim();
+            let (k, v) = match attr.split_once('=') {
+                Some((k, v)) => (k.trim(), Some(v.trim())),
+                None => (attr, None),
+            };
+            match k.to_ascii_lowercase().as_str() {
+                "domain" => {
+                    let d = v?.trim_start_matches('.').to_ascii_lowercase();
+                    // Scope check: d must be the host itself or a suffix of it.
+                    if !host_matches_domain(request_host, &d) {
+                        return None;
+                    }
+                    cookie.domain = d;
+                    cookie.domain_wide = true;
+                }
+                "path" => cookie.path = v?.to_string(),
+                "secure" => cookie.secure = true,
+                "httponly" => cookie.http_only = true,
+                "samesite" => {
+                    cookie.same_site = match v?.to_ascii_lowercase().as_str() {
+                        "strict" => Some(SameSite::Strict),
+                        "lax" => Some(SameSite::Lax),
+                        "none" => Some(SameSite::None),
+                        _ => return None,
+                    }
+                }
+                "max-age" => {
+                    let secs: i64 = v?.parse().ok()?;
+                    let days = (secs / 86_400).max(0) as i32;
+                    cookie.expires = Some(now + days);
+                }
+                // `Expires=` with an HTTP date is out of scope for the sim;
+                // ignore unknown attributes like real browsers do.
+                _ => {}
+            }
+        }
+        // RFC 6265bis: SameSite=None requires Secure.
+        if cookie.same_site == Some(SameSite::None) && !cookie.secure {
+            return None;
+        }
+        Some(cookie)
+    }
+
+    /// Serialize as a `Set-Cookie` header value.
+    pub fn to_set_cookie(&self) -> String {
+        let mut s = format!("{}={}", self.name, self.value);
+        if self.domain_wide {
+            s.push_str(&format!("; Domain={}", self.domain));
+        }
+        if self.path != "/" {
+            s.push_str(&format!("; Path={}", self.path));
+        }
+        if self.secure {
+            s.push_str("; Secure");
+        }
+        if self.http_only {
+            s.push_str("; HttpOnly");
+        }
+        match self.same_site {
+            Some(SameSite::Strict) => s.push_str("; SameSite=Strict"),
+            Some(SameSite::Lax) => s.push_str("; SameSite=Lax"),
+            Some(SameSite::None) => s.push_str("; SameSite=None"),
+            None => {}
+        }
+        s
+    }
+
+    /// Would a browser send this cookie to `host` over `https`?
+    pub fn sent_to(&self, host: &str, https: bool, now: SimTime) -> bool {
+        if let Some(exp) = self.expires {
+            if now >= exp {
+                return false;
+            }
+        }
+        if self.secure && !https {
+            return false;
+        }
+        let host = host.to_ascii_lowercase();
+        if self.domain_wide {
+            host_matches_domain(&host, &self.domain)
+        } else {
+            host == self.domain
+        }
+    }
+
+    /// Is this cookie readable by JavaScript running on a page served from
+    /// `host`? This is the §5.5 content-only-hijack capability.
+    pub fn readable_by_script(&self, host: &str, https: bool, now: SimTime) -> bool {
+        !self.http_only && self.sent_to(host, https, now)
+    }
+}
+
+/// Host/domain matching per RFC 6265 §5.1.3: `host` matches `domain` if they
+/// are equal or `host` ends with `.domain`.
+pub fn host_matches_domain(host: &str, domain: &str) -> bool {
+    let host = host.to_ascii_lowercase();
+    let domain = domain.to_ascii_lowercase();
+    host == domain || host.ends_with(&format!(".{domain}"))
+}
+
+fn looks_auth_like(name: &str) -> bool {
+    let n = name.to_ascii_lowercase();
+    ["session", "auth", "token", "sid", "login", "jwt"]
+        .iter()
+        .any(|k| n.contains(k))
+}
+
+/// A client-side cookie store.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CookieJar {
+    cookies: Vec<Cookie>,
+}
+
+impl CookieJar {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store a cookie, replacing one with the same (name, domain, path).
+    pub fn store(&mut self, cookie: Cookie) {
+        self.cookies.retain(|c| {
+            !(c.name == cookie.name && c.domain == cookie.domain && c.path == cookie.path)
+        });
+        self.cookies.push(cookie);
+    }
+
+    /// Ingest all `Set-Cookie` headers from a response.
+    pub fn ingest(
+        &mut self,
+        headers: &crate::headers::HeaderMap,
+        request_host: &str,
+        now: SimTime,
+    ) {
+        for v in headers.get_all("Set-Cookie") {
+            if let Some(c) = Cookie::parse_set_cookie(v, request_host, now) {
+                self.store(c);
+            }
+        }
+    }
+
+    /// Cookies a browser would attach to a request for `host`.
+    pub fn cookies_for(&self, host: &str, https: bool, now: SimTime) -> Vec<&Cookie> {
+        self.cookies
+            .iter()
+            .filter(|c| c.sent_to(host, https, now))
+            .collect()
+    }
+
+    /// Cookies JavaScript on `host` could exfiltrate (non-HttpOnly).
+    pub fn script_visible(&self, host: &str, https: bool, now: SimTime) -> Vec<&Cookie> {
+        self.cookies
+            .iter()
+            .filter(|c| c.readable_by_script(host, https, now))
+            .collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.cookies.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cookies.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Cookie> {
+        self.cookies.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: SimTime = SimTime(100);
+
+    #[test]
+    fn parse_basic() {
+        let c =
+            Cookie::parse_set_cookie("sessionid=abc123; HttpOnly; Secure", "www.example.com", T0)
+                .unwrap();
+        assert_eq!(c.name, "sessionid");
+        assert!(c.http_only);
+        assert!(c.secure);
+        assert!(c.is_auth_like);
+        assert!(!c.domain_wide);
+    }
+
+    #[test]
+    fn domain_cookie_sent_to_subdomains() {
+        let c = Cookie::parse_set_cookie("auth=tok; Domain=example.com", "www.example.com", T0)
+            .unwrap();
+        // The §5.5 scenario: parent-scoped cookie leaks to a hijacked subdomain.
+        assert!(c.sent_to("hijacked.example.com", false, T0));
+        assert!(c.sent_to("example.com", false, T0));
+        assert!(!c.sent_to("badexample.com", false, T0));
+    }
+
+    #[test]
+    fn host_only_cookie_not_sent_to_siblings() {
+        let c = Cookie::parse_set_cookie("a=1", "www.example.com", T0).unwrap();
+        assert!(c.sent_to("www.example.com", false, T0));
+        assert!(!c.sent_to("other.example.com", false, T0));
+        assert!(!c.sent_to("example.com", false, T0));
+    }
+
+    #[test]
+    fn out_of_scope_domain_rejected() {
+        // a host cannot set cookies for an unrelated domain
+        assert!(Cookie::parse_set_cookie("a=1; Domain=evil.com", "www.example.com", T0).is_none());
+        // ... nor for a *sibling*
+        assert!(
+            Cookie::parse_set_cookie("a=1; Domain=other.example.com", "www.example.com", T0)
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn secure_requires_https() {
+        let c =
+            Cookie::parse_set_cookie("t=1; Secure; Domain=example.com", "example.com", T0).unwrap();
+        assert!(!c.sent_to("x.example.com", false, T0));
+        assert!(c.sent_to("x.example.com", true, T0));
+    }
+
+    #[test]
+    fn httponly_invisible_to_script() {
+        let c = Cookie::parse_set_cookie("sid=1; HttpOnly; Domain=example.com", "example.com", T0)
+            .unwrap();
+        assert!(c.sent_to("h.example.com", false, T0));
+        assert!(!c.readable_by_script("h.example.com", false, T0));
+        let c2 = Cookie::parse_set_cookie("pref=1; Domain=example.com", "example.com", T0).unwrap();
+        assert!(c2.readable_by_script("h.example.com", false, T0));
+    }
+
+    #[test]
+    fn samesite_none_requires_secure() {
+        assert!(Cookie::parse_set_cookie("a=1; SameSite=None", "x.com", T0).is_none());
+        let c = Cookie::parse_set_cookie("a=1; SameSite=None; Secure", "x.com", T0).unwrap();
+        assert_eq!(c.same_site, Some(SameSite::None));
+    }
+
+    #[test]
+    fn max_age_expiry() {
+        let c = Cookie::parse_set_cookie("a=1; Max-Age=172800", "x.com", T0).unwrap(); // 2 days
+        assert!(c.sent_to("x.com", false, T0 + 1));
+        assert!(!c.sent_to("x.com", false, T0 + 2));
+    }
+
+    #[test]
+    fn jar_replaces_same_key() {
+        let mut jar = CookieJar::new();
+        jar.store(Cookie::parse_set_cookie("a=1", "x.com", T0).unwrap());
+        jar.store(Cookie::parse_set_cookie("a=2", "x.com", T0).unwrap());
+        assert_eq!(jar.len(), 1);
+        assert_eq!(jar.cookies_for("x.com", false, T0)[0].value, "2");
+    }
+
+    #[test]
+    fn jar_ingests_response_headers() {
+        use crate::headers::HeaderMap;
+        let mut h = HeaderMap::new();
+        h.append("Set-Cookie", "auth=tok; Domain=example.com; HttpOnly");
+        h.append("Set-Cookie", "theme=dark");
+        h.append("Set-Cookie", "bad"); // malformed, skipped
+        let mut jar = CookieJar::new();
+        jar.ingest(&h, "login.example.com", T0);
+        assert_eq!(jar.len(), 2);
+        // Hijacked sibling subdomain receives the domain cookie only.
+        let sent = jar.cookies_for("hijacked.example.com", false, T0);
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].name, "auth");
+        // ...but script there cannot read it (HttpOnly).
+        assert!(jar
+            .script_visible("hijacked.example.com", false, T0)
+            .is_empty());
+    }
+
+    #[test]
+    fn set_cookie_roundtrip() {
+        let orig = "tok=v; Domain=example.com; Secure; HttpOnly; SameSite=None";
+        let c = Cookie::parse_set_cookie(orig, "a.example.com", T0).unwrap();
+        let re = Cookie::parse_set_cookie(&c.to_set_cookie(), "a.example.com", T0).unwrap();
+        assert_eq!(c, re);
+    }
+}

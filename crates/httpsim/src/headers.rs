@@ -1,0 +1,128 @@
+//! Case-insensitive, order-preserving HTTP header map.
+
+use serde::{Deserialize, Serialize};
+
+/// A multimap of HTTP headers. Lookup is case-insensitive; insertion order is
+/// preserved for serialization fidelity. Multiple values per name are allowed
+/// (`Set-Cookie` in particular must not be folded).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeaderMap {
+    entries: Vec<(String, String)>,
+}
+
+impl HeaderMap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a header, keeping any existing values for the same name.
+    pub fn append(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entries.push((name.into(), value.into()));
+    }
+
+    /// Replace all values of `name` with a single value.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        self.remove(name);
+        self.entries.push((name.to_string(), value.into()));
+    }
+
+    /// First value of `name`, case-insensitive.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values of `name`.
+    pub fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.entries
+            .iter()
+            .filter(move |(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Remove all values of `name`, returning how many were removed.
+    pub fn remove(&mut self, name: &str) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        before - self.entries.len()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl<N: Into<String>, V: Into<String>> FromIterator<(N, V)> for HeaderMap {
+    fn from_iter<T: IntoIterator<Item = (N, V)>>(iter: T) -> Self {
+        HeaderMap {
+            entries: iter
+                .into_iter()
+                .map(|(n, v)| (n.into(), v.into()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_insensitive_get() {
+        let mut h = HeaderMap::new();
+        h.append("Content-Type", "text/html");
+        assert_eq!(h.get("content-type"), Some("text/html"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/html"));
+        assert!(h.contains("Content-type"));
+        assert!(!h.contains("X-Other"));
+    }
+
+    #[test]
+    fn multiple_values_preserved() {
+        let mut h = HeaderMap::new();
+        h.append("Set-Cookie", "a=1");
+        h.append("Set-Cookie", "b=2");
+        let all: Vec<_> = h.get_all("set-cookie").collect();
+        assert_eq!(all, vec!["a=1", "b=2"]);
+        assert_eq!(h.get("Set-Cookie"), Some("a=1"));
+    }
+
+    #[test]
+    fn set_replaces() {
+        let mut h = HeaderMap::new();
+        h.append("X", "1");
+        h.append("x", "2");
+        h.set("X", "3");
+        assert_eq!(h.get_all("x").count(), 1);
+        assert_eq!(h.get("x"), Some("3"));
+    }
+
+    #[test]
+    fn remove_counts() {
+        let mut h: HeaderMap = [("a", "1"), ("A", "2"), ("b", "3")].into_iter().collect();
+        assert_eq!(h.remove("a"), 2);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.remove("zzz"), 0);
+    }
+
+    #[test]
+    fn order_preserved() {
+        let h: HeaderMap = [("z", "1"), ("a", "2"), ("m", "3")].into_iter().collect();
+        let names: Vec<_> = h.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["z", "a", "m"]);
+    }
+}

@@ -1,0 +1,224 @@
+//! HTTP Strict Transport Security (RFC 6797).
+//!
+//! Appendix A.2 of the paper measures HSTS prevalence on the parents of
+//! hijacked subdomains (>16% of non-error responses) and argues that a
+//! hijacker who wants traffic from HSTS-pinned clients *must* obtain a valid
+//! certificate — one of the four motivations for fraudulent issuance.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+use std::collections::HashMap;
+
+/// A parsed `Strict-Transport-Security` policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HstsPolicy {
+    /// Lifetime in seconds.
+    pub max_age: u64,
+    pub include_subdomains: bool,
+}
+
+impl HstsPolicy {
+    /// Parse a header value like `max-age=31536000; includeSubDomains`.
+    /// Returns `None` on malformed input or missing `max-age` (RFC 6797
+    /// requires it).
+    pub fn parse(value: &str) -> Option<HstsPolicy> {
+        let mut max_age: Option<u64> = None;
+        let mut include_subdomains = false;
+        for directive in value.split(';') {
+            let d = directive.trim();
+            if d.is_empty() {
+                continue;
+            }
+            let (k, v) = match d.split_once('=') {
+                Some((k, v)) => (k.trim().to_ascii_lowercase(), Some(v.trim())),
+                None => (d.to_ascii_lowercase(), None),
+            };
+            match k.as_str() {
+                "max-age" => {
+                    let raw = v?.trim_matches('"');
+                    max_age = Some(raw.parse().ok()?);
+                }
+                "includesubdomains" => include_subdomains = true,
+                "preload" => {}
+                _ => return None, // unknown directive: reject (strictness aids tests)
+            }
+        }
+        Some(HstsPolicy {
+            max_age: max_age?,
+            include_subdomains,
+        })
+    }
+
+    /// Serialize back to a header value.
+    pub fn to_header_value(&self) -> String {
+        let mut s = format!("max-age={}", self.max_age);
+        if self.include_subdomains {
+            s.push_str("; includeSubDomains");
+        }
+        s
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StoredPolicy {
+    include_subdomains: bool,
+    expires: SimTime,
+}
+
+/// A client-side HSTS host store.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HstsStore {
+    hosts: HashMap<String, StoredPolicy>,
+}
+
+impl HstsStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a policy observed on `host` at time `now`. `max-age=0` deletes.
+    pub fn observe(&mut self, host: &str, policy: HstsPolicy, now: SimTime) {
+        let host = host.to_ascii_lowercase();
+        if policy.max_age == 0 {
+            self.hosts.remove(&host);
+            return;
+        }
+        let days = (policy.max_age / 86_400).min(i32::MAX as u64) as i32;
+        self.hosts.insert(
+            host,
+            StoredPolicy {
+                include_subdomains: policy.include_subdomains,
+                expires: now + days.max(1),
+            },
+        );
+    }
+
+    /// Would this client force HTTPS when navigating to `host` at `now`?
+    pub fn must_use_https(&self, host: &str, now: SimTime) -> bool {
+        let host = host.to_ascii_lowercase();
+        // Exact-host pin.
+        if let Some(p) = self.hosts.get(&host) {
+            if p.expires > now {
+                return true;
+            }
+        }
+        // Superdomain pins with includeSubDomains.
+        let mut rest = host.as_str();
+        while let Some(idx) = rest.find('.') {
+            rest = &rest[idx + 1..];
+            if let Some(p) = self.hosts.get(rest) {
+                if p.include_subdomains && p.expires > now {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_standard() {
+        let p = HstsPolicy::parse("max-age=31536000; includeSubDomains").unwrap();
+        assert_eq!(p.max_age, 31_536_000);
+        assert!(p.include_subdomains);
+    }
+
+    #[test]
+    fn parse_requires_max_age() {
+        assert!(HstsPolicy::parse("includeSubDomains").is_none());
+        assert!(HstsPolicy::parse("max-age=abc").is_none());
+        assert!(HstsPolicy::parse("max-age=100; bogus-directive").is_none());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = HstsPolicy::parse("max-age=86400").unwrap();
+        assert_eq!(HstsPolicy::parse(&p.to_header_value()), Some(p));
+    }
+
+    #[test]
+    fn store_exact_and_subdomain() {
+        let mut s = HstsStore::new();
+        let now = SimTime(0);
+        s.observe(
+            "example.com",
+            HstsPolicy {
+                max_age: 86_400 * 30,
+                include_subdomains: true,
+            },
+            now,
+        );
+        assert!(s.must_use_https("example.com", now + 1));
+        // The hijacked-subdomain case from Appendix A.2:
+        assert!(s.must_use_https("hijacked.example.com", now + 1));
+        assert!(!s.must_use_https("other.net", now + 1));
+    }
+
+    #[test]
+    fn no_subdomain_without_flag() {
+        let mut s = HstsStore::new();
+        let now = SimTime(0);
+        s.observe(
+            "example.com",
+            HstsPolicy {
+                max_age: 86_400 * 30,
+                include_subdomains: false,
+            },
+            now,
+        );
+        assert!(s.must_use_https("example.com", now));
+        assert!(!s.must_use_https("sub.example.com", now));
+    }
+
+    #[test]
+    fn expiry_honored() {
+        let mut s = HstsStore::new();
+        let now = SimTime(0);
+        s.observe(
+            "example.com",
+            HstsPolicy {
+                max_age: 86_400 * 2,
+                include_subdomains: true,
+            },
+            now,
+        );
+        assert!(s.must_use_https("example.com", now + 1));
+        assert!(!s.must_use_https("example.com", now + 3));
+    }
+
+    #[test]
+    fn max_age_zero_deletes() {
+        let mut s = HstsStore::new();
+        let now = SimTime(0);
+        s.observe(
+            "example.com",
+            HstsPolicy {
+                max_age: 86_400,
+                include_subdomains: false,
+            },
+            now,
+        );
+        s.observe(
+            "example.com",
+            HstsPolicy {
+                max_age: 0,
+                include_subdomains: false,
+            },
+            now,
+        );
+        assert!(!s.must_use_https("example.com", now));
+        assert!(s.is_empty());
+    }
+}

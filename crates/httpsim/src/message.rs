@@ -1,0 +1,221 @@
+//! HTTP/1.1 message model.
+
+use crate::headers::HeaderMap;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Request methods used by the pipeline (the crawler only ever sends GET and
+/// HEAD; POST exists for the attacker's referral endpoints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    Get,
+    Head,
+    Post,
+}
+
+impl Method {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Head => "HEAD",
+            Method::Post => "POST",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "GET" => Method::Get,
+            "HEAD" => Method::Head,
+            "POST" => Method::Post,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// HTTP status code wrapper with the reason phrases the simulation serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StatusCode(pub u16);
+
+impl StatusCode {
+    pub const OK: StatusCode = StatusCode(200);
+    pub const MOVED_PERMANENTLY: StatusCode = StatusCode(301);
+    pub const FOUND: StatusCode = StatusCode(302);
+    pub const BAD_REQUEST: StatusCode = StatusCode(400);
+    pub const FORBIDDEN: StatusCode = StatusCode(403);
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    pub const GONE: StatusCode = StatusCode(410);
+    pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
+    pub const BAD_GATEWAY: StatusCode = StatusCode(502);
+    pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
+
+    pub fn is_success(self) -> bool {
+        (200..300).contains(&self.0)
+    }
+
+    pub fn is_redirect(self) -> bool {
+        (300..400).contains(&self.0)
+    }
+
+    pub fn is_client_error(self) -> bool {
+        (400..500).contains(&self.0)
+    }
+
+    pub fn is_server_error(self) -> bool {
+        (500..600).contains(&self.0)
+    }
+
+    pub fn reason(self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            301 => "Moved Permanently",
+            302 => "Found",
+            400 => "Bad Request",
+            403 => "Forbidden",
+            404 => "Not Found",
+            410 => "Gone",
+            500 => "Internal Server Error",
+            502 => "Bad Gateway",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.0, self.reason())
+    }
+}
+
+/// An HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    pub method: Method,
+    /// Origin-form target, e.g. `/sitemap.xml`.
+    pub path: String,
+    pub headers: HeaderMap,
+    pub body: Vec<u8>,
+    /// Whether the request travelled over TLS — the `Secure`-cookie and HSTS
+    /// logic branch on this.
+    pub https: bool,
+}
+
+impl Request {
+    /// A GET for `path` at virtual host `host`.
+    pub fn get(host: &str, path: &str) -> Self {
+        let mut headers = HeaderMap::new();
+        headers.set("Host", host);
+        headers.set("User-Agent", "dangling-study/1.0");
+        Request {
+            method: Method::Get,
+            path: path.to_string(),
+            headers,
+            body: Vec::new(),
+            https: false,
+        }
+    }
+
+    /// Same as [`Request::get`] but over TLS.
+    pub fn get_https(host: &str, path: &str) -> Self {
+        let mut r = Self::get(host, path);
+        r.https = true;
+        r
+    }
+
+    /// The `Host` header (virtual-hosting key).
+    pub fn host(&self) -> Option<&str> {
+        self.headers.get("Host")
+    }
+}
+
+/// An HTTP/1.1 response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    pub status: StatusCode,
+    pub headers: HeaderMap,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    pub fn new(status: StatusCode) -> Self {
+        Response {
+            status,
+            headers: HeaderMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    pub fn ok_html(body: impl Into<Vec<u8>>) -> Self {
+        let mut r = Response::new(StatusCode::OK);
+        r.headers.set("Content-Type", "text/html; charset=utf-8");
+        r.body = body.into();
+        r.headers.set("Content-Length", r.body.len().to_string());
+        r
+    }
+
+    pub fn ok_xml(body: impl Into<Vec<u8>>) -> Self {
+        let mut r = Response::new(StatusCode::OK);
+        r.headers.set("Content-Type", "application/xml");
+        r.body = body.into();
+        r.headers.set("Content-Length", r.body.len().to_string());
+        r
+    }
+
+    pub fn not_found(body: impl Into<Vec<u8>>) -> Self {
+        let mut r = Response::new(StatusCode::NOT_FOUND);
+        r.headers.set("Content-Type", "text/html; charset=utf-8");
+        r.body = body.into();
+        r.headers.set("Content-Length", r.body.len().to_string());
+        r
+    }
+
+    /// UTF-8 view of the body (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_classes() {
+        assert!(StatusCode::OK.is_success());
+        assert!(StatusCode::FOUND.is_redirect());
+        assert!(StatusCode::NOT_FOUND.is_client_error());
+        assert!(StatusCode::BAD_GATEWAY.is_server_error());
+        assert!(!StatusCode::OK.is_client_error());
+    }
+
+    #[test]
+    fn request_builders() {
+        let r = Request::get("shop.example.com", "/");
+        assert_eq!(r.host(), Some("shop.example.com"));
+        assert!(!r.https);
+        let rs = Request::get_https("shop.example.com", "/");
+        assert!(rs.https);
+    }
+
+    #[test]
+    fn response_builders() {
+        let r = Response::ok_html("<html></html>");
+        assert_eq!(r.status, StatusCode::OK);
+        assert_eq!(r.headers.get("content-length"), Some("13"));
+        assert_eq!(r.body_text(), "<html></html>");
+    }
+
+    #[test]
+    fn method_roundtrip() {
+        for m in [Method::Get, Method::Head, Method::Post] {
+            assert_eq!(Method::parse(m.as_str()), Some(m));
+        }
+        assert_eq!(Method::parse("BREW"), None);
+    }
+}

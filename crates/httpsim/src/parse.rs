@@ -1,0 +1,258 @@
+//! Textual HTTP/1.1 serialization and parsing.
+//!
+//! CRLF line endings, `Content-Length` framing (the only framing the
+//! simulation uses), and tolerant header parsing. Parsing is total: hostile
+//! input yields `Err`, never a panic.
+
+use crate::headers::HeaderMap;
+use crate::message::{Method, Request, Response, StatusCode};
+use std::fmt;
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Missing or malformed start line.
+    BadStartLine,
+    /// Unsupported method.
+    BadMethod,
+    /// Version was not `HTTP/1.0` or `HTTP/1.1`.
+    BadVersion,
+    /// Status code was not a 3-digit integer.
+    BadStatus,
+    /// A header line lacked a colon.
+    BadHeader,
+    /// Headers were not terminated by an empty line.
+    MissingHeaderTerminator,
+    /// `Content-Length` disagreed with the available body bytes.
+    BodyLength,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ParseError::BadStartLine => "malformed start line",
+            ParseError::BadMethod => "unsupported method",
+            ParseError::BadVersion => "unsupported HTTP version",
+            ParseError::BadStatus => "malformed status code",
+            ParseError::BadHeader => "malformed header line",
+            ParseError::MissingHeaderTerminator => "missing CRLF CRLF",
+            ParseError::BodyLength => "Content-Length mismatch",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialize a request to wire text.
+pub fn serialize_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256 + req.body.len());
+    out.extend_from_slice(format!("{} {} HTTP/1.1\r\n", req.method, req.path).as_bytes());
+    for (n, v) in req.headers.iter() {
+        out.extend_from_slice(format!("{n}: {v}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(&req.body);
+    out
+}
+
+/// Serialize a response to wire text.
+pub fn serialize_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256 + resp.body.len());
+    out.extend_from_slice(
+        format!("HTTP/1.1 {} {}\r\n", resp.status.0, resp.status.reason()).as_bytes(),
+    );
+    for (n, v) in resp.headers.iter() {
+        out.extend_from_slice(format!("{n}: {v}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(&resp.body);
+    out
+}
+
+/// Split head (start line + headers) from body at the first CRLFCRLF.
+fn split_head(input: &[u8]) -> Result<(&[u8], &[u8]), ParseError> {
+    input
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| (&input[..i], &input[i + 4..]))
+        .ok_or(ParseError::MissingHeaderTerminator)
+}
+
+fn parse_headers(lines: std::str::Lines<'_>) -> Result<HeaderMap, ParseError> {
+    let mut headers = HeaderMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or(ParseError::BadHeader)?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(ParseError::BadHeader);
+        }
+        headers.append(name.trim(), value.trim());
+    }
+    Ok(headers)
+}
+
+fn check_body(headers: &HeaderMap, body: &[u8]) -> Result<Vec<u8>, ParseError> {
+    match headers.get("Content-Length") {
+        Some(cl) => {
+            let n: usize = cl.trim().parse().map_err(|_| ParseError::BodyLength)?;
+            if body.len() < n {
+                return Err(ParseError::BodyLength);
+            }
+            Ok(body[..n].to_vec())
+        }
+        None => Ok(body.to_vec()),
+    }
+}
+
+/// Parse a request from wire text.
+pub fn parse_request(input: &[u8]) -> Result<Request, ParseError> {
+    let (head, body) = split_head(input)?;
+    let head = std::str::from_utf8(head).map_err(|_| ParseError::BadStartLine)?;
+    let mut lines = head.lines();
+    let start = lines.next().ok_or(ParseError::BadStartLine)?;
+    let mut parts = start.split(' ');
+    let method = Method::parse(parts.next().ok_or(ParseError::BadStartLine)?)
+        .ok_or(ParseError::BadMethod)?;
+    let path = parts.next().ok_or(ParseError::BadStartLine)?.to_string();
+    let version = parts.next().ok_or(ParseError::BadStartLine)?;
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ParseError::BadVersion);
+    }
+    if parts.next().is_some() {
+        return Err(ParseError::BadStartLine);
+    }
+    let headers = parse_headers(lines)?;
+    let body = check_body(&headers, body)?;
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+        https: false,
+    })
+}
+
+/// Parse a response from wire text.
+pub fn parse_response(input: &[u8]) -> Result<Response, ParseError> {
+    let (head, body) = split_head(input)?;
+    let head = std::str::from_utf8(head).map_err(|_| ParseError::BadStartLine)?;
+    let mut lines = head.lines();
+    let start = lines.next().ok_or(ParseError::BadStartLine)?;
+    let mut parts = start.splitn(3, ' ');
+    let version = parts.next().ok_or(ParseError::BadStartLine)?;
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ParseError::BadVersion);
+    }
+    let code: u16 = parts
+        .next()
+        .ok_or(ParseError::BadStartLine)?
+        .parse()
+        .map_err(|_| ParseError::BadStatus)?;
+    if !(100..600).contains(&code) {
+        return Err(ParseError::BadStatus);
+    }
+    let headers = parse_headers(lines)?;
+    let body = check_body(&headers, body)?;
+    Ok(Response {
+        status: StatusCode(code),
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request::get("www.example.com", "/index.html");
+        let wire = serialize_request(&req);
+        let back = parse_request(&wire).unwrap();
+        assert_eq!(back.method, Method::Get);
+        assert_eq!(back.path, "/index.html");
+        assert_eq!(back.host(), Some("www.example.com"));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response::ok_html("<html><body>hi</body></html>");
+        let wire = serialize_response(&resp);
+        let back = parse_response(&wire).unwrap();
+        assert_eq!(back.status, StatusCode::OK);
+        assert_eq!(back.body, resp.body);
+        assert_eq!(
+            back.headers.get("content-type"),
+            resp.headers.get("content-type")
+        );
+    }
+
+    #[test]
+    fn content_length_truncates_body() {
+        let wire = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhello";
+        let r = parse_response(wire).unwrap();
+        assert_eq!(r.body, b"he");
+    }
+
+    #[test]
+    fn content_length_underflow_rejected() {
+        let wire = b"HTTP/1.1 200 OK\r\nContent-Length: 99\r\n\r\nhi";
+        assert_eq!(parse_response(wire), Err(ParseError::BodyLength));
+    }
+
+    #[test]
+    fn missing_terminator_rejected() {
+        assert_eq!(
+            parse_request(b"GET / HTTP/1.1\r\nHost: x"),
+            Err(ParseError::MissingHeaderTerminator)
+        );
+    }
+
+    #[test]
+    fn bad_method_rejected() {
+        assert_eq!(
+            parse_request(b"BREW / HTTP/1.1\r\n\r\n"),
+            Err(ParseError::BadMethod)
+        );
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        assert_eq!(
+            parse_request(b"GET / HTTP/2\r\n\r\n"),
+            Err(ParseError::BadVersion)
+        );
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert_eq!(
+            parse_request(b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n"),
+            Err(ParseError::BadHeader)
+        );
+    }
+
+    #[test]
+    fn multiple_set_cookie_survive() {
+        let mut resp = Response::new(StatusCode::OK);
+        resp.headers.append("Set-Cookie", "a=1; HttpOnly");
+        resp.headers.append("Set-Cookie", "b=2; Secure");
+        let back = parse_response(&serialize_response(&resp)).unwrap();
+        assert_eq!(back.headers.get_all("set-cookie").count(), 2);
+    }
+
+    #[test]
+    fn bad_status_rejected() {
+        assert_eq!(
+            parse_response(b"HTTP/1.1 999 Nope\r\n\r\n"),
+            Err(ParseError::BadStatus)
+        );
+        assert_eq!(
+            parse_response(b"HTTP/1.1 abc Nope\r\n\r\n"),
+            Err(ParseError::BadStatus)
+        );
+    }
+}

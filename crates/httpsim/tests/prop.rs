@@ -1,0 +1,143 @@
+//! Property tests for the HTTP substrate: message and cookie roundtrips,
+//! parser totality, and cookie-policy invariants.
+
+use httpsim::parse::{parse_request, parse_response, serialize_request, serialize_response};
+use httpsim::{Cookie, HeaderMap, HstsPolicy, Method, Request, Response, StatusCode};
+use proptest::prelude::*;
+use simcore::SimTime;
+
+fn arb_header_name() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z][A-Za-z0-9-]{0,20}").unwrap()
+}
+
+fn arb_header_value() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~&&[^\r\n]]{0,40}")
+        .unwrap()
+        .prop_map(|s| s.trim().to_string())
+}
+
+fn arb_headers() -> impl Strategy<Value = HeaderMap> {
+    proptest::collection::vec((arb_header_name(), arb_header_value()), 0..8)
+        .prop_map(|v| v.into_iter().collect())
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        prop_oneof![Just(Method::Get), Just(Method::Head), Just(Method::Post)],
+        proptest::string::string_regex("/[a-z0-9/._-]{0,30}").unwrap(),
+        arb_headers(),
+        proptest::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(|(method, path, mut headers, body)| {
+            headers.set("Content-Length", body.len().to_string());
+            Request {
+                method,
+                path,
+                headers,
+                body,
+                https: false,
+            }
+        })
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    (
+        prop_oneof![
+            Just(StatusCode::OK),
+            Just(StatusCode::NOT_FOUND),
+            Just(StatusCode::FOUND),
+            Just(StatusCode::SERVICE_UNAVAILABLE)
+        ],
+        arb_headers(),
+        proptest::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(|(status, mut headers, body)| {
+            headers.set("Content-Length", body.len().to_string());
+            Response {
+                status,
+                headers,
+                body,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_roundtrip(req in arb_request()) {
+        let wire = serialize_request(&req);
+        let back = parse_request(&wire).unwrap();
+        prop_assert_eq!(back.method, req.method);
+        prop_assert_eq!(&back.path, &req.path);
+        prop_assert_eq!(&back.body, &req.body);
+        for (n, v) in req.headers.iter() {
+            prop_assert_eq!(back.headers.get(n).is_some(), true, "missing header {}", n);
+            let _ = v;
+        }
+    }
+
+    #[test]
+    fn response_roundtrip(resp in arb_response()) {
+        let wire = serialize_response(&resp);
+        let back = parse_response(&wire).unwrap();
+        prop_assert_eq!(back.status, resp.status);
+        prop_assert_eq!(&back.body, &resp.body);
+    }
+
+    #[test]
+    fn parsers_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = parse_request(&bytes);
+        let _ = parse_response(&bytes);
+    }
+
+    /// Secure cookies are never sent over plain HTTP, for any host/domain.
+    #[test]
+    fn secure_cookie_never_on_http(
+        host in proptest::string::string_regex("[a-z]{1,8}\\.[a-z]{1,8}\\.(com|net|org)").unwrap(),
+    ) {
+        let set = format!("t=v; Secure");
+        if let Some(c) = Cookie::parse_set_cookie(&set, &host, SimTime(0)) {
+            prop_assert!(!c.sent_to(&host, false, SimTime(0)));
+            prop_assert!(c.sent_to(&host, true, SimTime(0)));
+        }
+    }
+
+    /// HttpOnly cookies are never script-visible anywhere.
+    #[test]
+    fn httponly_never_script_visible(
+        host in proptest::string::string_regex("[a-z]{1,8}\\.(com|net)").unwrap(),
+        sub in proptest::string::string_regex("[a-z]{1,8}").unwrap(),
+    ) {
+        let origin = format!("{sub}.{host}");
+        let set = format!("sid=v; HttpOnly; Domain={host}");
+        let c = Cookie::parse_set_cookie(&set, &origin, SimTime(0)).unwrap();
+        prop_assert!(!c.readable_by_script(&origin, true, SimTime(0)));
+        prop_assert!(!c.readable_by_script(&host, true, SimTime(0)));
+    }
+
+    /// A domain-wide cookie is sent to every subdomain of its domain and to
+    /// no host outside it.
+    #[test]
+    fn domain_cookie_scope(
+        apex in proptest::string::string_regex("[a-z]{2,8}\\.(com|net)").unwrap(),
+        sub_a in proptest::string::string_regex("[a-z]{1,6}").unwrap(),
+        sub_b in proptest::string::string_regex("[a-z]{1,6}").unwrap(),
+        outsider in proptest::string::string_regex("[a-z]{2,8}\\.org").unwrap(),
+    ) {
+        let origin = format!("{sub_a}.{apex}");
+        let set = format!("a=1; Domain={apex}");
+        let c = Cookie::parse_set_cookie(&set, &origin, SimTime(0)).unwrap();
+        let sibling = format!("{sub_b}.{apex}");
+        prop_assert!(c.sent_to(&sibling, false, SimTime(0)));
+        prop_assert!(c.sent_to(&apex, false, SimTime(0)));
+        prop_assert!(!c.sent_to(&outsider, false, SimTime(0)));
+    }
+
+    /// HSTS parse/serialize roundtrip.
+    #[test]
+    fn hsts_roundtrip(max_age in 0u64..10_000_000_000, inc in any::<bool>()) {
+        let p = HstsPolicy { max_age, include_subdomains: inc };
+        prop_assert_eq!(HstsPolicy::parse(&p.to_header_value()), Some(p));
+    }
+}

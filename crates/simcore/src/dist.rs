@@ -1,0 +1,304 @@
+//! Statistical distributions used by the world and attacker models.
+//!
+//! The `rand` crate only ships uniform-family distributions; the reproduction
+//! needs Zipf (domain popularity), log-normal (hijack lifetimes, page
+//! counts), Pareto (heavy-tailed upload volumes), Poisson (event counts) and
+//! weighted categorical choice (sector/topic mixes). Implemented here from
+//! first principles so the dependency footprint stays at the approved list.
+
+use rand::Rng;
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`.
+///
+/// Sampled by inversion over the precomputed CDF — O(log n) per sample after
+/// O(n) setup, exact (no rejection), deterministic given the RNG stream.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create a Zipf sampler. Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over empty support");
+        assert!(s.is_finite(), "non-finite Zipf exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Sample a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the count of entries < u, i.e. the first
+        // index whose cumulative mass reaches u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.cdf.len() - 1) + 1
+    }
+
+    /// Support size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+/// Log-normal distribution: `exp(mu + sigma * Z)` with `Z ~ N(0,1)`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// From the parameters of the underlying normal.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite() && mu.is_finite());
+        Self { mu, sigma }
+    }
+
+    /// Construct from a target *median* and a multiplicative spread factor
+    /// (the ratio between the ~84th percentile and the median).
+    pub fn from_median_spread(median: f64, spread: f64) -> Self {
+        assert!(median > 0.0 && spread >= 1.0);
+        Self::new(median.ln(), spread.ln())
+    }
+
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Pareto (type I) distribution with scale `x_min` and shape `alpha`.
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(x_min > 0.0 && alpha > 0.0);
+        Self { x_min, alpha }
+    }
+
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inversion: x = x_min / U^(1/alpha); guard U=0.
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        self.x_min / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// Poisson distribution (Knuth's algorithm for small lambda, normal
+/// approximation above 30 where Knuth's product underflows practically).
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda >= 0.0 && lambda.is_finite());
+        Self { lambda }
+    }
+
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda == 0.0 {
+            return 0;
+        }
+        if self.lambda < 30.0 {
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.gen::<f64>();
+                if p <= l {
+                    return k;
+                }
+                k += 1;
+            }
+        } else {
+            // Normal approximation with continuity correction; adequate for
+            // the event-count use cases here.
+            let z = standard_normal(rng);
+            let x = self.lambda + self.lambda.sqrt() * z + 0.5;
+            x.max(0.0) as u64
+        }
+    }
+}
+
+/// Weighted categorical distribution over indices `0..weights.len()`.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cdf: Vec<f64>,
+}
+
+impl WeightedIndex {
+    /// Panics on empty or all-zero/negative weights.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "empty weight vector");
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "invalid weight {w}");
+            acc += w;
+            cdf.push(acc);
+        }
+        assert!(acc > 0.0, "weights sum to zero");
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        Self { cdf }
+    }
+
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// One draw from N(0,1) via Box–Muller. Uses a single pair per call (the
+/// second variate is discarded: simplicity over a cached half-sample, and
+/// determinism is unaffected).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn zipf_rank1_dominates() {
+        let z = Zipf::new(1000, 1.0);
+        let mut r = rng();
+        let mut counts = vec![0usize; 1001];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[10]);
+        // rank 1 of zipf(1.0, n=1000) has mass 1/H_1000 ~ 13.4%
+        let p1 = counts[1] as f64 / 20_000.0;
+        assert!((p1 - 0.134).abs() < 0.02, "p1 = {p1}");
+    }
+
+    #[test]
+    fn zipf_in_range() {
+        let z = Zipf::new(5, 1.2);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let k = z.sample(&mut r);
+            assert!((1..=5).contains(&k));
+        }
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let d = LogNormal::from_median_spread(100.0, 3.0);
+        let mut r = rng();
+        let mut xs: Vec<f64> = (0..10_001).map(|_| d.sample(&mut r)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[5000];
+        assert!((median / 100.0 - 1.0).abs() < 0.15, "median = {median}");
+    }
+
+    #[test]
+    fn pareto_min_respected() {
+        let d = Pareto::new(2.0, 1.5);
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(d.sample(&mut r) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn pareto_heavy_tail() {
+        let d = Pareto::new(1.0, 1.1);
+        let mut r = rng();
+        let n = 20_000;
+        let big = (0..n).filter(|_| d.sample(&mut r) > 100.0).count();
+        // P(X > 100) = 100^-1.1 ~ 0.63%
+        let frac = big as f64 / n as f64;
+        assert!(frac > 0.002 && frac < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn poisson_mean_small() {
+        let d = Poisson::new(4.0);
+        let mut r = rng();
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| d.sample(&mut r)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean = {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_large() {
+        let d = Poisson::new(200.0);
+        let mut r = rng();
+        let n = 5_000;
+        let sum: u64 = (0..n).map(|_| d.sample(&mut r)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 200.0).abs() < 2.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn poisson_zero() {
+        let d = Poisson::new(0.0);
+        assert_eq!(d.sample(&mut rng()), 0);
+    }
+
+    #[test]
+    fn weighted_index_proportions() {
+        let w = WeightedIndex::new(&[1.0, 3.0, 0.0, 6.0]);
+        let mut r = rng();
+        let mut counts = [0usize; 4];
+        for _ in 0..20_000 {
+            counts[w.sample(&mut r)] += 1;
+        }
+        assert_eq!(counts[2], 0);
+        assert!((counts[3] as f64 / 20_000.0 - 0.6).abs() < 0.02);
+        assert!((counts[1] as f64 / 20_000.0 - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic]
+    fn weighted_index_rejects_zero_sum() {
+        WeightedIndex::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+}

@@ -1,0 +1,28 @@
+//! # simcore — deterministic simulation kernel
+//!
+//! Foundation for the dangling-resource-abuse reproduction: simulated time,
+//! reproducible random-number streams, a discrete-event queue, and the
+//! statistical distributions the world generator and attacker models draw
+//! from.
+//!
+//! Everything in the workspace that involves chance goes through
+//! [`rng::RngTree`], which derives independent, *named* child streams from a
+//! single world seed. Re-running any experiment with the same seed reproduces
+//! every table and figure bit-for-bit, regardless of how unrelated parts of
+//! the simulation are reordered.
+//!
+//! Time is measured in whole days ([`time::SimTime`]) because the paper's
+//! methodology samples weekly and reasons in days/months/years. Calendar
+//! conversions use the proleptic Gregorian calendar.
+
+pub mod dist;
+pub mod events;
+pub mod rng;
+pub mod scale;
+pub mod time;
+
+pub use dist::{LogNormal, Pareto, Poisson, WeightedIndex, Zipf};
+pub use events::EventQueue;
+pub use rng::RngTree;
+pub use scale::Scale;
+pub use time::{Date, SimTime};

@@ -1,0 +1,304 @@
+//! Simulated time.
+//!
+//! The simulation epoch is **2015-01-01** (day 0). This predates the paper's
+//! monitoring window (2020-01 .. 2023-06) on purpose: §5.6.1 analyses the
+//! *entire Certificate Transparency history* of the hijacked subdomains and
+//! finds issuance campaigns as early as mid-2017, so the simulated world must
+//! have a past.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in simulated time, measured in whole days since 2015-01-01.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SimTime(pub i32);
+
+/// A calendar date in the proleptic Gregorian calendar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Date {
+    pub year: i32,
+    /// 1-based month.
+    pub month: u8,
+    /// 1-based day of month.
+    pub day: u8,
+}
+
+/// Days from 0000-03-01 to 2015-01-01 using Howard Hinnant's civil-date
+/// algorithm (`days_from_civil(2015, 1, 1)`).
+const EPOCH_CIVIL_DAYS: i64 = days_from_civil(2015, 1, 1);
+
+/// `days_from_civil`: number of days since 1970-01-01 for a Gregorian date.
+/// Algorithm by Howard Hinnant (public domain), valid for all i32 years.
+const fn days_from_civil(y: i32, m: u8, d: u8) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y } as i64;
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = m as i64;
+    let d = d as i64;
+    let mp = if m > 2 { m - 3 } else { m + 9 }; // [0, 11]
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Inverse of [`days_from_civil`].
+fn civil_from_days(z: i64) -> (i32, u8, u8) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8; // [1, 12]
+    ((if m <= 2 { y + 1 } else { y }) as i32, m, d)
+}
+
+impl Date {
+    /// Construct a date, panicking on out-of-range month/day. Use
+    /// [`Date::checked_new`] for fallible construction.
+    pub fn new(year: i32, month: u8, day: u8) -> Self {
+        Self::checked_new(year, month, day)
+            .unwrap_or_else(|| panic!("invalid date {year:04}-{month:02}-{day:02}"))
+    }
+
+    /// Construct a date, returning `None` if month/day are out of range for
+    /// the given year (leap years included).
+    pub fn checked_new(year: i32, month: u8, day: u8) -> Option<Self> {
+        if !(1..=12).contains(&month) || day == 0 {
+            return None;
+        }
+        if day > days_in_month(year, month) {
+            return None;
+        }
+        Some(Self { year, month, day })
+    }
+
+    /// The `SimTime` of midnight at the start of this date.
+    pub fn to_sim(self) -> SimTime {
+        SimTime((days_from_civil(self.year, self.month, self.day) - EPOCH_CIVIL_DAYS) as i32)
+    }
+
+    /// Parse `YYYY-MM-DD`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut it = s.split('-');
+        let y = it.next()?.parse().ok()?;
+        let m = it.next()?.parse().ok()?;
+        let d = it.next()?.parse().ok()?;
+        if it.next().is_some() {
+            return None;
+        }
+        Self::checked_new(y, m, d)
+    }
+}
+
+/// Number of days in the given month of the given year.
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Gregorian leap-year rule.
+pub fn is_leap_year(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+impl SimTime {
+    /// Day 0 of the simulation (2015-01-01).
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Start of the paper's monitoring window (2020-01-01).
+    pub fn monitor_start() -> SimTime {
+        Date::new(2020, 1, 1).to_sim()
+    }
+
+    /// End of the paper's monitoring window (2023-06-30).
+    pub fn monitor_end() -> SimTime {
+        Date::new(2023, 6, 30).to_sim()
+    }
+
+    /// Convert to a calendar date.
+    pub fn to_date(self) -> Date {
+        let (year, month, day) = civil_from_days(self.0 as i64 + EPOCH_CIVIL_DAYS);
+        Date { year, month, day }
+    }
+
+    /// Days elapsed since another time (may be negative).
+    pub fn days_since(self, other: SimTime) -> i32 {
+        self.0 - other.0
+    }
+
+    /// Month index since the epoch: `year*12 + (month-1)`. Used for the
+    /// monthly time-series figures (Fig 1, Fig 16, Fig 20).
+    pub fn month_index(self) -> i32 {
+        let d = self.to_date();
+        d.year * 12 + (d.month as i32 - 1)
+    }
+
+    /// First day of this time's calendar month.
+    pub fn month_floor(self) -> SimTime {
+        let d = self.to_date();
+        Date::new(d.year, d.month, 1).to_sim()
+    }
+
+    /// The year as an i32 (for per-year bucketing).
+    pub fn year(self) -> i32 {
+        self.to_date().year
+    }
+}
+
+impl Add<i32> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: i32) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<i32> for SimTime {
+    fn add_assign(&mut self, rhs: i32) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<i32> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: i32) -> SimTime {
+        SimTime(self.0 - rhs)
+    }
+}
+
+impl SubAssign<i32> for SimTime {
+    fn sub_assign(&mut self, rhs: i32) {
+        self.0 -= rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = i32;
+    fn sub(self, rhs: SimTime) -> i32 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_date())
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_roundtrip() {
+        assert_eq!(SimTime::EPOCH.to_date(), Date::new(2015, 1, 1));
+        assert_eq!(Date::new(2015, 1, 1).to_sim(), SimTime::EPOCH);
+    }
+
+    #[test]
+    fn known_dates() {
+        // 2015 is not a leap year; 2016 is.
+        assert_eq!(Date::new(2015, 12, 31).to_sim().0, 364);
+        assert_eq!(Date::new(2016, 1, 1).to_sim().0, 365);
+        assert_eq!(Date::new(2016, 12, 31).to_sim().0, 365 + 365);
+        assert_eq!(Date::new(2017, 1, 1).to_sim().0, 365 + 366);
+    }
+
+    #[test]
+    fn monitor_window() {
+        let start = SimTime::monitor_start();
+        let end = SimTime::monitor_end();
+        assert_eq!(start.to_date(), Date::new(2020, 1, 1));
+        assert_eq!(end.to_date(), Date::new(2023, 6, 30));
+        // ~3.5 years of monitoring.
+        assert_eq!(end - start, 1276);
+    }
+
+    #[test]
+    fn leap_rules() {
+        assert!(is_leap_year(2016));
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(!is_leap_year(2015));
+        assert_eq!(days_in_month(2016, 2), 29);
+        assert_eq!(days_in_month(2015, 2), 28);
+    }
+
+    #[test]
+    fn date_validation() {
+        assert!(Date::checked_new(2020, 2, 29).is_some());
+        assert!(Date::checked_new(2021, 2, 29).is_none());
+        assert!(Date::checked_new(2021, 13, 1).is_none());
+        assert!(Date::checked_new(2021, 0, 1).is_none());
+        assert!(Date::checked_new(2021, 4, 31).is_none());
+        assert!(Date::checked_new(2021, 4, 0).is_none());
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        let d = Date::parse("2022-09-09").unwrap();
+        assert_eq!(d, Date::new(2022, 9, 9));
+        assert_eq!(d.to_string(), "2022-09-09");
+        assert!(Date::parse("2022-9").is_none());
+        assert!(Date::parse("2022-09-09-01").is_none());
+        assert!(Date::parse("not-a-date").is_none());
+    }
+
+    #[test]
+    fn roundtrip_many_days() {
+        // Every day across 20 years survives to_date -> to_sim.
+        for day in 0..(366 * 20) {
+            let t = SimTime(day);
+            assert_eq!(t.to_date().to_sim(), t, "day {day}");
+        }
+    }
+
+    #[test]
+    fn month_index_is_monotone() {
+        let mut last = i32::MIN;
+        for day in 0..(366 * 10) {
+            let idx = SimTime(day).month_index();
+            assert!(idx >= last);
+            last = idx;
+        }
+        assert_eq!(
+            Date::new(2020, 1, 15).to_sim().month_index() + 1,
+            Date::new(2020, 2, 1).to_sim().month_index()
+        );
+    }
+
+    #[test]
+    fn month_floor_is_first_day() {
+        let t = Date::new(2021, 7, 23).to_sim();
+        assert_eq!(t.month_floor().to_date(), Date::new(2021, 7, 1));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Date::new(2020, 1, 1).to_sim();
+        assert_eq!((t + 31).to_date(), Date::new(2020, 2, 1));
+        assert_eq!((t - 1).to_date(), Date::new(2019, 12, 31));
+        assert_eq!((t + 7).days_since(t), 7);
+    }
+}

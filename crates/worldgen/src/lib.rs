@@ -1,0 +1,45 @@
+//! # worldgen — synthetic internet population
+//!
+//! Stands in for the paper's data sources (§3.1): the 2M government-domain
+//! list, Fortune 1000 / Global 500 enterprise lists, the Alexa/Tranco top-1M,
+//! the 9,933-university list, FarSight passive DNS for subdomain discovery,
+//! and WHOIS for registrars and creation dates. Population sizes scale with
+//! [`simcore::Scale`]; *victim-rate denominators* (Fortune 500, Global 500,
+//! QS universities) are kept at full size so percentages like "31% of the
+//! Fortune 500 were abused" remain meaningful.
+//!
+//! Also contains the organizations' **cloud-usage plans** — which resources
+//! they provision, when they release them, and crucially whether they forget
+//! to purge the DNS record (the negligence that creates dangling records) —
+//! and the VirusTotal blacklisting model of §5.4.
+
+pub mod names;
+pub mod org;
+pub mod plan;
+pub mod population;
+pub mod virustotal;
+
+pub use org::{CaaPolicy, OrgCategory, OrgId, Organization, RegistrarId};
+pub use plan::ResourcePlan;
+pub use population::{Population, WorldConfig};
+pub use virustotal::VirusTotalModel;
+
+/// Sector list re-exported for population generation.
+pub fn sectors() -> &'static [&'static str] {
+    SECTORS
+}
+
+const SECTORS: &[&str] = &[
+    "Industrials",
+    "Energy",
+    "Motor Vehicles",
+    "Financials",
+    "Technology",
+    "Healthcare",
+    "Retail",
+    "Telecommunications",
+    "Media",
+    "Food & Beverage",
+    "Aerospace",
+    "Chemicals",
+];

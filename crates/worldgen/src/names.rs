@@ -1,0 +1,126 @@
+//! Deterministic name generation.
+//!
+//! Pronounceable organization names and domain labels from syllable
+//! composition, plus the service-subdomain vocabulary real organizations use
+//! (the labels whose CNAMEs end up dangling).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+const SYLLABLES: &[&str] = &[
+    "an", "ber", "cor", "dex", "el", "fin", "gra", "hol", "in", "jor", "kal", "lum", "mer", "nor",
+    "om", "pra", "quin", "ral", "sol", "tur", "uni", "ver", "wex", "xan", "yor", "zen", "tech",
+    "dyn", "net", "sys", "max", "alt",
+];
+
+const ORG_SUFFIXES: &[&str] = &[
+    "corp",
+    "group",
+    "industries",
+    "holdings",
+    "systems",
+    "labs",
+    "global",
+    "partners",
+    "energy",
+    "motors",
+    "health",
+    "media",
+    "foods",
+    "chemical",
+];
+
+/// Subdomain labels organizations actually point at cloud resources.
+pub const SERVICE_LABELS: &[&str] = &[
+    "www", "shop", "assets", "blog", "dev", "staging", "api", "cdn", "events", "careers", "promo",
+    "m", "portal", "app", "static", "img", "media", "test", "beta", "docs", "mail", "news",
+    "store", "support", "campaign", "survey", "jobs", "lab", "partners", "demo",
+];
+
+/// A pronounceable lowercase label of 2–4 syllables.
+pub fn label<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let n = rng.gen_range(2..=4);
+    let mut s = String::new();
+    for _ in 0..n {
+        s.push_str(SYLLABLES.choose(rng).unwrap());
+    }
+    s
+}
+
+/// A company-style display name ("Verdex Holdings").
+pub fn org_name<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let base = label(rng);
+    let mut chars = base.chars();
+    let capitalized: String = chars
+        .next()
+        .map(|c| c.to_uppercase().chain(chars).collect())
+        .unwrap_or_default();
+    format!(
+        "{capitalized} {}",
+        capitalize(ORG_SUFFIXES.choose(rng).unwrap())
+    )
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    chars
+        .next()
+        .map(|c| c.to_uppercase().chain(chars).collect())
+        .unwrap_or_default()
+}
+
+/// A university name ("University of Kalsol").
+pub fn university_name<R: Rng + ?Sized>(rng: &mut R) -> String {
+    format!("University of {}", capitalize(&label(rng)))
+}
+
+/// A project codename usable as a cloud resource label.
+pub fn project_label<R: Rng + ?Sized>(rng: &mut R) -> String {
+    format!("{}-{}", label(rng), rng.gen_range(1..100))
+}
+
+/// A subdomain label: mostly service vocabulary, sometimes a codename.
+pub fn subdomain_label<R: Rng + ?Sized>(rng: &mut R) -> String {
+    if rng.gen_bool(0.7) {
+        SERVICE_LABELS.choose(rng).unwrap().to_string()
+    } else {
+        project_label(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn labels_are_valid_dns() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let l = label(&mut rng);
+            assert!(!l.is_empty() && l.len() <= 63);
+            assert!(l.chars().all(|c| c.is_ascii_lowercase()));
+            let s = subdomain_label(&mut rng);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn names_deterministic() {
+        let a = org_name(&mut StdRng::seed_from_u64(7));
+        let b = org_name(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn name_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let o = org_name(&mut rng);
+        assert!(o.contains(' '));
+        let u = university_name(&mut rng);
+        assert!(u.starts_with("University of "));
+    }
+}

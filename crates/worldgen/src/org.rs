@@ -1,0 +1,166 @@
+//! Organizations, registrars, and per-org security posture.
+
+use dns::Name;
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+
+/// Organization handle (index into the population).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OrgId(pub u32);
+
+/// Registrar handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RegistrarId(pub u16);
+
+/// Category of organization — drives content style, victim statistics, and
+/// cloud-usage intensity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OrgCategory {
+    /// Fortune/Global enterprise.
+    Enterprise,
+    /// University (Figure 9's population).
+    University,
+    /// Government agency.
+    Government,
+    /// Popular web property from the Tranco-style list.
+    Popular,
+}
+
+impl OrgCategory {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OrgCategory::Enterprise => "Enterprise",
+            OrgCategory::University => "University",
+            OrgCategory::Government => "Government",
+            OrgCategory::Popular => "Popular",
+        }
+    }
+}
+
+/// CAA posture (§5.6.2: 2% of parents set CAA at all, 0.4% restrict to
+/// paid-only CAs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CaaPolicy {
+    /// No CAA records (98% of parents).
+    None,
+    /// CAA authorizing a free CA (the common, ineffective configuration).
+    FreeCa,
+    /// CAA authorizing only a paid CA (the paper's hypothetical deterrent).
+    PaidOnly,
+}
+
+/// One organization in the synthetic world.
+///
+/// Serialize-only: `sector` borrows from the static sector table, so the
+/// type is not deserializable (reports never need to round-trip it).
+#[derive(Debug, Clone, Serialize)]
+pub struct Organization {
+    pub id: OrgId,
+    pub name: String,
+    pub sector: &'static str,
+    pub category: OrgCategory,
+    /// Registrable apex domain (e.g. `verdexcorp.com`).
+    pub apex: Name,
+    pub registrar: RegistrarId,
+    /// WHOIS creation date (Figure 18: 98.51% of hijacked SLDs are older
+    /// than a year, most older than a decade).
+    pub whois_created: SimTime,
+    /// Tranco-style popularity rank (1 = most popular), if listed.
+    pub tranco_rank: Option<u32>,
+    pub fortune500: bool,
+    pub fortune1000: bool,
+    pub global500: bool,
+    /// QS-ranked university.
+    pub qs_ranked: bool,
+    /// Expected number of cloud resources the org provisions over the whole
+    /// simulated period (Poisson intensity).
+    pub cloud_intensity: f64,
+    /// Probability that the org purges the DNS record when releasing a
+    /// resource. The complement is the §1 negligence that creates dangling
+    /// records.
+    pub purge_diligence: f64,
+    /// Median days from hijack *detection opportunity* to remediation; draws
+    /// the Figure 15 lifespan distribution.
+    pub remediation_median_days: f64,
+    /// Serves an HSTS header on the apex (App. A.2: >16%).
+    pub uses_hsts: bool,
+    pub caa: CaaPolicy,
+    /// Parked domain (serves registrar parking content; the §3.2 benign-
+    /// change confounder).
+    pub parked: bool,
+    /// Parking provider index when parked (tied to the registrar).
+    pub parking_provider: Option<u8>,
+}
+
+impl Organization {
+    /// Domain age in days at time `t`.
+    pub fn domain_age_days(&self, t: SimTime) -> i32 {
+        t - self.whois_created
+    }
+}
+
+/// Registrar display names (50 registrars; parking providers are keyed to
+/// registrars so parked-domain rotations correlate with a single registrar,
+/// as in the real ecosystem).
+pub fn registrar_name(r: RegistrarId) -> String {
+    const STEMS: &[&str] = &[
+        "NameVault",
+        "DomainHub",
+        "RegistroNet",
+        "HostPort",
+        "ZoneMart",
+        "DNSmith",
+        "WebAnchor",
+        "TldWorks",
+        "NetNames",
+        "DomainForge",
+    ];
+    let stem = STEMS[(r.0 as usize) % STEMS.len()];
+    format!("{stem}-{:02}", r.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::Date;
+
+    #[test]
+    fn domain_age() {
+        let org = Organization {
+            id: OrgId(0),
+            name: "X".into(),
+            sector: "Technology",
+            category: OrgCategory::Enterprise,
+            apex: "x.com".parse().unwrap(),
+            registrar: RegistrarId(3),
+            whois_created: Date::new(2005, 6, 1).to_sim(),
+            tranco_rank: Some(10),
+            fortune500: true,
+            fortune1000: true,
+            global500: false,
+            qs_ranked: false,
+            cloud_intensity: 5.0,
+            purge_diligence: 0.8,
+            remediation_median_days: 30.0,
+            uses_hsts: true,
+            caa: CaaPolicy::None,
+            parked: false,
+            parking_provider: None,
+        };
+        let t = Date::new(2020, 6, 1).to_sim();
+        let age = org.domain_age_days(t);
+        assert!(age > 15 * 365 - 30 && age < 15 * 365 + 30);
+    }
+
+    #[test]
+    fn registrar_names_distinct_per_id() {
+        assert_ne!(
+            registrar_name(RegistrarId(1)),
+            registrar_name(RegistrarId(2))
+        );
+        assert_eq!(
+            registrar_name(RegistrarId(7)),
+            registrar_name(RegistrarId(7))
+        );
+    }
+}

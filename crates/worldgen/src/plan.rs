@@ -1,0 +1,317 @@
+//! Cloud-usage plans: which resources an organization provisions, when it
+//! releases them, and whether it forgets the DNS record.
+//!
+//! The plan is the causal origin of every dangling record in the simulation:
+//! a [`ResourcePlan`] with `release_at = Some(t)` and
+//! `purge_record_on_release = false` leaves a CNAME (or A record) pointing
+//! at a released resource from `t` onward — exactly the `foo.com A 1.2.3.4`
+//! scenario of §1.
+
+use crate::org::{OrgCategory, OrgId, Organization};
+use cloudsim::{NamingModel, ServiceId};
+use dns::Name;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use simcore::{LogNormal, SimTime};
+
+/// One planned cloud resource for one organization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResourcePlan {
+    pub org: OrgId,
+    /// Subdomain of the org's apex that will CNAME/A to the resource
+    /// (e.g. `shop.verdexcorp.com`).
+    pub subdomain: Name,
+    pub service: ServiceId,
+    pub region: Option<String>,
+    /// Requested freetext resource name (None for IP-pool services).
+    pub resource_name: Option<String>,
+    pub create_at: SimTime,
+    /// When the org decommissions the service (None = still running at the
+    /// end of the simulation).
+    pub release_at: Option<SimTime>,
+    /// Does the org remember to delete the DNS record at release?
+    pub purge_record_on_release: bool,
+    /// When the FQDN becomes visible to the study's feed (passive DNS /
+    /// commercial feed discovery — drives Figure 1's growth).
+    pub discovered_at: SimTime,
+}
+
+impl ResourcePlan {
+    /// Will this plan produce a dangling record at some point?
+    pub fn becomes_dangling(&self) -> bool {
+        self.release_at.is_some() && !self.purge_record_on_release
+    }
+
+    /// Is the underlying resource deterministically re-registrable (the
+    /// attack precondition of §4.3)?
+    pub fn deterministically_hijackable(&self) -> bool {
+        self.becomes_dangling()
+            && cloudsim::provider::spec(self.service).naming == NamingModel::Freetext
+    }
+}
+
+/// Service mix: monitored-population weights approximating Table 2 (the
+/// randomized-allocation services carry real mass so their *absence* from
+/// the abuse data is an outcome, not an input).
+pub fn service_weights() -> Vec<(ServiceId, f64)> {
+    vec![
+        (ServiceId::AzureWebApp, 690_779.0),
+        (ServiceId::AwsS3Website, 565_684.0),
+        (ServiceId::AzureEdge, 299_494.0),
+        (ServiceId::AzureTrafficManager, 140_183.0),
+        (ServiceId::AwsElasticBeanstalk, 138_523.0),
+        (ServiceId::AzureCloudappLegacy, 98_000.0),
+        (ServiceId::AzureCloudappRegional, 86_000.0),
+        (ServiceId::HerokuApp, 37_360.0),
+        (ServiceId::AzureWebAppSip, 30_532.0),
+        (ServiceId::GoogleAppEngine, 20_389.0),
+        (ServiceId::CloudflarePages, 17_100.0),
+        (ServiceId::PantheonSite, 14_183.0),
+        (ServiceId::NetlifyApp, 10_152.0),
+        (ServiceId::AwsEc2PublicIp, 420_000.0),
+        (ServiceId::AzureVmPublicIp, 400_000.0),
+    ]
+}
+
+/// Parameters of plan generation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlanConfig {
+    /// Probability that a resource is released before the simulation ends.
+    pub release_probability: f64,
+    /// Median resource lifetime in days (log-normal).
+    pub lifetime_median_days: f64,
+    pub lifetime_spread: f64,
+    /// Additional services mixed into the monitored population with their
+    /// paper-scale weights — used by the §7 WordPress-ecosystem extension.
+    pub extra_services: Vec<(ServiceId, f64)>,
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        PlanConfig {
+            release_probability: 0.22,
+            lifetime_median_days: 420.0,
+            lifetime_spread: 2.5,
+            extra_services: Vec::new(),
+        }
+    }
+}
+
+/// Generate the cloud-usage plan for one organization.
+///
+/// `horizon` is the end of the simulated period; resources are created from
+/// 2016 up to ~6 months before the horizon.
+pub fn plans_for_org<R: Rng + ?Sized>(
+    org: &Organization,
+    cfg: &PlanConfig,
+    horizon: SimTime,
+    rng: &mut R,
+) -> Vec<ResourcePlan> {
+    let n = simcore::Poisson::new(org.cloud_intensity).sample(rng) as usize;
+    let mut weights = service_weights();
+    weights.extend(cfg.extra_services.iter().cloned());
+    let widx = simcore::WeightedIndex::new(&weights.iter().map(|(_, w)| *w).collect::<Vec<_>>());
+    let lifetime = LogNormal::from_median_spread(cfg.lifetime_median_days, cfg.lifetime_spread);
+    let start_epoch = simcore::Date::new(2016, 1, 1).to_sim();
+    let create_span = (horizon - 180 - start_epoch).max(1);
+    let monitor_start = SimTime::monitor_start();
+
+    let mut used_labels: Vec<String> = Vec::new();
+    let mut apex_used = false;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let (service, _) = weights[widx.sample(rng)];
+        let spec = cloudsim::provider::spec(service);
+        // ~8% of cloud uses sit on the apex itself (the paper's 1,565
+        // SLD-level hijacks); the rest on service subdomains.
+        let subdomain = if !apex_used && rng.gen_bool(0.08) {
+            apex_used = true;
+            org.apex.clone()
+        } else {
+            let mut label = crate::names::subdomain_label(rng);
+            let mut guard = 0;
+            while used_labels.contains(&label) {
+                label = crate::names::project_label(rng);
+                guard += 1;
+                if guard > 20 {
+                    label = format!("{label}-{i}");
+                    break;
+                }
+            }
+            used_labels.push(label.clone());
+            let Ok(sub) = org.apex.child(&label) else {
+                continue;
+            };
+            sub
+        };
+        let region = if spec.needs_region() {
+            Some(spec.regions.choose(rng).unwrap().to_string())
+        } else {
+            None
+        };
+        // Freetext name: orgs commonly derive it from their own brand + the
+        // subdomain label ("www" for apex-level uses) — which is what makes
+        // the generated FQDN recognizable & valuable.
+        let resource_name = match spec.naming {
+            NamingModel::IpPool => None,
+            _ => {
+                let apex_label = org.apex.labels()[0].clone();
+                let tag = if subdomain == org.apex {
+                    "www".to_string()
+                } else {
+                    subdomain.labels()[0].clone()
+                };
+                Some(format!("{apex_label}-{tag}"))
+            }
+        };
+        let create_at = start_epoch + rng.gen_range(0..create_span);
+        let release_at = if rng.gen_bool(cfg.release_probability) {
+            let life = lifetime.sample(rng).max(30.0) as i32;
+            let at = create_at + life;
+            (at < horizon).then_some(at)
+        } else {
+            None
+        };
+        let purge_record_on_release = rng.gen_bool(org.purge_diligence);
+        // Feed discovery: FQDNs existing before 2020 are in the initial
+        // 1.5M list; later ones arrive via the commercial feed with a lag.
+        let discovered_at = if create_at <= monitor_start {
+            monitor_start
+        } else {
+            create_at + rng.gen_range(7..90)
+        };
+        out.push(ResourcePlan {
+            org: org.id,
+            subdomain,
+            service,
+            region,
+            resource_name,
+            create_at,
+            release_at,
+            purge_record_on_release,
+            discovered_at,
+        });
+    }
+    out
+}
+
+/// Per-category cloud intensity (expected resources per org): enterprises
+/// run fleets (one real victim had >100 abused subdomains), universities and
+/// governments fewer, popular sites a couple.
+pub fn default_intensity(category: OrgCategory, rng: &mut impl Rng) -> f64 {
+    match category {
+        OrgCategory::Enterprise => 8.0 + rng.gen_range(0.0..30.0),
+        OrgCategory::University => 2.0 + rng.gen_range(0.0..6.0),
+        OrgCategory::Government => 1.0 + rng.gen_range(0.0..4.0),
+        OrgCategory::Popular => 0.8 + rng.gen_range(0.0..2.5),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::org::{CaaPolicy, RegistrarId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn org() -> Organization {
+        Organization {
+            id: OrgId(1),
+            name: "Verdex Corp".into(),
+            sector: "Technology",
+            category: OrgCategory::Enterprise,
+            apex: "verdexcorp.com".parse().unwrap(),
+            registrar: RegistrarId(1),
+            whois_created: simcore::Date::new(2003, 1, 1).to_sim(),
+            tranco_rank: Some(500),
+            fortune500: true,
+            fortune1000: true,
+            global500: false,
+            qs_ranked: false,
+            cloud_intensity: 20.0,
+            purge_diligence: 0.75,
+            remediation_median_days: 40.0,
+            uses_hsts: false,
+            caa: CaaPolicy::None,
+            parked: false,
+            parking_provider: None,
+        }
+    }
+
+    #[test]
+    fn plans_are_well_formed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let horizon = SimTime::monitor_end();
+        let plans = plans_for_org(&org(), &PlanConfig::default(), horizon, &mut rng);
+        assert!(!plans.is_empty());
+        for p in &plans {
+            assert!(p.subdomain.ends_with(&"verdexcorp.com".parse().unwrap()));
+            if let Some(r) = p.release_at {
+                assert!(r > p.create_at);
+                assert!(r < horizon);
+            }
+            assert!(p.discovered_at >= SimTime::monitor_start() || p.create_at < p.discovered_at);
+            let spec = cloudsim::provider::spec(p.service);
+            assert_eq!(spec.needs_region(), p.region.is_some());
+            assert_eq!(
+                matches!(spec.naming, NamingModel::IpPool),
+                p.resource_name.is_none()
+            );
+        }
+        // Subdomain labels unique within the org.
+        let mut labels: Vec<_> = plans.iter().map(|p| p.subdomain.clone()).collect();
+        let before = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), before);
+    }
+
+    #[test]
+    fn some_plans_become_dangling() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let horizon = SimTime::monitor_end();
+        let mut dangling = 0;
+        let mut hijackable = 0;
+        let mut total = 0;
+        for seed in 0..30 {
+            let mut o = org();
+            o.id = OrgId(seed);
+            let plans = plans_for_org(&o, &PlanConfig::default(), horizon, &mut rng);
+            total += plans.len();
+            dangling += plans.iter().filter(|p| p.becomes_dangling()).count();
+            hijackable += plans
+                .iter()
+                .filter(|p| p.deterministically_hijackable())
+                .count();
+        }
+        assert!(total > 100);
+        assert!(dangling > 0);
+        assert!(hijackable > 0);
+        assert!(hijackable <= dangling);
+        // Dangling is a minority outcome (release_prob * (1-diligence)).
+        assert!((dangling as f64) < 0.2 * total as f64);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let horizon = SimTime::monitor_end();
+        let a = plans_for_org(
+            &org(),
+            &PlanConfig::default(),
+            horizon,
+            &mut StdRng::seed_from_u64(9),
+        );
+        let b = plans_for_org(
+            &org(),
+            &PlanConfig::default(),
+            horizon,
+            &mut StdRng::seed_from_u64(9),
+        );
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.subdomain, y.subdomain);
+            assert_eq!(x.create_at, y.create_at);
+        }
+    }
+}

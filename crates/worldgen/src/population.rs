@@ -1,0 +1,441 @@
+//! Population synthesis.
+
+use crate::names;
+use crate::org::{CaaPolicy, OrgCategory, OrgId, Organization, RegistrarId};
+use crate::plan::{default_intensity, plans_for_org, PlanConfig, ResourcePlan};
+use dns::Name;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use simcore::{Date, RngTree, Scale, SimTime, Zipf};
+use std::collections::HashSet;
+
+/// Population sizing and behaviour parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorldConfig {
+    pub scale: Scale,
+    /// Fortune-1000 enterprises (full size regardless of scale — victim-rate
+    /// denominators).
+    pub n_fortune1000: u32,
+    /// Global-500 enterprises (overlapping with the Fortune list).
+    pub n_global500: u32,
+    /// Universities (paper: 9,933; scaled).
+    pub n_universities_paper: u64,
+    /// Government orgs with cloud presence (scaled).
+    pub n_government_paper: u64,
+    /// Popular (Tranco-style) web properties with cloud presence (scaled).
+    pub n_popular_paper: u64,
+    /// Number of registrars.
+    pub n_registrars: u16,
+    /// Fraction of popular domains that are parked.
+    pub parked_fraction: f64,
+    /// HSTS adoption on parent domains (App. A.2: >16%).
+    pub hsts_fraction: f64,
+    /// CAA adoption (§5.6.2: 2% any, 0.4 % paid-only — of parents).
+    pub caa_any_fraction: f64,
+    pub caa_paid_fraction: f64,
+    pub plan: PlanConfig,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            scale: Scale::DEFAULT,
+            n_fortune1000: 1000,
+            n_global500: 500,
+            n_universities_paper: 9_933,
+            n_government_paper: 30_000,
+            n_popular_paper: 450_000,
+            n_registrars: 50,
+            parked_fraction: 0.04,
+            hsts_fraction: 0.17,
+            caa_any_fraction: 0.02,
+            caa_paid_fraction: 0.004,
+            plan: PlanConfig::default(),
+        }
+    }
+}
+
+/// The generated world population (Serialize-only; see [`Organization`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct Population {
+    pub config: WorldConfig,
+    pub orgs: Vec<Organization>,
+    pub plans: Vec<ResourcePlan>,
+}
+
+/// TLD mix approximating Table 6 (com dominates; 218 TLDs in the paper, a
+/// representative subset here plus a generated long tail).
+const TLD_WEIGHTS: &[(&str, f64)] = &[
+    ("com", 12942.0),
+    ("org", 1069.0),
+    ("net", 996.0),
+    ("uk", 758.0),
+    ("au", 414.0),
+    ("br", 308.0),
+    ("de", 758.0),
+    ("ca", 398.0),
+    ("nl", 207.0),
+    ("jp", 183.0),
+    ("co", 156.0),
+    ("fr", 140.0),
+    ("it", 120.0),
+    ("in", 110.0),
+    ("se", 90.0),
+    ("ch", 85.0),
+    ("es", 80.0),
+    ("mx", 70.0),
+    ("kr", 60.0),
+    ("pl", 55.0),
+];
+
+impl Population {
+    /// Generate the full population from a seed tree.
+    pub fn generate(config: WorldConfig, rng_tree: &RngTree) -> Population {
+        let mut rng = rng_tree.rng("population");
+        let scale = config.scale;
+        let horizon = SimTime::monitor_end();
+        let tld_dist =
+            simcore::WeightedIndex::new(&TLD_WEIGHTS.iter().map(|(_, w)| *w).collect::<Vec<_>>());
+
+        let mut orgs: Vec<Organization> = Vec::new();
+        let mut taken_apexes: HashSet<Name> = HashSet::new();
+        let mut next_id = 0u32;
+
+        let mk_apex =
+            |rng: &mut rand::rngs::StdRng, taken: &mut HashSet<Name>, tld: &str| -> Name {
+                loop {
+                    let label = names::label(rng);
+                    if let Ok(apex) = Name::parse(&format!("{label}.{tld}")) {
+                        if taken.insert(apex.clone()) {
+                            return apex;
+                        }
+                    }
+                }
+            };
+
+        // --- Enterprises (Fortune 1000; the top 500 are "Fortune 500") ---
+        let n_f1000 = config.n_fortune1000;
+        let n_g500 = config.n_global500;
+        for i in 0..n_f1000 {
+            let tld = TLD_WEIGHTS[tld_dist.sample(&mut rng)].0;
+            let apex = mk_apex(&mut rng, &mut taken_apexes, tld);
+            let sector = *crate::sectors().choose(&mut rng).unwrap();
+            // ~30% of the Global 500 are US companies also in the Fortune
+            // list; mark the top slice.
+            let global500 = i < (n_g500 * 3 / 10);
+            orgs.push(Organization {
+                id: OrgId(next_id),
+                name: names::org_name(&mut rng),
+                sector,
+                category: OrgCategory::Enterprise,
+                apex,
+                registrar: RegistrarId(rng.gen_range(0..config.n_registrars)),
+                whois_created: old_domain_date(&mut rng),
+                tranco_rank: Some(rng.gen_range(1..50_000)),
+                fortune500: i < 500,
+                fortune1000: true,
+                global500,
+                qs_ranked: false,
+                cloud_intensity: default_intensity(OrgCategory::Enterprise, &mut rng),
+                purge_diligence: rng.gen_range(0.55..0.9),
+                remediation_median_days: rng.gen_range(15.0..90.0),
+                uses_hsts: rng.gen_bool(config.hsts_fraction),
+                caa: caa_policy(&mut rng, &config),
+                parked: false,
+                parking_provider: None,
+            });
+            next_id += 1;
+        }
+        // --- Remaining Global 500 (non-US, not in Fortune list) ---
+        let g500_extra = n_g500 - (n_g500 * 3 / 10);
+        for _ in 0..g500_extra {
+            let tld = ["de", "jp", "uk", "fr", "kr", "in", "ch", "nl"]
+                .choose(&mut rng)
+                .unwrap();
+            let apex = mk_apex(&mut rng, &mut taken_apexes, tld);
+            let sector = *crate::sectors().choose(&mut rng).unwrap();
+            orgs.push(Organization {
+                id: OrgId(next_id),
+                name: names::org_name(&mut rng),
+                sector,
+                category: OrgCategory::Enterprise,
+                apex,
+                registrar: RegistrarId(rng.gen_range(0..config.n_registrars)),
+                whois_created: old_domain_date(&mut rng),
+                tranco_rank: Some(rng.gen_range(1..80_000)),
+                fortune500: false,
+                fortune1000: false,
+                global500: true,
+                qs_ranked: false,
+                cloud_intensity: default_intensity(OrgCategory::Enterprise, &mut rng) * 0.8,
+                purge_diligence: rng.gen_range(0.6..0.92),
+                remediation_median_days: rng.gen_range(15.0..90.0),
+                uses_hsts: rng.gen_bool(config.hsts_fraction),
+                caa: caa_policy(&mut rng, &config),
+                parked: false,
+                parking_provider: None,
+            });
+            next_id += 1;
+        }
+
+        // --- Universities ---
+        let n_uni = scale.apply(config.n_universities_paper).min(10_000) as u32;
+        for i in 0..n_uni {
+            let tld = if rng.gen_bool(0.45) {
+                "edu"
+            } else {
+                ["uk", "au", "de", "ca", "jp", "nl"]
+                    .choose(&mut rng)
+                    .unwrap()
+            };
+            let apex = mk_apex(&mut rng, &mut taken_apexes, tld);
+            orgs.push(Organization {
+                id: OrgId(next_id),
+                name: names::university_name(&mut rng),
+                sector: "Education",
+                category: OrgCategory::University,
+                apex,
+                registrar: RegistrarId(rng.gen_range(0..config.n_registrars)),
+                whois_created: old_domain_date(&mut rng) - rng.gen_range(0..3650),
+                tranco_rank: (rng.gen_bool(0.4)).then(|| rng.gen_range(1_000..200_000)),
+                fortune500: false,
+                fortune1000: false,
+                global500: false,
+                qs_ranked: i < n_uni * 3 / 10,
+                cloud_intensity: default_intensity(OrgCategory::University, &mut rng),
+                purge_diligence: rng.gen_range(0.5..0.85),
+                remediation_median_days: rng.gen_range(30.0..180.0),
+                uses_hsts: rng.gen_bool(config.hsts_fraction * 0.7),
+                caa: caa_policy(&mut rng, &config),
+                parked: false,
+                parking_provider: None,
+            });
+            next_id += 1;
+        }
+
+        // --- Government ---
+        let n_gov = scale.apply(config.n_government_paper) as u32;
+        for _ in 0..n_gov {
+            let apex = mk_apex(&mut rng, &mut taken_apexes, "gov");
+            orgs.push(Organization {
+                id: OrgId(next_id),
+                name: format!("{} Agency", names::org_name(&mut rng)),
+                sector: "Government",
+                category: OrgCategory::Government,
+                apex,
+                registrar: RegistrarId(rng.gen_range(0..config.n_registrars)),
+                whois_created: old_domain_date(&mut rng) - rng.gen_range(0..3650),
+                tranco_rank: (rng.gen_bool(0.2)).then(|| rng.gen_range(5_000..800_000)),
+                fortune500: false,
+                fortune1000: false,
+                global500: false,
+                qs_ranked: false,
+                cloud_intensity: default_intensity(OrgCategory::Government, &mut rng),
+                purge_diligence: rng.gen_range(0.5..0.8),
+                remediation_median_days: rng.gen_range(45.0..240.0),
+                uses_hsts: rng.gen_bool(config.hsts_fraction * 1.2),
+                caa: caa_policy(&mut rng, &config),
+                parked: false,
+                parking_provider: None,
+            });
+            next_id += 1;
+        }
+
+        // --- Popular (Tranco-style ranks drawn Zipf-ishly) ---
+        let n_pop = scale.apply(config.n_popular_paper) as u32;
+        let rank_zipf = Zipf::new(1_000_000, 0.9);
+        let mut used_ranks: HashSet<u32> = HashSet::new();
+        for _ in 0..n_pop {
+            let tld = TLD_WEIGHTS[tld_dist.sample(&mut rng)].0;
+            let apex = mk_apex(&mut rng, &mut taken_apexes, tld);
+            let sector = *crate::sectors().choose(&mut rng).unwrap();
+            let mut rank = rank_zipf.sample(&mut rng) as u32;
+            while !used_ranks.insert(rank) {
+                rank = rng.gen_range(1..=1_000_000);
+            }
+            let parked = rng.gen_bool(config.parked_fraction);
+            let registrar = RegistrarId(rng.gen_range(0..config.n_registrars));
+            orgs.push(Organization {
+                id: OrgId(next_id),
+                name: names::org_name(&mut rng),
+                sector,
+                category: OrgCategory::Popular,
+                apex,
+                registrar,
+                whois_created: mixed_domain_date(&mut rng),
+                tranco_rank: Some(rank),
+                fortune500: false,
+                fortune1000: false,
+                global500: false,
+                qs_ranked: false,
+                // Parked domains keep a single cloud-hosted parking page so
+                // the Figure 10 confounder flows through the monitored set.
+                cloud_intensity: if parked {
+                    1.0
+                } else {
+                    default_intensity(OrgCategory::Popular, &mut rng)
+                },
+                purge_diligence: rng.gen_range(0.4..0.85),
+                remediation_median_days: rng.gen_range(20.0..200.0),
+                uses_hsts: rng.gen_bool(config.hsts_fraction),
+                caa: caa_policy(&mut rng, &config),
+                parked,
+                // Parking provider is a function of the registrar: parked
+                // domains of one registrar rotate content together (§3.2).
+                parking_provider: parked.then_some((registrar.0 % 6) as u8),
+            });
+            next_id += 1;
+        }
+
+        // --- Cloud-usage plans per org ---
+        let mut plans = Vec::new();
+        for org in &orgs {
+            if org.cloud_intensity <= 0.0 {
+                continue;
+            }
+            let mut org_rng = rng_tree.rng_idx("population/plans", org.id.0 as u64);
+            plans.extend(plans_for_org(org, &config.plan, horizon, &mut org_rng));
+        }
+
+        Population {
+            config,
+            orgs,
+            plans,
+        }
+    }
+
+    pub fn org(&self, id: OrgId) -> &Organization {
+        &self.orgs[id.0 as usize]
+    }
+
+    pub fn fortune500_count(&self) -> usize {
+        self.orgs.iter().filter(|o| o.fortune500).count()
+    }
+
+    pub fn global500_count(&self) -> usize {
+        self.orgs.iter().filter(|o| o.global500).count()
+    }
+}
+
+/// WHOIS creation date for an established org: 1995–2012.
+fn old_domain_date<R: Rng + ?Sized>(rng: &mut R) -> SimTime {
+    let y = rng.gen_range(1995..=2012);
+    let m = rng.gen_range(1..=12);
+    let d = rng.gen_range(1..=28);
+    Date::new(y, m, d).to_sim()
+}
+
+/// Mixed ages for popular domains: mostly old (Figure 18: 98.51% older than
+/// a year at observation), a sliver recent.
+fn mixed_domain_date<R: Rng + ?Sized>(rng: &mut R) -> SimTime {
+    if rng.gen_bool(0.015) {
+        // Young: created 2019–2022.
+        let y = rng.gen_range(2019..=2022);
+        Date::new(y, rng.gen_range(1..=12), rng.gen_range(1..=28)).to_sim()
+    } else if rng.gen_bool(0.75) {
+        old_domain_date(rng)
+    } else {
+        let y = rng.gen_range(2013..=2018);
+        Date::new(y, rng.gen_range(1..=12), rng.gen_range(1..=28)).to_sim()
+    }
+}
+
+fn caa_policy<R: Rng + ?Sized>(rng: &mut R, cfg: &WorldConfig) -> CaaPolicy {
+    if rng.gen_bool(cfg.caa_paid_fraction) {
+        CaaPolicy::PaidOnly
+    } else if rng.gen_bool(cfg.caa_any_fraction) {
+        CaaPolicy::FreeCa
+    } else {
+        CaaPolicy::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_world() -> Population {
+        let cfg = WorldConfig {
+            scale: Scale::new(400),
+            ..Default::default()
+        };
+        Population::generate(cfg, &RngTree::new(42))
+    }
+
+    #[test]
+    fn victim_denominators_full_size() {
+        let p = small_world();
+        assert_eq!(p.fortune500_count(), 500);
+        assert_eq!(p.global500_count(), 500);
+    }
+
+    #[test]
+    fn apexes_unique() {
+        let p = small_world();
+        let mut seen = HashSet::new();
+        for o in &p.orgs {
+            assert!(seen.insert(o.apex.clone()), "duplicate apex {}", o.apex);
+        }
+    }
+
+    #[test]
+    fn categories_present() {
+        let p = small_world();
+        for cat in [
+            OrgCategory::Enterprise,
+            OrgCategory::University,
+            OrgCategory::Government,
+            OrgCategory::Popular,
+        ] {
+            assert!(p.orgs.iter().any(|o| o.category == cat), "missing {cat:?}");
+        }
+        assert!(p.orgs.iter().any(|o| o.parked));
+        assert!(p.orgs.iter().any(|o| o.qs_ranked));
+    }
+
+    #[test]
+    fn domain_ages_mostly_old() {
+        let p = small_world();
+        let t = SimTime::monitor_start();
+        let old = p.orgs.iter().filter(|o| o.domain_age_days(t) > 365).count();
+        assert!(old as f64 / p.orgs.len() as f64 > 0.93);
+    }
+
+    #[test]
+    fn plans_generated_and_skewed_to_freetext() {
+        let p = small_world();
+        assert!(!p.plans.is_empty());
+        let freetext = p
+            .plans
+            .iter()
+            .filter(|pl| {
+                cloudsim::provider::spec(pl.service).naming == cloudsim::NamingModel::Freetext
+            })
+            .count();
+        // Freetext services carry the majority of the monitored mass.
+        assert!(freetext as f64 > 0.5 * p.plans.len() as f64);
+        // Some dangling candidates exist.
+        assert!(p.plans.iter().any(|pl| pl.becomes_dangling()));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small_world();
+        let b = small_world();
+        assert_eq!(a.orgs.len(), b.orgs.len());
+        assert_eq!(a.plans.len(), b.plans.len());
+        assert_eq!(a.orgs[5].apex, b.orgs[5].apex);
+    }
+
+    #[test]
+    fn caa_rare() {
+        let p = small_world();
+        let caa_any = p
+            .orgs
+            .iter()
+            .filter(|o| !matches!(o.caa, CaaPolicy::None))
+            .count();
+        assert!((caa_any as f64) < 0.06 * p.orgs.len() as f64);
+    }
+}

@@ -1,0 +1,110 @@
+//! Attacker economics (§4.3): why every observed hijack used a freetext
+//! resource and none used the IP lottery.
+//!
+//! Sweeps pool sizes and domain reputations through the cost model, then
+//! empirically measures the lottery cost on a real (small) pool.
+//!
+//! ```sh
+//! cargo run --release --example attacker_economics
+//! ```
+
+use attacker::{CostModel, HijackDecision};
+use cloudsim::{IpPool, ServiceId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let model = CostModel::default();
+
+    println!("== Deterministic freetext vs IP lottery (cost model) ==");
+    println!(
+        "{:<28} {:>12} {:>14} {:>14}  decision",
+        "target", "domain value", "E[attempts]", "E[cost]"
+    );
+    for (label, service, rank, pool) in [
+        (
+            "Azure Web App, rank 100",
+            ServiceId::AzureWebApp,
+            Some(100),
+            0u64,
+        ),
+        ("Heroku app, unranked", ServiceId::HerokuApp, None, 0),
+        (
+            "EC2 IP, rank 100",
+            ServiceId::AwsEc2PublicIp,
+            Some(100),
+            4_000_000,
+        ),
+        (
+            "EC2 IP, rank 1",
+            ServiceId::AwsEc2PublicIp,
+            Some(1),
+            4_000_000,
+        ),
+        (
+            "Azure VM IP, rank 1000",
+            ServiceId::AzureVmPublicIp,
+            Some(1000),
+            500_000,
+        ),
+        (
+            "Google App Engine, rank 1",
+            ServiceId::GoogleAppEngine,
+            Some(1),
+            0,
+        ),
+    ] {
+        let value = model.domain_value(rank);
+        match model.decide(service, rank, pool) {
+            HijackDecision::ProceedFreetext { expected_cost } => println!(
+                "{label:<28} {value:>12.2} {:>14} {expected_cost:>14.2}  PROCEED (deterministic)",
+                1
+            ),
+            HijackDecision::DeclineIpLottery {
+                expected_attempts,
+                expected_cost,
+                ..
+            } => println!(
+                "{label:<28} {value:>12.2} {expected_attempts:>14.0} {expected_cost:>14.0}  DECLINE (lottery)"
+            ),
+            HijackDecision::ImpossibleRandomName => println!(
+                "{label:<28} {value:>12.2} {:>14} {:>14}  IMPOSSIBLE (random name)",
+                "-", "-"
+            ),
+        }
+    }
+
+    println!();
+    println!("== Break-even pool size by reputation ==");
+    for rank in [1u32, 100, 10_000, 1_000_000] {
+        println!(
+            "  rank {:>9}: lottery rational only below {:>8} free addresses (real pools: millions)",
+            rank,
+            model.breakeven_pool_size(Some(rank))
+        );
+    }
+
+    println!();
+    println!("== Empirical lottery on a real pool (/16 = 65,536 addresses) ==");
+    let mut pool = IpPool::new(vec!["10.0.0.0/16".parse().unwrap()]);
+    let target = "10.0.123.45".parse().unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut total = 0u64;
+    let rounds = 5;
+    for i in 1..=rounds {
+        match pool.lottery_for(target, 10_000_000, &mut rng) {
+            Ok(attempts) => {
+                total += attempts;
+                println!("  round {i}: won the target after {attempts} allocations");
+                pool.release(target);
+            }
+            Err(n) => println!("  round {i}: gave up after {n} allocations"),
+        }
+    }
+    let mean = total as f64 / rounds as f64;
+    println!(
+        "  mean ≈ {:.0} allocations ≈ (N+1)/2 = {:.0} — at any per-cycle cost this dwarfs a $0 freetext registration.",
+        mean,
+        (65_536 + 1) as f64 / 2.0
+    );
+}

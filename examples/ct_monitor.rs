@@ -1,0 +1,87 @@
+//! CT monitoring as a countermeasure (§5.6.3): a domain owner subscribes to
+//! their apex, an attacker hijacks a forgotten subdomain and obtains a valid
+//! Let's Encrypt certificate — and the monitor raises an alert the same day,
+//! while CAA (§5.6.2) fails to prevent the issuance.
+//!
+//! ```sh
+//! cargo run --release --example ct_monitor
+//! ```
+
+use certsim::{caa_permits, issue, CaId, CertId, CtLog, CtMonitor};
+use cloudsim::AccountId;
+use dns::{CaaRecord, Name};
+use simcore::{Date, SimTime};
+
+fn main() {
+    let apex: Name = "victim.com".parse().unwrap();
+    let hijacked: Name = "forgotten.victim.com".parse().unwrap();
+    let mut ct = CtLog::new();
+
+    // The owner subscribes a CT monitor to the apex (cheap, set-and-forget).
+    let mut monitor = CtMonitor::new(apex.clone(), 0);
+
+    // Domain control as the CA sees it after the hijack: the attacker's
+    // resource serves the subdomain web root.
+    let control = |account: AccountId, host: &Name, _t: SimTime| -> bool {
+        match account {
+            AccountId::Attacker(0) => host == &"forgotten.victim.com".parse::<Name>().unwrap(),
+            AccountId::Org(1) => host.ends_with(&"victim.com".parse::<Name>().unwrap()),
+            _ => false,
+        }
+    };
+
+    // §5.6.2: the owner set CAA authorizing Let's Encrypt (a free CA).
+    let caa = vec![CaaRecord::issue("letsencrypt.org")];
+    let caa_lookup = |_: &Name| caa.clone();
+
+    println!("== CAA check (§5.6.2) ==");
+    for ca in [CaId::LetsEncrypt, CaId::DigiCert] {
+        println!(
+            "  {} may issue for {}? {}",
+            ca,
+            hijacked,
+            caa_permits(&caa, ca, false).permits()
+        );
+    }
+    println!("  -> CAA does not stop an attacker who simply uses the authorized CA.");
+
+    // The attacker passes HTTP-01 (they control the web root) and issues.
+    let day = Date::new(2022, 10, 3).to_sim();
+    let cert = issue(
+        CaId::LetsEncrypt,
+        AccountId::Attacker(0),
+        std::slice::from_ref(&hijacked),
+        &control,
+        &caa_lookup,
+        CertId(1),
+        day,
+    )
+    .expect("validation passes: the attacker controls the content");
+    println!();
+    println!(
+        "== Fraudulent-but-valid certificate issued ==\n  subject: {}\n  issuer:  {}\n  window:  {} .. {}",
+        cert.subject,
+        cert.issuer,
+        cert.not_before.to_date(),
+        cert.not_after.to_date()
+    );
+    ct.append(cert, day);
+
+    // §5.6.3: the monitor fires on the next poll.
+    println!();
+    println!("== CT monitor (§5.6.3) ==");
+    for alert in monitor.poll(&ct) {
+        println!(
+            "  ALERT for {}: certificate logged {} covering {:?}",
+            alert.watched,
+            alert.logged_at.to_date(),
+            alert
+                .matching_sans
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+        );
+    }
+    println!("  -> reactive but immediate; the owner learns of the hijack within hours,");
+    println!("     vs the median multi-week remediation lag the lifespan analysis shows.");
+}

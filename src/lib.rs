@@ -1,0 +1,57 @@
+//! # dangling-abuse — umbrella crate
+//!
+//! A full reproduction of *"Cloudy with a Chance of Cyberattacks: Dangling
+//! Resources Abuse on Cloud Platforms"* (NSDI 2024) as a Rust workspace:
+//! the paper's collection + detection + analysis methodology
+//! ([`dangling_core`]) running against a deterministic simulation of the
+//! ecosystem it measured — DNS ([`dns`]), cloud platforms ([`cloudsim`]),
+//! HTTP ([`httpsim`]), certificates and CT ([`certsim`]), synthetic
+//! populations ([`worldgen`]), web content ([`contentgen`]) and attacker
+//! campaigns ([`attacker`]).
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use dangling_abuse::prelude::*;
+//!
+//! // Run the full 2015–2023 longitudinal study at 1/400 of paper scale.
+//! let results = Scenario::new(ScenarioConfig::at_scale(400)).run();
+//! println!(
+//!     "monitored {} FQDNs, detected {} abused (precision {:.2}, recall {:.2})",
+//!     results.monitored_total,
+//!     results.abuse.len(),
+//!     results.detection.precision(),
+//!     results.detection.recall(),
+//! );
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! per-figure/table reproduction harness (`cargo run -p bench --bin repro`).
+
+pub use analysis;
+pub use attacker;
+pub use certsim;
+pub use cloudsim;
+pub use contentgen;
+pub use dangling_core;
+pub use dns;
+pub use httpsim;
+pub use simcore;
+pub use worldgen;
+
+/// The most common imports for driving the reproduction.
+pub mod prelude {
+    pub use dangling_core::{Scenario, ScenarioConfig, StudyResults};
+    pub use simcore::{Date, RngTree, Scale, SimTime};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn crates_reachable() {
+        // The umbrella re-exports resolve.
+        let _ = simcore::Scale::DEFAULT;
+        let _ = cloudsim::CATALOG.len();
+        let _ = certsim::CaId::LetsEncrypt;
+    }
+}
