@@ -77,7 +77,7 @@ impl CoOccurrenceGraph {
     /// Connected components (each sorted, components ordered by first node).
     pub fn components(&self) -> Vec<Vec<usize>> {
         let mut uf = UnionFind::new(self.n);
-        for (&(a, b), _) in &self.edges {
+        for &(a, b) in self.edges.keys() {
             uf.union(a, b);
         }
         uf.groups()

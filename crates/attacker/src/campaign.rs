@@ -62,6 +62,9 @@ pub struct Campaign {
     pub cert_probability: f64,
     /// Probability of hiding behind a maintenance shell.
     pub shell_probability: f64,
+    /// The localized shell this campaign's toolkit ships (fixed per
+    /// campaign, like the rest of its template).
+    pub shell_lang: String,
     /// Probability of the keywords meta tag (41% overall, §5.2.1).
     pub meta_keyword_probability: f64,
 }
@@ -84,6 +87,22 @@ impl Campaign {
     pub fn sample_technique<R: Rng + ?Sized>(&self, rng: &mut R) -> SeoTechnique {
         let w: Vec<f64> = self.technique_weights.iter().map(|(_, w)| *w).collect();
         self.technique_weights[WeightedIndex::new(&w).sample(rng)].0
+    }
+
+    /// The campaign's fixed doorway vocabulary for `topic`: a deterministic
+    /// 5-keyword subset of the topic corpus, keyed only by campaign id and
+    /// topic. Every hijack this campaign deploys with the same topic serves
+    /// the same template — which is what lets §3.2's clustering group a
+    /// campaign's domains by identical keyword lists.
+    pub fn template_keywords(&self, topic: AbuseTopic) -> Vec<String> {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let seed = 0x7e3a_9c1d_u64 ^ ((self.id as u64) << 3) ^ topic as u64;
+        let mut trng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut pool: Vec<&str> = topic.keywords().to_vec();
+        pool.shuffle(&mut trng);
+        pool.truncate(5);
+        pool.into_iter().map(str::to_string).collect()
     }
 
     /// Build the content spec for a new hijack. `peers` are other hijacked
@@ -114,10 +133,10 @@ impl Campaign {
             technique,
             page_count: pages,
             use_meta_keywords: rng.gen_bool(self.meta_keyword_probability),
-            maintenance_shell_lang: shell
-                .then(|| ["en", "de", "ja", "ar", "ru"][rng.gen_range(0..5)].to_string()),
+            maintenance_shell_lang: shell.then(|| self.shell_lang.clone()),
             links,
             network_peers: peers.iter().rev().take(4).cloned().collect(),
+            template_keywords: self.template_keywords(topic),
         }
     }
 }
@@ -182,13 +201,19 @@ pub fn generate_campaigns(cfg: &CampaignConfig, rng_tree: &RngTree) -> Vec<Campa
         };
         let duration_weeks = ((until - start).max(7) as f64) / 7.0;
         let hijacks_per_week = (size as f64 / duration_weeks).max(0.05);
-        // Topic mix: gambling dominates (Figure 3); adult second.
-        let topic_weights = vec![
+        // Campaigns are topic-coherent (Figure 3 categorizes whole clusters
+        // by a single topic): sample the campaign's topic once, with
+        // gambling dominant and adult second.
+        let topic_mix = [
             (AbuseTopic::Gambling, 0.62),
             (AbuseTopic::Adult, 0.22),
             (AbuseTopic::Shopping, 0.10),
             (AbuseTopic::Pharma, 0.06),
         ];
+        let mix: Vec<f64> = topic_mix.iter().map(|(_, w)| *w).collect();
+        let topic = topic_mix[WeightedIndex::new(&mix).sample(&mut crng)].0;
+        let topic_weights = vec![(topic, 1.0)];
+        let shell_lang = ["en", "de", "ja", "ar", "ru"][crng.gen_range(0..5)].to_string();
         // Technique mix per §5.2.1: doorway 62.13%, keyword-stuffing bulk,
         // JKH+link networks 7.17%, clickjacking a few percent.
         let technique_weights = vec![
@@ -210,6 +235,7 @@ pub fn generate_campaigns(cfg: &CampaignConfig, rng_tree: &RngTree) -> Vec<Campa
             identifier_embed_probability: cfg.identifier_embed_probability,
             cert_probability: cfg.cert_probability,
             shell_probability: 0.25,
+            shell_lang,
             meta_keyword_probability: 0.41,
         });
     }
@@ -270,21 +296,50 @@ mod tests {
         let cs = generate_campaigns(&cfg(), &RngTree::new(4));
         let mut rng = RngTree::new(5).rng("t");
         let c = &cs[0];
-        let mut gambling = 0;
         let mut doorway = 0;
         let n = 400;
         for _ in 0..n {
             let spec = c.make_abuse_spec(&["peer.victim.com".into()], &mut rng);
             assert!((2..=144_349).contains(&spec.page_count));
-            if spec.topic == AbuseTopic::Gambling {
-                gambling += 1;
-            }
+            // Topic coherence: every site of a campaign carries its topic.
+            assert_eq!(spec.topic, c.topic_weights[0].0);
             if spec.technique == SeoTechnique::DoorwayPages {
                 doorway += 1;
             }
         }
-        assert!(gambling as f64 > 0.5 * n as f64);
         assert!(doorway as f64 > 0.5 * n as f64);
+        // Gambling dominates the campaign population (Figure 3).
+        let gambling = cs
+            .iter()
+            .filter(|c| c.topic_weights[0].0 == AbuseTopic::Gambling)
+            .count();
+        assert!(gambling as f64 > 0.4 * cs.len() as f64);
+    }
+
+    #[test]
+    fn template_keywords_fixed_per_campaign_and_topic() {
+        let cs = generate_campaigns(&cfg(), &RngTree::new(8));
+        let c = &cs[0];
+        let a = c.template_keywords(AbuseTopic::Gambling);
+        let b = c.template_keywords(AbuseTopic::Gambling);
+        assert_eq!(a, b, "template must be stable across calls");
+        assert_eq!(a.len(), 5);
+        for k in &a {
+            assert!(AbuseTopic::Gambling.keywords().contains(&k.as_str()));
+        }
+        // Two hijacks of the same campaign+topic share the template even
+        // though the per-site RNG streams differ.
+        let mut r1 = RngTree::new(9).rng("a");
+        let mut r2 = RngTree::new(10).rng("b");
+        let mut s1 = c.make_abuse_spec(&[], &mut r1);
+        let mut s2 = c.make_abuse_spec(&[], &mut r2);
+        while s1.topic != AbuseTopic::Gambling {
+            s1 = c.make_abuse_spec(&[], &mut r1);
+        }
+        while s2.topic != AbuseTopic::Gambling {
+            s2 = c.make_abuse_spec(&[], &mut r2);
+        }
+        assert_eq!(s1.template_keywords, s2.template_keywords);
     }
 
     #[test]

@@ -64,6 +64,7 @@ fn abuse_page() -> String {
             referral_code: "REF1".into(),
         },
         network_peers: vec![],
+        template_keywords: vec![],
     };
     contentgen::abuse::build_abuse_site(&spec, "h.victim.com", &mut rng).index_html
 }

@@ -1,0 +1,85 @@
+//! Shard-parallel crawl executor scaling: the same monitoring round crawled
+//! with 1/2/4/8 worker threads. The determinism contract says the *output*
+//! is identical for every row here — only wall-clock should move. The
+//! scaling target is ≥2× on the 4-thread row over the serial row; note
+//! this needs ≥4 real cores (on a single-CPU container the threaded rows
+//! can only add scheduling overhead).
+
+use cloudsim::{AccountId, CloudPlatform, PlatformConfig, ServiceId, SiteContent, Sitemap};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dangling_core::pipeline::CrawlExecutor;
+use dangling_core::snapshot::SnapshotStore;
+use dns::{Authority, Name, RecordData, Resolver, ResourceRecord, Zone, ZoneSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simcore::{RngTree, SimTime};
+
+/// A platform hosting `n` bound sites with real content, plus the org zone
+/// pointing at them — the substrate of one monitoring round.
+fn build(n: usize) -> (CloudPlatform, ZoneSet, Vec<Name>) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut platform = CloudPlatform::new(PlatformConfig::default());
+    let mut zs = ZoneSet::new();
+    let mut zone = Zone::new("victim.com".parse().unwrap());
+    let mut monitored = Vec::new();
+    for i in 0..n {
+        let id = platform
+            .register(
+                ServiceId::AzureWebApp,
+                Some(&format!("site-{i}")),
+                None,
+                AccountId::Org(1),
+                SimTime(0),
+                &mut rng,
+            )
+            .unwrap();
+        let mut content = SiteContent::placeholder(&format!("Site {i}"));
+        if i % 3 == 0 {
+            content.sitemap = Some(Sitemap::synthetic(1_000, "<urlset/>".into()));
+        }
+        platform.set_content(id, content);
+        let fqdn: Name = format!("s{i}.victim.com").parse().unwrap();
+        platform.bind_custom_domain(id, fqdn.clone());
+        zone.add(ResourceRecord::new(
+            fqdn.clone(),
+            300,
+            RecordData::Cname(format!("site-{i}.azurewebsites.net").parse().unwrap()),
+        ));
+        monitored.push(fqdn);
+    }
+    zs.insert(zone);
+    for pz in platform.zones().iter() {
+        zs.insert(pz.clone());
+    }
+    (platform, zs, monitored)
+}
+
+fn bench_crawl_scaling(c: &mut Criterion) {
+    let (platform, zs, monitored) = build(400);
+    let store = SnapshotStore::new();
+    let tree = RngTree::new(1);
+    // Shared authority: per-thread resolver construction must be cheap, as
+    // it is in the real pipeline (`world.dns()` hands out a borrow).
+    let auth = std::sync::Arc::new(Authority::new(zs));
+    let mut g = c.benchmark_group("pipeline_parallel");
+    g.throughput(Throughput::Elements(monitored.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        let exec = CrawlExecutor::new(threads, 0.0);
+        g.bench_function(format!("crawl_400_sites_t{threads}"), |b| {
+            b.iter(|| {
+                black_box(exec.run(
+                    &monitored,
+                    &store,
+                    &tree,
+                    SimTime(7),
+                    &|| Resolver::new(auth.clone()),
+                    &|| &platform,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_crawl_scaling);
+criterion_main!(benches);

@@ -6,11 +6,12 @@
 //! cargo run --release -p bench --bin repro -- --scale 100 --seed 42 all ablations
 //! ```
 
-use bench::{render_target, run_study, ABLATIONS, TARGETS};
+use bench::{render_target, run_study_with, ABLATIONS, TARGETS};
 
 fn main() {
     let mut scale: u32 = 200;
     let mut seed: u64 = 42;
+    let mut threads: usize = 1;
     let mut json_path: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -31,10 +32,19 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--seed takes a u64");
             }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads takes a worker count");
+            }
             "--help" | "-h" => {
-                println!("usage: repro [--scale N] [--seed N] [--json OUT] <targets...>");
+                println!(
+                    "usage: repro [--scale N] [--seed N] [--threads N] [--json OUT] <targets...>"
+                );
                 println!("targets: all | ablations | {}", TARGETS.join(" "));
                 println!("ablations: {}", ABLATIONS.join(" "));
+                println!("--threads parallelizes the weekly crawl; results are identical.");
                 return;
             }
             t => targets.push(t.to_string()),
@@ -53,9 +63,9 @@ fn main() {
         }
     }
 
-    eprintln!("running study at scale 1/{scale}, seed {seed}...");
+    eprintln!("running study at scale 1/{scale}, seed {seed}, {threads} crawl thread(s)...");
     let start = std::time::Instant::now();
-    let results = run_study(scale, seed);
+    let results = run_study_with(scale, seed, threads);
     eprintln!(
         "study complete in {:.1}s: {} monitored, {} hijacks (truth), {} detected\n",
         start.elapsed().as_secs_f64(),

@@ -13,8 +13,16 @@ use dangling_core::{Scenario, ScenarioConfig, StudyResults};
 
 /// Run the default study at the given scale/seed.
 pub fn run_study(scale_denominator: u32, seed: u64) -> StudyResults {
+    run_study_with(scale_denominator, seed, 1)
+}
+
+/// Run the default study with an explicit crawl thread count. Results are
+/// byte-identical for any `threads` (the pipeline's determinism contract);
+/// only wall-clock changes.
+pub fn run_study_with(scale_denominator: u32, seed: u64, threads: usize) -> StudyResults {
     let mut cfg = ScenarioConfig::at_scale(scale_denominator);
     cfg.seed = seed;
+    cfg.crawl_threads = threads;
     Scenario::new(cfg).run()
 }
 

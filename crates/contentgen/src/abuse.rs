@@ -110,11 +110,27 @@ pub struct AbuseSpec {
     pub links: CampaignLinks,
     /// Other hijacked hosts to cross-link (the 2-way link network).
     pub network_peers: Vec<String>,
+    /// Campaign-fixed doorway vocabulary. Real campaigns stamp the same
+    /// template onto every hijacked domain — the premise behind §3.2's
+    /// "identical keyword lists indicate the same page content" clustering.
+    /// Empty means untemplated: sample the whole topic corpus per page.
+    pub template_keywords: Vec<String>,
+}
+
+impl AbuseSpec {
+    /// The keyword vocabulary pages of this spec draw from.
+    fn keyword_pool(&self) -> Vec<&str> {
+        if self.template_keywords.is_empty() {
+            self.topic.keywords().to_vec()
+        } else {
+            self.template_keywords.iter().map(String::as_str).collect()
+        }
+    }
 }
 
 /// Build the hosted content for `host` according to `spec`.
 pub fn build_abuse_site<R: Rng + ?Sized>(spec: &AbuseSpec, host: &str, rng: &mut R) -> SiteContent {
-    let kws = spec.topic.keywords();
+    let kws = spec.keyword_pool();
     let lang = spec.topic.language();
 
     // ----- index page -----
@@ -136,7 +152,7 @@ pub fn build_abuse_site<R: Rng + ?Sized>(spec: &AbuseSpec, host: &str, rng: &mut
         }
         doc = doc.heading(title_for(spec, rng));
         for _ in 0..4 {
-            doc = doc.paragraph(keyword_sentence(kws, rng));
+            doc = doc.paragraph(keyword_sentence(&kws, rng));
         }
         doc = embed_campaign(doc, spec);
         if matches!(spec.technique, SeoTechnique::ClickJacking) {
@@ -152,7 +168,7 @@ pub fn build_abuse_site<R: Rng + ?Sized>(spec: &AbuseSpec, host: &str, rng: &mut
             ));
         }
         for peer in spec.network_peers.iter().take(5) {
-            doc = doc.link(format!("https://{peer}/"), keyword_sentence(kws, rng));
+            doc = doc.link(format!("https://{peer}/"), keyword_sentence(&kws, rng));
         }
         doc.render()
     };
@@ -331,6 +347,7 @@ mod tests {
             maintenance_shell_lang: None,
             links: links(),
             network_peers: vec!["x.victim-a.com".into(), "y.victim-b.org".into()],
+            template_keywords: vec![],
         }
     }
 

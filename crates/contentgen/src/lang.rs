@@ -132,7 +132,7 @@ pub fn detect(text: &str) -> Option<Language> {
     if words.is_empty() {
         return None;
     }
-    let score = |stop: &[&str]| words.iter().filter(|w| stop.contains(&w.as_ref())).count();
+    let score = |stop: &[&str]| words.iter().filter(|w| stop.contains(w)).count();
     let en = score(EN_STOPWORDS);
     let id = score(ID_STOPWORDS);
     let de = score(DE_STOPWORDS);

@@ -240,7 +240,7 @@ mod tests {
             },
             |p| {
                 let i: usize = p.labels()[0][1..].parse().unwrap();
-                i % 2 == 0 // half the CAA parents still had hijack certs
+                i.is_multiple_of(2) // half the CAA parents still had hijack certs
             },
         );
         assert_eq!(census.parents, 100);

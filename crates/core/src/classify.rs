@@ -63,12 +63,11 @@ pub fn detect_techniques(snap: &Snapshot) -> Vec<SeoTechnique> {
     // Japanese Keyword Hack: Japanese content on a non-Japanese victim
     // domain plus a mass upload (§5.2.1 "Cloaking").
     let mass_upload = snap.sitemap_bytes.unwrap_or(0) >= crate::signature::HUGE_SITEMAP_BYTES;
-    if snap.language.as_deref() == Some("ja")
-        || corpus::JAPANESE_FRAGMENTS.iter().any(|f| html.contains(f))
+    if (snap.language.as_deref() == Some("ja")
+        || corpus::JAPANESE_FRAGMENTS.iter().any(|f| html.contains(f)))
+        && mass_upload
     {
-        if mass_upload {
-            out.push(SeoTechnique::JapaneseKeywordHack);
-        }
+        out.push(SeoTechnique::JapaneseKeywordHack);
     }
     // Private link network: page dominated by outbound keyword-anchored
     // links to other apex domains.

@@ -34,22 +34,26 @@ impl Feed {
         self.entries.is_empty()
     }
 
-    /// FQDNs that became visible in `(since, until]`.
-    pub fn discovered_between(&self, since: SimTime, until: SimTime) -> Vec<Name> {
-        self.entries
-            .iter()
-            .filter(|(_, t)| *t > since && *t <= until)
-            .map(|(n, _)| n.clone())
-            .collect()
+    /// FQDNs that became visible in `(since, until]`, as borrowed names.
+    ///
+    /// The entries are sorted by time at construction, so both window edges
+    /// are `partition_point` binary searches rather than full scans — the
+    /// feed is consulted every monitoring round and reached millions of
+    /// entries in the real study.
+    pub fn discovered_between(
+        &self,
+        since: SimTime,
+        until: SimTime,
+    ) -> impl Iterator<Item = &Name> + '_ {
+        let lo = self.entries.partition_point(|(_, t)| *t <= since);
+        let hi = self.entries.partition_point(|(_, t)| *t <= until);
+        self.entries[lo..hi].iter().map(|(n, _)| n)
     }
 
-    /// All FQDNs visible at or before `t`.
-    pub fn visible_at(&self, t: SimTime) -> Vec<Name> {
-        self.entries
-            .iter()
-            .filter(|(_, d)| *d <= t)
-            .map(|(n, _)| n.clone())
-            .collect()
+    /// All FQDNs visible at or before `t`, as borrowed names.
+    pub fn visible_at(&self, t: SimTime) -> impl Iterator<Item = &Name> + '_ {
+        let hi = self.entries.partition_point(|(_, d)| *d <= t);
+        self.entries[..hi].iter().map(|(n, _)| n)
     }
 
     pub fn iter(&self) -> impl Iterator<Item = &(Name, SimTime)> {
@@ -278,9 +282,40 @@ mod tests {
             ("c.x.com".parse().unwrap(), SimTime(20)),
         ]);
         assert_eq!(feed.len(), 3);
-        assert_eq!(feed.visible_at(SimTime(10)).len(), 2);
-        let new = feed.discovered_between(SimTime(5), SimTime(20));
+        assert_eq!(feed.visible_at(SimTime(10)).count(), 2);
+        let new: Vec<&Name> = feed.discovered_between(SimTime(5), SimTime(20)).collect();
         assert_eq!(new.len(), 2);
-        assert_eq!(feed.discovered_between(SimTime(20), SimTime(99)).len(), 0);
+        assert_eq!(feed.discovered_between(SimTime(20), SimTime(99)).count(), 0);
+    }
+
+    #[test]
+    fn feed_windows_match_linear_scan() {
+        // The binary-search windows must agree with the naive filter for
+        // every cut point, including duplicates sharing one timestamp.
+        let times = [0, 0, 3, 3, 3, 7, 9, 9, 12];
+        let feed = Feed::new(
+            times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (format!("h{i}.x.com").parse().unwrap(), SimTime(t)))
+                .collect(),
+        );
+        for since in -1..14 {
+            let expect = times.iter().filter(|&&t| t <= since).count();
+            assert_eq!(
+                feed.visible_at(SimTime(since)).count(),
+                expect,
+                "visible_at({since})"
+            );
+            for until in since..14 {
+                let expect = times.iter().filter(|&&t| t > since && t <= until).count();
+                assert_eq!(
+                    feed.discovered_between(SimTime(since), SimTime(until))
+                        .count(),
+                    expect,
+                    "window ({since}, {until}]"
+                );
+            }
+        }
     }
 }

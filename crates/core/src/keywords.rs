@@ -27,7 +27,7 @@ pub fn extract_keywords(html: &str, k: usize) -> Vec<String> {
 pub fn rank_tokens(tokens: Vec<String>, k: usize) -> Vec<String> {
     let mut counts: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
     for t in tokens {
-        if t.len() < 3 && !t.chars().any(|c| !c.is_ascii()) {
+        if t.len() < 3 && t.is_ascii() {
             continue; // short ASCII tokens are noise; short CJK tokens are words
         }
         if STOPWORDS.contains(&t.as_str()) {

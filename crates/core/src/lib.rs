@@ -24,7 +24,10 @@
 //!   (Figures 21/22/26/27/28),
 //! - [`world`] + [`scenario`] — the simulated world and the longitudinal
 //!   driver that runs organizations, attackers and the pipeline over
-//!   2015–2023 and assembles a [`report::StudyReport`].
+//!   2015–2023 and assembles a [`report::StudyReport`],
+//! - [`pipeline`] — the staged monitoring pipeline behind [`scenario`]:
+//!   world advancement, Algorithm-1 collection, the shard-parallel weekly
+//!   crawl, diff/record, and the retrospective signature pass.
 
 pub mod benign;
 pub mod capability;
@@ -36,6 +39,7 @@ pub mod infra;
 pub mod keywords;
 pub mod lifespan;
 pub mod monitor;
+pub mod pipeline;
 pub mod report;
 pub mod scenario;
 pub mod signature;

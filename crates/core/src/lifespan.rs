@@ -60,13 +60,16 @@ pub fn lifespan_stats(intervals: &[AbuseInterval], horizon: SimTime) -> (Ecdf, L
     (ecdf, stats)
 }
 
+/// One Figure 16 bar: a hijacked domain with its abuse start and end dates.
+pub type TimeframeBar = (Name, SimTime, SimTime);
+
 /// Figure 16: per-domain (start, end) bars sorted by start date, plus the
 /// monthly count of concurrently-active hijacks.
 pub fn timeframes(
     intervals: &[AbuseInterval],
     horizon: SimTime,
-) -> (Vec<(Name, SimTime, SimTime)>, Vec<(i32, u32)>) {
-    let mut bars: Vec<(Name, SimTime, SimTime)> = intervals
+) -> (Vec<TimeframeBar>, Vec<(i32, u32)>) {
+    let mut bars: Vec<TimeframeBar> = intervals
         .iter()
         .map(|i| {
             (

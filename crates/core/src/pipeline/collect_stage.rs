@@ -1,0 +1,88 @@
+//! Collection stage — Algorithm 1 (§3.1) applied incrementally.
+//!
+//! Every monitoring round the stage pulls the feed entries that became
+//! visible since the last round, classifies them (cloud-pointing or not),
+//! and grows the canonical monitored list. It also keeps the monthly
+//! monitored-set series (Figure 4's substrate).
+
+use super::{RunState, Stage};
+use crate::collect::{CloudPointer, Collector};
+use dns::{Name, Resolver};
+use simcore::SimTime;
+use std::collections::HashSet;
+
+/// The Algorithm-1 collection stage (see module docs).
+pub struct CollectStage {
+    collector: Collector,
+    monitored_set: HashSet<Name>,
+    pending_candidates: Vec<Name>,
+    last_feed_check: SimTime,
+}
+
+impl CollectStage {
+    pub fn new(rs: &RunState) -> Self {
+        CollectStage {
+            collector: Collector::new(),
+            monitored_set: HashSet::new(),
+            pending_candidates: Vec::new(),
+            last_feed_check: rs.monitor_start - 1,
+        }
+    }
+}
+
+impl Stage for CollectStage {
+    fn name(&self) -> &'static str {
+        "collect"
+    }
+
+    fn weekly(&mut self, rs: &mut RunState, now: SimTime) {
+        // Grow the monitored set from the feed via Algorithm 1.
+        self.pending_candidates.extend(
+            rs.feed
+                .discovered_between(self.last_feed_check, now)
+                .cloned(),
+        );
+        self.last_feed_check = now;
+        if !self.pending_candidates.is_empty() {
+            let resolver = Resolver::new(rs.world.dns());
+            let mut still_pending = Vec::new();
+            for fqdn in self.pending_candidates.drain(..) {
+                match self.collector.classify(&fqdn, &resolver, now) {
+                    CloudPointer::NotCloud => {
+                        // Non-cloud entries are retried a couple of times then
+                        // dropped (cheap heuristic for the paper's periodic
+                        // re-checks).
+                        still_pending.push((fqdn, 1u8));
+                    }
+                    ptr => {
+                        if self.monitored_set.insert(fqdn.clone()) {
+                            rs.monitored.push(fqdn);
+                            if let Some(s) = ptr.service() {
+                                *rs.monitored_by_service.entry(s).or_insert(0) += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            // Single retry round for not-cloud outcomes.
+            self.pending_candidates.extend(
+                still_pending
+                    .into_iter()
+                    .filter(|(_, tries)| *tries == 0)
+                    .map(|(f, _)| f),
+            );
+        }
+        // Monthly monitored-set bookkeeping (Figure 4).
+        rs.monitored_monthly.add(
+            now.month_index(),
+            0.0, // touch the bucket; set below
+        );
+        let m = now.month_index();
+        let current = rs.monitored.len() as f64;
+        // Record the max within the month (overwrites upward).
+        if rs.monitored_monthly.get(m) < current {
+            let delta = current - rs.monitored_monthly.get(m);
+            rs.monitored_monthly.add(m, delta);
+        }
+    }
+}

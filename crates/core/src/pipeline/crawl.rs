@@ -1,0 +1,292 @@
+//! The shard-parallel weekly crawl (§3.2).
+//!
+//! [`CrawlExecutor`] fans one monitoring round out over worker threads. The
+//! contract is strict determinism: for the same world state the output is
+//! byte-identical for any thread count, because
+//!
+//! 1. work is partitioned by [`SnapshotStore::shard_of`] — a fixed hash of
+//!    the FQDN — never by arrival or iteration order,
+//! 2. every task reads the *pre-round* store (each FQDN appears once per
+//!    round, so no task can observe another's write), and
+//! 3. any randomness (the transient-failure model) comes from an RNG stream
+//!    keyed by `crawl/{fqdn}/{day}`, so it does not depend on which thread
+//!    or in which order the FQDN was crawled,
+//!
+//! and the outcomes are re-assembled in the canonical monitored order before
+//! the diff stage consumes them.
+
+use super::{RunState, Stage};
+use crate::diff::{record as diff_record, ChangeRecord};
+use crate::monitor::Crawler;
+use crate::snapshot::{Snapshot, SnapshotStore};
+use dns::resolver::Transport;
+use dns::{Name, Resolver};
+use httpsim::Endpoint;
+use parking_lot::Mutex;
+use rand::Rng;
+use simcore::{RngTree, SimTime};
+
+/// What one crawl task produced: the new snapshot and, when there was a
+/// previous one, the diff against it.
+#[derive(Debug, Clone)]
+pub struct CrawlOutcome {
+    pub snap: Snapshot,
+    pub change: Option<ChangeRecord>,
+}
+
+/// Shard-parallel crawl executor (see module docs for the determinism
+/// contract).
+pub struct CrawlExecutor {
+    threads: usize,
+    /// Per-fetch probability of a transient failure (network flake). Zero
+    /// disables the model entirely — no RNG stream is even derived.
+    failure_rate: f64,
+}
+
+impl CrawlExecutor {
+    pub fn new(threads: usize, failure_rate: f64) -> Self {
+        CrawlExecutor {
+            threads: threads.max(1),
+            failure_rate,
+        }
+    }
+
+    /// Crawl `monitored` (in canonical order) against the pre-round `store`,
+    /// returning one [`CrawlOutcome`] per FQDN in the same order.
+    ///
+    /// `make_resolver` / `make_web` are per-worker factories: each thread
+    /// gets its own resolver (and thus its own TTL cache) so no lock is
+    /// shared on the hot path. Within one round a cache hit returns exactly
+    /// what a fresh resolution would (same authority state, same `now`), so
+    /// per-thread caches cannot perturb results.
+    pub fn run<T, E, FR, FW>(
+        &self,
+        monitored: &[Name],
+        store: &SnapshotStore,
+        tree: &RngTree,
+        now: SimTime,
+        make_resolver: &FR,
+        make_web: &FW,
+    ) -> Vec<CrawlOutcome>
+    where
+        T: Transport,
+        E: Endpoint,
+        FR: Fn() -> Resolver<T> + Sync,
+        FW: Fn() -> E + Sync,
+    {
+        if self.threads <= 1 || monitored.len() < 2 {
+            let resolver = make_resolver();
+            let web = make_web();
+            return monitored
+                .iter()
+                .map(|fqdn| self.crawl_one(fqdn, &resolver, &web, store, tree, now))
+                .collect();
+        }
+
+        // Partition indices into the store's shards: a stable, FQDN-keyed
+        // split, so the same name always lands in the same bucket no matter
+        // how many workers run.
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); store.shard_count()];
+        for (i, fqdn) in monitored.iter().enumerate() {
+            buckets[store.shard_of(fqdn)].push(i);
+        }
+        let cursor = Mutex::new(0usize);
+        let collected: Mutex<Vec<(usize, CrawlOutcome)>> =
+            Mutex::new(Vec::with_capacity(monitored.len()));
+
+        crossbeam::scope(|s| {
+            for _ in 0..self.threads.min(buckets.len()) {
+                s.spawn(|_| {
+                    let resolver = make_resolver();
+                    let web = make_web();
+                    let mut local: Vec<(usize, CrawlOutcome)> = Vec::new();
+                    loop {
+                        // Work-steal whole buckets: cheap contention (one
+                        // lock per bucket, not per FQDN).
+                        let b = {
+                            let mut c = cursor.lock();
+                            let b = *c;
+                            *c += 1;
+                            b
+                        };
+                        let Some(bucket) = buckets.get(b) else { break };
+                        for &i in bucket {
+                            let out =
+                                self.crawl_one(&monitored[i], &resolver, &web, store, tree, now);
+                            local.push((i, out));
+                        }
+                    }
+                    collected.lock().extend(local);
+                });
+            }
+        })
+        .expect("crawl worker panicked");
+
+        // Canonical re-assembly: downstream stages always see monitored
+        // order, independent of the thread schedule.
+        let mut indexed = collected.into_inner();
+        indexed.sort_unstable_by_key(|(i, _)| *i);
+        debug_assert_eq!(indexed.len(), monitored.len());
+        indexed.into_iter().map(|(_, out)| out).collect()
+    }
+
+    fn crawl_one<T: Transport, E: Endpoint + ?Sized>(
+        &self,
+        fqdn: &Name,
+        resolver: &Resolver<T>,
+        web: &E,
+        store: &SnapshotStore,
+        tree: &RngTree,
+        now: SimTime,
+    ) -> CrawlOutcome {
+        let prev = store.latest(fqdn);
+        let snap = if self.failure_rate > 0.0
+            && tree
+                .rng(&format!("crawl/{fqdn}/{}", now.0))
+                .gen_bool(self.failure_rate)
+        {
+            // Transient fetch failure: DNS still resolves, the HTTP fetch is
+            // dropped. Keyed by (fqdn, day) so the flake pattern is identical
+            // under any partition of the work.
+            let outcome = resolver.resolve_a(fqdn, now);
+            let cname = outcome.final_cname().cloned();
+            let mut s = Snapshot::unreachable(fqdn.clone(), now, outcome.rcode, cname);
+            s.ip = outcome.addresses.first().copied();
+            s
+        } else {
+            Crawler::sample(fqdn, resolver, web, prev, now)
+        };
+        let change = prev.and_then(|p| diff_record(p, snap.clone()));
+        CrawlOutcome { snap, change }
+    }
+}
+
+/// The weekly-crawl stage: wraps [`CrawlExecutor`] and leaves the round's
+/// outcomes in [`RunState::crawl_batch`] for the diff stage.
+pub struct CrawlStage {
+    exec: CrawlExecutor,
+}
+
+impl CrawlStage {
+    pub fn new(threads: usize, failure_rate: f64) -> Self {
+        CrawlStage {
+            exec: CrawlExecutor::new(threads, failure_rate),
+        }
+    }
+}
+
+impl Stage for CrawlStage {
+    fn name(&self) -> &'static str {
+        "crawl"
+    }
+
+    fn weekly(&mut self, rs: &mut RunState, now: SimTime) {
+        let RunState {
+            world,
+            store,
+            monitored,
+            tree,
+            crawl_batch,
+            ..
+        } = rs;
+        let world = &*world;
+        *crawl_batch = self.exec.run(
+            monitored,
+            store,
+            tree,
+            now,
+            &|| Resolver::new(world.dns()),
+            &|| world.web(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsim::{AccountId, CloudPlatform, PlatformConfig, ServiceId, SiteContent};
+    use dns::{Authority, RecordData, ResourceRecord, Zone, ZoneSet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build(n: usize) -> (CloudPlatform, ZoneSet, Vec<Name>) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut platform = CloudPlatform::new(PlatformConfig::default());
+        let mut zs = ZoneSet::new();
+        let mut zone = Zone::new("acme.com".parse().unwrap());
+        let mut monitored = Vec::new();
+        for i in 0..n {
+            let id = platform
+                .register(
+                    ServiceId::AzureWebApp,
+                    Some(&format!("site-{i}")),
+                    None,
+                    AccountId::Org(1),
+                    SimTime(0),
+                    &mut rng,
+                )
+                .unwrap();
+            platform.set_content(id, SiteContent::placeholder(&format!("Site {i}")));
+            let fqdn: Name = format!("s{i}.acme.com").parse().unwrap();
+            platform.bind_custom_domain(id, fqdn.clone());
+            zone.add(ResourceRecord::new(
+                fqdn.clone(),
+                300,
+                RecordData::Cname(format!("site-{i}.azurewebsites.net").parse().unwrap()),
+            ));
+            monitored.push(fqdn);
+        }
+        zs.insert(zone);
+        for pz in platform.zones().iter() {
+            zs.insert(pz.clone());
+        }
+        (platform, zs, monitored)
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (platform, zs, monitored) = build(23);
+        let store = SnapshotStore::with_shards(4);
+        let tree = RngTree::new(9);
+        // Nonzero failure rate so the RNG-keyed path is exercised too.
+        let serial = CrawlExecutor::new(1, 0.1).run(
+            &monitored,
+            &store,
+            &tree,
+            SimTime(7),
+            &|| Resolver::new(Authority::new(zs.clone())),
+            &|| &platform,
+        );
+        for threads in [2, 3, 8] {
+            let par = CrawlExecutor::new(threads, 0.1).run(
+                &monitored,
+                &store,
+                &tree,
+                SimTime(7),
+                &|| Resolver::new(Authority::new(zs.clone())),
+                &|| &platform,
+            );
+            assert_eq!(par.len(), serial.len());
+            for (a, b) in par.iter().zip(&serial) {
+                assert_eq!(a.snap, b.snap, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn failure_model_off_by_default() {
+        let (platform, zs, monitored) = build(5);
+        let store = SnapshotStore::new();
+        let tree = RngTree::new(9);
+        let out = CrawlExecutor::new(1, 0.0).run(
+            &monitored,
+            &store,
+            &tree,
+            SimTime(7),
+            &|| Resolver::new(Authority::new(zs.clone())),
+            &|| &platform,
+        );
+        assert!(out.iter().all(|o| o.snap.is_serving()));
+        assert!(out.iter().all(|o| o.change.is_none()));
+    }
+}

@@ -1,0 +1,27 @@
+//! Diff/record stage: the serial merge point of the parallel crawl.
+//!
+//! Consumes the round's [`super::CrawlOutcome`] batch — already in canonical
+//! monitored order — appends changes to the change log and commits snapshots
+//! to the sharded store. Keeping this stage serial is what lets the crawl
+//! stage be embarrassingly parallel: workers never write shared state.
+
+use super::{RunState, Stage};
+use simcore::SimTime;
+
+/// The diff/record stage (see module docs).
+pub struct DiffStage;
+
+impl Stage for DiffStage {
+    fn name(&self) -> &'static str {
+        "diff"
+    }
+
+    fn weekly(&mut self, rs: &mut RunState, _now: SimTime) {
+        for out in rs.crawl_batch.drain(..) {
+            if let Some(rec) = out.change {
+                rs.changes.push(rec);
+            }
+            rs.store.insert(out.snap);
+        }
+    }
+}

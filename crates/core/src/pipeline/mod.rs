@@ -1,0 +1,180 @@
+//! The staged monitoring pipeline.
+//!
+//! [`crate::scenario::Scenario::run`] used to be a single ~1,000-line event
+//! loop; it is now an orchestrator over five stages, each behind the small
+//! [`Stage`] trait so ablations and benches can swap or instrument them:
+//!
+//! - [`WorldStage`] — world advancement: organizations provisioning,
+//!   releasing and remediating resources, attacker campaigns, certificate
+//!   history, liveness probes,
+//! - [`CollectStage`] — Algorithm-1 collection: grows the monitored set
+//!   from the feed every monitoring round,
+//! - [`CrawlStage`] — the weekly crawl, shard-parallel via
+//!   [`CrawlExecutor`],
+//! - [`DiffStage`] — merges crawl outcomes in canonical FQDN order into the
+//!   change log and the sharded snapshot store,
+//! - [`RetroStage`] — the retrospective §3.2 signature pass that consumes
+//!   the final [`RunState`] and assembles a
+//!   [`crate::report::StudyResults`].
+//!
+//! ## Determinism under parallelism
+//!
+//! The crawl is the only parallel stage. Three invariants make its output
+//! independent of the thread count: work is partitioned by the stable
+//! [`crate::snapshot::SnapshotStore::shard_of`] hash (never by iteration
+//! order), results are re-assembled in the monitored list's canonical order
+//! before any downstream stage sees them, and any randomness a crawl task
+//! consumes comes from a [`simcore::RngTree`] stream keyed by the FQDN and
+//! day — not from a shared sequential RNG that thread scheduling could
+//! reorder. `StudyResults` is therefore byte-identical for any `K`.
+
+mod collect_stage;
+mod crawl;
+mod diff_stage;
+mod retro;
+mod world_stage;
+
+pub use collect_stage::CollectStage;
+pub use crawl::{CrawlExecutor, CrawlOutcome, CrawlStage};
+pub use diff_stage::DiffStage;
+pub use retro::RetroStage;
+pub use world_stage::WorldStage;
+
+use crate::collect::Feed;
+use crate::diff::ChangeRecord;
+use crate::report::LivenessSample;
+use crate::scenario::ScenarioConfig;
+use crate::snapshot::SnapshotStore;
+use crate::world::World;
+use cloudsim::ServiceId;
+use dns::Name;
+use simcore::{Date, EventQueue, RngTree, SimTime};
+use std::collections::BTreeMap;
+use worldgen::Population;
+
+/// Scheduled simulation events. Everything except `MonitorWeek` is world
+/// advancement; `MonitorWeek` drives the collect → crawl → diff stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ev {
+    Provision(usize),
+    Release(usize),
+    Remediate(usize),
+    OrgCertRenewal(usize),
+    AttackerWeek,
+    MonitorWeek,
+    BenignRefresh,
+    HistoricCertWave,
+    /// §2 probe comparison against one live hijack.
+    LivenessProbe(usize),
+}
+
+/// One stage of the monitoring pipeline.
+///
+/// Stages keep their private bookkeeping in `self` and communicate through
+/// [`RunState`]; the orchestrator invokes them in a fixed order so the data
+/// flow (feed → monitored set → crawl batch → change log) is explicit.
+pub trait Stage {
+    fn name(&self) -> &'static str;
+
+    /// React to a scheduled world event (everything but `MonitorWeek`).
+    fn on_event(&mut self, _rs: &mut RunState, _now: SimTime, _ev: Ev) {}
+
+    /// Run one monitoring round (`MonitorWeek`), in pipeline order.
+    fn weekly(&mut self, _rs: &mut RunState, _now: SimTime) {}
+}
+
+/// Shared state the stages read and write; everything the retrospective
+/// pass needs to assemble [`crate::report::StudyResults`].
+pub struct RunState {
+    pub cfg: ScenarioConfig,
+    pub tree: RngTree,
+    pub horizon: SimTime,
+    pub monitor_start: SimTime,
+    pub world: World,
+    pub q: EventQueue<Ev>,
+    pub feed: Feed,
+    /// Monitored FQDNs in discovery order — the canonical crawl order every
+    /// parallel schedule must reproduce.
+    pub monitored: Vec<Name>,
+    pub monitored_by_service: BTreeMap<ServiceId, u64>,
+    pub monitored_monthly: analysis::MonthlySeries,
+    pub store: SnapshotStore,
+    /// Output of the crawl stage for the current round, in `monitored`
+    /// order; consumed by the diff stage.
+    pub crawl_batch: Vec<CrawlOutcome>,
+    pub changes: Vec<ChangeRecord>,
+    pub ip_lottery_declines: u64,
+    pub caa_blocked_certs: u64,
+    pub liveness: Vec<LivenessSample>,
+}
+
+impl RunState {
+    /// Generate the world, build the feed, and schedule every event of the
+    /// 2015–2023 study window.
+    pub fn new(cfg: ScenarioConfig) -> Self {
+        let tree = RngTree::new(cfg.seed);
+        let population = Population::generate(cfg.world.clone(), &tree);
+        let campaigns = attacker::generate_campaigns(&cfg.campaigns, &tree);
+        let world = World::new(population, campaigns, cfg.platform.clone(), tree.clone());
+
+        let horizon = SimTime::monitor_end();
+        let monitor_start = SimTime::monitor_start();
+
+        // ----- feed -----
+        let mut feed_entries: Vec<(Name, SimTime)> = Vec::new();
+        for plan in &world.population.plans {
+            feed_entries.push((
+                plan.subdomain.clone(),
+                plan.discovered_at.max(monitor_start),
+            ));
+        }
+        // Non-cloud names (apexes) also flow through Algorithm 1 and must be
+        // filtered out — the methodology's own selectivity.
+        for org in &world.population.orgs {
+            feed_entries.push((org.apex.clone(), monitor_start));
+        }
+        let feed = Feed::new(feed_entries);
+
+        // ----- event queue -----
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        for (i, plan) in world.population.plans.iter().enumerate() {
+            q.schedule(plan.create_at.max(SimTime::EPOCH), Ev::Provision(i));
+            if let Some(r) = plan.release_at {
+                q.schedule(r, Ev::Release(i));
+            }
+        }
+        let mut t = monitor_start;
+        while t <= horizon {
+            q.schedule(t, Ev::MonitorWeek);
+            q.schedule(t, Ev::AttackerWeek);
+            t += cfg.monitor_interval_days;
+        }
+        let mut m = Date::new(2016, 1, 1).to_sim();
+        while m <= horizon {
+            q.schedule(m, Ev::BenignRefresh);
+            m = (m + 31).month_floor();
+        }
+        if cfg.historic_cert_wave {
+            q.schedule(Date::new(2017, 8, 1).to_sim(), Ev::HistoricCertWave);
+        }
+
+        RunState {
+            cfg,
+            tree,
+            horizon,
+            monitor_start,
+            world,
+            q,
+            feed,
+            monitored: Vec::new(),
+            monitored_by_service: BTreeMap::new(),
+            monitored_monthly: analysis::MonthlySeries::new(),
+            store: SnapshotStore::new(),
+            crawl_batch: Vec::new(),
+            changes: Vec::new(),
+            ip_lottery_declines: 0,
+            caa_blocked_certs: 0,
+            liveness: Vec::new(),
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Retrospective signature pass (§3.2), run once at the horizon.
+//!
+//! Consumes the final [`RunState`]: registrar rule-out, signature derivation
+//! and validation against the benign corpus, matching, correction-time
+//! extraction, and the detection evaluation against ground truth. Produces
+//! the assembled [`StudyResults`].
+
+use super::RunState;
+use crate::diff::{ChangeKind, ChangeRecord};
+use crate::report::{AbuseRecord, DetectionEval, StudyResults};
+use crate::signature::{derive_signatures, is_suspicious, match_all, validate_signatures};
+use dns::Name;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// The retrospective stage. Unlike the event-driven stages it runs exactly
+/// once, consuming the run state.
+pub struct RetroStage;
+
+impl RetroStage {
+    pub fn assemble(self, rs: RunState) -> StudyResults {
+        let RunState {
+            cfg,
+            world,
+            horizon,
+            feed,
+            monitored,
+            monitored_by_service,
+            monitored_monthly,
+            store,
+            changes,
+            ip_lottery_declines,
+            caa_blocked_certs,
+            liveness,
+            ..
+        } = rs;
+
+        // FQDN -> plan index (for service attribution).
+        let fqdn_plan: HashMap<Name, usize> = world
+            .population
+            .plans
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.subdomain.clone(), i))
+            .collect();
+
+        // Registrar rule-out first (Figure 10's machinery): clusters of
+        // identical changes confined to one registrar are registrar-driven
+        // (parking rotations) and are excluded from signature derivation and
+        // matching.
+        let registrar_of = |sld: &Name| -> Option<u16> {
+            world
+                .population
+                .orgs
+                .iter()
+                .find(|o| &o.apex == sld)
+                .map(|o| o.registrar.0)
+        };
+        let suspicious_all: Vec<ChangeRecord> = changes
+            .iter()
+            .filter(|c| is_suspicious(c))
+            .cloned()
+            .collect();
+        let change_clusters = crate::benign::cluster_changes(&suspicious_all, registrar_of);
+        let registrar_driven_fqdns: HashSet<Name> = change_clusters
+            .iter()
+            .filter(|c| c.fqdns.len() >= 2 && c.registrar_driven())
+            .flat_map(|c| c.fqdns.iter().cloned())
+            .collect();
+        let changes_ruled: Vec<ChangeRecord> = changes
+            .iter()
+            .filter(|c| !registrar_driven_fqdns.contains(&c.fqdn))
+            .cloned()
+            .collect();
+        let sigs = derive_signatures(&changes_ruled, cfg.min_signature_slds);
+        // Benign corpus: latest snapshots of monitored FQDNs that never
+        // produced a suspicious change. `store.iter()` is canonical-order, so
+        // the `take` below samples the same corpus on every run and thread
+        // count.
+        let suspicious_fqdns: HashSet<&Name> = changes
+            .iter()
+            .filter(|c| is_suspicious(c))
+            .map(|c| &c.fqdn)
+            .collect();
+        let benign_corpus: Vec<&crate::snapshot::Snapshot> = store
+            .iter()
+            .filter(|s| !suspicious_fqdns.contains(&s.fqdn) && s.is_serving())
+            .take(4000)
+            .collect();
+        let (signatures, signatures_discarded) = validate_signatures(sigs, &benign_corpus);
+
+        // Match every suspicious change's after-snapshot.
+        let mut abuse_map: BTreeMap<Name, AbuseRecord> = BTreeMap::new();
+        for rec in changes_ruled.iter().filter(|c| is_suspicious(c)) {
+            let matched = match_all(&signatures, &rec.after);
+            if matched.is_empty() {
+                continue;
+            }
+            let kinds: Vec<_> = matched.iter().map(|s| s.kind()).collect();
+            let entry = abuse_map.entry(rec.fqdn.clone()).or_insert_with(|| {
+                let sld = rec.fqdn.sld().unwrap_or_else(|| rec.fqdn.clone());
+                let org = world
+                    .population
+                    .orgs
+                    .iter()
+                    .find(|o| o.apex == sld)
+                    .map(|o| o.id);
+                let service = fqdn_plan
+                    .get(&rec.fqdn)
+                    .map(|&i| world.population.plans[i].service);
+                let topic = crate::classify::classify_topic(&rec.after);
+                let techniques = crate::classify::detect_techniques(&rec.after);
+                AbuseRecord {
+                    fqdn: rec.fqdn.clone(),
+                    sld,
+                    org,
+                    first_seen: rec.day,
+                    corrected_at: None,
+                    signature_kinds: Vec::new(),
+                    topic,
+                    techniques,
+                    language: rec.after.language.clone(),
+                    cname_target: rec.after.cname_target.clone(),
+                    service,
+                    sitemap_bytes: rec.after.sitemap_bytes,
+                    page_count_est: rec
+                        .after
+                        .sitemap_bytes
+                        .map(|b| b.saturating_sub(120) / 80)
+                        .unwrap_or(0),
+                    identifiers: rec.after.identifiers.clone(),
+                    meta_keywords: rec.after.meta_keywords.clone(),
+                    keywords: rec.after.keywords.clone(),
+                    generator: rec.after.generator.clone(),
+                    html: rec.after.html.clone(),
+                }
+            });
+            for k in kinds {
+                if !entry.signature_kinds.contains(&k) {
+                    entry.signature_kinds.push(k);
+                }
+            }
+        }
+        // Correction times: the first unreachability/DNS-removal change after
+        // first_seen.
+        for rec in &changes {
+            if !rec
+                .kinds
+                .iter()
+                .any(|k| matches!(k, ChangeKind::BecameUnreachable | ChangeKind::Dns))
+            {
+                continue;
+            }
+            if let Some(a) = abuse_map.get_mut(&rec.fqdn) {
+                if rec.day > a.first_seen && a.corrected_at.map(|c| rec.day < c).unwrap_or(true) {
+                    a.corrected_at = Some(rec.day);
+                }
+            }
+        }
+        let abuse: Vec<AbuseRecord> = abuse_map.into_values().collect();
+
+        // Detection evaluation against ground truth.
+        let truth_fqdns: HashSet<&Name> = world.truth.iter().map(|t| &t.victim_fqdn).collect();
+        let detected_fqdns: HashSet<&Name> = abuse.iter().map(|a| &a.fqdn).collect();
+        let tp = detected_fqdns.intersection(&truth_fqdns).count();
+        let detection = DetectionEval {
+            true_positives: tp,
+            false_positives: detected_fqdns.len() - tp,
+            false_negatives: truth_fqdns.len() - tp,
+        };
+
+        StudyResults {
+            scale: cfg.world.scale,
+            horizon,
+            monitored_monthly: monitored_monthly.dense(),
+            feed_size: feed.len(),
+            monitored_total: monitored.len(),
+            monitored_by_service,
+            abuse,
+            signatures,
+            signatures_discarded,
+            change_clusters,
+            changes_total: changes.len(),
+            world,
+            detection,
+            ip_lottery_declines,
+            caa_blocked_certs,
+            changes,
+            liveness,
+        }
+    }
+}

@@ -108,6 +108,55 @@ pub struct StudyResults {
     pub liveness: Vec<LivenessSample>,
 }
 
+/// Serialized form of a full run, used by the parallel-equivalence tests to
+/// byte-compare results across crawl thread counts. The `world` field is
+/// projected to its ground truth (the rest of [`World`] is live simulation
+/// machinery, not an observable result).
+impl Serialize for StudyResults {
+    fn to_json_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("scale".into(), serde::to_value(&self.scale)),
+            ("horizon".into(), serde::to_value(&self.horizon)),
+            (
+                "monitored_monthly".into(),
+                serde::to_value(&self.monitored_monthly),
+            ),
+            ("feed_size".into(), serde::to_value(&self.feed_size)),
+            (
+                "monitored_total".into(),
+                serde::to_value(&self.monitored_total),
+            ),
+            (
+                "monitored_by_service".into(),
+                serde::to_value(&self.monitored_by_service),
+            ),
+            ("abuse".into(), serde::to_value(&self.abuse)),
+            ("signatures".into(), serde::to_value(&self.signatures)),
+            (
+                "signatures_discarded".into(),
+                serde::to_value(&self.signatures_discarded),
+            ),
+            (
+                "change_clusters".into(),
+                serde::to_value(&self.change_clusters),
+            ),
+            ("changes_total".into(), serde::to_value(&self.changes_total)),
+            ("truth".into(), serde::to_value(&self.world.truth)),
+            ("detection".into(), serde::to_value(&self.detection)),
+            (
+                "ip_lottery_declines".into(),
+                serde::to_value(&self.ip_lottery_declines),
+            ),
+            (
+                "caa_blocked_certs".into(),
+                serde::to_value(&self.caa_blocked_certs),
+            ),
+            ("changes".into(), serde::to_value(&self.changes)),
+            ("liveness".into(), serde::to_value(&self.liveness)),
+        ])
+    }
+}
+
 impl StudyResults {
     /// §2's headline: fraction of hijacked domains each probe type deems
     /// responsive (paper: ICMP 72%, TCP 93%, HTTP 89%).
@@ -126,11 +175,14 @@ impl StudyResults {
 /// An alias used across the workspace.
 pub type StudyReport = StudyResults;
 
+/// A month-indexed series of points, as plotted on the paper's time axes.
+pub type MonthlyCurve = Vec<(i32, f64)>;
+
 impl StudyResults {
     // ------------------------------------------------------------------
     // Figure 1: monitored vs cumulative hijacked over time.
     // ------------------------------------------------------------------
-    pub fn fig1_series(&self) -> (Vec<(i32, f64)>, Vec<(i32, f64)>) {
+    pub fn fig1_series(&self) -> (MonthlyCurve, MonthlyCurve) {
         let mut detections = analysis::MonthlySeries::new();
         for a in &self.abuse {
             detections.increment(a.first_seen.month_index());
@@ -337,7 +389,7 @@ impl StudyResults {
                 (s, mon, ab, pct)
             })
             .collect();
-        rows.sort_by(|a, b| b.1.cmp(&a.1));
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1));
         rows
     }
 
@@ -374,7 +426,7 @@ impl StudyResults {
             .into_iter()
             .map(|(s, c)| (s.to_string(), c))
             .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|e| std::cmp::Reverse(e.1));
         v
     }
 

@@ -6,25 +6,21 @@
 //! (weekly, per §3). At the horizon it performs the retrospective signature
 //! derivation + validation + matching pass of §3.2 and assembles a
 //! [`StudyResults`].
+//!
+//! [`Scenario::run`] is a thin orchestrator: the actual work lives in the
+//! [`crate::pipeline`] stages — world advancement, Algorithm-1 collection,
+//! the shard-parallel weekly crawl, diff/record, and the retrospective pass.
+//! The crawl's determinism contract (byte-identical results for any
+//! `crawl_threads`) is documented in [`crate::pipeline`].
 
-use crate::collect::{CloudPointer, Collector, Feed};
-use crate::diff::{record as diff_record, ChangeKind, ChangeRecord};
-use crate::monitor::Crawler;
-use crate::report::{AbuseRecord, DetectionEval, StudyResults};
-use crate::signature::{derive_signatures, is_suspicious, match_all, validate_signatures};
-use crate::snapshot::SnapshotStore;
-use crate::world::{remediation_delay, HijackTruth, World};
-use attacker::{CostModel, Scanner};
-use certsim::CaId;
-use cloudsim::{AccountId, NamingModel, PlatformConfig, ResourceId, ServiceId};
-use contentgen::abuse::AbuseTopic;
-use dns::{Name, Resolver};
-use rand::seq::SliceRandom;
-use rand::Rng;
+use crate::pipeline::{
+    CollectStage, CrawlStage, DiffStage, Ev, RetroStage, RunState, Stage, WorldStage,
+};
+use crate::report::StudyResults;
+use cloudsim::PlatformConfig;
 use serde::{Deserialize, Serialize};
-use simcore::{Date, EventQueue, RngTree, Scale, SimTime};
-use std::collections::{BTreeMap, HashMap, HashSet};
-use worldgen::{CaaPolicy, Population, WorldConfig};
+use simcore::{Date, Scale, SimTime};
+use worldgen::WorldConfig;
 
 /// Scenario parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -47,6 +43,14 @@ pub struct ScenarioConfig {
     pub org_cert_probability: f64,
     /// Per-hijack probability the campaign also runs a cookie stealer.
     pub cookie_stealer_probability: f64,
+    /// Worker threads for the weekly crawl (0 or 1 = serial). Results are
+    /// byte-identical for any value — see [`crate::pipeline`].
+    #[serde(default)]
+    pub crawl_threads: usize,
+    /// Per-fetch probability of a transient crawl failure (0.0 disables the
+    /// model). Keyed per (FQDN, day), so also thread-count-invariant.
+    #[serde(default)]
+    pub crawl_failure_rate: f64,
 }
 
 impl ScenarioConfig {
@@ -71,6 +75,8 @@ impl ScenarioConfig {
             cert_boost_until: Date::new(2022, 12, 16).to_sim(),
             org_cert_probability: 0.35,
             cookie_stealer_probability: 0.02,
+            crawl_threads: 1,
+            crawl_failure_rate: 0.0,
         }
     }
 }
@@ -79,26 +85,6 @@ impl Default for ScenarioConfig {
     fn default() -> Self {
         Self::at_scale(100)
     }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Ev {
-    Provision(usize),
-    Release(usize),
-    Remediate(usize),
-    OrgCertRenewal(usize),
-    AttackerWeek,
-    MonitorWeek,
-    BenignRefresh,
-    HistoricCertWave,
-    /// §2 probe comparison against one live hijack.
-    LivenessProbe(usize),
-}
-
-/// Mutable per-campaign execution state.
-struct CampaignState {
-    hijacked_hosts: Vec<String>,
-    quota_used: u32,
 }
 
 /// The scenario engine.
@@ -112,865 +98,43 @@ impl Scenario {
     }
 
     /// Run the full study and assemble results.
+    ///
+    /// Pure orchestration: builds the [`RunState`], instantiates the stages,
+    /// dispatches events in scheduled order (for `MonitorWeek` the monitoring
+    /// stages run in pipeline order: collect → crawl → diff), then hands the
+    /// final state to the retrospective stage.
     pub fn run(self) -> StudyResults {
-        let cfg = self.cfg;
-        let tree = RngTree::new(cfg.seed);
-        let population = Population::generate(cfg.world.clone(), &tree);
-        let campaigns = attacker::generate_campaigns(&cfg.campaigns, &tree);
-        let mut world = World::new(population, campaigns, cfg.platform.clone(), tree.clone());
+        let threads = self.cfg.crawl_threads;
+        let failure_rate = self.cfg.crawl_failure_rate;
+        let mut rs = RunState::new(self.cfg);
 
-        let horizon = SimTime::monitor_end();
-        let monitor_start = SimTime::monitor_start();
+        let mut world_stage = WorldStage::new(&rs);
+        let mut collect = CollectStage::new(&rs);
+        let mut crawl = CrawlStage::new(threads, failure_rate);
+        let mut diff = DiffStage;
 
-        // ----- feed -----
-        let mut feed_entries: Vec<(Name, SimTime)> = Vec::new();
-        for plan in &world.population.plans {
-            feed_entries.push((
-                plan.subdomain.clone(),
-                plan.discovered_at.max(monitor_start),
-            ));
-        }
-        // Non-cloud names (apexes) also flow through Algorithm 1 and must be
-        // filtered out — the methodology's own selectivity.
-        for org in &world.population.orgs {
-            feed_entries.push((org.apex.clone(), monitor_start));
-        }
-        let feed = Feed::new(feed_entries);
-
-        // ----- event queue -----
-        let mut q: EventQueue<Ev> = EventQueue::new();
-        for (i, plan) in world.population.plans.iter().enumerate() {
-            q.schedule(plan.create_at.max(SimTime::EPOCH), Ev::Provision(i));
-            if let Some(r) = plan.release_at {
-                q.schedule(r, Ev::Release(i));
-            }
-        }
-        {
-            let mut t = monitor_start;
-            while t <= horizon {
-                q.schedule(t, Ev::MonitorWeek);
-                q.schedule(t, Ev::AttackerWeek);
-                t += cfg.monitor_interval_days;
-            }
-            let mut m = Date::new(2016, 1, 1).to_sim();
-            while m <= horizon {
-                q.schedule(m, Ev::BenignRefresh);
-                m = (m + 31).month_floor();
-            }
-            if cfg.historic_cert_wave {
-                q.schedule(Date::new(2017, 8, 1).to_sim(), Ev::HistoricCertWave);
-            }
-        }
-
-        // ----- execution state -----
-        let scanner = Scanner::new();
-        let collector = Collector::new();
-        let cost_model = CostModel::default();
-        let mut plan_resource: Vec<Option<ResourceId>> = vec![None; world.population.plans.len()];
-        let mut open_freetext: Vec<usize> = Vec::new(); // dangling, hijackable
-        let mut open_ip: Vec<usize> = Vec::new(); // dangling IP records (declined)
-        let mut campaign_state: Vec<CampaignState> = world
-            .campaigns
-            .iter()
-            .map(|_| CampaignState {
-                hijacked_hosts: Vec::new(),
-                quota_used: 0,
-            })
-            .collect();
-        let mut monitored: Vec<Name> = Vec::new();
-        let mut monitored_set: HashSet<Name> = HashSet::new();
-        let mut monitored_by_service: BTreeMap<ServiceId, u64> = BTreeMap::new();
-        let mut pending_candidates: Vec<Name> = Vec::new();
-        let mut store = SnapshotStore::new();
-        let mut changes: Vec<ChangeRecord> = Vec::new();
-        let mut monitored_monthly = analysis::MonthlySeries::new();
-        let mut last_feed_check = monitor_start - 1;
-        let mut ip_lottery_declines = 0u64;
-        let mut caa_blocked_certs = 0u64;
-        let mut truth_steals_cookies: Vec<bool> = Vec::new();
-        let mut liveness: Vec<crate::report::LivenessSample> = Vec::new();
-        let mut benign_rng = tree.rng("scenario/benign");
-        let mut attacker_rng = tree.rng("scenario/attacker");
-        let mut org_rng = tree.rng("scenario/orgs");
-        let mut refresh_round = 0u32;
-
-        // FQDN -> plan index (for service attribution and remediation).
-        let fqdn_plan: HashMap<Name, usize> = world
-            .population
-            .plans
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (p.subdomain.clone(), i))
-            .collect();
-
-        // ----- main loop -----
-        while let Some((now, ev)) = q.pop() {
-            if now > horizon {
+        while let Some((now, ev)) = rs.q.pop() {
+            if now > rs.horizon {
                 break;
             }
             match ev {
-                Ev::Provision(idx) => {
-                    let plan = world.population.plans[idx].clone();
-                    let org = world.population.org(plan.org).clone();
-                    let account = AccountId::Org(org.id.0);
-                    let mut name = plan.resource_name.clone();
-                    let mut rid = None;
-                    for attempt in 0..3 {
-                        let try_name = name.as_deref().map(|n| {
-                            if attempt == 0 {
-                                n.to_string()
-                            } else {
-                                format!("{n}-{attempt}")
-                            }
-                        });
-                        match world.platform.register(
-                            plan.service,
-                            try_name.as_deref(),
-                            plan.region.as_deref(),
-                            account,
-                            now,
-                            &mut org_rng,
-                        ) {
-                            Ok(id) => {
-                                name = try_name;
-                                rid = Some(id);
-                                break;
-                            }
-                            Err(cloudsim::RegisterError::NameTaken) => continue,
-                            Err(_) => break,
-                        }
-                    }
-                    let Some(rid) = rid else { continue };
-                    plan_resource[idx] = Some(rid);
-                    // Serve content; bind the org subdomain. Parked domains
-                    // serve the registrar's parking rotation (the Figure 10
-                    // confounder lives inside the monitored set).
-                    let content = if org.parked {
-                        contentgen::benign::parked_site(
-                            &worldgen::org::registrar_name(org.registrar),
-                            0,
-                        )
-                    } else if org.category == worldgen::OrgCategory::Popular
-                        && org_rng.gen_bool(0.03)
-                    {
-                        // Benign sites whose vocabulary brushes the abuse
-                        // lexicon — the §3.2 validation corpus needs them.
-                        contentgen::benign::benign_topical_site(
-                            &org.name,
-                            &plan.subdomain.to_string(),
-                            &mut org_rng,
-                        )
-                    } else {
-                        contentgen::benign::benign_site(
-                            match org.category {
-                                worldgen::OrgCategory::University => {
-                                    contentgen::BenignKind::University
-                                }
-                                worldgen::OrgCategory::Government => {
-                                    contentgen::BenignKind::Government
-                                }
-                                _ => contentgen::BenignKind::Corporate,
-                            },
-                            &org.name,
-                            org.sector,
-                            &plan.subdomain.to_string(),
-                            &mut org_rng,
-                        )
-                    };
-                    world.platform.set_content(rid, content);
-                    world
-                        .platform
-                        .bind_custom_domain(rid, plan.subdomain.clone());
-                    // Publish the org-side DNS record.
-                    let res = world.platform.resource(rid).unwrap();
-                    let zone = world.org_zones.zone_mut_or_create(&org.apex);
-                    match &res.generated_fqdn {
-                        Some(target) => zone.add(dns::ResourceRecord::new(
-                            plan.subdomain.clone(),
-                            300,
-                            dns::RecordData::Cname(target.clone()),
-                        )),
-                        None => zone.add(dns::ResourceRecord::new(
-                            plan.subdomain.clone(),
-                            300,
-                            dns::RecordData::A(res.ip),
-                        )),
-                    }
-                    // Legitimate certificate issuance (multi-SAN background
-                    // of Figure 20).
-                    if org_rng.gen_bool(cfg.org_cert_probability) {
-                        let sans = if org_rng.gen_bool(0.2) {
-                            vec![Name::parse(&format!("*.{}", org.apex)).unwrap()]
-                        } else {
-                            vec![plan.subdomain.clone(), org.apex.clone()]
-                        };
-                        let ca = match org.caa {
-                            CaaPolicy::PaidOnly => CaId::DigiCert,
-                            CaaPolicy::FreeCa => CaId::LetsEncrypt,
-                            CaaPolicy::None => *[
-                                CaId::LetsEncrypt,
-                                CaId::DigiCert,
-                                CaId::AzureCa,
-                                CaId::Sectigo,
-                            ]
-                            .choose(&mut org_rng)
-                            .unwrap(),
-                        };
-                        if world.try_issue_cert(ca, account, &sans, now).is_ok() {
-                            let renew = now + ca.validity_days() - 7;
-                            if renew > now && renew <= horizon {
-                                q.schedule(renew, Ev::OrgCertRenewal(idx));
-                            }
-                        }
-                    }
-                }
-                Ev::OrgCertRenewal(idx) => {
-                    let Some(rid) = plan_resource[idx] else {
-                        continue;
-                    };
-                    let plan = &world.population.plans[idx];
-                    if !world
-                        .platform
-                        .resource(rid)
-                        .map(|r| r.is_active() && !r.owner.is_attacker())
-                        .unwrap_or(false)
-                    {
-                        continue;
-                    }
-                    let org = world.population.org(plan.org).clone();
-                    let sans = vec![plan.subdomain.clone(), org.apex.clone()];
-                    let ca = match org.caa {
-                        CaaPolicy::PaidOnly => CaId::DigiCert,
-                        _ => CaId::LetsEncrypt,
-                    };
-                    if world
-                        .try_issue_cert(ca, AccountId::Org(org.id.0), &sans, now)
-                        .is_ok()
-                    {
-                        let renew = now + ca.validity_days() - 7;
-                        if renew <= horizon {
-                            q.schedule(renew, Ev::OrgCertRenewal(idx));
-                        }
-                    }
-                }
-                Ev::Release(idx) => {
-                    let Some(rid) = plan_resource[idx] else {
-                        continue;
-                    };
-                    // The attacker may already own the name (only possible if
-                    // the org re-registered; guard anyway).
-                    if world
-                        .platform
-                        .resource(rid)
-                        .map(|r| r.owner.is_attacker())
-                        .unwrap_or(true)
-                    {
-                        continue;
-                    }
-                    world.platform.release(rid, now);
-                    let plan = &world.population.plans[idx];
-                    if plan.purge_record_on_release {
-                        let sub = plan.subdomain.clone();
-                        if let Some(z) = world.org_zones.find_zone_mut(&sub) {
-                            z.remove_name(&sub);
-                        }
-                    } else {
-                        let naming = cloudsim::provider::spec(plan.service).naming;
-                        match naming {
-                            NamingModel::Freetext => open_freetext.push(idx),
-                            NamingModel::IpPool => open_ip.push(idx),
-                            NamingModel::RandomName => {} // unguessable; dead end
-                        }
-                    }
-                }
-                Ev::AttackerWeek => {
-                    // §4.3 economics: every open IP dangling is evaluated and
-                    // declined.
-                    for &idx in &open_ip {
-                        let plan = &world.population.plans[idx];
-                        let org = world.population.org(plan.org);
-                        let pool_free = world
-                            .platform
-                            .pool(plan.service)
-                            .map(|p| p.free_count())
-                            .unwrap_or(0);
-                        let d = cost_model.decide(plan.service, org.tranco_rank, pool_free);
-                        debug_assert!(!d.proceeds());
-                        ip_lottery_declines += 1;
-                    }
-                    open_ip.clear(); // evaluated once, never pursued
-
-                    for ci in 0..world.campaigns.len() {
-                        let campaign = world.campaigns[ci].clone();
-                        if !campaign.is_active(now)
-                            || campaign_state[ci].quota_used >= campaign.target_hijacks
-                        {
-                            continue;
-                        }
-                        let n = simcore::Poisson::new(campaign.hijacks_per_week)
-                            .sample(&mut attacker_rng)
-                            .min((campaign.target_hijacks - campaign_state[ci].quota_used) as u64);
-                        for _ in 0..n {
-                            if open_freetext.is_empty() {
-                                break;
-                            }
-                            // Sample a few candidates; prefer reputation.
-                            let k = 6.min(open_freetext.len());
-                            let mut picks: Vec<usize> = (0..open_freetext.len()).collect();
-                            picks.shuffle(&mut attacker_rng);
-                            picks.truncate(k);
-                            let best_pos = picks
-                                .into_iter()
-                                .max_by(|&a, &b| {
-                                    let va = cost_model.domain_value(
-                                        world
-                                            .population
-                                            .org(world.population.plans[open_freetext[a]].org)
-                                            .tranco_rank,
-                                    );
-                                    let vb = cost_model.domain_value(
-                                        world
-                                            .population
-                                            .org(world.population.plans[open_freetext[b]].org)
-                                            .tranco_rank,
-                                    );
-                                    va.partial_cmp(&vb).unwrap()
-                                })
-                                .unwrap();
-                            let plan_idx = open_freetext.swap_remove(best_pos);
-                            let plan = world.population.plans[plan_idx].clone();
-                            // Cooldown-blocked names free up later: keep the
-                            // opportunity on the list (the §7 mitigation
-                            // delays attackers, it does not erase targets).
-                            if let Some(res) =
-                                plan_resource[plan_idx].and_then(|rid| world.platform.resource(rid))
-                            {
-                                if let Some(name) = &res.name {
-                                    if !world.platform.name_available(
-                                        plan.service,
-                                        name,
-                                        plan.region.as_deref(),
-                                        now,
-                                    ) {
-                                        open_freetext.push(plan_idx);
-                                        continue;
-                                    }
-                                }
-                            }
-                            // Verify via the real scanning primitive.
-                            let findings = {
-                                let resolver = Resolver::new(world.dns());
-                                scanner.scan(
-                                    std::slice::from_ref(&plan.subdomain),
-                                    &resolver,
-                                    &world.platform,
-                                    now,
-                                )
-                            };
-                            let Some(finding) = findings.into_iter().next() else {
-                                continue;
-                            };
-                            let account = campaign.account();
-                            let Ok(rid) = world.platform.register(
-                                finding.service,
-                                Some(&finding.resource_name),
-                                finding.region.as_deref(),
-                                account,
-                                now,
-                                &mut attacker_rng,
-                            ) else {
-                                continue;
-                            };
-                            // Verify the takeover actually worked: the minted
-                            // FQDN must be the one the victim's record points
-                            // at. Under the randomized-names mitigation the
-                            // platform mints something else and the attacker
-                            // walks away (this is the §4.3 determinism check
-                            // in action).
-                            let got = world
-                                .platform
-                                .resource(rid)
-                                .and_then(|r| r.generated_fqdn.clone());
-                            if got.as_ref() != Some(&finding.cloud_fqdn) {
-                                world.platform.release(rid, now);
-                                continue;
-                            }
-                            world
-                                .platform
-                                .bind_custom_domain(rid, finding.victim_fqdn.clone());
-                            let spec = campaign.make_abuse_spec(
-                                &campaign_state[ci].hijacked_hosts,
-                                &mut attacker_rng,
-                            );
-                            let content = contentgen::abuse::build_abuse_site(
-                                &spec,
-                                &finding.victim_fqdn.to_string(),
-                                &mut attacker_rng,
-                            );
-                            world.platform.set_content(rid, content);
-                            campaign_state[ci]
-                                .hijacked_hosts
-                                .push(finding.victim_fqdn.to_string());
-                            campaign_state[ci].quota_used += 1;
-                            // Certificate?
-                            let in_boost =
-                                now >= cfg.cert_boost_from && now <= cfg.cert_boost_until;
-                            let p_cert = if in_boost {
-                                0.75
-                            } else {
-                                campaign.cert_probability
-                            };
-                            let mut cert = None;
-                            let mut cert_at = None;
-                            if attacker_rng.gen_bool(p_cert) {
-                                let ca = if attacker_rng.gen_bool(0.85) {
-                                    CaId::LetsEncrypt
-                                } else {
-                                    CaId::ZeroSsl
-                                };
-                                match world.try_issue_cert(
-                                    ca,
-                                    account,
-                                    std::slice::from_ref(&finding.victim_fqdn),
-                                    now,
-                                ) {
-                                    Ok(id) => {
-                                        cert = Some(id);
-                                        cert_at = Some(now);
-                                    }
-                                    Err(certsim::IssueError::CaaForbids(_)) => {
-                                        caa_blocked_certs += 1;
-                                    }
-                                    Err(_) => {}
-                                }
-                            }
-                            // Malware droppers on gambling sites (§5.4).
-                            if spec.topic == AbuseTopic::Gambling {
-                                let arts = world.malware_model.sample_site(
-                                    &finding.victim_fqdn,
-                                    now,
-                                    &mut attacker_rng,
-                                );
-                                world.binaries.extend(arts);
-                            }
-                            // Ground truth + remediation scheduling.
-                            let org = world.population.org(plan.org).clone();
-                            let delay =
-                                remediation_delay(org.remediation_median_days, &mut attacker_rng);
-                            let truth_idx = world.truth.len();
-                            world.truth.push(HijackTruth {
-                                victim_fqdn: finding.victim_fqdn.clone(),
-                                cloud_fqdn: finding.cloud_fqdn.clone(),
-                                org: org.id,
-                                campaign: campaign.id,
-                                service: finding.service,
-                                resource: rid,
-                                start: now,
-                                end: None,
-                                topic: spec.topic,
-                                technique: spec.technique,
-                                page_count: spec.page_count,
-                                identifiers_embedded: !spec.links.phones.is_empty()
-                                    || !spec.links.social.is_empty(),
-                                cert,
-                                cert_issued_at: cert_at,
-                            });
-                            truth_steals_cookies
-                                .push(attacker_rng.gen_bool(cfg.cookie_stealer_probability));
-                            let rem = now + delay;
-                            if rem <= horizon {
-                                q.schedule(rem, Ev::Remediate(truth_idx));
-                            }
-                            if now + 7 <= horizon {
-                                q.schedule(now + 7, Ev::LivenessProbe(truth_idx));
-                            }
-                        }
-                    }
-
-                    // Cookie exfiltration on live stealer hijacks (§5.5).
-                    for (ti, t) in world.truth.iter().enumerate() {
-                        if t.end.is_some()
-                            || !truth_steals_cookies.get(ti).copied().unwrap_or(false)
-                        {
-                            continue;
-                        }
-                        let class = world.capability_of(t.service);
-                        let https = t.cert.is_some();
-                        let visitors = world.weekly_visitors(t.org);
-                        let fqdn = t.victim_fqdn.clone();
-                        world.vault.simulate_visits(
-                            &fqdn,
-                            class,
-                            https,
-                            visitors,
-                            0.02,
-                            now,
-                            &mut attacker_rng,
-                        );
-                    }
-                }
-                Ev::Remediate(truth_idx) => {
-                    let fqdn = world.truth[truth_idx].victim_fqdn.clone();
-                    if world.truth[truth_idx].end.is_some() {
-                        continue;
-                    }
-                    if let Some(z) = world.org_zones.find_zone_mut(&fqdn) {
-                        z.remove_name(&fqdn);
-                    }
-                    world.truth[truth_idx].end = Some(now);
-                }
-                Ev::BenignRefresh => {
-                    refresh_round += 1;
-                    // Parking rotations: all parked apexes of one registrar
-                    // flip together (the Figure 10 confounder).
-                    let parked: Vec<(Name, String)> = world
-                        .population
-                        .orgs
-                        .iter()
-                        .filter(|o| o.parked)
-                        .map(|o| (o.apex.clone(), worldgen::org::registrar_name(o.registrar)))
-                        .collect();
-                    for (apex, provider) in parked {
-                        if let Some(ip) = world.origins.ip_of(&apex) {
-                            world.origins.host(
-                                apex,
-                                ip,
-                                contentgen::benign::parked_site(&provider, refresh_round),
-                            );
-                        }
-                    }
-                    // A slice of org cloud sites get routine content updates;
-                    // parked cloud sites rotate with their registrar.
-                    let active: Vec<(ResourceId, usize)> = plan_resource
-                        .iter()
-                        .enumerate()
-                        .filter_map(|(i, r)| r.map(|rid| (rid, i)))
-                        .filter(|(rid, _)| {
-                            world
-                                .platform
-                                .resource(*rid)
-                                .map(|r| r.is_active() && !r.owner.is_attacker())
-                                .unwrap_or(false)
-                        })
-                        .collect();
-                    for (rid, idx) in active {
-                        let plan = &world.population.plans[idx];
-                        let org = world.population.org(plan.org).clone();
-                        if org.parked {
-                            world.platform.set_content(
-                                rid,
-                                contentgen::benign::parked_site(
-                                    &worldgen::org::registrar_name(org.registrar),
-                                    refresh_round,
-                                ),
-                            );
-                            continue;
-                        }
-                        if !benign_rng.gen_bool(0.02) {
-                            continue;
-                        }
-                        let content = contentgen::benign::benign_site(
-                            contentgen::BenignKind::Corporate,
-                            &org.name,
-                            org.sector,
-                            &plan.subdomain.to_string(),
-                            &mut benign_rng,
-                        );
-                        world.platform.set_content(rid, content);
-                    }
-                }
-                Ev::HistoricCertWave => {
-                    // Figure 20's 2017 anomaly: single-SAN LE certs mass
-                    // issued for subdomains that will later dangle. Appended
-                    // directly to CT (pre-study history reconstruction; see
-                    // DESIGN.md substitutions).
-                    let candidates: Vec<Name> = world
-                        .population
-                        .plans
-                        .iter()
-                        .filter(|p| p.deterministically_hijackable())
-                        .map(|p| p.subdomain.clone())
-                        .collect();
-                    let mut rng = tree.rng("scenario/certwave2017");
-                    let n = (candidates.len() as f64 * 0.5) as usize;
-                    let mut picks = candidates;
-                    picks.shuffle(&mut rng);
-                    picks.truncate(n);
-                    for (i, fqdn) in picks.into_iter().enumerate() {
-                        let id = world.fresh_cert_id();
-                        let cert = certsim::Certificate {
-                            id,
-                            subject: fqdn.clone(),
-                            sans: vec![fqdn],
-                            issuer: if i % 20 == 0 {
-                                CaId::ZeroSsl
-                            } else {
-                                CaId::LetsEncrypt
-                            },
-                            not_before: now,
-                            not_after: now + 90,
-                            requested_by: AccountId::Attacker(u32::MAX),
-                        };
-                        world.ct.append(cert, now + (i as i32 % 14));
-                    }
-                }
-                Ev::LivenessProbe(truth_idx) => {
-                    // §2's methodology comparison, run while the hijack is
-                    // live: ICMP and TCP probe the resolved IP; HTTP carries
-                    // the FQDN in the Host header.
-                    let t = &world.truth[truth_idx];
-                    let fqdn = t.victim_fqdn.clone();
-                    let outcome = {
-                        let resolver = Resolver::new(world.dns());
-                        resolver.resolve_a(&fqdn, now)
-                    };
-                    let web = world.web();
-                    use httpsim::{probe::probe, ProbeKind, ProbeResult};
-                    let (icmp, tcp80, tcp443, http) = match outcome.addresses.first() {
-                        Some(&ip) => (
-                            probe(&web, ProbeKind::IcmpPing, ip, &fqdn.to_string(), now)
-                                .considers_alive(),
-                            probe(&web, ProbeKind::TcpConnect(80), ip, &fqdn.to_string(), now)
-                                .considers_alive(),
-                            probe(&web, ProbeKind::TcpConnect(443), ip, &fqdn.to_string(), now)
-                                .considers_alive(),
-                            matches!(
-                                probe(
-                                    &web,
-                                    ProbeKind::Http { https: false },
-                                    ip,
-                                    &fqdn.to_string(),
-                                    now
-                                ),
-                                ProbeResult::HttpResponse(_)
-                            ),
-                        ),
-                        None => (false, false, false, false),
-                    };
-                    liveness.push(crate::report::LivenessSample {
-                        icmp,
-                        tcp80,
-                        tcp443,
-                        http,
-                    });
-                }
                 Ev::MonitorWeek => {
-                    // Grow the monitored set from the feed via Algorithm 1.
-                    let new_entries = feed.discovered_between(last_feed_check, now);
-                    last_feed_check = now;
-                    pending_candidates.extend(new_entries);
-                    if !pending_candidates.is_empty() {
-                        let resolver = Resolver::new(world.dns());
-                        let mut still_pending = Vec::new();
-                        for fqdn in pending_candidates.drain(..) {
-                            match collector.classify(&fqdn, &resolver, now) {
-                                CloudPointer::NotCloud => {
-                                    // Non-cloud entries are retried a couple
-                                    // of times then dropped (cheap heuristic
-                                    // for the paper's periodic re-checks).
-                                    still_pending.push((fqdn, 1u8));
-                                }
-                                ptr => {
-                                    if monitored_set.insert(fqdn.clone()) {
-                                        monitored.push(fqdn);
-                                        if let Some(s) = ptr.service() {
-                                            *monitored_by_service.entry(s).or_insert(0) += 1;
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                        // Single retry round for not-cloud outcomes.
-                        pending_candidates.extend(
-                            still_pending
-                                .into_iter()
-                                .filter(|(_, tries)| *tries == 0)
-                                .map(|(f, _)| f),
-                        );
-                    }
-                    // Weekly crawl of the monitored set.
-                    {
-                        let resolver = Resolver::new(world.dns());
-                        let web = world.web();
-                        for fqdn in &monitored {
-                            let snap = {
-                                let prev = store.latest(fqdn);
-                                Crawler::sample(fqdn, &resolver, &web, prev, now)
-                            };
-                            if let Some(prev) = store.latest(fqdn) {
-                                if let Some(rec) = diff_record(prev, snap.clone()) {
-                                    changes.push(rec);
-                                }
-                            }
-                            store.insert(snap);
-                        }
-                    }
-                    monitored_monthly.add(
-                        now.month_index(),
-                        0.0, // touch the bucket; set below
-                    );
-                    let m = now.month_index();
-                    let current = monitored.len() as f64;
-                    // Record the max within the month (overwrites upward).
-                    if monitored_monthly.get(m) < current {
-                        let delta = current - monitored_monthly.get(m);
-                        monitored_monthly.add(m, delta);
-                    }
+                    collect.weekly(&mut rs, now);
+                    crawl.weekly(&mut rs, now);
+                    diff.weekly(&mut rs, now);
                 }
+                other => world_stage.on_event(&mut rs, now, other),
             }
         }
 
-        // ------------------------------------------------------------------
-        // Retrospective detection pass (§3.2).
-        // ------------------------------------------------------------------
-        // Registrar rule-out first (Figure 10's machinery): clusters of
-        // identical changes confined to one registrar are registrar-driven
-        // (parking rotations) and are excluded from signature derivation and
-        // matching.
-        let registrar_of = |sld: &Name| -> Option<u16> {
-            world
-                .population
-                .orgs
-                .iter()
-                .find(|o| &o.apex == sld)
-                .map(|o| o.registrar.0)
-        };
-        let suspicious_all: Vec<ChangeRecord> = changes
-            .iter()
-            .filter(|c| is_suspicious(c))
-            .cloned()
-            .collect();
-        let change_clusters = crate::benign::cluster_changes(&suspicious_all, registrar_of);
-        let registrar_driven_fqdns: HashSet<Name> = change_clusters
-            .iter()
-            .filter(|c| c.fqdns.len() >= 2 && c.registrar_driven())
-            .flat_map(|c| c.fqdns.iter().cloned())
-            .collect();
-        let changes_ruled: Vec<ChangeRecord> = changes
-            .iter()
-            .filter(|c| !registrar_driven_fqdns.contains(&c.fqdn))
-            .cloned()
-            .collect();
-        let sigs = derive_signatures(&changes_ruled, cfg.min_signature_slds);
-        // Benign corpus: latest snapshots of monitored FQDNs that never
-        // produced a suspicious change.
-        let suspicious_fqdns: HashSet<&Name> = changes
-            .iter()
-            .filter(|c| is_suspicious(c))
-            .map(|c| &c.fqdn)
-            .collect();
-        let benign_corpus: Vec<&crate::snapshot::Snapshot> = store
-            .iter()
-            .filter(|s| !suspicious_fqdns.contains(&s.fqdn) && s.is_serving())
-            .take(4000)
-            .collect();
-        let (signatures, signatures_discarded) = validate_signatures(sigs, &benign_corpus);
-
-        // Match every suspicious change's after-snapshot.
-        let mut abuse_map: BTreeMap<Name, AbuseRecord> = BTreeMap::new();
-        for rec in changes_ruled.iter().filter(|c| is_suspicious(c)) {
-            let matched = match_all(&signatures, &rec.after);
-            if matched.is_empty() {
-                continue;
-            }
-            let kinds: Vec<_> = matched.iter().map(|s| s.kind()).collect();
-            let entry = abuse_map.entry(rec.fqdn.clone()).or_insert_with(|| {
-                let sld = rec.fqdn.sld().unwrap_or_else(|| rec.fqdn.clone());
-                let org = world
-                    .population
-                    .orgs
-                    .iter()
-                    .find(|o| o.apex == sld)
-                    .map(|o| o.id);
-                let service = fqdn_plan
-                    .get(&rec.fqdn)
-                    .map(|&i| world.population.plans[i].service);
-                let topic = crate::classify::classify_topic(&rec.after);
-                let techniques = crate::classify::detect_techniques(&rec.after);
-                AbuseRecord {
-                    fqdn: rec.fqdn.clone(),
-                    sld,
-                    org,
-                    first_seen: rec.day,
-                    corrected_at: None,
-                    signature_kinds: Vec::new(),
-                    topic,
-                    techniques,
-                    language: rec.after.language.clone(),
-                    cname_target: rec.after.cname_target.clone(),
-                    service,
-                    sitemap_bytes: rec.after.sitemap_bytes,
-                    page_count_est: rec
-                        .after
-                        .sitemap_bytes
-                        .map(|b| b.saturating_sub(120) / 80)
-                        .unwrap_or(0),
-                    identifiers: rec.after.identifiers.clone(),
-                    meta_keywords: rec.after.meta_keywords.clone(),
-                    keywords: rec.after.keywords.clone(),
-                    generator: rec.after.generator.clone(),
-                    html: rec.after.html.clone(),
-                }
-            });
-            for k in kinds {
-                if !entry.signature_kinds.contains(&k) {
-                    entry.signature_kinds.push(k);
-                }
-            }
-        }
-        // Correction times: the first unreachability/DNS-removal change after
-        // first_seen.
-        for rec in &changes {
-            if !rec
-                .kinds
-                .iter()
-                .any(|k| matches!(k, ChangeKind::BecameUnreachable | ChangeKind::Dns))
-            {
-                continue;
-            }
-            if let Some(a) = abuse_map.get_mut(&rec.fqdn) {
-                if rec.day > a.first_seen && a.corrected_at.map(|c| rec.day < c).unwrap_or(true) {
-                    a.corrected_at = Some(rec.day);
-                }
-            }
-        }
-        let abuse: Vec<AbuseRecord> = abuse_map.into_values().collect();
-
-        // Detection evaluation against ground truth.
-        let truth_fqdns: HashSet<&Name> = world.truth.iter().map(|t| &t.victim_fqdn).collect();
-        let detected_fqdns: HashSet<&Name> = abuse.iter().map(|a| &a.fqdn).collect();
-        let tp = detected_fqdns.intersection(&truth_fqdns).count();
-        let detection = DetectionEval {
-            true_positives: tp,
-            false_positives: detected_fqdns.len() - tp,
-            false_negatives: truth_fqdns.len() - tp,
-        };
-
-        StudyResults {
-            scale: cfg.world.scale,
-            horizon,
-            monitored_monthly: monitored_monthly.dense(),
-            feed_size: feed.len(),
-            monitored_total: monitored.len(),
-            monitored_by_service,
-            abuse,
-            signatures,
-            signatures_discarded,
-            change_clusters,
-            changes_total: changes.len(),
-            world,
-            detection,
-            ip_lottery_declines,
-            caa_blocked_certs,
-            changes,
-            liveness,
-        }
+        RetroStage.assemble(rs)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cloudsim::NamingModel;
 
     /// A very small but complete end-to-end run.
     fn small_results() -> StudyResults {

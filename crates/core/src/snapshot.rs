@@ -111,10 +111,27 @@ pub fn body_hash(body: &[u8]) -> u64 {
     h
 }
 
-/// Latest-snapshot store with change history hooks.
-#[derive(Debug, Default)]
+/// Default shard count for [`SnapshotStore`]. Sixteen keeps per-shard maps
+/// small at production scale while staying cheap at test scale.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Latest-snapshot store, sharded by a stable hash of the FQDN.
+///
+/// Sharding serves the parallel monitoring pipeline: the crawl executor
+/// partitions work by [`SnapshotStore::shard_of`], so every worker thread
+/// touches a disjoint slice of the keyspace, and [`SnapshotStore::iter`]
+/// yields snapshots in canonical FQDN order — never raw `HashMap` order — so
+/// downstream passes (the §3.2 benign-corpus sample in particular) are
+/// byte-deterministic for any shard or thread count.
+#[derive(Debug)]
 pub struct SnapshotStore {
-    latest: HashMap<Name, Snapshot>,
+    shards: Vec<HashMap<Name, Snapshot>>,
+}
+
+impl Default for SnapshotStore {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
 }
 
 impl SnapshotStore {
@@ -122,25 +139,57 @@ impl SnapshotStore {
         Self::default()
     }
 
+    /// A store with a specific shard count (minimum 1).
+    pub fn with_shards(n: usize) -> Self {
+        SnapshotStore {
+            shards: (0..n.max(1)).map(|_| HashMap::new()).collect(),
+        }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard an FQDN lives in. FNV-1a over the labels — a fixed hash,
+    /// not the std `RandomState`, so the partition is identical across runs,
+    /// processes and thread counts.
+    pub fn shard_of(&self, fqdn: &Name) -> usize {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for label in fqdn.labels() {
+            for &b in label.as_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            h ^= 0xff; // label separator, so ["ab","c"] != ["a","bc"]
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        (h % self.shards.len() as u64) as usize
+    }
+
     pub fn latest(&self, fqdn: &Name) -> Option<&Snapshot> {
-        self.latest.get(fqdn)
+        self.shards[self.shard_of(fqdn)].get(fqdn)
     }
 
     /// Insert a new snapshot, returning the previous one (for diffing).
     pub fn insert(&mut self, snap: Snapshot) -> Option<Snapshot> {
-        self.latest.insert(snap.fqdn.clone(), snap)
+        let shard = self.shard_of(&snap.fqdn);
+        self.shards[shard].insert(snap.fqdn.clone(), snap)
     }
 
     pub fn len(&self) -> usize {
-        self.latest.len()
+        self.shards.iter().map(HashMap::len).sum()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.latest.is_empty()
+        self.shards.iter().all(HashMap::is_empty)
     }
 
+    /// All latest snapshots in canonical (sorted-FQDN) order. O(n log n),
+    /// paid once by the retrospective pass — the price of determinism.
     pub fn iter(&self) -> impl Iterator<Item = &Snapshot> {
-        self.latest.values()
+        let mut all: Vec<&Snapshot> = self.shards.iter().flat_map(HashMap::values).collect();
+        all.sort_unstable_by(|a, b| a.fqdn.cmp(&b.fqdn));
+        all.into_iter()
     }
 }
 
@@ -201,5 +250,39 @@ mod tests {
     fn body_hash_distinguishes() {
         assert_ne!(body_hash(b"a"), body_hash(b"b"));
         assert_eq!(body_hash(b"same"), body_hash(b"same"));
+    }
+
+    #[test]
+    fn store_iterates_in_canonical_order() {
+        let mut store = SnapshotStore::with_shards(4);
+        for host in ["z.b.com", "a.b.com", "m.b.com", "k.a.com"] {
+            store.insert(Snapshot::unreachable(
+                host.parse().unwrap(),
+                SimTime(0),
+                Rcode::NoError,
+                None,
+            ));
+        }
+        let order: Vec<String> = store.iter().map(|s| s.fqdn.to_string()).collect();
+        let mut sorted = order.clone();
+        sorted.sort_by(|a, b| {
+            let na: Name = a.parse().unwrap();
+            let nb: Name = b.parse().unwrap();
+            na.cmp(&nb)
+        });
+        assert_eq!(order, sorted);
+        assert_eq!(store.len(), 4);
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_total() {
+        let store = SnapshotStore::with_shards(8);
+        let n: Name = "host.example.com".parse().unwrap();
+        let s = store.shard_of(&n);
+        assert!(s < 8);
+        assert_eq!(s, store.shard_of(&"HOST.example.com".parse().unwrap()));
+        // Different shard counts still cover every name.
+        let one = SnapshotStore::with_shards(1);
+        assert_eq!(one.shard_of(&n), 0);
     }
 }

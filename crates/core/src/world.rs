@@ -382,14 +382,19 @@ mod tests {
         let sub: Name = w.population.orgs[0].apex.child("www2").unwrap();
         w.platform.bind_custom_domain(rid, sub.clone());
         // The owner can issue...
-        let ok = w.try_issue_cert(CaId::LetsEncrypt, AccountId::Org(org.0), &[sub.clone()], t0);
+        let ok = w.try_issue_cert(
+            CaId::LetsEncrypt,
+            AccountId::Org(org.0),
+            std::slice::from_ref(&sub),
+            t0,
+        );
         assert!(ok.is_ok());
         assert_eq!(w.ct.len(), 1);
         // ...a stranger cannot.
         let bad = w.try_issue_cert(
             CaId::LetsEncrypt,
             AccountId::Attacker(9),
-            &[sub.clone()],
+            std::slice::from_ref(&sub),
             t0,
         );
         assert!(bad.is_err());
@@ -429,7 +434,7 @@ mod tests {
         let denied = w.try_issue_cert(
             CaId::LetsEncrypt,
             AccountId::Org(org.id.0),
-            &[sub.clone()],
+            std::slice::from_ref(&sub),
             SimTime(1),
         );
         assert!(matches!(denied, Err(certsim::IssueError::CaaForbids(_))));

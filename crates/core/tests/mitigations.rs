@@ -46,7 +46,7 @@ fn no_releases_means_no_danglings_means_no_hijacks() {
     // The causal chain of §1, run backwards: without released-but-unpurged
     // resources there is nothing to hijack. ("Purge stale DNS records.")
     let base = Scenario::new(cfg(47)).run();
-    assert!(base.world.truth.len() > 0);
+    assert!(!base.world.truth.is_empty());
     let mut c = cfg(47);
     c.world.plan.release_probability = 0.0;
     let r = Scenario::new(c).run();

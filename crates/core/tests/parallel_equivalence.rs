@@ -1,0 +1,32 @@
+//! The parallel crawl's determinism contract, end to end: a full scenario
+//! run must serialize to the *same bytes* for any crawl thread count.
+//!
+//! The config enables the transient-failure model (nonzero
+//! `crawl_failure_rate`) so the RNG-keyed crawl path is exercised too — a
+//! sequential RNG shared across threads would break equality immediately.
+
+use dangling_core::scenario::{Scenario, ScenarioConfig};
+
+fn run_serialized(threads: usize) -> String {
+    let mut cfg = ScenarioConfig::at_scale(2000);
+    cfg.world.n_fortune1000 = 30;
+    cfg.world.n_global500 = 15;
+    cfg.seed = 11;
+    cfg.crawl_threads = threads;
+    cfg.crawl_failure_rate = 0.02;
+    let results = Scenario::new(cfg).run();
+    serde_json::to_string(&results).expect("results serialize")
+}
+
+#[test]
+fn parallel_crawl_is_byte_identical_to_serial() {
+    let serial = run_serialized(1);
+    assert!(serial.len() > 1000, "run produced a non-trivial result");
+    for threads in [2, 4, 8] {
+        let par = run_serialized(threads);
+        assert_eq!(
+            serial, par,
+            "StudyResults diverged between 1 and {threads} crawl threads"
+        );
+    }
+}

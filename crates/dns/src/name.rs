@@ -9,6 +9,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 /// Errors produced when constructing a [`Name`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,17 +52,24 @@ impl std::error::Error for NameError {}
 /// assert!(n.ends_with(&"example.com".parse().unwrap()));
 /// assert_eq!(n.label_count(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Name {
     /// Labels in most-significant-last order: `www.example.com` is
     /// `["www", "example", "com"]`. Always lowercase.
-    labels: Vec<String>,
+    ///
+    /// Shared storage: a `Name` is immutable after construction (every
+    /// operation builds a new one), so cloning — which the monitoring
+    /// pipeline does per FQDN per round — is a reference-count bump, and
+    /// names move freely across crawl-shard threads.
+    labels: Arc<[String]>,
 }
 
 impl Name {
     /// The DNS root (empty name).
     pub fn root() -> Self {
-        Name { labels: Vec::new() }
+        Name {
+            labels: Vec::new().into(),
+        }
     }
 
     /// Build from an iterator of labels (leftmost first).
@@ -74,7 +82,7 @@ impl Name {
         for l in labels {
             out.push(validate_label(l.as_ref())?);
         }
-        let name = Name { labels: out };
+        let name = Name { labels: out.into() };
         name.check_total_length()?;
         name.check_wildcard()?;
         Ok(name)
@@ -134,7 +142,7 @@ impl Name {
             None
         } else {
             Some(Name {
-                labels: self.labels[1..].to_vec(),
+                labels: self.labels[1..].to_vec().into(),
             })
         }
     }
@@ -145,7 +153,9 @@ impl Name {
         let mut labels = Vec::with_capacity(self.labels.len() + 1);
         labels.push(l);
         labels.extend(self.labels.iter().cloned());
-        let name = Name { labels };
+        let name = Name {
+            labels: labels.into(),
+        };
         name.check_total_length()?;
         name.check_wildcard()?;
         Ok(name)
@@ -166,7 +176,7 @@ impl Name {
             return None;
         }
         Some(Name {
-            labels: self.labels[self.labels.len() - 2..].to_vec(),
+            labels: self.labels[self.labels.len() - 2..].to_vec().into(),
         })
     }
 
@@ -183,7 +193,7 @@ impl Name {
             return self == pattern;
         }
         let suffix = Name {
-            labels: pattern.labels[1..].to_vec(),
+            labels: pattern.labels[1..].to_vec().into(),
         };
         self.is_subdomain_of(&suffix)
     }
@@ -237,6 +247,24 @@ impl FromStr for Name {
     type Err = NameError;
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         Name::parse(s)
+    }
+}
+
+/// Names serialize as their dotted presentation form (`"www.example.com"`,
+/// root as `"."`), the shape every DNS dataset and the study's own output
+/// use, rather than as a label array.
+impl Serialize for Name {
+    fn to_json_value(&self) -> serde::Value {
+        serde::Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for Name {
+    fn from_json_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| serde::Error::unexpected("domain name string", v))?;
+        Name::parse(s).map_err(|e| serde::Error::custom(format!("invalid name {s:?}: {e}")))
     }
 }
 
@@ -351,5 +379,30 @@ mod tests {
         // example.com: 1+7 + 1+3 + 1 = 13
         assert_eq!(n("example.com").wire_len(), 13);
         assert_eq!(Name::root().wire_len(), 1);
+    }
+
+    #[test]
+    fn serde_dotted_string_roundtrip() {
+        use serde::{Deserialize, Serialize, Value};
+        let name = n("www.Example.com");
+        assert_eq!(
+            name.to_json_value(),
+            Value::String("www.example.com".into())
+        );
+        assert_eq!(Name::from_json_value(&name.to_json_value()), Ok(name));
+        // Root survives the trip through its "." presentation form.
+        assert_eq!(
+            Name::from_json_value(&Name::root().to_json_value()),
+            Ok(Name::root())
+        );
+        assert!(Name::from_json_value(&Value::String("bad domain".into())).is_err());
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = n("deep.sub.example.com");
+        let b = a.clone();
+        // The Arc-backed label storage is shared, not copied.
+        assert!(std::ptr::eq(a.labels().as_ptr(), b.labels().as_ptr()));
     }
 }

@@ -21,7 +21,12 @@ use std::sync::Arc;
 
 /// Where queries go. The production implementation is [`Authority`]; tests
 /// can inject flaky or adversarial transports.
-pub trait Transport {
+///
+/// `Sync` is a supertrait: the shard-parallel crawl executor resolves
+/// against one shared world from many threads, so every transport must be
+/// safely shareable (all implementations here are plain data or lock their
+/// interior state).
+pub trait Transport: Sync {
     fn exchange(&self, query: &Message) -> Message;
 }
 
@@ -31,7 +36,7 @@ impl Transport for Authority {
     }
 }
 
-impl<T: Transport + ?Sized> Transport for Arc<T> {
+impl<T: Transport + Send + ?Sized> Transport for Arc<T> {
     fn exchange(&self, query: &Message) -> Message {
         (**self).exchange(query)
     }

@@ -99,7 +99,7 @@ impl Encoder {
                 return;
             }
             let here = self.buf.len();
-            if here <= 0x3FFF as usize {
+            if here <= 0x3FFF_usize {
                 self.dict.insert(suffix_key, here as u16);
             }
             let l = labels[i].as_bytes();
@@ -331,8 +331,7 @@ impl<'a> Decoder<'a> {
 
     fn get_question(&mut self) -> Result<Question, WireError> {
         let name = self.get_name()?;
-        let qtype =
-            RecordType::from_code(self.get_u16()?).ok_or_else(|| WireError::UnknownType(0))?;
+        let qtype = RecordType::from_code(self.get_u16()?).ok_or(WireError::UnknownType(0))?;
         let qclass = RecordClass::from_code(self.get_u16()?).ok_or(WireError::UnknownClass(0))?;
         Ok(Question {
             name,

@@ -96,7 +96,7 @@ proptest! {
     fn secure_cookie_never_on_http(
         host in proptest::string::string_regex("[a-z]{1,8}\\.[a-z]{1,8}\\.(com|net|org)").unwrap(),
     ) {
-        let set = format!("t=v; Secure");
+        let set = "t=v; Secure".to_string();
         if let Some(c) = Cookie::parse_set_cookie(&set, &host, SimTime(0)) {
             prop_assert!(!c.sent_to(&host, false, SimTime(0)));
             prop_assert!(c.sent_to(&host, true, SimTime(0)));

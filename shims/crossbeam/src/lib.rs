@@ -1,0 +1,77 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the scoped-thread API is provided, delegating to `std::thread::scope`
+//! (stable since 1.63). The call shape mirrors `crossbeam::thread::scope`, so
+//! swapping the real crate back in later is a no-op for callers.
+
+pub mod thread {
+    /// Scope handle passed to the `scope` closure; spawn borrows from the
+    /// enclosing environment.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread scoped to the enclosing `scope` call. As in
+        /// crossbeam, the closure receives the scope again so it can spawn
+        /// nested threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads; all threads are joined
+    /// before this returns. Unlike crossbeam (which collects panics into the
+    /// `Err` variant), a child-thread panic propagates on join — the `Result`
+    /// wrapper is kept for call-site compatibility and is always `Ok`.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let mut results = vec![0u64; 4];
+        super::scope(|s| {
+            let mut handles = Vec::new();
+            for (chunk_in, chunk_out) in data.chunks(2).zip(results.chunks_mut(2)) {
+                handles.push(s.spawn(move |_| {
+                    for (i, o) in chunk_in.iter().zip(chunk_out.iter_mut()) {
+                        *o = i * 10;
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+        .unwrap();
+        assert_eq!(results, vec![10, 20, 30, 40]);
+    }
+}

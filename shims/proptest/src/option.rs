@@ -1,0 +1,26 @@
+//! `option::of` — optional values.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen_bool(0.5) {
+            Some(self.inner.new_value(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// `None` or `Some(inner)`, evenly split.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

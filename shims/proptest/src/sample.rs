@@ -1,0 +1,18 @@
+//! `sample::Index` — a size-independent index into collections.
+
+/// An abstract index: generated once, projectable onto any non-empty
+/// collection length via [`Index::index`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    pub(crate) fn new(raw: u64) -> Self {
+        Index(raw)
+    }
+
+    /// Project onto `0..size`. Panics if `size` is zero.
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "cannot index an empty collection");
+        ((self.0 as u128 * size as u128) >> 64) as usize
+    }
+}

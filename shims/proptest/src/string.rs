@@ -1,0 +1,415 @@
+//! `string::string_regex` — generate strings matching a regex subset.
+//!
+//! Supported syntax (what the workspace's patterns use): literals, escapes
+//! (`\.` `\r` `\n` `\t` `\\` `\PC`), character classes with ranges, leading
+//! `^` negation and `&&` intersection (`[ -~&&[^\r\n]]`), groups with
+//! alternation `(com|net)`, and the quantifiers `{n}` `{n,m}` `{n,}` `?`
+//! `*` `+`. Generation picks uniformly: a repetition count from the
+//! quantifier range, a character from the (sorted) class set, an alternative
+//! from a group.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::collections::BTreeSet;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+/// Unbounded quantifiers (`*`, `+`, `{n,}`) cap out at `min + 8` repetitions.
+const UNBOUNDED_EXTRA: u32 = 8;
+
+/// ASCII universe used for negated classes and `.`.
+fn ascii_universe() -> BTreeSet<char> {
+    let mut set: BTreeSet<char> = (0x20u8..=0x7e).map(|b| b as char).collect();
+    set.insert('\t');
+    set.insert('\n');
+    set.insert('\r');
+    set
+}
+
+/// `\PC` — "not Unicode Other": printable characters, including a few
+/// multi-byte ones so extractors see non-ASCII input.
+fn printable_universe() -> BTreeSet<char> {
+    let mut set: BTreeSet<char> = (0x20u8..=0x7e).map(|b| b as char).collect();
+    for c in ['\u{e9}', '\u{df}', '\u{101}', '\u{4e2d}', '\u{1f600}'] {
+        set.insert(c);
+    }
+    set
+}
+
+#[derive(Debug)]
+enum NodeKind {
+    /// Sorted candidate characters.
+    Class(Vec<char>),
+    /// Alternative sub-sequences.
+    Group(Vec<Vec<Node>>),
+}
+
+#[derive(Debug)]
+struct Node {
+    kind: NodeKind,
+    min: u32,
+    max: u32,
+}
+
+/// A compiled generator.
+#[derive(Debug)]
+pub struct Regex {
+    nodes: Vec<Node>,
+}
+
+/// The strategy returned by [`string_regex`].
+#[derive(Debug)]
+pub struct RegexGeneratorStrategy {
+    regex: Regex,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        self.regex.generate(rng)
+    }
+}
+
+/// Compile `pattern` into a string-generating strategy.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    Ok(RegexGeneratorStrategy {
+        regex: Regex::compile(pattern)?,
+    })
+}
+
+impl Regex {
+    pub fn compile(pattern: &str) -> Result<Regex, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut p = Parser { chars, pos: 0 };
+        let nodes = p.sequence()?;
+        if p.pos != p.chars.len() {
+            return Err(Error(format!(
+                "unexpected `{}` at offset {}",
+                p.chars[p.pos], p.pos
+            )));
+        }
+        Ok(Regex { nodes })
+    }
+
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        generate_seq(&self.nodes, rng, &mut out);
+        out
+    }
+}
+
+fn generate_seq(nodes: &[Node], rng: &mut TestRng, out: &mut String) {
+    for node in nodes {
+        let reps = rng.gen_range(node.min..=node.max);
+        for _ in 0..reps {
+            match &node.kind {
+                NodeKind::Class(chars) => {
+                    out.push(chars[rng.gen_range(0..chars.len())]);
+                }
+                NodeKind::Group(alts) => {
+                    let alt = &alts[rng.gen_range(0..alts.len())];
+                    generate_seq(alt, rng, out);
+                }
+            }
+        }
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    /// Parse a concatenation, stopping at `)` / `|` / end of input.
+    fn sequence(&mut self) -> Result<Vec<Node>, Error> {
+        let mut nodes = Vec::new();
+        loop {
+            let kind = match self.peek() {
+                None | Some(')') | Some('|') => break,
+                Some('[') => {
+                    self.pos += 1;
+                    NodeKind::Class(self.class()?)
+                }
+                Some('(') => {
+                    self.pos += 1;
+                    let mut alts = vec![self.sequence()?];
+                    while self.peek() == Some('|') {
+                        self.pos += 1;
+                        alts.push(self.sequence()?);
+                    }
+                    if self.bump() != Some(')') {
+                        return Err(Error("unclosed group".into()));
+                    }
+                    NodeKind::Group(alts)
+                }
+                Some('.') => {
+                    self.pos += 1;
+                    let mut set = ascii_universe();
+                    set.remove(&'\n');
+                    NodeKind::Class(set.into_iter().collect())
+                }
+                Some('\\') => {
+                    self.pos += 1;
+                    match self.escape()? {
+                        Escaped::Char(c) => NodeKind::Class(vec![c]),
+                        Escaped::Set(set) => NodeKind::Class(set.into_iter().collect()),
+                    }
+                }
+                Some(c) => {
+                    self.pos += 1;
+                    NodeKind::Class(vec![c])
+                }
+            };
+            let (min, max) = self.quantifier()?;
+            nodes.push(Node { kind, min, max });
+        }
+        Ok(nodes)
+    }
+
+    /// Parse one escape (after the backslash has been consumed).
+    fn escape(&mut self) -> Result<Escaped, Error> {
+        match self.bump() {
+            Some('n') => Ok(Escaped::Char('\n')),
+            Some('r') => Ok(Escaped::Char('\r')),
+            Some('t') => Ok(Escaped::Char('\t')),
+            Some('P') | Some('p') => {
+                // Only the \PC ("not Other") category is supported.
+                match self.bump() {
+                    Some('C') => Ok(Escaped::Set(printable_universe())),
+                    other => Err(Error(format!("unsupported category escape {other:?}"))),
+                }
+            }
+            Some(
+                c @ ('.' | '\\' | '/' | '-' | '[' | ']' | '(' | ')' | '{' | '}' | '|' | '^' | '$'
+                | '*' | '+' | '?' | '"'),
+            ) => Ok(Escaped::Char(c)),
+            other => Err(Error(format!("unsupported escape {other:?}"))),
+        }
+    }
+
+    /// Parse a class body (after `[`), consuming the closing `]`.
+    fn class(&mut self) -> Result<Vec<char>, Error> {
+        let set = self.class_set()?;
+        if self.bump() != Some(']') {
+            return Err(Error("unclosed character class".into()));
+        }
+        if set.is_empty() {
+            return Err(Error("empty character class".into()));
+        }
+        Ok(set.into_iter().collect())
+    }
+
+    /// Parse class items up to (not consuming) the closing `]`, handling
+    /// leading `^` negation and `&&` intersection.
+    fn class_set(&mut self) -> Result<BTreeSet<char>, Error> {
+        let negated = if self.peek() == Some('^') {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let mut set = BTreeSet::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unclosed character class".into())),
+                Some(']') => break,
+                Some('&') if self.chars.get(self.pos + 1) == Some(&'&') => {
+                    self.pos += 2;
+                    let rhs = if self.peek() == Some('[') {
+                        self.pos += 1;
+                        let inner = self.class_set()?;
+                        if self.bump() != Some(']') {
+                            return Err(Error("unclosed nested class".into()));
+                        }
+                        inner
+                    } else {
+                        self.class_set()?
+                    };
+                    let base = if negated { negate(&set) } else { set };
+                    let mut merged: BTreeSet<char> = base.intersection(&rhs).copied().collect();
+                    // The intersection absorbs the pending negation; finish
+                    // any remaining items (none in practice) and return.
+                    while self.peek() != Some(']') {
+                        if self.peek().is_none() {
+                            return Err(Error("unclosed character class".into()));
+                        }
+                        let extra = self.class_item()?;
+                        merged.extend(extra);
+                    }
+                    return Ok(merged);
+                }
+                Some(_) => {
+                    set.extend(self.class_item()?);
+                }
+            }
+        }
+        Ok(if negated { negate(&set) } else { set })
+    }
+
+    /// One class item: a literal/escape, possibly extended to a range.
+    fn class_item(&mut self) -> Result<BTreeSet<char>, Error> {
+        let start = match self.bump() {
+            Some('\\') => match self.escape()? {
+                Escaped::Char(c) => c,
+                Escaped::Set(set) => return Ok(set),
+            },
+            Some(c) => c,
+            None => return Err(Error("unclosed character class".into())),
+        };
+        // `a-z` range, unless the `-` is trailing (then it's a literal).
+        if self.peek() == Some('-') && !matches!(self.chars.get(self.pos + 1), None | Some(']')) {
+            self.pos += 1;
+            let end = match self.bump() {
+                Some('\\') => match self.escape()? {
+                    Escaped::Char(c) => c,
+                    Escaped::Set(_) => return Err(Error("set escape in range".into())),
+                },
+                Some(c) => c,
+                None => return Err(Error("unclosed character class".into())),
+            };
+            if end < start {
+                return Err(Error(format!("inverted range {start}-{end}")));
+            }
+            return Ok((start..=end).collect());
+        }
+        Ok(std::iter::once(start).collect())
+    }
+
+    /// Optional quantifier; defaults to exactly one.
+    fn quantifier(&mut self) -> Result<(u32, u32), Error> {
+        match self.peek() {
+            Some('?') => {
+                self.pos += 1;
+                Ok((0, 1))
+            }
+            Some('*') => {
+                self.pos += 1;
+                Ok((0, UNBOUNDED_EXTRA))
+            }
+            Some('+') => {
+                self.pos += 1;
+                Ok((1, 1 + UNBOUNDED_EXTRA))
+            }
+            Some('{') => {
+                self.pos += 1;
+                let min = self.number()?;
+                let max = match self.peek() {
+                    Some(',') => {
+                        self.pos += 1;
+                        if self.peek() == Some('}') {
+                            min + UNBOUNDED_EXTRA
+                        } else {
+                            self.number()?
+                        }
+                    }
+                    _ => min,
+                };
+                if self.bump() != Some('}') {
+                    return Err(Error("unclosed quantifier".into()));
+                }
+                if max < min {
+                    return Err(Error(format!("inverted quantifier {{{min},{max}}}")));
+                }
+                Ok((min, max))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+
+    fn number(&mut self) -> Result<u32, Error> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(Error("expected number in quantifier".into()));
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse()
+            .map_err(|_| Error(format!("bad quantifier number {text:?}")))
+    }
+}
+
+enum Escaped {
+    Char(char),
+    Set(BTreeSet<char>),
+}
+
+fn negate(set: &BTreeSet<char>) -> BTreeSet<char> {
+    ascii_universe().difference(set).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        crate::test_runner::TestRng::from_std(rand::rngs::StdRng::seed_from_u64(5))
+    }
+
+    fn gen_many(pattern: &str, n: usize) -> Vec<String> {
+        let re = Regex::compile(pattern).unwrap();
+        let mut r = rng();
+        (0..n).map(|_| re.generate(&mut r)).collect()
+    }
+
+    #[test]
+    fn simple_class_lengths() {
+        for s in gen_many("[a-z]{3,8}", 50) {
+            assert!((3..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn alternation_and_escape() {
+        for s in gen_many("[a-z]{1,8}\\.(com|net)", 50) {
+            let (host, tld) = s.rsplit_once('.').unwrap();
+            assert!(!host.is_empty() && host.len() <= 8, "{s:?}");
+            assert!(tld == "com" || tld == "net", "{s:?}");
+        }
+    }
+
+    #[test]
+    fn intersection_excludes_newlines() {
+        for s in gen_many("[ -~&&[^\\r\\n]]{0,40}", 50) {
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_category_is_total() {
+        for s in gen_many("\\PC{0,100}", 20) {
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_and_trailing_dash() {
+        for s in gen_many("/[a-z0-9/._-]{0,30}", 30) {
+            assert!(s.starts_with('/'), "{s:?}");
+        }
+        for s in gen_many("[<>\"a-z= /]{0,20}", 30) {
+            assert!(s
+                .chars()
+                .all(|c| "<>\"= /".contains(c) || c.is_ascii_lowercase()));
+        }
+    }
+}

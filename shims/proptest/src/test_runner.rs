@@ -1,0 +1,93 @@
+//! The test runner: deterministic seeding, case loop, failure reporting.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// The RNG handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Wrap an explicitly seeded generator (used by in-crate tests).
+    pub fn from_std(inner: StdRng) -> Self {
+        TestRng(inner)
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+/// A failed test case (produced by `prop_assert*`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (`ProptestConfig` at the crate root).
+#[derive(Clone, Debug)]
+pub struct Config {
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// FNV-1a, so each test gets a stable seed from its own name.
+fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Run `test` over `config.cases` values generated from `strategy`.
+pub fn run<S: Strategy>(
+    config: &Config,
+    name: &str,
+    strategy: S,
+    mut test: impl FnMut(S::Value) -> TestCaseResult,
+) {
+    let mut rng = TestRng(StdRng::seed_from_u64(seed_from_name(name)));
+    for case in 0..config.cases {
+        if let Err(e) = test(strategy.new_value(&mut rng)) {
+            panic!(
+                "proptest `{name}` failed at case {case}/{}: {e}",
+                config.cases
+            );
+        }
+    }
+}

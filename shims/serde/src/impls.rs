@@ -1,0 +1,496 @@
+//! `Serialize`/`Deserialize` implementations for std types.
+
+use crate::{Deserialize, Error, Number, Serialize, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::Hash;
+use std::net::{Ipv4Addr, Ipv6Addr};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::UInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                v.as_u64()
+                    .and_then(|u| <$t>::try_from(u).ok())
+                    .ok_or_else(|| Error::unexpected(stringify!($t), v))
+            }
+        }
+    )*};
+}
+
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                if *self >= 0 {
+                    Value::Number(Number::UInt(*self as u64))
+                } else {
+                    Value::Number(Number::Int(*self as i64))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                v.as_i64()
+                    .and_then(|i| <$t>::try_from(i).ok())
+                    .ok_or_else(|| Error::unexpected(stringify!($t), v))
+            }
+        }
+    )*};
+}
+
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::Float(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                v.as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| Error::unexpected(stringify!($t), v))
+            }
+        }
+    )*};
+}
+
+impl_ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::unexpected("bool", v))
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .and_then(|s| {
+                let mut it = s.chars();
+                match (it.next(), it.next()) {
+                    (Some(c), None) => Some(c),
+                    _ => None,
+                }
+            })
+            .ok_or_else(|| Error::unexpected("single-char string", v))
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::unexpected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_json_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(Error::unexpected("null", v)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// References and containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        T::from_json_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        T::from_json_value(v).map(Arc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            _ => Err(Error::unexpected("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            _ => Err(Error::unexpected("array", v)),
+        }
+    }
+}
+
+/// Sets backed by hashing serialize in sorted-by-rendered-key order so output
+/// is byte-deterministic regardless of hasher state.
+impl<T: Serialize + Eq + Hash> Serialize for HashSet<T> {
+    fn to_json_value(&self) -> Value {
+        let mut items: Vec<Value> = self.iter().map(Serialize::to_json_value).collect();
+        items.sort_by(compare_values);
+        Value::Array(items)
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            _ => Err(Error::unexpected("array", v)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Maps — keys render as strings, as JSON requires.
+// ---------------------------------------------------------------------------
+
+/// Render a map key. Strings pass through; numbers and other scalars use
+/// their text form (serde_json's behaviour for integer keys).
+fn key_string(v: &Value) -> String {
+    match v {
+        Value::String(s) => s.clone(),
+        Value::Number(Number::UInt(u)) => u.to_string(),
+        Value::Number(Number::Int(i)) => i.to_string(),
+        Value::Number(Number::Float(f)) => f.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("unsupported map key type: {}", other.kind()),
+    }
+}
+
+/// Recover a key from its string form by letting the key type parse either a
+/// string value or — for integer keys — a numeric value.
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, Error> {
+    if let Ok(k) = K::from_json_value(&Value::String(s.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(u) = s.parse::<u64>() {
+        if let Ok(k) = K::from_json_value(&Value::Number(Number::UInt(u))) {
+            return Ok(k);
+        }
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        if let Ok(k) = K::from_json_value(&Value::Number(Number::Int(i))) {
+            return Ok(k);
+        }
+    }
+    Err(Error::custom(format!("cannot parse map key {s:?}")))
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(&k.to_json_value()), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::from_json_value(v)?)))
+                .collect(),
+            _ => Err(Error::unexpected("object", v)),
+        }
+    }
+}
+
+impl<K: Serialize + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_string(&k.to_json_value()), v.to_json_value()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::from_json_value(v)?)))
+                .collect(),
+            _ => Err(Error::unexpected("object", v)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_json_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) => {
+                        let expected = [$($n,)+].len();
+                        if items.len() != expected {
+                            return Err(Error::custom(format!(
+                                "expected {expected}-tuple, got {} items", items.len())));
+                        }
+                        Ok(($($t::from_json_value(&items[$n])?,)+))
+                    }
+                    _ => Err(Error::unexpected("array", v)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+// ---------------------------------------------------------------------------
+// Network addresses
+// ---------------------------------------------------------------------------
+
+impl Serialize for Ipv4Addr {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for Ipv4Addr {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| Error::unexpected("IPv4 address string", v))
+    }
+}
+
+impl Serialize for Ipv6Addr {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for Ipv6Addr {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| Error::unexpected("IPv6 address string", v))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value itself
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// Total order over value trees for deterministic set rendering.
+fn compare_values(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Number(_) => 2,
+            Value::String(_) => 3,
+            Value::Array(_) => 4,
+            Value::Object(_) => 5,
+        }
+    }
+    match (a, b) {
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::Number(x), Value::Number(y)) => x
+            .as_f64()
+            .partial_cmp(&y.as_f64())
+            .unwrap_or(Ordering::Equal),
+        (Value::String(x), Value::String(y)) => x.cmp(y),
+        (Value::Array(x), Value::Array(y)) => {
+            for (i, j) in x.iter().zip(y.iter()) {
+                let c = compare_values(i, j);
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (Value::Object(x), Value::Object(y)) => {
+            for ((ka, va), (kb, vb)) in x.iter().zip(y.iter()) {
+                let c = ka.cmp(kb).then_with(|| compare_values(va, vb));
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        _ => rank(a).cmp(&rank(b)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(i32::from_json_value(&(-3i32).to_json_value()), Ok(-3));
+        assert_eq!(u64::from_json_value(&7u64.to_json_value()), Ok(7));
+        assert_eq!(f64::from_json_value(&1.5f64.to_json_value()), Ok(1.5));
+        assert_eq!(
+            String::from_json_value(&"hi".to_json_value()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(Option::<u8>::from_json_value(&Value::Null), Ok(None::<u8>));
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1i32, 2.5f64), (-3, 0.0)];
+        let back: Vec<(i32, f64)> = Deserialize::from_json_value(&v.to_json_value()).unwrap();
+        assert_eq!(back, v);
+
+        let mut m = BTreeMap::new();
+        m.insert(4u32, "x".to_string());
+        let back: BTreeMap<u32, String> = Deserialize::from_json_value(&m.to_json_value()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn ip_roundtrip() {
+        let ip: Ipv4Addr = "10.1.2.3".parse().unwrap();
+        assert_eq!(Ipv4Addr::from_json_value(&ip.to_json_value()), Ok(ip));
+    }
+}

@@ -1,0 +1,258 @@
+//! The JSON-like value tree shared by `serde` and `serde_json`.
+
+/// A JSON number. Integers and floats are kept distinct so that integer
+/// values round-trip exactly through text.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// Negative integers (always stored negative).
+    Int(i64),
+    /// Non-negative integers.
+    UInt(u64),
+    /// Anything written with a fraction or exponent.
+    Float(f64),
+}
+
+impl Number {
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::Int(i) => i as f64,
+            Number::UInt(u) => u as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::Int(i) => Some(i),
+            Number::UInt(u) => i64::try_from(u).ok(),
+            Number::Float(f) if f.fract() == 0.0 && f.abs() < 9e18 => Some(f as i64),
+            Number::Float(_) => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::Int(i) => u64::try_from(i).ok(),
+            Number::UInt(u) => Some(u),
+            Number::Float(f) if f >= 0.0 && f.fract() == 0.0 && f < 1.9e19 => Some(f as u64),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+/// Numbers compare numerically across integer/float representations, the way
+/// `serde_json::Value` equality behaves for values that round-trip through
+/// text.
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        use Number::*;
+        match (*self, *other) {
+            (Int(a), Int(b)) => a == b,
+            (UInt(a), UInt(b)) => a == b,
+            (Float(a), Float(b)) => a == b,
+            (Int(a), UInt(b)) | (UInt(b), Int(a)) => a >= 0 && a as u64 == b,
+            (Int(a), Float(b)) | (Float(b), Int(a)) => a as f64 == b,
+            (UInt(a), Float(b)) | (Float(b), UInt(a)) => a as f64 == b,
+        }
+    }
+}
+
+/// A JSON document tree. Object keys keep insertion order (struct field
+/// order), which makes every serialization byte-deterministic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Short kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Missing members index to `Null`, as in `serde_json`.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! impl_value_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    Value::Number(n) => {
+                        if *other >= 0 {
+                            n.as_u64() == Some(*other as u64)
+                        } else {
+                            n.as_i64() == Some(*other as i64)
+                        }
+                    }
+                    _ => false,
+                }
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+impl_value_eq_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_value_eq_uint {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                matches!(self, Value::Number(n) if n.as_u64() == Some(*other as u64))
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+impl_value_eq_uint!(u8, u16, u32, u64, usize);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        matches!(self, Value::Number(n) if n.as_f64() == *other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Value::Bool(b) if b == other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_get() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Number(Number::UInt(3))),
+            ("b".into(), Value::Null),
+        ]);
+        assert_eq!(v["a"], 3);
+        assert_eq!(v["a"], 3u64);
+        assert!(v.get("b").is_some());
+        assert!(v.get("c").is_none());
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn cross_variant_number_equality() {
+        assert_eq!(
+            Value::Number(Number::UInt(5)),
+            Value::Number(Number::Int(5))
+        );
+        assert_ne!(
+            Value::Number(Number::Int(-1)),
+            Value::Number(Number::UInt(u64::MAX))
+        );
+    }
+}

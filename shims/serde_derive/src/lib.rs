@@ -1,0 +1,593 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` built
+//! directly on `proc_macro` token trees — no syn, no quote. It supports the
+//! shapes this workspace actually uses: structs with named fields, tuple and
+//! newtype structs, enums with unit / tuple / struct variants, simple type
+//! generics (`Foo<T>`), and the `#[serde(default)]` field attribute. The
+//! generated code targets the sibling `serde` shim's value-tree model and
+//! follows serde's externally-tagged enum representation.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+use std::fmt::Write;
+
+type Toks = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Body {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+enum Data {
+    Struct(Body),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    data: Data,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("serde_derive shim generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("serde_derive shim generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Skip leading attributes, returning whether any was `#[serde(default)]`.
+fn skip_attrs(toks: &mut Toks) -> bool {
+    let mut default = false;
+    while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        toks.next();
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                default |= attr_is_serde_default(&g);
+            }
+            other => panic!("expected attribute body, got {other:?}"),
+        }
+    }
+    default
+}
+
+fn attr_is_serde_default(attr: &Group) -> bool {
+    let mut it = attr.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return false,
+    }
+    let Some(TokenTree::Group(args)) = it.next() else {
+        return false;
+    };
+    let mut has_default = false;
+    for t in args.stream() {
+        match &t {
+            TokenTree::Ident(i) if i.to_string() == "default" => has_default = true,
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!("serde shim does not support #[serde({other})]"),
+        }
+    }
+    has_default
+}
+
+fn skip_vis(toks: &mut Toks) {
+    if matches!(toks.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        toks.next();
+        if matches!(toks.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            toks.next();
+        }
+    }
+}
+
+/// Collect type-parameter names from `<...>` if present. Lifetimes and const
+/// params are not supported (the workspace derives none).
+fn parse_generics(toks: &mut Toks) -> Vec<String> {
+    let mut params = Vec::new();
+    if !matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return params;
+    }
+    toks.next();
+    let mut depth = 1i32;
+    let mut at_param = true;
+    while depth > 0 {
+        match toks.next().expect("unbalanced generics in derive input") {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 1 => at_param = true,
+                ':' if depth == 1 => at_param = false,
+                '\'' => panic!("serde shim: lifetime generics unsupported in derives"),
+                _ => {}
+            },
+            TokenTree::Ident(i) => {
+                let s = i.to_string();
+                if at_param {
+                    assert!(s != "const", "serde shim: const generics unsupported");
+                    params.push(s);
+                    at_param = false;
+                }
+            }
+            _ => {}
+        }
+    }
+    params
+}
+
+/// Consume a type, stopping before a top-level `,` (angle-bracket aware).
+fn skip_type(toks: &mut Toks) {
+    let mut depth = 0i32;
+    loop {
+        match toks.peek() {
+            None => return,
+            Some(TokenTree::Punct(p)) => {
+                let c = p.as_char();
+                if c == ',' && depth == 0 {
+                    return;
+                }
+                toks.next();
+                match c {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    _ => {}
+                }
+            }
+            Some(_) => {
+                toks.next();
+            }
+        }
+    }
+}
+
+fn parse_named_fields(group: Group) -> Vec<Field> {
+    let mut toks = group.stream().into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let default = skip_attrs(&mut toks);
+        skip_vis(&mut toks);
+        match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(name)) => {
+                match toks.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("expected `:` after field name, got {other:?}"),
+                }
+                skip_type(&mut toks);
+                if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    toks.next();
+                }
+                fields.push(Field {
+                    name: name.to_string(),
+                    default,
+                });
+            }
+            other => panic!("unexpected token in struct fields: {other:?}"),
+        }
+    }
+    fields
+}
+
+/// Count fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(group: Group) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut pending = false;
+    for t in group.stream() {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    count += 1;
+                    pending = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        pending = true;
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: Group) -> Vec<Variant> {
+    let mut toks = group.stream().into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut toks);
+        match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(name)) => {
+                let body = match toks.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let g = match toks.next() {
+                            Some(TokenTree::Group(g)) => g,
+                            _ => unreachable!(),
+                        };
+                        Body::Named(parse_named_fields(g))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let g = match toks.next() {
+                            Some(TokenTree::Group(g)) => g,
+                            _ => unreachable!(),
+                        };
+                        Body::Tuple(count_tuple_fields(g))
+                    }
+                    _ => Body::Unit,
+                };
+                if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    // Skip an explicit discriminant expression.
+                    toks.next();
+                    loop {
+                        match toks.peek() {
+                            None => break,
+                            Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                            _ => {
+                                toks.next();
+                            }
+                        }
+                    }
+                }
+                if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    toks.next();
+                }
+                variants.push(Variant {
+                    name: name.to_string(),
+                    body,
+                });
+            }
+            other => panic!("unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+fn parse_input(ts: TokenStream) -> Input {
+    let mut toks = ts.into_iter().peekable();
+    skip_attrs(&mut toks);
+    skip_vis(&mut toks);
+    let kw = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    let generics = parse_generics(&mut toks);
+    if matches!(toks.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "where") {
+        panic!("serde shim: `where` clauses unsupported in derives");
+    }
+    let data = match kw.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Body::Named(parse_named_fields(g)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Body::Tuple(count_tuple_fields(g)))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Struct(Body::Unit),
+            other => panic!("unexpected struct body: {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g))
+            }
+            other => panic!("unexpected enum body: {other:?}"),
+        },
+        other => panic!("derive supports struct/enum only, got `{other}`"),
+    };
+    Input {
+        name,
+        generics,
+        data,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen helpers
+// ---------------------------------------------------------------------------
+
+fn generics_strings(params: &[String], bound: &str) -> (String, String) {
+    if params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let impl_g = format!(
+        "<{}>",
+        params
+            .iter()
+            .map(|p| format!("{p}: {bound}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let ty_g = format!("<{}>", params.join(", "));
+    (impl_g, ty_g)
+}
+
+/// Build a `Value::Object` expression from `(name, value-expr)` pairs.
+fn object_expr(pairs: &[(String, String)]) -> String {
+    let mut s = String::from(
+        "{ let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();",
+    );
+    for (name, expr) in pairs {
+        write!(
+            s,
+            "__fields.push((::std::string::String::from(\"{name}\"), {expr}));"
+        )
+        .unwrap();
+    }
+    s.push_str("::serde::Value::Object(__fields) }");
+    s
+}
+
+fn array_expr(items: &[String]) -> String {
+    let mut s = String::from(
+        "{ let mut __items: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();",
+    );
+    for expr in items {
+        write!(s, "__items.push({expr});").unwrap();
+    }
+    s.push_str("::serde::Value::Array(__items) }");
+    s
+}
+
+fn ser_value(accessor: &str) -> String {
+    format!("::serde::Serialize::to_json_value({accessor})")
+}
+
+/// Deserialize one named field out of an object-valued expression.
+fn de_field(container: &str, ty_name: &str, f: &Field) -> String {
+    let fallback = if f.default {
+        "::core::default::Default::default()".to_string()
+    } else {
+        format!(
+            "::serde::Deserialize::from_json_value(&::serde::Value::Null).map_err(|_| \
+             ::serde::Error::custom(\"missing field `{}` in {}\"))?",
+            f.name, ty_name
+        )
+    };
+    format!(
+        "match {container}.get(\"{}\") {{ \
+           ::core::option::Option::Some(__x) => ::serde::Deserialize::from_json_value(__x)?, \
+           ::core::option::Option::None => {fallback}, \
+         }}",
+        f.name
+    )
+}
+
+const IMPL_ATTRS: &str = "#[automatically_derived] #[allow(warnings, clippy::all)]";
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let (impl_g, ty_g) = generics_strings(&input.generics, "::serde::Serialize");
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Struct(Body::Unit) => "::serde::Value::Null".to_string(),
+        Data::Struct(Body::Tuple(1)) => ser_value("&self.0"),
+        Data::Struct(Body::Tuple(n)) => {
+            let items: Vec<String> = (0..*n).map(|i| ser_value(&format!("&self.{i}"))).collect();
+            array_expr(&items)
+        }
+        Data::Struct(Body::Named(fields)) => {
+            let pairs: Vec<(String, String)> = fields
+                .iter()
+                .map(|f| (f.name.clone(), ser_value(&format!("&self.{}", f.name))))
+                .collect();
+            object_expr(&pairs)
+        }
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    Body::Unit => write!(
+                        arms,
+                        "Self::{vn} => \
+                         ::serde::Value::String(::std::string::String::from(\"{vn}\")),"
+                    )
+                    .unwrap(),
+                    Body::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            ser_value("__f0")
+                        } else {
+                            array_expr(&binds.iter().map(|b| ser_value(b)).collect::<Vec<_>>())
+                        };
+                        write!(
+                            arms,
+                            "Self::{vn}({}) => {},",
+                            binds.join(", "),
+                            object_expr(&[(vn.clone(), inner)])
+                        )
+                        .unwrap();
+                    }
+                    Body::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = object_expr(
+                            &fields
+                                .iter()
+                                .map(|f| (f.name.clone(), ser_value(&f.name)))
+                                .collect::<Vec<_>>(),
+                        );
+                        write!(
+                            arms,
+                            "Self::{vn} {{ {} }} => {},",
+                            binds.join(", "),
+                            object_expr(&[(vn.clone(), inner)])
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "{IMPL_ATTRS} impl{impl_g} ::serde::Serialize for {name}{ty_g} {{ \
+           fn to_json_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(input: &Input) -> String {
+    let (impl_g, ty_g) = generics_strings(&input.generics, "::serde::Deserialize");
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Struct(Body::Unit) => format!(
+            "match __v {{ \
+               ::serde::Value::Null => ::core::result::Result::Ok({name}), \
+               _ => ::core::result::Result::Err(::serde::Error::unexpected(\"null\", __v)), \
+             }}"
+        ),
+        Data::Struct(Body::Tuple(1)) => {
+            "::core::result::Result::Ok(Self(::serde::Deserialize::from_json_value(__v)?))"
+                .to_string()
+        }
+        Data::Struct(Body::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_json_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{ \
+                   ::serde::Value::Array(__items) if __items.len() == {n} => \
+                     ::core::result::Result::Ok(Self({})), \
+                   _ => ::core::result::Result::Err(\
+                     ::serde::Error::unexpected(\"{n}-element array\", __v)), \
+                 }}",
+                items.join(", ")
+            )
+        }
+        Data::Struct(Body::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{}: {}", f.name, de_field("__v", name, f)))
+                .collect();
+            format!(
+                "match __v {{ \
+                   ::serde::Value::Object(_) => ::core::result::Result::Ok(Self {{ {} }}), \
+                   _ => ::core::result::Result::Err(\
+                     ::serde::Error::unexpected(\"object\", __v)), \
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Data::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "{IMPL_ATTRS} impl{impl_g} ::serde::Deserialize for {name}{ty_g} {{ \
+           fn from_json_value(__v: &::serde::Value) -> \
+             ::core::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.body {
+            Body::Unit => write!(
+                unit_arms,
+                "\"{vn}\" => ::core::result::Result::Ok(Self::{vn}),"
+            )
+            .unwrap(),
+            Body::Tuple(1) => write!(
+                data_arms,
+                "\"{vn}\" => ::core::result::Result::Ok(\
+                   Self::{vn}(::serde::Deserialize::from_json_value(__inner)?)),"
+            )
+            .unwrap(),
+            Body::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_json_value(&__items[{i}])?"))
+                    .collect();
+                write!(
+                    data_arms,
+                    "\"{vn}\" => match __inner {{ \
+                       ::serde::Value::Array(__items) if __items.len() == {n} => \
+                         ::core::result::Result::Ok(Self::{vn}({})), \
+                       _ => ::core::result::Result::Err(\
+                         ::serde::Error::unexpected(\"{n}-element array\", __inner)), \
+                     }},",
+                    items.join(", ")
+                )
+                .unwrap();
+            }
+            Body::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{}: {}", f.name, de_field("__inner", name, f)))
+                    .collect();
+                write!(
+                    data_arms,
+                    "\"{vn}\" => match __inner {{ \
+                       ::serde::Value::Object(_) => \
+                         ::core::result::Result::Ok(Self::{vn} {{ {} }}), \
+                       _ => ::core::result::Result::Err(\
+                         ::serde::Error::unexpected(\"object\", __inner)), \
+                     }},",
+                    inits.join(", ")
+                )
+                .unwrap();
+            }
+        }
+    }
+    format!(
+        "match __v {{ \
+           ::serde::Value::String(__s) => match __s.as_str() {{ \
+             {unit_arms} \
+             __other => ::core::result::Result::Err(::serde::Error::custom(\
+               ::std::format!(\"unknown {name} variant `{{}}`\", __other))), \
+           }}, \
+           ::serde::Value::Object(__fields) if __fields.len() == 1 => {{ \
+             let (__tag, __inner) = (&__fields[0].0, &__fields[0].1); \
+             let _ = __inner; \
+             match __tag.as_str() {{ \
+               {data_arms} \
+               __other => ::core::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown {name} variant `{{}}`\", __other))), \
+             }} \
+           }} \
+           _ => ::core::result::Result::Err(::serde::Error::unexpected(\
+             \"variant string or single-key object\", __v)), \
+         }}"
+    )
+}

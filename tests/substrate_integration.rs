@@ -94,6 +94,7 @@ fn hijack_kill_chain() {
             ..Default::default()
         },
         network_peers: vec![],
+        template_keywords: vec![],
     };
     platform.set_content(
         hid,
