@@ -1,0 +1,121 @@
+//! Criterion benches: the storelog persistence substrate under the
+//! monitoring pipeline's write pattern — batched appends sealed by a
+//! fsynced round commit, then the recovery-scan + replay read path. Sizes
+//! bracket real deployments: 10k records ≈ one round at production scale,
+//! 1M ≈ a multi-year recorded study.
+//!
+//! The measured payloads are a real serialized
+//! [`dangling_core::pipeline::persist::ObsRecord`], so bytes/record match
+//! what `repro --state-dir` actually writes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dangling_core::pipeline::persist::ObsRecord;
+use dangling_core::snapshot::Snapshot;
+use dns::Rcode;
+use simcore::SimTime;
+use std::path::PathBuf;
+use storelog::{LogReader, LogWriter};
+
+const SHARDS: usize = 16;
+/// Records per commit — the pipeline commits once per monitoring round.
+const ROUND: usize = 10_000;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "snapshot_log_bench_{tag}_{}_{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// One representative observation payload (a serving snapshot with typical
+/// content features, no retained HTML — the overwhelmingly common case).
+fn sample_payload() -> Vec<u8> {
+    let mut snap = Snapshot::unreachable(
+        "dev-portal.contoso-f1000-0042.com".parse().unwrap(),
+        SimTime(1834),
+        Rcode::NoError,
+        Some("contoso-dev-portal.azurewebsites.net".parse().unwrap()),
+    );
+    snap.ip = Some("20.40.60.80".parse().unwrap());
+    snap.http_status = Some(200);
+    snap.index_hash = 0x1234_5678_9abc_def0;
+    snap.index_size = 18_432;
+    snap.title = Some("Contoso Developer Portal".into());
+    snap.language = Some("en".into());
+    snap.keywords = ["developer", "portal", "contoso", "docs", "api"]
+        .map(String::from)
+        .to_vec();
+    snap.sitemap_bytes = Some(48_000);
+    let rec = ObsRecord {
+        round: SimTime(1834),
+        seq: 7,
+        snap,
+        change: None,
+    };
+    serde_json::to_vec(&rec).expect("record serializes")
+}
+
+fn write_log(dir: &std::path::Path, payload: &[u8], n: usize) {
+    let mut w = LogWriter::create(dir, SHARDS, b"bench-config").unwrap();
+    for i in 0..n {
+        w.append(i % SHARDS, payload);
+        if (i + 1) % ROUND == 0 || i + 1 == n {
+            w.commit(b"{\"round\":1834}").unwrap();
+        }
+    }
+}
+
+fn bench_append(c: &mut Criterion) {
+    let payload = sample_payload();
+    let mut g = c.benchmark_group("snapshot_log_append");
+    for n in [10_000usize, 100_000, 1_000_000] {
+        g.throughput(Throughput::Bytes((payload.len() * n) as u64));
+        g.bench_with_input(BenchmarkId::new("append_fsync_commit", n), &n, |b, &n| {
+            b.iter(|| {
+                let t = TempDir::new("append");
+                write_log(&t.0, &payload, n);
+                black_box(t)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let payload = sample_payload();
+    let mut g = c.benchmark_group("snapshot_log_replay");
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let t = TempDir::new("replay");
+        write_log(&t.0, &payload, n);
+        g.throughput(Throughput::Bytes((payload.len() * n) as u64));
+        g.bench_with_input(BenchmarkId::new("scan_all_shards", n), &n, |b, _| {
+            b.iter(|| {
+                let reader = LogReader::open(&t.0).unwrap();
+                let mut records = 0usize;
+                for shard in 0..reader.shard_count() {
+                    records += reader.read_shard(shard).unwrap().len();
+                }
+                assert_eq!(records, n);
+                black_box(records)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_append, bench_replay);
+criterion_main!(benches);

@@ -6,13 +6,18 @@
 //! cargo run --release -p bench --bin repro -- --scale 100 --seed 42 all ablations
 //! ```
 
-use bench::{render_target, run_study_with, ABLATIONS, TARGETS};
+use bench::{render_target, run_study_persisted, run_study_with, ABLATIONS, TARGETS};
+use dangling_core::{compact_state_dir, PersistOptions};
 
 fn main() {
     let mut scale: u32 = 200;
     let mut seed: u64 = 42;
     let mut threads: usize = 1;
     let mut json_path: Option<String> = None;
+    let mut state_dir: Option<String> = None;
+    let mut resume = false;
+    let mut max_rounds: Option<u64> = None;
+    let mut compact = false;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -38,16 +43,55 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--threads takes a worker count");
             }
+            "--persist" => {
+                state_dir.get_or_insert_with(|| "repro_state".into());
+            }
+            "--state-dir" => {
+                state_dir = Some(args.next().expect("--state-dir takes a directory path"));
+            }
+            "--resume" => resume = true,
+            "--rounds" => {
+                max_rounds = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--rounds takes a round count"),
+                );
+            }
+            "--compact" => compact = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale N] [--seed N] [--threads N] [--json OUT] <targets...>"
+                    "usage: repro [--scale N] [--seed N] [--threads N] [--json OUT] \
+                     [--persist | --state-dir DIR] [--resume] [--rounds N] [--compact] \
+                     <targets...>"
                 );
                 println!("targets: all | ablations | {}", TARGETS.join(" "));
                 println!("ablations: {}", ABLATIONS.join(" "));
                 println!("--threads parallelizes the weekly crawl; results are identical.");
+                println!("--persist records observations to ./repro_state (--state-dir names it);");
+                println!("--resume continues a recorded run, --rounds N stops after N rounds,");
+                println!("--compact drops superseded records from the state dir and exits.");
                 return;
             }
             t => targets.push(t.to_string()),
+        }
+    }
+    if compact {
+        let dir = state_dir.unwrap_or_else(|| "repro_state".into());
+        match compact_state_dir(std::path::Path::new(&dir)) {
+            Ok(stats) => {
+                eprintln!(
+                    "compacted {dir}: {} -> {} records, {} -> {} bytes",
+                    stats.records_before,
+                    stats.records_after,
+                    stats.bytes_before,
+                    stats.bytes_after
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
         }
     }
     if targets.is_empty() {
@@ -65,7 +109,29 @@ fn main() {
 
     eprintln!("running study at scale 1/{scale}, seed {seed}, {threads} crawl thread(s)...");
     let start = std::time::Instant::now();
-    let results = run_study_with(scale, seed, threads);
+    let results = match &state_dir {
+        None => run_study_with(scale, seed, threads),
+        Some(dir) => {
+            let mut opts = PersistOptions::new(dir);
+            opts.resume = resume;
+            opts.max_rounds = max_rounds;
+            eprintln!(
+                "persisting to {dir}{}{}",
+                if resume { " (resuming)" } else { "" },
+                match max_rounds {
+                    Some(n) => format!(", stopping after {n} rounds"),
+                    None => String::new(),
+                }
+            );
+            match run_study_persisted(scale, seed, threads, &opts) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    };
     eprintln!(
         "study complete in {:.1}s: {} monitored, {} hijacks (truth), {} detected\n",
         start.elapsed().as_secs_f64(),

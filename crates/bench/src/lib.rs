@@ -9,21 +9,40 @@
 pub mod ablations;
 pub mod render;
 
-use dangling_core::{Scenario, ScenarioConfig, StudyResults};
+use dangling_core::{PersistError, PersistOptions, Scenario, ScenarioConfig, StudyResults};
 
 /// Run the default study at the given scale/seed.
 pub fn run_study(scale_denominator: u32, seed: u64) -> StudyResults {
     run_study_with(scale_denominator, seed, 1)
 }
 
+/// The study configuration the `repro` binary runs: the paper's scenario at
+/// `1/scale_denominator` scale with an explicit seed and crawl thread count.
+pub fn study_config(scale_denominator: u32, seed: u64, threads: usize) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::at_scale(scale_denominator);
+    cfg.seed = seed;
+    cfg.crawl_threads = threads;
+    cfg
+}
+
 /// Run the default study with an explicit crawl thread count. Results are
 /// byte-identical for any `threads` (the pipeline's determinism contract);
 /// only wall-clock changes.
 pub fn run_study_with(scale_denominator: u32, seed: u64, threads: usize) -> StudyResults {
-    let mut cfg = ScenarioConfig::at_scale(scale_denominator);
-    cfg.seed = seed;
-    cfg.crawl_threads = threads;
-    Scenario::new(cfg).run()
+    Scenario::new(study_config(scale_denominator, seed, threads)).run()
+}
+
+/// Like [`run_study_with`], but recording every observation round to the
+/// storelog state dir in `opts` (and replaying from it when `opts.resume`).
+/// Fails instead of clobbering an existing state dir or resuming a run
+/// recorded under a different configuration.
+pub fn run_study_persisted(
+    scale_denominator: u32,
+    seed: u64,
+    threads: usize,
+    opts: &PersistOptions,
+) -> Result<StudyResults, PersistError> {
+    Scenario::new(study_config(scale_denominator, seed, threads)).run_persisted(opts)
 }
 
 /// All renderable targets, in paper order.

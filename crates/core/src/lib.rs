@@ -46,6 +46,7 @@ pub mod signature;
 pub mod snapshot;
 pub mod world;
 
+pub use pipeline::persist::{compact_state_dir, PersistError, PersistOptions};
 pub use report::{StudyReport, StudyResults};
 pub use scenario::{Scenario, ScenarioConfig};
 pub use world::{HijackTruth, World};

@@ -31,12 +31,14 @@
 mod collect_stage;
 mod crawl;
 mod diff_stage;
+pub mod persist;
 mod retro;
 mod world_stage;
 
 pub use collect_stage::CollectStage;
 pub use crawl::{CrawlExecutor, CrawlOutcome, CrawlStage};
 pub use diff_stage::DiffStage;
+pub use persist::{PersistError, PersistOptions, PersistStage};
 pub use retro::RetroStage;
 pub use world_stage::WorldStage;
 
@@ -106,6 +108,10 @@ pub struct RunState {
     pub ip_lottery_declines: u64,
     pub caa_blocked_certs: u64,
     pub liveness: Vec<LivenessSample>,
+    /// Digest of the world stage's RNG stream positions, refreshed at every
+    /// round boundary; recorded in persistence checkpoints so a resumed run
+    /// can prove its replayed world marched in lockstep with the original.
+    pub rng_witness: u64,
 }
 
 impl RunState {
@@ -175,6 +181,7 @@ impl RunState {
             ip_lottery_declines: 0,
             caa_blocked_certs: 0,
             liveness: Vec::new(),
+            rng_witness: 0,
         }
     }
 }

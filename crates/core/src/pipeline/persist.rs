@@ -1,0 +1,550 @@
+//! Persistence stage: append-only observation logging and checkpoint/resume.
+//!
+//! Sits after the crawl and before the diff in the weekly pipeline. During a
+//! live round it serializes every [`CrawlOutcome`] into the state
+//! directory's [`storelog`] (one segment per [`SnapshotStore`] shard, same
+//! partition as the parallel crawl), then seals the round with a fsynced
+//! commit carrying a [`Checkpoint`]. A crash at any point loses at most the
+//! round in flight.
+//!
+//! ## Resume = deterministic replay
+//!
+//! The simulation is fully deterministic from its seed: world events,
+//! attacker campaigns and certificate history replay for free. The only
+//! expensive stage is the weekly crawl — so a resumed run re-executes the
+//! world from t=0 but **substitutes the logged crawl outcomes** for every
+//! round up to the recovered frontier, skipping the crawl entirely. Past the
+//! frontier it crawls and records again as if never interrupted. The final
+//! [`crate::report::StudyResults`] is therefore byte-identical to an
+//! uninterrupted run, at any thread count (`resume_equivalence` enforces
+//! this).
+//!
+//! Replay is validated, not trusted: every checkpoint records aggregate
+//! counters and a digest of the world stage's RNG stream positions
+//! ([`RunState::rng_witness`]); at the frontier the resumed run must
+//! reproduce all of them exactly or resume aborts with
+//! [`PersistError::Diverged`].
+//!
+//! ## Compaction
+//!
+//! Unchanged-snapshot records only matter until a newer observation of the
+//! same FQDN is durable; [`compact_state_dir`] drops the superseded ones
+//! (change records are always kept). Replay tolerates the thinned history
+//! because nothing downstream reads intermediate store states during
+//! replayed rounds: the change log replays from the kept change records and
+//! the final store state from the kept last-per-FQDN records.
+
+use super::{CrawlOutcome, RunState};
+use crate::diff::{ChangeKind, ChangeRecord};
+use crate::scenario::ScenarioConfig;
+use crate::snapshot::Snapshot;
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use storelog::{CompactStats, LogReader, LogWriter, Retention};
+
+/// Version of the JSON record/checkpoint payloads inside the storelog
+/// frames. Bump together with [`storelog::FORMAT_VERSION`] discipline: a
+/// migration note in `crates/storelog/MIGRATIONS.md`.
+pub const OBS_FORMAT: u32 = 1;
+
+/// One logged observation: what one crawl task produced in one round.
+///
+/// `seq` is the FQDN's index in the canonical monitored order of its round,
+/// so replay can reassemble the batch in exactly the order the diff stage
+/// consumed it, even after compaction thins the round.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObsRecord {
+    pub round: SimTime,
+    pub seq: u32,
+    pub snap: Snapshot,
+    pub change: Option<ChangeMeta>,
+}
+
+/// The `before` half of a [`ChangeRecord`]. The `after` half is the record's
+/// own snapshot (the crawl always diffs against the previous snapshot and
+/// stores the new one), so it is not duplicated on disk.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChangeMeta {
+    pub kinds: Vec<ChangeKind>,
+    pub before_language: Option<String>,
+    pub before_sitemap_bytes: Option<u64>,
+    pub before_serving: bool,
+    pub before_keywords: Vec<String>,
+}
+
+impl ChangeMeta {
+    fn from_record(rec: &ChangeRecord) -> Self {
+        ChangeMeta {
+            kinds: rec.kinds.clone(),
+            before_language: rec.before_language.clone(),
+            before_sitemap_bytes: rec.before_sitemap_bytes,
+            before_serving: rec.before_serving,
+            before_keywords: rec.before_keywords.clone(),
+        }
+    }
+
+    fn into_record(self, snap: &Snapshot) -> ChangeRecord {
+        ChangeRecord {
+            fqdn: snap.fqdn.clone(),
+            day: snap.day,
+            kinds: self.kinds,
+            before_language: self.before_language,
+            before_sitemap_bytes: self.before_sitemap_bytes,
+            before_serving: self.before_serving,
+            before_keywords: self.before_keywords,
+            after: snap.clone(),
+        }
+    }
+}
+
+/// The application payload of every storelog commit: enough aggregate state
+/// to prove a replayed run reproduced the original, and the frontier a
+/// resume continues from.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    pub format: u32,
+    /// The round this commit sealed.
+    pub round: SimTime,
+    pub rounds_done: u64,
+    pub monitored_total: u64,
+    pub store_len: u64,
+    pub changes_total: u64,
+    pub ip_lottery_declines: u64,
+    pub caa_blocked_certs: u64,
+    pub liveness_len: u64,
+    /// [`super::WorldStage::rng_cursor_digest`] at the round boundary.
+    pub rng_witness: u64,
+}
+
+impl Checkpoint {
+    fn capture(rs: &RunState, now: SimTime, rounds_done: u64) -> Self {
+        Checkpoint {
+            format: OBS_FORMAT,
+            round: now,
+            rounds_done,
+            monitored_total: rs.monitored.len() as u64,
+            store_len: rs.store.len() as u64,
+            changes_total: rs.changes.len() as u64,
+            ip_lottery_declines: rs.ip_lottery_declines,
+            caa_blocked_certs: rs.caa_blocked_certs,
+            liveness_len: rs.liveness.len() as u64,
+            rng_witness: rs.rng_witness,
+        }
+    }
+}
+
+/// How to open a state directory.
+#[derive(Debug, Clone)]
+pub struct PersistOptions {
+    pub state_dir: PathBuf,
+    /// Continue a recorded run (refused if the recorded config differs).
+    /// Without this flag an already-populated state dir is refused instead
+    /// of clobbered.
+    pub resume: bool,
+    /// Stop the simulation after this many monitoring rounds — the
+    /// kill-at-a-round-boundary knob the resume tests (and incremental
+    /// long-run operation) are built on.
+    pub max_rounds: Option<u64>,
+}
+
+impl PersistOptions {
+    pub fn new(state_dir: impl Into<PathBuf>) -> Self {
+        PersistOptions {
+            state_dir: state_dir.into(),
+            resume: false,
+            max_rounds: None,
+        }
+    }
+}
+
+/// Everything that can go wrong persisting or resuming a run.
+#[derive(Debug)]
+pub enum PersistError {
+    Store(storelog::Error),
+    Json(String),
+    /// The state dir records a different [`ScenarioConfig`] than the one the
+    /// caller is running with (crawl thread count excluded — it cannot
+    /// affect results).
+    ConfigMismatch {
+        state_dir: PathBuf,
+    },
+    /// The state dir exists and `resume` was not requested.
+    AlreadyExists(PathBuf),
+    /// Replay failed to reproduce the recorded checkpoint — the log is
+    /// corrupt or was produced by an incompatible build.
+    Diverged(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Store(e) => write!(f, "{e}"),
+            PersistError::Json(m) => write!(f, "persist serialization error: {m}"),
+            PersistError::ConfigMismatch { state_dir } => write!(
+                f,
+                "state dir {} was recorded with a different scenario config; \
+                 resume refused (results would silently diverge)",
+                state_dir.display()
+            ),
+            PersistError::AlreadyExists(p) => write!(
+                f,
+                "state dir {} already contains a recorded run; pass --resume \
+                 to continue it or remove the directory",
+                p.display()
+            ),
+            PersistError::Diverged(m) => {
+                write!(f, "resume replay diverged from recorded checkpoint: {m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<storelog::Error> for PersistError {
+    fn from(e: storelog::Error) -> Self {
+        PersistError::Store(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Json(e.0)
+    }
+}
+
+/// The recorded history a resuming run replays instead of crawling.
+struct ReplayData {
+    /// Last committed round; rounds ≤ this replay from the log.
+    frontier: SimTime,
+    /// Observations grouped by round, each group in `seq` order.
+    rounds: BTreeMap<i32, Vec<ObsRecord>>,
+    /// The checkpoint replay must reproduce at the frontier.
+    checkpoint: Checkpoint,
+}
+
+/// The persistence stage (see module docs). Only instantiated when a state
+/// dir is configured; the plain in-memory pipeline never pays for it.
+pub struct PersistStage {
+    writer: LogWriter,
+    replay: Option<ReplayData>,
+    rounds_done: u64,
+    max_rounds: Option<u64>,
+}
+
+/// The serialized config a state dir is stamped with. The crawl thread
+/// count is zeroed first: by the pipeline's determinism contract it cannot
+/// change results, so recording at 8 threads and resuming at 1 is legal —
+/// while a differing `crawl_failure_rate` or seed genuinely forks history
+/// and must be refused.
+fn config_fingerprint(cfg: &ScenarioConfig) -> Result<Vec<u8>, PersistError> {
+    let mut canon = cfg.clone();
+    canon.crawl_threads = 0;
+    Ok(serde_json::to_vec(&canon)?)
+}
+
+impl PersistStage {
+    /// Open or create the state directory. With `opts.resume` and existing
+    /// state, loads the recorded history for replay; a fresh or empty dir
+    /// starts a new recording either way.
+    pub fn open(
+        opts: &PersistOptions,
+        cfg: &ScenarioConfig,
+        shards: usize,
+    ) -> Result<Self, PersistError> {
+        let fingerprint = config_fingerprint(cfg)?;
+        let dir = &opts.state_dir;
+
+        let existing = match LogReader::open(dir) {
+            Ok(reader) => Some(reader),
+            Err(storelog::Error::NoState(_)) => None,
+            Err(e) => return Err(e.into()),
+        };
+
+        let replay = match existing {
+            None => {
+                std::fs::create_dir_all(dir).map_err(storelog::Error::Io)?;
+                let writer = LogWriter::create(dir, shards, &fingerprint)?;
+                return Ok(PersistStage {
+                    writer,
+                    replay: None,
+                    rounds_done: 0,
+                    max_rounds: opts.max_rounds,
+                });
+            }
+            Some(reader) => {
+                if !opts.resume {
+                    return Err(PersistError::AlreadyExists(dir.clone()));
+                }
+                if reader.config() != fingerprint.as_slice() {
+                    return Err(PersistError::ConfigMismatch {
+                        state_dir: dir.clone(),
+                    });
+                }
+                if reader.shard_count() != shards {
+                    return Err(PersistError::Diverged(format!(
+                        "state dir has {} shards, store has {shards}",
+                        reader.shard_count()
+                    )));
+                }
+                Self::load_replay(&reader)?
+            }
+        };
+
+        let writer = LogWriter::open_append(dir)?;
+        Ok(PersistStage {
+            writer,
+            replay,
+            rounds_done: 0,
+            max_rounds: opts.max_rounds,
+        })
+    }
+
+    fn load_replay(reader: &LogReader) -> Result<Option<ReplayData>, PersistError> {
+        let Some(commit) = reader.last_commit() else {
+            // Created but never committed a round: nothing to replay.
+            return Ok(None);
+        };
+        let checkpoint: Checkpoint = serde_json::from_slice(&commit.app)?;
+        if checkpoint.format != OBS_FORMAT {
+            return Err(PersistError::Diverged(format!(
+                "recorded payload format v{}, this build writes v{OBS_FORMAT}",
+                checkpoint.format
+            )));
+        }
+        let mut rounds: BTreeMap<i32, Vec<ObsRecord>> = BTreeMap::new();
+        for shard in 0..reader.shard_count() {
+            for payload in reader.read_shard(shard)? {
+                let rec: ObsRecord = serde_json::from_slice(&payload)?;
+                rounds.entry(rec.round.0).or_default().push(rec);
+            }
+        }
+        for group in rounds.values_mut() {
+            group.sort_unstable_by_key(|r| r.seq);
+        }
+        Ok(Some(ReplayData {
+            frontier: checkpoint.round,
+            rounds,
+            checkpoint,
+        }))
+    }
+
+    /// If `now` is inside the recorded history, install the logged outcomes
+    /// as this round's crawl batch and return `true` — the caller skips the
+    /// crawl. Returns `false` past the frontier (or when not resuming).
+    pub fn replay_round(&mut self, rs: &mut RunState, now: SimTime) -> Result<bool, PersistError> {
+        let Some(rep) = &mut self.replay else {
+            return Ok(false);
+        };
+        if now > rep.frontier {
+            return Ok(false);
+        }
+        // Compaction may have thinned the round (superseded no-change
+        // records); whatever remains replays in original order and rebuilds
+        // the change log exactly and the store eventually.
+        let records = rep.rounds.remove(&now.0).unwrap_or_default();
+        if records.len() > rs.monitored.len() {
+            return Err(PersistError::Diverged(format!(
+                "round {} has {} records for {} monitored names",
+                now.0,
+                records.len(),
+                rs.monitored.len()
+            )));
+        }
+        rs.crawl_batch = records
+            .into_iter()
+            .map(|rec| {
+                let change = rec.change.map(|m| m.into_record(&rec.snap));
+                CrawlOutcome {
+                    snap: rec.snap,
+                    change,
+                }
+            })
+            .collect();
+        Ok(true)
+    }
+
+    /// Buffer this round's crawl outcomes into the log (in memory until
+    /// [`Self::finish_round`] makes them durable). Runs on live rounds only,
+    /// before the diff stage drains the batch.
+    pub fn record_round(&mut self, rs: &RunState, now: SimTime) -> Result<(), PersistError> {
+        for (i, out) in rs.crawl_batch.iter().enumerate() {
+            let rec = ObsRecord {
+                round: now,
+                seq: i as u32,
+                snap: out.snap.clone(),
+                change: out.change.as_ref().map(ChangeMeta::from_record),
+            };
+            let payload = serde_json::to_vec(&rec)?;
+            self.writer
+                .append(rs.store.shard_of(&out.snap.fqdn), &payload);
+        }
+        Ok(())
+    }
+
+    /// Seal the round. On a live round: fsync the buffered records and
+    /// commit a [`Checkpoint`]. On a replayed round: count it, and at the
+    /// frontier validate the rebuilt state against the recorded checkpoint
+    /// before going live.
+    pub fn finish_round(&mut self, rs: &RunState, now: SimTime) -> Result<(), PersistError> {
+        self.rounds_done += 1;
+        if let Some(rep) = &self.replay {
+            match now.cmp(&rep.frontier) {
+                std::cmp::Ordering::Less => return Ok(()),
+                std::cmp::Ordering::Equal => {
+                    // At the frontier: prove the replay landed exactly where
+                    // the original run stood before accepting live appends.
+                    let rebuilt = Checkpoint::capture(rs, now, self.rounds_done);
+                    if rebuilt != rep.checkpoint {
+                        return Err(PersistError::Diverged(format!(
+                            "at round {}: rebuilt {rebuilt:?} != recorded {:?}",
+                            now.0, rep.checkpoint
+                        )));
+                    }
+                    self.replay = None;
+                    return Ok(());
+                }
+                std::cmp::Ordering::Greater => {
+                    return Err(PersistError::Diverged(format!(
+                        "round {} passed the recorded frontier {} without \
+                         reaching it (monitoring cadence mismatch?)",
+                        now.0, rep.frontier.0
+                    )))
+                }
+            }
+        }
+        let cp = Checkpoint::capture(rs, now, self.rounds_done);
+        self.writer.commit(&serde_json::to_vec(&cp)?)?;
+        Ok(())
+    }
+
+    /// Has the configured round budget been exhausted?
+    pub fn should_stop(&self) -> bool {
+        self.max_rounds.is_some_and(|m| self.rounds_done >= m)
+    }
+
+    /// Rounds completed (replayed + live) so far.
+    pub fn rounds_done(&self) -> u64 {
+        self.rounds_done
+    }
+}
+
+/// Compact a state directory: drop every unchanged-snapshot record that a
+/// newer observation of the same FQDN supersedes. Change records are always
+/// kept. Safe at any point between runs; resume works identically on the
+/// compacted log.
+pub fn compact_state_dir(dir: &Path) -> Result<CompactStats, PersistError> {
+    let stats = storelog::compact(dir, |payload| {
+        match serde_json::from_slice::<ObsRecord>(payload) {
+            // A change record is study signal — never dropped.
+            Ok(rec) if rec.change.is_none() => Retention::Supersede(rec.snap.fqdn.to_string()),
+            // Unparseable records are kept, not silently destroyed.
+            _ => Retention::Keep,
+        }
+    })?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns::Rcode;
+
+    fn snap(fqdn: &str, day: i32) -> Snapshot {
+        let mut s =
+            Snapshot::unreachable(fqdn.parse().unwrap(), SimTime(day), Rcode::NoError, None);
+        s.http_status = Some(200);
+        s.index_hash = 7;
+        s.title = Some("Titre — déjà vu".into());
+        s
+    }
+
+    #[test]
+    fn obs_record_roundtrips_through_json() {
+        let rec = ObsRecord {
+            round: SimTime(35),
+            seq: 3,
+            snap: snap("a.b.com", 35),
+            change: Some(ChangeMeta {
+                kinds: vec![ChangeKind::Content, ChangeKind::Language],
+                before_language: Some("en".into()),
+                before_sitemap_bytes: None,
+                before_serving: true,
+                before_keywords: vec!["slot".into()],
+            }),
+        };
+        let bytes = serde_json::to_vec(&rec).unwrap();
+        let back: ObsRecord = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(back.round, rec.round);
+        assert_eq!(back.seq, rec.seq);
+        assert_eq!(back.snap, rec.snap);
+        let m = back.change.unwrap();
+        assert_eq!(m.kinds, vec![ChangeKind::Content, ChangeKind::Language]);
+        assert_eq!(m.before_keywords, vec!["slot".to_string()]);
+    }
+
+    #[test]
+    fn change_meta_rebuilds_the_original_record() {
+        let after = snap("x.y.com", 42);
+        let original = ChangeRecord {
+            fqdn: after.fqdn.clone(),
+            day: after.day,
+            kinds: vec![ChangeKind::BecameReachable],
+            before_language: None,
+            before_sitemap_bytes: Some(10),
+            before_serving: false,
+            before_keywords: vec![],
+            after: after.clone(),
+        };
+        let rebuilt = ChangeMeta::from_record(&original).into_record(&after);
+        assert_eq!(rebuilt.fqdn, original.fqdn);
+        assert_eq!(rebuilt.day, original.day);
+        assert_eq!(rebuilt.kinds, original.kinds);
+        assert_eq!(rebuilt.before_sitemap_bytes, original.before_sitemap_bytes);
+        assert_eq!(rebuilt.after, original.after);
+    }
+
+    #[test]
+    fn fingerprint_ignores_thread_count_only() {
+        let mut a = ScenarioConfig::at_scale(800);
+        let mut b = a.clone();
+        a.crawl_threads = 1;
+        b.crawl_threads = 8;
+        assert_eq!(
+            config_fingerprint(&a).unwrap(),
+            config_fingerprint(&b).unwrap()
+        );
+        b.crawl_failure_rate = 0.5;
+        assert_ne!(
+            config_fingerprint(&a).unwrap(),
+            config_fingerprint(&b).unwrap()
+        );
+        let mut c = a.clone();
+        c.seed = a.seed + 1;
+        assert_ne!(
+            config_fingerprint(&a).unwrap(),
+            config_fingerprint(&c).unwrap()
+        );
+    }
+
+    #[test]
+    fn checkpoint_roundtrips() {
+        let cp = Checkpoint {
+            format: OBS_FORMAT,
+            round: SimTime(1834),
+            rounds_done: 52,
+            monitored_total: 993,
+            store_len: 991,
+            changes_total: 120,
+            ip_lottery_declines: 4,
+            caa_blocked_certs: 1,
+            liveness_len: 9,
+            rng_witness: 0xdead_beef_cafe_f00d,
+        };
+        let bytes = serde_json::to_vec(&cp).unwrap();
+        let back: Checkpoint = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(back, cp);
+    }
+}

@@ -65,6 +65,29 @@ impl WorldStage {
         }
     }
 
+    /// Digest of the positions of this stage's three sequential RNG streams.
+    ///
+    /// The world stage owns the only *stateful* RNGs in the simulation
+    /// (everything else derives keyed streams from the [`simcore::RngTree`]).
+    /// A resumed run replays world events from the seed, so after replaying
+    /// to round R these cursors must land exactly where the original run's
+    /// did at R — the persistence layer records the digest in every
+    /// checkpoint and refuses to resume on a mismatch.
+    pub fn rng_cursor_digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for cur in [
+            self.benign_rng.cursor(),
+            self.attacker_rng.cursor(),
+            self.org_rng.cursor(),
+        ] {
+            for b in cur.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        h
+    }
+
     fn provision(&mut self, rs: &mut RunState, now: SimTime, idx: usize) {
         let plan = rs.world.population.plans[idx].clone();
         let org = rs.world.population.org(plan.org).clone();

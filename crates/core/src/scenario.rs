@@ -14,7 +14,8 @@
 //! `crawl_threads`) is documented in [`crate::pipeline`].
 
 use crate::pipeline::{
-    CollectStage, CrawlStage, DiffStage, Ev, RetroStage, RunState, Stage, WorldStage,
+    CollectStage, CrawlStage, DiffStage, Ev, PersistError, PersistOptions, PersistStage,
+    RetroStage, RunState, Stage, WorldStage,
 };
 use crate::report::StudyResults;
 use cloudsim::PlatformConfig;
@@ -104,6 +105,23 @@ impl Scenario {
     /// stages run in pipeline order: collect → crawl → diff), then hands the
     /// final state to the retrospective stage.
     pub fn run(self) -> StudyResults {
+        self.run_inner(None)
+            .expect("a run without persistence cannot fail")
+    }
+
+    /// Run the study against a state directory: every round's observations
+    /// are appended to an on-disk log and sealed with a checkpoint, so an
+    /// interrupted run can continue with `opts.resume` (replaying recorded
+    /// rounds instead of crawling them) and still serialize byte-identically
+    /// to an uninterrupted run. See [`crate::pipeline::persist`].
+    pub fn run_persisted(self, opts: &PersistOptions) -> Result<StudyResults, PersistError> {
+        self.run_inner(Some(opts))
+    }
+
+    fn run_inner(
+        self,
+        persist_opts: Option<&PersistOptions>,
+    ) -> Result<StudyResults, PersistError> {
         let threads = self.cfg.crawl_threads;
         let failure_rate = self.cfg.crawl_failure_rate;
         let mut rs = RunState::new(self.cfg);
@@ -112,6 +130,10 @@ impl Scenario {
         let mut collect = CollectStage::new(&rs);
         let mut crawl = CrawlStage::new(threads, failure_rate);
         let mut diff = DiffStage;
+        let mut persist = match persist_opts {
+            Some(opts) => Some(PersistStage::open(opts, &rs.cfg, rs.store.shard_count())?),
+            None => None,
+        };
 
         while let Some((now, ev)) = rs.q.pop() {
             if now > rs.horizon {
@@ -120,14 +142,33 @@ impl Scenario {
             match ev {
                 Ev::MonitorWeek => {
                     collect.weekly(&mut rs, now);
-                    crawl.weekly(&mut rs, now);
+                    // Inside the recorded history a resumed run substitutes
+                    // the logged outcomes for the crawl — the only stage
+                    // whose work is not cheaply deterministic to repeat.
+                    let replayed = match persist.as_mut() {
+                        Some(p) => p.replay_round(&mut rs, now)?,
+                        None => false,
+                    };
+                    if !replayed {
+                        crawl.weekly(&mut rs, now);
+                        if let Some(p) = persist.as_mut() {
+                            p.record_round(&rs, now)?;
+                        }
+                    }
                     diff.weekly(&mut rs, now);
+                    if let Some(p) = persist.as_mut() {
+                        rs.rng_witness = world_stage.rng_cursor_digest();
+                        p.finish_round(&rs, now)?;
+                        if p.should_stop() {
+                            break;
+                        }
+                    }
                 }
                 other => world_stage.on_event(&mut rs, now, other),
             }
         }
 
-        RetroStage.assemble(rs)
+        Ok(RetroStage.assemble(rs))
     }
 }
 

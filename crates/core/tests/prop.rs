@@ -1,14 +1,16 @@
 //! Property tests for the detection pipeline: keyword extraction, diffing,
-//! signature matching, and the capability model.
+//! signature matching, the capability model, and the serde round-trips the
+//! persistence log depends on.
 
 use dangling_core::capability::{can_steal_cookie, capabilities};
 use dangling_core::diff::{diff, ChangeKind};
 use dangling_core::keywords::{cluster_key, extract_keywords, overlap, rank_tokens};
 use dangling_core::signature::Signature;
 use dangling_core::snapshot::{body_hash, Snapshot};
-use dns::Rcode;
+use dns::{Name, Rcode};
 use proptest::prelude::*;
 use simcore::SimTime;
+use std::net::Ipv4Addr;
 
 fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
     (
@@ -34,6 +36,43 @@ fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
             s.sitemap_bytes = sitemap;
             s
         })
+}
+
+/// Arbitrary valid names in dotted form: 1–4 labels over the accepted
+/// alphabet (lowercase alphanumerics, `-`, `_`), each ≤63 chars.
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec("[a-z0-9_-]{1,12}", 1..5)
+        .prop_map(|labels| Name::parse(&labels.join(".")).expect("generated labels are valid"))
+}
+
+/// Snapshots exercising the full field surface the observation log must
+/// round-trip: unicode titles, arbitrary keyword sets, optional IPs, and
+/// None-heavy variants (the common unreachable case).
+fn arb_persisted_snapshot() -> impl Strategy<Value = Snapshot> {
+    (
+        arb_name(),
+        0i32..3000,
+        proptest::option::of("\\PC{0,24}"),
+        proptest::option::of(any::<[u8; 4]>()),
+        proptest::option::of(100u16..600),
+        proptest::collection::vec("[a-z]{2,10}", 0..6),
+        any::<u64>(),
+        proptest::option::of(0u64..5_000_000),
+        proptest::option::of("\\PC{0,80}"),
+    )
+        .prop_map(
+            |(fqdn, day, title, ip, status, keywords, hash, sitemap, html)| {
+                let mut s = Snapshot::unreachable(fqdn, SimTime(day), Rcode::NoError, None);
+                s.title = title;
+                s.ip = ip.map(Ipv4Addr::from);
+                s.http_status = status;
+                s.keywords = keywords;
+                s.index_hash = hash;
+                s.sitemap_bytes = sitemap;
+                s.html = html;
+                s
+            },
+        )
 }
 
 fn arb_signature() -> impl Strategy<Value = Signature> {
@@ -129,6 +168,27 @@ proptest! {
         prop_assert!(!before || after);
         // And the enriched snapshot always matches.
         prop_assert!(after);
+    }
+
+    /// Names serialize as their dotted string and parse back to an equal
+    /// name — the on-disk representation every observation record uses.
+    #[test]
+    fn name_serde_roundtrips_dotted(n in arb_name()) {
+        let text = serde_json::to_string(&n).unwrap();
+        prop_assert!(text.starts_with('"'), "names must serialize as strings");
+        let back: Name = serde_json::from_str(&text).unwrap();
+        prop_assert_eq!(back, n);
+    }
+
+    /// Snapshots round-trip through JSON exactly, across unicode titles,
+    /// optional IPs/statuses/HTML, and None-heavy unreachable shapes. The
+    /// resume guarantee reduces to this property: the replayed crawl batch
+    /// equals the recorded one field-for-field.
+    #[test]
+    fn snapshot_serde_roundtrips(s in arb_persisted_snapshot()) {
+        let text = serde_json::to_string(&s).unwrap();
+        let back: Snapshot = serde_json::from_str(&text).unwrap();
+        prop_assert_eq!(back, s);
     }
 
     /// body_hash is deterministic and collision-free on short distinct inputs

@@ -1,0 +1,148 @@
+//! The persistence subsystem's headline guarantee: a run interrupted at any
+//! round boundary and resumed from its state directory serializes
+//! [`dangling_core::StudyResults`] **byte-identically** to an uninterrupted
+//! run — at any crawl thread count, including recording and resuming at
+//! different thread counts.
+//!
+//! Same scenario as `parallel_equivalence` (transient-failure model on, so
+//! the RNG-keyed crawl path is exercised), with the `max_rounds` knob as the
+//! kill switch: it stops the simulation right after a commit, exactly the
+//! state a crash at a round boundary leaves behind.
+
+use dangling_core::pipeline::persist::compact_state_dir;
+use dangling_core::scenario::{Scenario, ScenarioConfig};
+use dangling_core::{PersistError, PersistOptions};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("resume_eq_{tag}_{}_{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn study_cfg(threads: usize) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::at_scale(2000);
+    cfg.world.n_fortune1000 = 30;
+    cfg.world.n_global500 = 15;
+    cfg.seed = 11;
+    cfg.crawl_threads = threads;
+    cfg.crawl_failure_rate = 0.02;
+    cfg
+}
+
+/// The uninterrupted, non-persisted reference run (computed once).
+fn baseline() -> &'static String {
+    static BASELINE: OnceLock<String> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        let results = Scenario::new(study_cfg(1)).run();
+        serde_json::to_string(&results).expect("results serialize")
+    })
+}
+
+fn run_persisted(
+    dir: &TempDir,
+    threads: usize,
+    resume: bool,
+    max_rounds: Option<u64>,
+) -> Result<String, PersistError> {
+    let mut opts = PersistOptions::new(&dir.0);
+    opts.resume = resume;
+    opts.max_rounds = max_rounds;
+    let results = Scenario::new(study_cfg(threads)).run_persisted(&opts)?;
+    Ok(serde_json::to_string(&results).expect("results serialize"))
+}
+
+#[test]
+fn interrupted_plus_resumed_is_byte_identical() {
+    // (threads while recording, threads while resuming): same-count serial
+    // and parallel, plus a cross-count resume — the log is thread-agnostic.
+    for (record_threads, resume_threads) in [(1, 1), (4, 4), (1, 4)] {
+        let dir = TempDir::new("kill");
+        // Record 20 rounds, then die at the boundary.
+        run_persisted(&dir, record_threads, false, Some(20)).expect("recording run");
+        let resumed = run_persisted(&dir, resume_threads, true, None).expect("resumed run");
+        assert_eq!(
+            &resumed,
+            baseline(),
+            "resume diverged (recorded at {record_threads} threads, \
+             resumed at {resume_threads})"
+        );
+    }
+}
+
+#[test]
+fn uninterrupted_persisted_run_matches_plain_run() {
+    // Recording itself must not perturb results, and a second resume over a
+    // fully recorded history (pure replay, zero crawls) must also agree.
+    let dir = TempDir::new("full");
+    let recorded = run_persisted(&dir, 1, false, None).expect("recorded run");
+    assert_eq!(&recorded, baseline(), "persistence changed the results");
+    let replayed = run_persisted(&dir, 4, true, None).expect("pure replay");
+    assert_eq!(&replayed, baseline(), "full replay diverged");
+}
+
+#[test]
+fn compaction_preserves_resume_equivalence() {
+    let dir = TempDir::new("compact");
+    run_persisted(&dir, 4, false, Some(30)).expect("recording run");
+    let stats = compact_state_dir(&dir.0).expect("compaction");
+    assert!(
+        stats.records_after < stats.records_before,
+        "30 weekly rounds must contain superseded no-change records \
+         ({} -> {})",
+        stats.records_before,
+        stats.records_after
+    );
+    let resumed = run_persisted(&dir, 1, true, None).expect("resume after compaction");
+    assert_eq!(&resumed, baseline(), "compaction broke replay");
+}
+
+#[test]
+fn mismatched_config_is_refused() {
+    let dir = TempDir::new("mismatch");
+    run_persisted(&dir, 1, false, Some(3)).expect("recording run");
+
+    // A different failure rate forks history: refused.
+    let mut cfg = study_cfg(1);
+    cfg.crawl_failure_rate = 0.5;
+    let mut opts = PersistOptions::new(&dir.0);
+    opts.resume = true;
+    let Err(err) = Scenario::new(cfg).run_persisted(&opts) else {
+        panic!("resume with a different failure rate must be refused");
+    };
+    assert!(
+        matches!(err, PersistError::ConfigMismatch { .. }),
+        "expected ConfigMismatch, got {err}"
+    );
+
+    // A different seed likewise.
+    let mut cfg = study_cfg(1);
+    cfg.seed = 12;
+    let Err(err) = Scenario::new(cfg).run_persisted(&opts) else {
+        panic!("resume with a different seed must be refused");
+    };
+    assert!(matches!(err, PersistError::ConfigMismatch { .. }));
+
+    // Re-running without --resume must refuse to clobber the recording.
+    let Err(err) = run_persisted(&dir, 1, false, Some(3)) else {
+        panic!("re-running onto a populated state dir must be refused");
+    };
+    assert!(
+        matches!(err, PersistError::AlreadyExists(_)),
+        "expected AlreadyExists, got {err}"
+    );
+}

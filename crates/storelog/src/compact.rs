@@ -1,0 +1,236 @@
+//! Compaction: drop records that a newer record of the same key supersedes.
+//!
+//! The monitoring pipeline writes one observation per (FQDN, round); the
+//! overwhelming majority are "nothing changed" records whose only long-term
+//! job is to be the latest-known state of their FQDN. Once a newer
+//! observation of the same FQDN is durable, the older unchanged record is
+//! dead weight. Compaction rewrites each segment keeping
+//!
+//! - every record the application classifies [`Retention::Keep`] (change
+//!   records — the study's actual signal — are never dropped), and
+//! - the **last** record per [`Retention::Supersede`] key, so replay still
+//!   reconstructs the exact latest snapshot of every key.
+//!
+//! Surviving records keep their original shard, order and payload bytes, so
+//! a replay of a compacted log is byte-equivalent to a replay of the full
+//! log for every consumer that only needs (all changes + latest state) —
+//! which is precisely the resume contract upstream.
+//!
+//! The pass is crash-safe: new segments and a fresh single-entry commit log
+//! (carrying the previous head checkpoint) are written to `*.tmp` files,
+//! fsynced, then renamed over the originals — a crash mid-compaction leaves
+//! either the old state or the new one, never a mix of live files.
+
+use crate::log::{CommitRecord, LogReader};
+use crate::{frame, Error, Layout, Result};
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::Path;
+
+/// Application verdict on one record (see [`compact`]).
+pub enum Retention {
+    /// Never dropped.
+    Keep,
+    /// Dropped iff a later record in the same shard carries the same key.
+    Supersede(String),
+}
+
+/// What a compaction pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactStats {
+    pub records_before: usize,
+    pub records_after: usize,
+    pub bytes_before: u64,
+    pub bytes_after: u64,
+}
+
+/// Rewrite the committed region of `dir`, classifying every record payload
+/// with `classify`. Uncommitted tails are discarded (they were already
+/// invisible). No-op on a log that never committed.
+pub fn compact(dir: &Path, mut classify: impl FnMut(&[u8]) -> Retention) -> Result<CompactStats> {
+    let reader = LogReader::open(dir)?;
+    let layout = Layout::new(dir);
+    let shards = reader.shard_count();
+    let Some(head) = reader.last_commit().cloned() else {
+        return Ok(CompactStats {
+            records_before: 0,
+            records_after: 0,
+            bytes_before: 0,
+            bytes_after: 0,
+        });
+    };
+
+    let mut stats = CompactStats {
+        records_before: 0,
+        records_after: 0,
+        bytes_before: 0,
+        bytes_after: 0,
+    };
+    let mut new_offsets = Vec::with_capacity(shards);
+    let mut tmp_paths = Vec::with_capacity(shards + 1);
+
+    for shard in 0..shards {
+        let records = reader.read_shard(shard)?;
+        stats.records_before += records.len();
+        stats.bytes_before += head.offsets[shard];
+
+        // Pass 1: last occurrence of each supersede key in this shard.
+        // (Shards partition the keyspace, so per-shard lastness is global
+        // lastness for any consistent classifier.)
+        let mut last_of: HashMap<String, usize> = HashMap::new();
+        let mut verdicts = Vec::with_capacity(records.len());
+        for (i, rec) in records.iter().enumerate() {
+            let v = classify(rec);
+            if let Retention::Supersede(key) = &v {
+                last_of.insert(key.clone(), i);
+            }
+            verdicts.push(v);
+        }
+
+        // Pass 2: rewrite survivors in order.
+        let mut out = Vec::new();
+        for (i, rec) in records.iter().enumerate() {
+            let keep = match &verdicts[i] {
+                Retention::Keep => true,
+                Retention::Supersede(key) => last_of[key] == i,
+            };
+            if keep {
+                frame::encode_into(rec, &mut out);
+                stats.records_after += 1;
+            }
+        }
+        stats.bytes_after += out.len() as u64;
+        new_offsets.push(out.len() as u64);
+
+        let tmp = layout.segment_file(shard).with_extension("seg.tmp");
+        write_fsync(&tmp, &out)?;
+        tmp_paths.push((tmp, layout.segment_file(shard)));
+    }
+
+    // Fresh single-entry commit log carrying the head checkpoint forward.
+    let rebased = CommitRecord {
+        offsets: new_offsets,
+        app: head.app.clone(),
+    };
+    let mut commit_bytes = Vec::new();
+    frame::encode_into(&rebased.encode(), &mut commit_bytes);
+    let commits_tmp = layout.commits_file().with_extension("log.tmp");
+    write_fsync(&commits_tmp, &commit_bytes)?;
+    tmp_paths.push((commits_tmp, layout.commits_file()));
+
+    // Publish. Renames are atomic per file; if a crash interleaves them the
+    // next open still finds a consistent pair (old segments are supersets of
+    // new ones at identical prefixes is NOT guaranteed, so order matters:
+    // segments first, commit log last — a new commit log only ever points
+    // into fully-renamed new segments, while the old commit log pointing at
+    // a new (shorter) segment merely falls back to an older commit).
+    for (tmp, live) in tmp_paths {
+        std::fs::rename(tmp, live)?;
+    }
+    sync_dir(dir)?;
+    Ok(stats)
+}
+
+fn write_fsync(path: &Path, bytes: &[u8]) -> Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(bytes)?;
+    f.sync_data()?;
+    Ok(())
+}
+
+fn sync_dir(dir: &Path) -> Result<()> {
+    // Durability of the renames themselves. Directory fsync is
+    // platform-dependent; failure to open the dir is not fatal.
+    match std::fs::File::open(dir) {
+        Ok(d) => {
+            d.sync_all().map_err(Error::Io)?;
+            Ok(())
+        }
+        Err(_) => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogWriter;
+    use crate::testutil::TempDir;
+
+    /// Payload convention for these tests: `key:kind` where kind `c` = a
+    /// change record (Keep) and `u` = unchanged (Supersede by key).
+    fn classify(p: &[u8]) -> Retention {
+        let s = std::str::from_utf8(p).unwrap();
+        let (key, kind) = s.split_once(':').unwrap();
+        if kind == "c" {
+            Retention::Keep
+        } else {
+            Retention::Supersede(key.to_string())
+        }
+    }
+
+    #[test]
+    fn drops_superseded_keeps_changes_and_latest() {
+        let t = TempDir::new("compact");
+        let mut w = LogWriter::create(&t.0, 2, b"cfg").unwrap();
+        // Shard 0: a:u, a:c, a:u, a:u  → keep a:c and the final a:u.
+        for (r, p) in ["a:u", "a:c", "a:u", "a:u"].iter().enumerate() {
+            w.append(0, p.as_bytes());
+            // Shard 1: b:u every round → only the last survives.
+            w.append(1, b"b:u");
+            w.commit(format!("round-{r}").as_bytes()).unwrap();
+        }
+        drop(w);
+
+        let stats = compact(&t.0, classify).unwrap();
+        assert_eq!(stats.records_before, 8);
+        assert_eq!(stats.records_after, 3);
+        assert!(stats.bytes_after < stats.bytes_before);
+
+        let r = LogReader::open(&t.0).unwrap();
+        assert_eq!(r.torn_bytes(), 0);
+        assert_eq!(r.commits().len(), 1, "single rebased commit");
+        assert_eq!(
+            r.last_commit().unwrap().app,
+            b"round-3",
+            "checkpoint carried"
+        );
+        assert_eq!(
+            r.read_shard(0).unwrap(),
+            vec![b"a:c".to_vec(), b"a:u".to_vec()]
+        );
+        assert_eq!(r.read_shard(1).unwrap(), vec![b"b:u".to_vec()]);
+    }
+
+    #[test]
+    fn compacted_log_accepts_further_appends() {
+        let t = TempDir::new("compact_append");
+        let mut w = LogWriter::create(&t.0, 1, b"cfg").unwrap();
+        for r in 0..3 {
+            w.append(0, b"x:u");
+            w.commit(format!("r{r}").as_bytes()).unwrap();
+        }
+        drop(w);
+        compact(&t.0, classify).unwrap();
+
+        let mut w = LogWriter::open_append(&t.0).unwrap();
+        w.append(0, b"x:c");
+        w.commit(b"r3").unwrap();
+        drop(w);
+
+        let r = LogReader::open(&t.0).unwrap();
+        assert_eq!(
+            r.read_shard(0).unwrap(),
+            vec![b"x:u".to_vec(), b"x:c".to_vec()]
+        );
+        assert_eq!(r.last_commit().unwrap().app, b"r3");
+    }
+
+    #[test]
+    fn empty_log_compacts_to_noop() {
+        let t = TempDir::new("compact_empty");
+        LogWriter::create(&t.0, 2, b"cfg").unwrap();
+        let stats = compact(&t.0, classify).unwrap();
+        assert_eq!(stats.records_before, 0);
+        assert!(LogReader::open(&t.0).unwrap().last_commit().is_none());
+    }
+}

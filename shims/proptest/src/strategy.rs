@@ -149,4 +149,6 @@ tuple_strategy! {
     (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
     (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
     (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H, 8 I)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H, 8 I, 9 J)
 }
