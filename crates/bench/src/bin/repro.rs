@@ -6,7 +6,7 @@
 //! cargo run --release -p bench --bin repro -- --scale 100 --seed 42 all ablations
 //! ```
 
-use bench::{render_target, run_study_persisted, run_study_with, ABLATIONS, TARGETS};
+use bench::{render_target, run_study_persisted, run_study_rounds, ABLATIONS, TARGETS};
 use dangling_core::{compact_state_dir, PersistOptions};
 
 fn main() {
@@ -18,6 +18,10 @@ fn main() {
     let mut resume = false;
     let mut max_rounds: Option<u64> = None;
     let mut compact = false;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut progress = false;
+    let mut quiet = false;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -58,11 +62,19 @@ fn main() {
                 );
             }
             "--compact" => compact = true,
+            "--trace" => {
+                trace_path = Some(args.next().expect("--trace takes an output path"));
+            }
+            "--metrics" => {
+                metrics_path = Some(args.next().expect("--metrics takes an output path"));
+            }
+            "--progress" => progress = true,
+            "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--scale N] [--seed N] [--threads N] [--json OUT] \
                      [--persist | --state-dir DIR] [--resume] [--rounds N] [--compact] \
-                     <targets...>"
+                     [--trace OUT] [--metrics OUT] [--progress] [-q] <targets...>"
                 );
                 println!("targets: all | ablations | {}", TARGETS.join(" "));
                 println!("ablations: {}", ABLATIONS.join(" "));
@@ -70,16 +82,30 @@ fn main() {
                 println!("--persist records observations to ./repro_state (--state-dir names it);");
                 println!("--resume continues a recorded run, --rounds N stops after N rounds,");
                 println!("--compact drops superseded records from the state dir and exits.");
+                println!("--trace OUT writes a Chrome trace_event JSON of pipeline spans");
+                println!("  (load it at ui.perfetto.dev); --metrics OUT dumps every counter,");
+                println!("  gauge and histogram as JSON. Telemetry never changes results.");
+                println!("--progress prints one status line per monitoring round;");
+                println!("-q / --quiet silences narration (warnings still print).");
                 return;
             }
             t => targets.push(t.to_string()),
         }
     }
+    obs::set_verbosity(if quiet {
+        obs::Verbosity::Quiet
+    } else {
+        obs::Verbosity::Normal
+    });
+    obs::set_progress(progress);
+    if trace_path.is_some() {
+        obs::set_tracing(true);
+    }
     if compact {
         let dir = state_dir.unwrap_or_else(|| "repro_state".into());
         match compact_state_dir(std::path::Path::new(&dir)) {
             Ok(stats) => {
-                eprintln!(
+                obs::info!(
                     "compacted {dir}: {} -> {} records, {} -> {} bytes",
                     stats.records_before,
                     stats.records_after,
@@ -89,7 +115,7 @@ fn main() {
                 return;
             }
             Err(e) => {
-                eprintln!("error: {e}");
+                obs::warn!("error: {e}");
                 std::process::exit(1);
             }
         }
@@ -107,15 +133,15 @@ fn main() {
         }
     }
 
-    eprintln!("running study at scale 1/{scale}, seed {seed}, {threads} crawl thread(s)...");
+    obs::info!("running study at scale 1/{scale}, seed {seed}, {threads} crawl thread(s)...");
     let start = std::time::Instant::now();
     let results = match &state_dir {
-        None => run_study_with(scale, seed, threads),
+        None => run_study_rounds(scale, seed, threads, max_rounds),
         Some(dir) => {
             let mut opts = PersistOptions::new(dir);
             opts.resume = resume;
             opts.max_rounds = max_rounds;
-            eprintln!(
+            obs::info!(
                 "persisting to {dir}{}{}",
                 if resume { " (resuming)" } else { "" },
                 match max_rounds {
@@ -126,13 +152,13 @@ fn main() {
             match run_study_persisted(scale, seed, threads, &opts) {
                 Ok(r) => r,
                 Err(e) => {
-                    eprintln!("error: {e}");
+                    obs::warn!("error: {e}");
                     std::process::exit(1);
                 }
             }
         }
     };
-    eprintln!(
+    obs::info!(
         "study complete in {:.1}s: {} monitored, {} hijacks (truth), {} detected\n",
         start.elapsed().as_secs_f64(),
         results.monitored_total,
@@ -144,7 +170,17 @@ fn main() {
         let summary = bench::json_summary(&results);
         std::fs::write(path, serde_json::to_string_pretty(&summary).unwrap())
             .expect("write json summary");
-        eprintln!("wrote machine-readable summary to {path}");
+        obs::info!("wrote machine-readable summary to {path}");
+    }
+    if let Some(path) = &metrics_path {
+        std::fs::write(path, obs::metrics_json()).expect("write metrics dump");
+        obs::info!("wrote metrics dump to {path}");
+    }
+    if let Some(path) = &trace_path {
+        match obs::export_trace(std::path::Path::new(path)) {
+            Ok(n) => obs::info!("wrote {n} spans to {path} (open at ui.perfetto.dev)"),
+            Err(e) => obs::warn!("error writing trace to {path}: {e}"),
+        }
     }
 
     for t in expanded {

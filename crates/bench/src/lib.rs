@@ -32,6 +32,22 @@ pub fn run_study_with(scale_denominator: u32, seed: u64, threads: usize) -> Stud
     Scenario::new(study_config(scale_denominator, seed, threads)).run()
 }
 
+/// Like [`run_study_with`], but stopping after at most `max_rounds`
+/// monitoring rounds (the retrospective pass still runs). This is the
+/// smoke-run entry point: `repro --rounds N` without `--persist` maps here.
+pub fn run_study_rounds(
+    scale_denominator: u32,
+    seed: u64,
+    threads: usize,
+    max_rounds: Option<u64>,
+) -> StudyResults {
+    let mut scenario = Scenario::new(study_config(scale_denominator, seed, threads));
+    if let Some(r) = max_rounds {
+        scenario = scenario.max_rounds(r);
+    }
+    scenario.run()
+}
+
 /// Like [`run_study_with`], but recording every observation round to the
 /// storelog state dir in `opts` (and replaying from it when `opts.resume`).
 /// Fails instead of clobbering an existing state dir or resuming a run

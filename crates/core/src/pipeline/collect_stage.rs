@@ -44,6 +44,8 @@ impl Stage for CollectStage {
         );
         self.last_feed_check = now;
         if !self.pending_candidates.is_empty() {
+            obs::counter("collect.candidates").add(self.pending_candidates.len() as u64);
+            let admitted_before = rs.monitored.len();
             let resolver = Resolver::new(rs.world.dns());
             let mut still_pending = Vec::new();
             for fqdn in self.pending_candidates.drain(..) {
@@ -71,6 +73,7 @@ impl Stage for CollectStage {
                     .filter(|(_, tries)| *tries == 0)
                     .map(|(f, _)| f),
             );
+            obs::counter("collect.admitted").add((rs.monitored.len() - admitted_before) as u64);
         }
         // Monthly monitored-set bookkeeping (Figure 4).
         rs.monitored_monthly.add(

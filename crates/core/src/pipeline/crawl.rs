@@ -41,6 +41,16 @@ pub struct CrawlExecutor {
     /// Per-fetch probability of a transient failure (network flake). Zero
     /// disables the model entirely — no RNG stream is even derived.
     failure_rate: f64,
+    // Telemetry handles, resolved once at construction so the hot path never
+    // touches the registry lock. All out-of-band: nothing here feeds back
+    // into crawl results or RNG streams.
+    m_tasks: &'static obs::Counter,
+    m_steals: &'static obs::Counter,
+    m_failures: &'static obs::Counter,
+    m_shard_tasks: &'static obs::Histogram,
+    m_worker_tasks: &'static obs::Histogram,
+    m_shard_imbalance: &'static obs::Gauge,
+    m_worker_imbalance: &'static obs::Gauge,
 }
 
 impl CrawlExecutor {
@@ -48,6 +58,13 @@ impl CrawlExecutor {
         CrawlExecutor {
             threads: threads.max(1),
             failure_rate,
+            m_tasks: obs::counter("crawl.tasks"),
+            m_steals: obs::counter("crawl.steals"),
+            m_failures: obs::counter("crawl.transient_failures"),
+            m_shard_tasks: obs::histogram("crawl.shard_tasks"),
+            m_worker_tasks: obs::histogram("crawl.worker_tasks"),
+            m_shard_imbalance: obs::gauge("crawl.shard_imbalance"),
+            m_worker_imbalance: obs::gauge("crawl.worker_imbalance"),
         }
     }
 
@@ -77,6 +94,8 @@ impl CrawlExecutor {
         if self.threads <= 1 || monitored.len() < 2 {
             let resolver = make_resolver();
             let web = make_web();
+            self.m_tasks.add(monitored.len() as u64);
+            self.m_worker_tasks.record(monitored.len() as u64);
             return monitored
                 .iter()
                 .map(|fqdn| self.crawl_one(fqdn, &resolver, &web, store, tree, now))
@@ -90,9 +109,21 @@ impl CrawlExecutor {
         for (i, fqdn) in monitored.iter().enumerate() {
             buckets[store.shard_of(fqdn)].push(i);
         }
+        // Per-shard load picture for this round: task count per shard and the
+        // max/mean imbalance ratio (1.0 = perfectly even hash split).
+        let shard_max = buckets.iter().map(Vec::len).max().unwrap_or(0);
+        for bucket in &buckets {
+            self.m_shard_tasks.record(bucket.len() as u64);
+        }
+        self.m_shard_imbalance
+            .set(shard_max as f64 * buckets.len() as f64 / monitored.len() as f64);
+
         let cursor = Mutex::new(0usize);
         let collected: Mutex<Vec<(usize, CrawlOutcome)>> =
             Mutex::new(Vec::with_capacity(monitored.len()));
+        // (tasks crawled, buckets stolen) per worker, pushed as each worker
+        // exits; merged into the registry after the scope joins.
+        let worker_stats: Mutex<Vec<(u64, u64)>> = Mutex::new(Vec::new());
 
         crossbeam::scope(|s| {
             for _ in 0..self.threads.min(buckets.len()) {
@@ -100,6 +131,7 @@ impl CrawlExecutor {
                     let resolver = make_resolver();
                     let web = make_web();
                     let mut local: Vec<(usize, CrawlOutcome)> = Vec::new();
+                    let mut buckets_taken: u64 = 0;
                     loop {
                         // Work-steal whole buckets: cheap contention (one
                         // lock per bucket, not per FQDN).
@@ -110,17 +142,36 @@ impl CrawlExecutor {
                             b
                         };
                         let Some(bucket) = buckets.get(b) else { break };
+                        buckets_taken += 1;
                         for &i in bucket {
                             let out =
                                 self.crawl_one(&monitored[i], &resolver, &web, store, tree, now);
                             local.push((i, out));
                         }
                     }
+                    // A worker's first claim is its assignment; every further
+                    // bucket was stolen from the shared pool.
+                    worker_stats
+                        .lock()
+                        .push((local.len() as u64, buckets_taken.saturating_sub(1)));
                     collected.lock().extend(local);
                 });
             }
         })
         .expect("crawl worker panicked");
+
+        let worker_stats = worker_stats.into_inner();
+        let mut worker_max: u64 = 0;
+        for &(tasks, steals) in &worker_stats {
+            self.m_tasks.add(tasks);
+            self.m_steals.add(steals);
+            self.m_worker_tasks.record(tasks);
+            worker_max = worker_max.max(tasks);
+        }
+        if !worker_stats.is_empty() {
+            self.m_worker_imbalance
+                .set(worker_max as f64 * worker_stats.len() as f64 / monitored.len().max(1) as f64);
+        }
 
         // Canonical re-assembly: downstream stages always see monitored
         // order, independent of the thread schedule.
@@ -148,6 +199,7 @@ impl CrawlExecutor {
             // Transient fetch failure: DNS still resolves, the HTTP fetch is
             // dropped. Keyed by (fqdn, day) so the flake pattern is identical
             // under any partition of the work.
+            self.m_failures.inc();
             let outcome = resolver.resolve_a(fqdn, now);
             let cname = outcome.final_cname().cloned();
             let mut s = Snapshot::unreachable(fqdn.clone(), now, outcome.rcode, cname);

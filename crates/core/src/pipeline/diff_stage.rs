@@ -17,11 +17,17 @@ impl Stage for DiffStage {
     }
 
     fn weekly(&mut self, rs: &mut RunState, _now: SimTime) {
+        let mut changes: u64 = 0;
+        let mut snapshots: u64 = 0;
         for out in rs.crawl_batch.drain(..) {
             if let Some(rec) = out.change {
                 rs.changes.push(rec);
+                changes += 1;
             }
             rs.store.insert(out.snap);
+            snapshots += 1;
         }
+        obs::counter("diff.changes").add(changes);
+        obs::counter("diff.snapshots").add(snapshots);
     }
 }

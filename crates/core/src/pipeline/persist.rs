@@ -293,6 +293,14 @@ impl PersistStage {
             }
         };
 
+        if let Some(rep) = &replay {
+            obs::info!(
+                "resuming {}: replaying {} recorded round(s) up to day {}",
+                dir.display(),
+                rep.rounds.len(),
+                rep.frontier.0
+            );
+        }
         let writer = LogWriter::open_append(dir)?;
         Ok(PersistStage {
             writer,
@@ -345,6 +353,8 @@ impl PersistStage {
         // records); whatever remains replays in original order and rebuilds
         // the change log exactly and the store eventually.
         let records = rep.rounds.remove(&now.0).unwrap_or_default();
+        obs::counter("persist.rounds_replayed").inc();
+        obs::counter("persist.records_replayed").add(records.len() as u64);
         if records.len() > rs.monitored.len() {
             return Err(PersistError::Diverged(format!(
                 "round {} has {} records for {} monitored names",
@@ -381,6 +391,7 @@ impl PersistStage {
             self.writer
                 .append(rs.store.shard_of(&out.snap.fqdn), &payload);
         }
+        obs::counter("persist.records").add(rs.crawl_batch.len() as u64);
         Ok(())
     }
 

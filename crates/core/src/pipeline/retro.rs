@@ -60,7 +60,10 @@ impl RetroStage {
             .filter(|c| is_suspicious(c))
             .cloned()
             .collect();
-        let change_clusters = crate::benign::cluster_changes(&suspicious_all, registrar_of);
+        let change_clusters = {
+            let _s = obs::span("retro.cluster", "retro").record_into("retro.cluster_ns");
+            crate::benign::cluster_changes(&suspicious_all, registrar_of)
+        };
         let registrar_driven_fqdns: HashSet<Name> = change_clusters
             .iter()
             .filter(|c| c.fqdns.len() >= 2 && c.registrar_driven())
@@ -71,7 +74,10 @@ impl RetroStage {
             .filter(|c| !registrar_driven_fqdns.contains(&c.fqdn))
             .cloned()
             .collect();
-        let sigs = derive_signatures(&changes_ruled, cfg.min_signature_slds);
+        let sigs = {
+            let _s = obs::span("retro.derive_signatures", "retro").record_into("retro.derive_ns");
+            derive_signatures(&changes_ruled, cfg.min_signature_slds)
+        };
         // Benign corpus: latest snapshots of monitored FQDNs that never
         // produced a suspicious change. `store.iter()` is canonical-order, so
         // the `take` below samples the same corpus on every run and thread
@@ -86,9 +92,17 @@ impl RetroStage {
             .filter(|s| !suspicious_fqdns.contains(&s.fqdn) && s.is_serving())
             .take(4000)
             .collect();
-        let (signatures, signatures_discarded) = validate_signatures(sigs, &benign_corpus);
+        let (signatures, signatures_discarded) = {
+            let _s =
+                obs::span("retro.validate_signatures", "retro").record_into("retro.validate_ns");
+            validate_signatures(sigs, &benign_corpus)
+        };
+        obs::gauge("retro.signatures").set(signatures.len() as f64);
+        obs::gauge("retro.signatures_discarded").set(signatures_discarded as f64);
+        obs::gauge("retro.clusters").set(change_clusters.len() as f64);
 
         // Match every suspicious change's after-snapshot.
+        let _match_span = obs::span("retro.match_all", "retro").record_into("retro.match_ns");
         let mut abuse_map: BTreeMap<Name, AbuseRecord> = BTreeMap::new();
         for rec in changes_ruled.iter().filter(|c| is_suspicious(c)) {
             let matched = match_all(&signatures, &rec.after);
@@ -140,6 +154,7 @@ impl RetroStage {
                 }
             }
         }
+        drop(_match_span);
         // Correction times: the first unreachability/DNS-removal change after
         // first_seen.
         for rec in &changes {

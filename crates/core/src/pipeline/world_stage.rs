@@ -38,6 +38,18 @@ pub struct WorldStage {
     attacker_rng: StdRng,
     org_rng: StdRng,
     refresh_round: u32,
+    // Telemetry handles, resolved once. Counters only observe decisions
+    // already made — they never touch an RNG stream or event ordering.
+    m_provisions: &'static obs::Counter,
+    m_releases: &'static obs::Counter,
+    m_remediations: &'static obs::Counter,
+    m_hijacks: &'static obs::Counter,
+    m_certs_issued: &'static obs::Counter,
+    m_caa_blocked: &'static obs::Counter,
+    m_ip_declines: &'static obs::Counter,
+    m_rng_benign: &'static obs::Gauge,
+    m_rng_attacker: &'static obs::Gauge,
+    m_rng_org: &'static obs::Gauge,
 }
 
 impl WorldStage {
@@ -62,6 +74,16 @@ impl WorldStage {
             attacker_rng: rs.tree.rng("scenario/attacker"),
             org_rng: rs.tree.rng("scenario/orgs"),
             refresh_round: 0,
+            m_provisions: obs::counter("world.provisions"),
+            m_releases: obs::counter("world.releases"),
+            m_remediations: obs::counter("world.remediations"),
+            m_hijacks: obs::counter("world.hijacks"),
+            m_certs_issued: obs::counter("world.certs_issued"),
+            m_caa_blocked: obs::counter("world.caa_blocked_certs"),
+            m_ip_declines: obs::counter("world.ip_lottery_declines"),
+            m_rng_benign: obs::gauge("world.rng.benign_draws"),
+            m_rng_attacker: obs::gauge("world.rng.attacker_draws"),
+            m_rng_org: obs::gauge("world.rng.org_draws"),
         }
     }
 
@@ -119,6 +141,7 @@ impl WorldStage {
             }
         }
         let Some(rid) = rid else { return };
+        self.m_provisions.inc();
         self.plan_resource[idx] = Some(rid);
         // Serve content; bind the org subdomain. Parked domains serve the
         // registrar's parking rotation (the Figure 10 confounder lives inside
@@ -183,6 +206,7 @@ impl WorldStage {
                 .unwrap(),
             };
             if rs.world.try_issue_cert(ca, account, &sans, now).is_ok() {
+                self.m_certs_issued.inc();
                 let renew = now + ca.validity_days() - 7;
                 if renew > now && renew <= rs.horizon {
                     rs.q.schedule(renew, Ev::OrgCertRenewal(idx));
@@ -216,6 +240,7 @@ impl WorldStage {
             .try_issue_cert(ca, AccountId::Org(org.id.0), &sans, now)
             .is_ok()
         {
+            self.m_certs_issued.inc();
             let renew = now + ca.validity_days() - 7;
             if renew <= rs.horizon {
                 rs.q.schedule(renew, Ev::OrgCertRenewal(idx));
@@ -239,6 +264,7 @@ impl WorldStage {
             return;
         }
         rs.world.platform.release(rid, now);
+        self.m_releases.inc();
         let plan = &rs.world.population.plans[idx];
         if plan.purge_record_on_release {
             let sub = plan.subdomain.clone();
@@ -271,6 +297,7 @@ impl WorldStage {
                 .decide(plan.service, org.tranco_rank, pool_free);
             debug_assert!(!d.proceeds());
             rs.ip_lottery_declines += 1;
+            self.m_ip_declines.inc();
         }
         self.open_ip.clear(); // evaluated once, never pursued
 
@@ -408,11 +435,13 @@ impl WorldStage {
                         now,
                     ) {
                         Ok(id) => {
+                            self.m_certs_issued.inc();
                             cert = Some(id);
                             cert_at = Some(now);
                         }
                         Err(certsim::IssueError::CaaForbids(_)) => {
                             rs.caa_blocked_certs += 1;
+                            self.m_caa_blocked.inc();
                         }
                         Err(_) => {}
                     }
@@ -447,6 +476,7 @@ impl WorldStage {
                     cert,
                     cert_issued_at: cert_at,
                 });
+                self.m_hijacks.inc();
                 self.truth_steals_cookies.push(
                     self.attacker_rng
                         .gen_bool(rs.cfg.cookie_stealer_probability),
@@ -491,6 +521,7 @@ impl WorldStage {
             z.remove_name(&fqdn);
         }
         rs.world.truth[truth_idx].end = Some(now);
+        self.m_remediations.inc();
     }
 
     fn benign_refresh(&mut self, rs: &mut RunState) {
@@ -649,5 +680,10 @@ impl Stage for WorldStage {
             Ev::LivenessProbe(idx) => self.liveness_probe(rs, now, idx),
             Ev::MonitorWeek => {} // handled by the monitoring stages
         }
+        // Cursor positions of the three stateful RNG streams: total draws so
+        // far, the world stage's determinism fingerprint made visible.
+        self.m_rng_benign.set(self.benign_rng.cursor() as f64);
+        self.m_rng_attacker.set(self.attacker_rng.cursor() as f64);
+        self.m_rng_org.set(self.org_rng.cursor() as f64);
     }
 }

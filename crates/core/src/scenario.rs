@@ -91,11 +91,24 @@ impl Default for ScenarioConfig {
 /// The scenario engine.
 pub struct Scenario {
     cfg: ScenarioConfig,
+    max_rounds: Option<u64>,
 }
 
 impl Scenario {
     pub fn new(cfg: ScenarioConfig) -> Self {
-        Scenario { cfg }
+        Scenario {
+            cfg,
+            max_rounds: None,
+        }
+    }
+
+    /// Stop after at most `rounds` monitoring rounds (the retrospective pass
+    /// still runs over whatever was observed). Lets smoke runs bound their
+    /// work without a state directory; persisted runs can equivalently use
+    /// [`PersistOptions::max_rounds`].
+    pub fn max_rounds(mut self, rounds: u64) -> Self {
+        self.max_rounds = Some(rounds);
+        self
     }
 
     /// Run the full study and assemble results.
@@ -124,7 +137,16 @@ impl Scenario {
     ) -> Result<StudyResults, PersistError> {
         let threads = self.cfg.crawl_threads;
         let failure_rate = self.cfg.crawl_failure_rate;
+        let max_rounds = self.max_rounds;
         let mut rs = RunState::new(self.cfg);
+
+        // Telemetry handles, resolved once. Everything recorded below is
+        // out-of-band (wall clock + process-global telemetry state); nothing
+        // feeds back into the simulation.
+        let m_rounds = obs::counter("pipeline.rounds");
+        let m_monitored = obs::gauge("pipeline.monitored");
+        let m_world_ns = obs::histogram("pipeline.world_ns");
+        let mut rounds: u64 = 0;
 
         let mut world_stage = WorldStage::new(&rs);
         let mut collect = CollectStage::new(&rs);
@@ -141,21 +163,60 @@ impl Scenario {
             }
             match ev {
                 Ev::MonitorWeek => {
-                    collect.weekly(&mut rs, now);
+                    let round_started = std::time::Instant::now();
+                    let changes_before = rs.changes.len();
+                    let _round = obs::span("monitor.round", "pipeline")
+                        .arg_i64("day", now.0 as i64)
+                        .record_into("pipeline.round_ns");
+                    {
+                        let _s = obs::span("collect.weekly", "pipeline")
+                            .arg_i64("day", now.0 as i64)
+                            .record_into("pipeline.collect_ns");
+                        collect.weekly(&mut rs, now);
+                    }
                     // Inside the recorded history a resumed run substitutes
                     // the logged outcomes for the crawl — the only stage
                     // whose work is not cheaply deterministic to repeat.
                     let replayed = match persist.as_mut() {
-                        Some(p) => p.replay_round(&mut rs, now)?,
+                        Some(p) => {
+                            let _s = obs::span("persist.replay_round", "persist")
+                                .arg_i64("day", now.0 as i64)
+                                .record_into("pipeline.replay_ns");
+                            p.replay_round(&mut rs, now)?
+                        }
                         None => false,
                     };
                     if !replayed {
-                        crawl.weekly(&mut rs, now);
+                        {
+                            let _s = obs::span("crawl.weekly", "pipeline")
+                                .arg_i64("day", now.0 as i64)
+                                .arg_i64("monitored", rs.monitored.len() as i64)
+                                .record_into("pipeline.crawl_ns");
+                            crawl.weekly(&mut rs, now);
+                        }
                         if let Some(p) = persist.as_mut() {
+                            let _s = obs::span("persist.record_round", "persist")
+                                .arg_i64("day", now.0 as i64)
+                                .record_into("pipeline.persist_ns");
                             p.record_round(&rs, now)?;
                         }
                     }
-                    diff.weekly(&mut rs, now);
+                    {
+                        let _s = obs::span("diff.weekly", "pipeline")
+                            .arg_i64("day", now.0 as i64)
+                            .record_into("pipeline.diff_ns");
+                        diff.weekly(&mut rs, now);
+                    }
+                    rounds += 1;
+                    m_rounds.inc();
+                    m_monitored.set(rs.monitored.len() as f64);
+                    obs::progress!(
+                        "round {rounds:>4}  day {:>5}  monitored {:>6}  changes +{:<5}  {:.1} ms",
+                        now.0,
+                        rs.monitored.len(),
+                        rs.changes.len() - changes_before,
+                        round_started.elapsed().as_secs_f64() * 1e3
+                    );
                     if let Some(p) = persist.as_mut() {
                         rs.rng_witness = world_stage.rng_cursor_digest();
                         p.finish_round(&rs, now)?;
@@ -163,11 +224,19 @@ impl Scenario {
                             break;
                         }
                     }
+                    if max_rounds.is_some_and(|m| rounds >= m) {
+                        break;
+                    }
                 }
-                other => world_stage.on_event(&mut rs, now, other),
+                other => {
+                    let t = std::time::Instant::now();
+                    world_stage.on_event(&mut rs, now, other);
+                    m_world_ns.record(t.elapsed().as_nanos() as u64);
+                }
             }
         }
 
+        let _retro = obs::span("retro.assemble", "retro").record_into("pipeline.retro_ns");
         Ok(RetroStage.assemble(rs))
     }
 }

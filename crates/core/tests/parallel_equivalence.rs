@@ -20,6 +20,9 @@ fn run_serialized(threads: usize) -> String {
 
 #[test]
 fn parallel_crawl_is_byte_identical_to_serial() {
+    // Span collection on for the whole test: telemetry must be invisible to
+    // results at every thread count (the obs crate's out-of-band contract).
+    obs::set_tracing(true);
     let serial = run_serialized(1);
     assert!(serial.len() > 1000, "run produced a non-trivial result");
     for threads in [2, 4, 8] {
@@ -29,4 +32,10 @@ fn parallel_crawl_is_byte_identical_to_serial() {
             "StudyResults diverged between 1 and {threads} crawl threads"
         );
     }
+    obs::set_tracing(false);
+    let spans = obs::take_spans();
+    assert!(
+        spans.iter().any(|s| s.name == "crawl.weekly"),
+        "tracing was enabled, so pipeline spans must have been collected"
+    );
 }

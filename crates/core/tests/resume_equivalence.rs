@@ -68,6 +68,11 @@ fn run_persisted(
 
 #[test]
 fn interrupted_plus_resumed_is_byte_identical() {
+    // Span collection on for the interrupted/resumed legs: telemetry must be
+    // invisible to the recorded log and the replayed results alike. (The
+    // baseline may or may not have run traced — irrelevant, by the same
+    // contract.)
+    obs::set_tracing(true);
     // (threads while recording, threads while resuming): same-count serial
     // and parallel, plus a cross-count resume — the log is thread-agnostic.
     for (record_threads, resume_threads) in [(1, 1), (4, 4), (1, 4)] {
@@ -82,6 +87,13 @@ fn interrupted_plus_resumed_is_byte_identical() {
              resumed at {resume_threads})"
         );
     }
+    obs::set_tracing(false);
+    assert!(
+        obs::take_spans()
+            .iter()
+            .any(|s| s.name == "persist.replay_round"),
+        "traced resumed runs must have collected replay spans"
+    );
 }
 
 #[test]

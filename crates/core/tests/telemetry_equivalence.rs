@@ -1,0 +1,53 @@
+//! The obs crate's hard contract, end to end: telemetry is strictly
+//! out-of-band. A scenario run serializes [`dangling_core::StudyResults`] to
+//! the *same bytes* whether span collection is on or off, at any crawl
+//! thread count — spans and metrics read the wall clock and write telemetry
+//! state, never an RNG stream or stage-visible simulation state.
+//!
+//! Uses the round-budget knob ([`Scenario::max_rounds`]) so every variant
+//! runs the same bounded history quickly; the budget is part of the compared
+//! configuration, so the four serializations are mutually comparable.
+
+use dangling_core::scenario::{Scenario, ScenarioConfig};
+
+const ROUNDS: u64 = 40;
+
+fn run_serialized(threads: usize, tracing: bool) -> String {
+    obs::set_tracing(tracing);
+    let mut cfg = ScenarioConfig::at_scale(2000);
+    cfg.world.n_fortune1000 = 30;
+    cfg.world.n_global500 = 15;
+    cfg.seed = 11;
+    cfg.crawl_threads = threads;
+    cfg.crawl_failure_rate = 0.02;
+    let results = Scenario::new(cfg).max_rounds(ROUNDS).run();
+    obs::set_tracing(false);
+    serde_json::to_string(&results).expect("results serialize")
+}
+
+/// One test fn (not four): the tracing flag is process-global, so the
+/// variants must run sequentially.
+#[test]
+fn results_are_byte_identical_with_telemetry_on_or_off() {
+    let baseline = run_serialized(1, false);
+    assert!(baseline.len() > 1000, "run produced a non-trivial result");
+    for (threads, tracing) in [(1, true), (4, false), (4, true)] {
+        let variant = run_serialized(threads, tracing);
+        assert_eq!(
+            baseline, variant,
+            "StudyResults diverged at {threads} thread(s) with tracing={tracing} \
+             — telemetry leaked into the simulation"
+        );
+    }
+    // The traced variants must actually have collected spans — otherwise the
+    // equality above proves nothing about telemetry.
+    let spans = obs::take_spans();
+    assert!(
+        spans.iter().any(|s| s.name == "monitor.round"),
+        "traced runs collected no round spans"
+    );
+    assert!(
+        spans.iter().any(|s| s.name == "crawl.weekly"),
+        "traced runs collected no crawl spans"
+    );
+}

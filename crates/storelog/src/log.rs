@@ -79,6 +79,23 @@ pub struct LogWriter {
     /// Per-shard frames buffered for the current round.
     buffers: Vec<Vec<u8>>,
     pending_records: usize,
+    // Telemetry handles, resolved once so the per-record path never takes
+    // the registry lock. Out-of-band only: no effect on the on-disk format.
+    m_append_bytes: &'static obs::Counter,
+    m_appends: &'static obs::Counter,
+    m_commits: &'static obs::Counter,
+}
+
+fn writer_metrics() -> (
+    &'static obs::Counter,
+    &'static obs::Counter,
+    &'static obs::Counter,
+) {
+    (
+        obs::counter("storelog.append_bytes"),
+        obs::counter("storelog.appends"),
+        obs::counter("storelog.commits"),
+    )
 }
 
 impl LogWriter {
@@ -110,12 +127,16 @@ impl LogWriter {
             .write(true)
             .truncate(true)
             .open(layout.commits_file())?;
+        let (m_append_bytes, m_appends, m_commits) = writer_metrics();
         Ok(LogWriter {
             seg_lens: vec![0; shards],
             buffers: vec![Vec::new(); shards],
             segments,
             commits,
             pending_records: 0,
+            m_append_bytes,
+            m_appends,
+            m_commits,
         })
     }
 
@@ -149,12 +170,16 @@ impl LogWriter {
             .open(layout.commits_file())?;
         commits.set_len(commits_end)?;
 
+        let (m_append_bytes, m_appends, m_commits) = writer_metrics();
         Ok(LogWriter {
             seg_lens: offsets,
             buffers: vec![Vec::new(); shards],
             segments,
             commits,
             pending_records: 0,
+            m_append_bytes,
+            m_appends,
+            m_commits,
         })
     }
 
@@ -170,7 +195,11 @@ impl LogWriter {
     /// Buffer one record for `shard`. Nothing touches disk until
     /// [`LogWriter::commit`].
     pub fn append(&mut self, shard: usize, payload: &[u8]) {
+        let before = self.buffers[shard].len();
         frame::encode_into(payload, &mut self.buffers[shard]);
+        self.m_append_bytes
+            .add((self.buffers[shard].len() - before) as u64);
+        self.m_appends.inc();
         self.pending_records += 1;
     }
 
@@ -179,6 +208,9 @@ impl LogWriter {
     /// checkpoint). This is the only fsync point — one round, one commit.
     pub fn commit(&mut self, app: &[u8]) -> Result<()> {
         use std::io::Seek;
+        let _s = obs::span("storelog.commit", "storelog").record_into("storelog.commit_ns");
+        self.m_commits.inc();
+        let fsync_ns = obs::histogram("storelog.fsync_ns");
         for (i, buf) in self.buffers.iter_mut().enumerate() {
             if buf.is_empty() {
                 continue;
@@ -188,7 +220,9 @@ impl LogWriter {
             // so truncation + reuse stays well-defined.
             self.segments[i].seek(std::io::SeekFrom::Start(self.seg_lens[i]))?;
             self.segments[i].write_all(buf)?;
+            let t = std::time::Instant::now();
             self.segments[i].sync_data()?;
+            fsync_ns.record(t.elapsed().as_nanos() as u64);
             self.seg_lens[i] += buf.len() as u64;
             buf.clear();
         }
@@ -200,7 +234,9 @@ impl LogWriter {
         frame::encode_into(&rec.encode(), &mut framed);
         self.commits.seek(std::io::SeekFrom::End(0))?;
         self.commits.write_all(&framed)?;
+        let t = std::time::Instant::now();
         self.commits.sync_data()?;
+        fsync_ns.record(t.elapsed().as_nanos() as u64);
         self.pending_records = 0;
         Ok(())
     }
@@ -276,6 +312,17 @@ impl LogReader {
             }
         }
         commits.truncate(keep);
+
+        obs::counter("storelog.recoveries").inc();
+        if torn_bytes > 0 {
+            obs::counter("storelog.torn_recoveries").inc();
+            obs::counter("storelog.torn_bytes").add(torn_bytes);
+            obs::warn!(
+                "storelog: recovery discarded {torn_bytes} torn byte(s) in {}; \
+                 resuming from the newest consistent commit",
+                dir.display()
+            );
+        }
 
         Ok(LogReader {
             layout,
