@@ -1,15 +1,20 @@
-//! Shard-parallel crawl executor scaling: the same monitoring round crawled
-//! with 1/2/4/8 worker threads. The determinism contract says the *output*
-//! is identical for every row here — only wall-clock should move. The
-//! scaling target is ≥2× on the 4-thread row over the serial row; note
-//! this needs ≥4 real cores (on a single-CPU container the threaded rows
-//! can only add scheduling overhead).
+//! Shard-parallel stage scaling: the same workload run with 1/2/4/8 worker
+//! threads, for the weekly crawl and for the retrospective pass (benign
+//! clustering, signature validation, signature matching). The determinism
+//! contract says the *output* is identical for every row here — only
+//! wall-clock should move. The scaling target is ≥2× on the 4-thread rows
+//! over the serial rows; note this needs ≥4 real cores (on a single-CPU
+//! container the threaded rows can only add scheduling overhead).
 
 use cloudsim::{AccountId, CloudPlatform, PlatformConfig, ServiceId, SiteContent, Sitemap};
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use dangling_core::pipeline::CrawlExecutor;
-use dangling_core::snapshot::SnapshotStore;
-use dns::{Authority, Name, RecordData, Resolver, ResourceRecord, Zone, ZoneSet};
+use dangling_core::benign::cluster_changes_sharded;
+use dangling_core::diff::{ChangeKind, ChangeRecord};
+use dangling_core::exec_metric_names;
+use dangling_core::pipeline::{CrawlExecutor, ShardedExecutor};
+use dangling_core::signature::{derive_signatures, match_all, validate_signatures_sharded};
+use dangling_core::snapshot::{fqdn_shard, Snapshot, SnapshotStore, DEFAULT_SHARDS};
+use dns::{Authority, Name, Rcode, RecordData, Resolver, ResourceRecord, Zone, ZoneSet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simcore::{RngTree, SimTime};
@@ -81,5 +86,113 @@ fn bench_crawl_scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_crawl_scaling);
+/// Campaign vocabulary pools, one per synthetic campaign: records drawing
+/// from the same pool overlap enough to fall into one derivation group.
+const POOLS: &[&[&str]] = &[
+    &["slot", "judi", "gacor", "daftar"],
+    &["premium", "domains", "sale", "offer"],
+    &["casino", "poker", "bonus", "spin"],
+    &["replica", "watches", "luxury", "outlet"],
+];
+
+/// `n` suspicious change records spread over a few campaigns, apexes and
+/// rounds — the shape the retro pass sees after Algorithm-1 filtering.
+fn synth_changes(n: usize) -> Vec<ChangeRecord> {
+    (0..n)
+        .map(|i| {
+            let pool = POOLS[i % POOLS.len()];
+            let fqdn: Name = format!("h{i}.apex{}.com", i % 23).parse().unwrap();
+            let day = SimTime(10 + (i as i32 % 6) * 7);
+            let mut after = Snapshot::unreachable(fqdn.clone(), day, Rcode::NoError, None);
+            after.http_status = Some(200);
+            after.index_hash = i as u64;
+            after.keywords = pool
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| *k != i % pool.len())
+                .map(|(_, w)| w.to_string())
+                .collect();
+            after.sitemap_bytes = (i % 3 == 0).then_some(800_000);
+            after.identifiers = vec![format!("phone:62{}", i % 5)];
+            ChangeRecord {
+                fqdn,
+                day,
+                kinds: vec![ChangeKind::BecameReachable],
+                before_language: None,
+                before_sitemap_bytes: None,
+                before_serving: false,
+                before_keywords: Vec::new(),
+                after,
+            }
+        })
+        .collect()
+}
+
+/// The three shard-parallel retro stages over a 2 000-change history:
+/// benign clustering, signature validation against a benign corpus, and
+/// signature matching. Same keyed-shard partition as the live pipeline, so
+/// every thread count produces identical results.
+fn bench_retro_scaling(c: &mut Criterion) {
+    let changes = synth_changes(2_000);
+    let signatures = derive_signatures(&changes, 2);
+    assert!(
+        !signatures.is_empty(),
+        "bench workload must derive signatures"
+    );
+    let benign: Vec<Snapshot> = synth_changes(400)
+        .into_iter()
+        .enumerate()
+        .map(|(i, rec)| {
+            let mut s = rec.after;
+            s.keywords = vec![format!("benign{}", i % 50), "newsletter".into()];
+            s.identifiers.clear();
+            s
+        })
+        .collect();
+    let corpus: Vec<&Snapshot> = benign.iter().collect();
+
+    let mut g = c.benchmark_group("retro_parallel");
+    g.throughput(Throughput::Elements(changes.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        let exec = ShardedExecutor::new(threads, exec_metric_names!("bench.retro.cluster"));
+        g.bench_function(format!("cluster_2000_changes_t{threads}"), |b| {
+            b.iter(|| {
+                black_box(cluster_changes_sharded(
+                    &changes,
+                    |fqdn| Some((fqdn.to_string().len() % 7) as u16),
+                    &exec,
+                ))
+            })
+        });
+    }
+    for threads in [1usize, 2, 4, 8] {
+        let exec = ShardedExecutor::new(threads, exec_metric_names!("bench.retro.validate"));
+        g.bench_function(format!("validate_sigs_t{threads}"), |b| {
+            b.iter(|| {
+                black_box(validate_signatures_sharded(
+                    signatures.clone(),
+                    &corpus,
+                    &exec,
+                ))
+            })
+        });
+    }
+    for threads in [1usize, 2, 4, 8] {
+        let exec = ShardedExecutor::new(threads, exec_metric_names!("bench.retro.match"));
+        g.bench_function(format!("match_2000_changes_t{threads}"), |b| {
+            b.iter(|| {
+                black_box(exec.map(
+                    &changes,
+                    DEFAULT_SHARDS,
+                    |rec| fqdn_shard(&rec.fqdn, DEFAULT_SHARDS),
+                    || (),
+                    |_, _, rec| match_all(&signatures, &rec.after).len(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_crawl_scaling, bench_retro_scaling);
 criterion_main!(benches);

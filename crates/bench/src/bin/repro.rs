@@ -78,7 +78,8 @@ fn main() {
                 );
                 println!("targets: all | ablations | {}", TARGETS.join(" "));
                 println!("ablations: {}", ABLATIONS.join(" "));
-                println!("--threads parallelizes the weekly crawl; results are identical.");
+                println!("--threads parallelizes the weekly crawl, Algorithm-1 classification");
+                println!("  and the retrospective pass; results are byte-identical.");
                 println!("--persist records observations to ./repro_state (--state-dir names it);");
                 println!("--resume continues a recorded run, --rounds N stops after N rounds,");
                 println!("--compact drops superseded records from the state dir and exits.");
@@ -133,7 +134,7 @@ fn main() {
         }
     }
 
-    obs::info!("running study at scale 1/{scale}, seed {seed}, {threads} crawl thread(s)...");
+    obs::info!("running study at scale 1/{scale}, seed {seed}, {threads} worker thread(s)...");
     let start = std::time::Instant::now();
     let results = match &state_dir {
         None => run_study_rounds(scale, seed, threads, max_rounds),

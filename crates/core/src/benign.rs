@@ -29,27 +29,29 @@ impl ChangeCluster {
     }
 }
 
-/// Group change records by identical keyword fingerprints and annotate each
-/// cluster with its registrar diversity. `registrar_of` maps an SLD to its
-/// registrar (WHOIS in the paper; the population table here).
-pub fn cluster_changes<F>(changes: &[ChangeRecord], registrar_of: F) -> Vec<ChangeCluster>
+/// One record's cluster fingerprint: its first five content keywords, or its
+/// first five meta keywords when the content yields none.
+fn fingerprint(rec: &ChangeRecord) -> Option<String> {
+    let mut fp: Vec<String> = rec.after.keywords.iter().take(5).cloned().collect();
+    if fp.is_empty() {
+        fp = rec.after.meta_keywords.iter().take(5).cloned().collect();
+    }
+    if fp.is_empty() {
+        return None;
+    }
+    Some(cluster_key(&fp))
+}
+
+/// Shared tail of serial and sharded clustering: sorted-key emission plus
+/// registrar annotation. The groups map already carries member sets, so the
+/// output depends only on its *contents*, never on insertion order.
+fn clusters_from_groups<F>(
+    groups: HashMap<String, BTreeSet<Name>>,
+    registrar_of: F,
+) -> Vec<ChangeCluster>
 where
     F: Fn(&Name) -> Option<u16>,
 {
-    let mut groups: HashMap<String, BTreeSet<Name>> = HashMap::new();
-    for rec in changes {
-        let mut fp: Vec<String> = rec.after.keywords.iter().take(5).cloned().collect();
-        if fp.is_empty() {
-            fp = rec.after.meta_keywords.iter().take(5).cloned().collect();
-        }
-        if fp.is_empty() {
-            continue;
-        }
-        groups
-            .entry(cluster_key(&fp))
-            .or_default()
-            .insert(rec.fqdn.clone());
-    }
     let mut keys: Vec<String> = groups.keys().cloned().collect();
     keys.sort();
     keys.into_iter()
@@ -67,6 +69,61 @@ where
             }
         })
         .collect()
+}
+
+/// Group change records by identical keyword fingerprints and annotate each
+/// cluster with its registrar diversity. `registrar_of` maps an SLD to its
+/// registrar (WHOIS in the paper; the population table here).
+pub fn cluster_changes<F>(changes: &[ChangeRecord], registrar_of: F) -> Vec<ChangeCluster>
+where
+    F: Fn(&Name) -> Option<u16>,
+{
+    let mut groups: HashMap<String, BTreeSet<Name>> = HashMap::new();
+    for rec in changes {
+        let Some(key) = fingerprint(rec) else {
+            continue;
+        };
+        groups.entry(key).or_default().insert(rec.fqdn.clone());
+    }
+    clusters_from_groups(groups, registrar_of)
+}
+
+/// [`cluster_changes`], shard-parallel: records are bucketed by the
+/// pipeline's fixed FQDN hash, each bucket builds a partial fingerprint →
+/// member-set map, and the partials are merged by set union — a commutative,
+/// associative merge, so the merged map (and the sorted-key emission that
+/// follows) is byte-identical to the serial pass for any thread count.
+pub fn cluster_changes_sharded<F>(
+    changes: &[ChangeRecord],
+    registrar_of: F,
+    exec: &crate::pipeline::ShardedExecutor,
+) -> Vec<ChangeCluster>
+where
+    F: Fn(&Name) -> Option<u16> + Sync,
+{
+    let buckets = crate::snapshot::DEFAULT_SHARDS;
+    let partials: Vec<HashMap<String, BTreeSet<Name>>> = exec.fold_buckets(
+        changes,
+        buckets,
+        |rec| crate::snapshot::fqdn_shard(&rec.fqdn, buckets),
+        |_b, members| {
+            let mut groups: HashMap<String, BTreeSet<Name>> = HashMap::new();
+            for (_, rec) in members {
+                let Some(key) = fingerprint(rec) else {
+                    continue;
+                };
+                groups.entry(key).or_default().insert(rec.fqdn.clone());
+            }
+            groups
+        },
+    );
+    let mut groups: HashMap<String, BTreeSet<Name>> = HashMap::new();
+    for partial in partials {
+        for (key, members) in partial {
+            groups.entry(key).or_default().extend(members);
+        }
+    }
+    clusters_from_groups(groups, registrar_of)
 }
 
 /// Figure 10's series: of clusters with ≥2 member domains, what fraction
@@ -177,5 +234,31 @@ mod tests {
     fn empty_input() {
         assert!(cluster_changes(&[], reg).is_empty());
         assert!(registrar_diversity_series(&[]).is_empty());
+    }
+
+    #[test]
+    fn sharded_clustering_matches_serial() {
+        let changes: Vec<ChangeRecord> = (0..60)
+            .map(|i| {
+                let fqdn = format!("h{i}.apex{}.com", i % 7);
+                let kw = format!("kw{}", i % 5);
+                change(&fqdn, &[&kw, "judi"])
+            })
+            .collect();
+        let serial = cluster_changes(&changes, reg);
+        assert!(serial.len() > 1);
+        for threads in [1, 2, 8] {
+            let exec = crate::pipeline::ShardedExecutor::new(
+                threads,
+                crate::exec_metric_names!("test.benign"),
+            );
+            let sharded = cluster_changes_sharded(&changes, reg, &exec);
+            assert_eq!(serial.len(), sharded.len(), "threads={threads}");
+            for (a, b) in serial.iter().zip(&sharded) {
+                assert_eq!(a.key, b.key);
+                assert_eq!(a.fqdns, b.fqdns);
+                assert_eq!(a.registrar_count, b.registrar_count);
+            }
+        }
     }
 }

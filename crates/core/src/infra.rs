@@ -50,8 +50,18 @@ pub struct InfraReport {
     pub ip_geos: Vec<(String, usize)>,
 }
 
-/// Run the full clustering.
+/// Run the full clustering, serial. Equivalent to
+/// [`cluster_infrastructure_par`] with one thread.
 pub fn cluster_infrastructure(domains: &[DomainIdentifiers]) -> InfraReport {
+    cluster_infrastructure_par(domains, 1)
+}
+
+/// Run the full clustering with the HAC distance-matrix fill fanned out over
+/// `threads` workers ([`Dendrogram::build_par`]). The fill is the O(n²)
+/// hot spot at study scale; everything else (graph, aggregations) is cheap
+/// and already iterates `BTreeMap`s, so the report is byte-identical for any
+/// thread count.
+pub fn cluster_infrastructure_par(domains: &[DomainIdentifiers], threads: usize) -> InfraReport {
     // Identifier -> set of domain indices.
     let mut domain_ids: BTreeMap<Name, u32> = BTreeMap::new();
     for d in domains {
@@ -95,7 +105,9 @@ pub fn cluster_infrastructure(domains: &[DomainIdentifiers]) -> InfraReport {
     let clusters_idx: Vec<Vec<usize>> = if idents.is_empty() {
         Vec::new()
     } else {
-        let dend = Dendrogram::build(idents.len(), |a, b| jaccard_distance(&sets[a], &sets[b]));
+        let dend = Dendrogram::build_par(idents.len(), threads, |a, b| {
+            jaccard_distance(&sets[a], &sets[b])
+        });
         dend.cut(CUTOFF)
     };
     let id_by_index: BTreeMap<u32, &Name> = domain_ids.iter().map(|(n, i)| (*i, n)).collect();
@@ -232,6 +244,31 @@ mod tests {
         assert_eq!(r.clusters.len(), 0);
         assert_eq!(r.covered_domains, 0);
         assert_eq!(r.graph_components, 0);
+    }
+
+    #[test]
+    fn parallel_report_matches_serial() {
+        let domains: Vec<DomainIdentifiers> = (0..40)
+            .map(|i| {
+                d(
+                    &format!("h{i}.v{}.com", i % 9),
+                    &[
+                        &format!("phone:62{}", i % 6),
+                        &format!("social:t.me/c{}", i % 4),
+                    ],
+                )
+            })
+            .collect();
+        let serial = cluster_infrastructure(&domains);
+        for threads in [2, 8] {
+            let par = cluster_infrastructure_par(&domains, threads);
+            assert_eq!(par.clusters.len(), serial.clusters.len());
+            for (a, b) in par.clusters.iter().zip(&serial.clusters) {
+                assert_eq!(a.identifiers, b.identifiers, "threads={threads}");
+                assert_eq!(a.domains, b.domains, "threads={threads}");
+            }
+            assert_eq!(par.phone_countries, serial.phone_countries);
+        }
     }
 
     #[test]

@@ -4,9 +4,17 @@
 //! visible since the last round, classifies them (cloud-pointing or not),
 //! and grows the canonical monitored list. It also keeps the monthly
 //! monitored-set series (Figure 4's substrate).
+//!
+//! Classification is the expensive per-candidate step (a full resolution
+//! per FQDN), so it fans out through [`ShardedExecutor`] under the standard
+//! contract: candidates bucketed by [`crate::snapshot::fqdn_shard`],
+//! verdicts re-assembled in feed order, and the admission loop — the part
+//! that mutates the canonical monitored list — stays serial over that
+//! ordered zip, so the monitored order is identical for any thread count.
 
-use super::{RunState, Stage};
+use super::{RunState, ShardedExecutor, Stage};
 use crate::collect::{CloudPointer, Collector};
+use crate::snapshot::fqdn_shard;
 use dns::{Name, Resolver};
 use simcore::SimTime;
 use std::collections::HashSet;
@@ -14,15 +22,18 @@ use std::collections::HashSet;
 /// The Algorithm-1 collection stage (see module docs).
 pub struct CollectStage {
     collector: Collector,
+    exec: ShardedExecutor,
+    /// Membership-only (never iterated): hash order cannot escape.
     monitored_set: HashSet<Name>,
     pending_candidates: Vec<Name>,
     last_feed_check: SimTime,
 }
 
 impl CollectStage {
-    pub fn new(rs: &RunState) -> Self {
+    pub fn new(rs: &RunState, threads: usize) -> Self {
         CollectStage {
             collector: Collector::new(),
+            exec: ShardedExecutor::new(threads, crate::exec_metric_names!("collect")),
             monitored_set: HashSet::new(),
             pending_candidates: Vec::new(),
             last_feed_check: rs.monitor_start - 1,
@@ -46,10 +57,24 @@ impl Stage for CollectStage {
         if !self.pending_candidates.is_empty() {
             obs::counter("collect.candidates").add(self.pending_candidates.len() as u64);
             let admitted_before = rs.monitored.len();
-            let resolver = Resolver::new(rs.world.dns());
+            let candidates = std::mem::take(&mut self.pending_candidates);
+            // Classify in parallel (read-only: resolver per worker, shared
+            // collector tables), verdicts back in feed order.
+            let shards = rs.store.shard_count();
+            let world = &rs.world;
+            let collector = &self.collector;
+            let verdicts: Vec<CloudPointer> = self.exec.map(
+                &candidates,
+                shards,
+                |fqdn| fqdn_shard(fqdn, shards),
+                || Resolver::new(world.dns()),
+                |resolver, _i, fqdn| collector.classify(fqdn, resolver, now),
+            );
+            // Serial admission over the ordered zip: the canonical monitored
+            // order is the feed order of first cloud-pointing classification.
             let mut still_pending = Vec::new();
-            for fqdn in self.pending_candidates.drain(..) {
-                match self.collector.classify(&fqdn, &resolver, now) {
+            for (fqdn, verdict) in candidates.into_iter().zip(verdicts) {
+                match verdict {
                     CloudPointer::NotCloud => {
                         // Non-cloud entries are retried a couple of times then
                         // dropped (cheap heuristic for the paper's periodic

@@ -15,14 +15,13 @@
 //! and the outcomes are re-assembled in the canonical monitored order before
 //! the diff stage consumes them.
 
-use super::{RunState, Stage};
+use super::{RunState, ShardedExecutor, Stage};
 use crate::diff::{record as diff_record, ChangeRecord};
 use crate::monitor::Crawler;
 use crate::snapshot::{Snapshot, SnapshotStore};
 use dns::resolver::Transport;
 use dns::{Name, Resolver};
 use httpsim::Endpoint;
-use parking_lot::Mutex;
 use rand::Rng;
 use simcore::{RngTree, SimTime};
 
@@ -34,37 +33,22 @@ pub struct CrawlOutcome {
     pub change: Option<ChangeRecord>,
 }
 
-/// Shard-parallel crawl executor (see module docs for the determinism
-/// contract).
+/// Shard-parallel crawl executor: the [`ShardedExecutor`] discipline applied
+/// to the weekly crawl (see module docs for the determinism contract).
 pub struct CrawlExecutor {
-    threads: usize,
+    exec: ShardedExecutor,
     /// Per-fetch probability of a transient failure (network flake). Zero
     /// disables the model entirely — no RNG stream is even derived.
     failure_rate: f64,
-    // Telemetry handles, resolved once at construction so the hot path never
-    // touches the registry lock. All out-of-band: nothing here feeds back
-    // into crawl results or RNG streams.
-    m_tasks: &'static obs::Counter,
-    m_steals: &'static obs::Counter,
     m_failures: &'static obs::Counter,
-    m_shard_tasks: &'static obs::Histogram,
-    m_worker_tasks: &'static obs::Histogram,
-    m_shard_imbalance: &'static obs::Gauge,
-    m_worker_imbalance: &'static obs::Gauge,
 }
 
 impl CrawlExecutor {
     pub fn new(threads: usize, failure_rate: f64) -> Self {
         CrawlExecutor {
-            threads: threads.max(1),
+            exec: ShardedExecutor::new(threads, crate::exec_metric_names!("crawl")),
             failure_rate,
-            m_tasks: obs::counter("crawl.tasks"),
-            m_steals: obs::counter("crawl.steals"),
             m_failures: obs::counter("crawl.transient_failures"),
-            m_shard_tasks: obs::histogram("crawl.shard_tasks"),
-            m_worker_tasks: obs::histogram("crawl.worker_tasks"),
-            m_shard_imbalance: obs::gauge("crawl.shard_imbalance"),
-            m_worker_imbalance: obs::gauge("crawl.worker_imbalance"),
         }
     }
 
@@ -91,94 +75,16 @@ impl CrawlExecutor {
         FR: Fn() -> Resolver<T> + Sync,
         FW: Fn() -> E + Sync,
     {
-        if self.threads <= 1 || monitored.len() < 2 {
-            let resolver = make_resolver();
-            let web = make_web();
-            self.m_tasks.add(monitored.len() as u64);
-            self.m_worker_tasks.record(monitored.len() as u64);
-            return monitored
-                .iter()
-                .map(|fqdn| self.crawl_one(fqdn, &resolver, &web, store, tree, now))
-                .collect();
-        }
-
-        // Partition indices into the store's shards: a stable, FQDN-keyed
+        // Work is partitioned into the store's shards — a stable, FQDN-keyed
         // split, so the same name always lands in the same bucket no matter
         // how many workers run.
-        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); store.shard_count()];
-        for (i, fqdn) in monitored.iter().enumerate() {
-            buckets[store.shard_of(fqdn)].push(i);
-        }
-        // Per-shard load picture for this round: task count per shard and the
-        // max/mean imbalance ratio (1.0 = perfectly even hash split).
-        let shard_max = buckets.iter().map(Vec::len).max().unwrap_or(0);
-        for bucket in &buckets {
-            self.m_shard_tasks.record(bucket.len() as u64);
-        }
-        self.m_shard_imbalance
-            .set(shard_max as f64 * buckets.len() as f64 / monitored.len() as f64);
-
-        let cursor = Mutex::new(0usize);
-        let collected: Mutex<Vec<(usize, CrawlOutcome)>> =
-            Mutex::new(Vec::with_capacity(monitored.len()));
-        // (tasks crawled, buckets stolen) per worker, pushed as each worker
-        // exits; merged into the registry after the scope joins.
-        let worker_stats: Mutex<Vec<(u64, u64)>> = Mutex::new(Vec::new());
-
-        crossbeam::scope(|s| {
-            for _ in 0..self.threads.min(buckets.len()) {
-                s.spawn(|_| {
-                    let resolver = make_resolver();
-                    let web = make_web();
-                    let mut local: Vec<(usize, CrawlOutcome)> = Vec::new();
-                    let mut buckets_taken: u64 = 0;
-                    loop {
-                        // Work-steal whole buckets: cheap contention (one
-                        // lock per bucket, not per FQDN).
-                        let b = {
-                            let mut c = cursor.lock();
-                            let b = *c;
-                            *c += 1;
-                            b
-                        };
-                        let Some(bucket) = buckets.get(b) else { break };
-                        buckets_taken += 1;
-                        for &i in bucket {
-                            let out =
-                                self.crawl_one(&monitored[i], &resolver, &web, store, tree, now);
-                            local.push((i, out));
-                        }
-                    }
-                    // A worker's first claim is its assignment; every further
-                    // bucket was stolen from the shared pool.
-                    worker_stats
-                        .lock()
-                        .push((local.len() as u64, buckets_taken.saturating_sub(1)));
-                    collected.lock().extend(local);
-                });
-            }
-        })
-        .expect("crawl worker panicked");
-
-        let worker_stats = worker_stats.into_inner();
-        let mut worker_max: u64 = 0;
-        for &(tasks, steals) in &worker_stats {
-            self.m_tasks.add(tasks);
-            self.m_steals.add(steals);
-            self.m_worker_tasks.record(tasks);
-            worker_max = worker_max.max(tasks);
-        }
-        if !worker_stats.is_empty() {
-            self.m_worker_imbalance
-                .set(worker_max as f64 * worker_stats.len() as f64 / monitored.len().max(1) as f64);
-        }
-
-        // Canonical re-assembly: downstream stages always see monitored
-        // order, independent of the thread schedule.
-        let mut indexed = collected.into_inner();
-        indexed.sort_unstable_by_key(|(i, _)| *i);
-        debug_assert_eq!(indexed.len(), monitored.len());
-        indexed.into_iter().map(|(_, out)| out).collect()
+        self.exec.map(
+            monitored,
+            store.shard_count(),
+            |fqdn| store.shard_of(fqdn),
+            || (make_resolver(), make_web()),
+            |(resolver, web), _i, fqdn| self.crawl_one(fqdn, resolver, web, store, tree, now),
+        )
     }
 
     fn crawl_one<T: Transport, E: Endpoint + ?Sized>(

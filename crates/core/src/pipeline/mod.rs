@@ -19,18 +19,22 @@
 //!
 //! ## Determinism under parallelism
 //!
-//! The crawl is the only parallel stage. Three invariants make its output
-//! independent of the thread count: work is partitioned by the stable
-//! [`crate::snapshot::SnapshotStore::shard_of`] hash (never by iteration
-//! order), results are re-assembled in the monitored list's canonical order
-//! before any downstream stage sees them, and any randomness a crawl task
-//! consumes comes from a [`simcore::RngTree`] stream keyed by the FQDN and
-//! day — not from a shared sequential RNG that thread scheduling could
-//! reorder. `StudyResults` is therefore byte-identical for any `K`.
+//! The crawl, Algorithm-1 classification, and the retrospective pass
+//! (clustering, signature validation, signature matching) all fan out
+//! through the shared [`ShardedExecutor`]. Three invariants make every
+//! parallel stage's output independent of the thread count: work is
+//! partitioned by the stable [`crate::snapshot::fqdn_shard`] hash (never by
+//! iteration order), results are re-assembled in the input's canonical order
+//! before any downstream stage sees them, and any randomness a task consumes
+//! comes from a [`simcore::RngTree`] stream keyed by the FQDN and day — not
+//! from a shared sequential RNG that thread scheduling could reorder.
+//! `StudyResults` is therefore byte-identical for any `K`, which the
+//! `retro_parallel_equivalence` suite verifies end to end.
 
 mod collect_stage;
 mod crawl;
 mod diff_stage;
+pub mod exec;
 pub mod persist;
 mod retro;
 mod world_stage;
@@ -38,6 +42,7 @@ mod world_stage;
 pub use collect_stage::CollectStage;
 pub use crawl::{CrawlExecutor, CrawlOutcome, CrawlStage};
 pub use diff_stage::DiffStage;
+pub use exec::{ExecMetricNames, ShardedExecutor};
 pub use persist::{PersistError, PersistOptions, PersistStage};
 pub use retro::RetroStage;
 pub use world_stage::WorldStage;

@@ -4,19 +4,55 @@
 //! and validation against the benign corpus, matching, correction-time
 //! extraction, and the detection evaluation against ground truth. Produces
 //! the assembled [`StudyResults`].
+//!
+//! ## Determinism under parallelism
+//!
+//! The pass is shard-parallel under the same contract as the crawl
+//! (`--threads` drives both): benign clustering, signature validation and
+//! signature matching are fanned out through [`ShardedExecutor`], with work
+//! bucketed by the pipeline's fixed FQDN hash
+//! ([`crate::snapshot::fqdn_shard`]) and outputs merged back in canonical
+//! input order before any ordered state (the abuse map, the kept-signature
+//! list) is built. Signature *derivation* stays serial: its greedy grouping
+//! is order-defined, and it already canonicalizes its own input order by
+//! sorting suspicious records by `(day, fqdn)`. `StudyResults` is therefore
+//! byte-identical for any thread count — locked in by the
+//! `retro_parallel_equivalence` differential suite.
 
-use super::RunState;
+use super::{RunState, ShardedExecutor};
+use crate::classify::Topic;
 use crate::diff::{ChangeKind, ChangeRecord};
 use crate::report::{AbuseRecord, DetectionEval, StudyResults};
-use crate::signature::{derive_signatures, is_suspicious, match_all, validate_signatures};
+use crate::signature::{
+    derive_signatures, is_suspicious, match_all, validate_signatures_sharded, SignatureKind,
+};
+use crate::snapshot::fqdn_shard;
+use contentgen::abuse::SeoTechnique;
 use dns::Name;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// What the parallel matching phase computed for one suspicious change: the
+/// matching signature kinds plus the content classification of the
+/// after-snapshot (the expensive per-record work, all read-only).
+struct MatchOutcome {
+    kinds: Vec<SignatureKind>,
+    topic: Topic,
+    techniques: Vec<SeoTechnique>,
+}
 
 /// The retrospective stage. Unlike the event-driven stages it runs exactly
 /// once, consuming the run state.
-pub struct RetroStage;
+pub struct RetroStage {
+    threads: usize,
+}
 
 impl RetroStage {
+    pub fn new(threads: usize) -> Self {
+        RetroStage {
+            threads: threads.max(1),
+        }
+    }
+
     pub fn assemble(self, rs: RunState) -> StudyResults {
         let RunState {
             cfg,
@@ -34,7 +70,8 @@ impl RetroStage {
             ..
         } = rs;
 
-        // FQDN -> plan index (for service attribution).
+        // FQDN -> plan index (for service attribution). Lookup-only: its
+        // iteration order never escapes.
         let fqdn_plan: HashMap<Name, usize> = world
             .population
             .plans
@@ -62,9 +99,14 @@ impl RetroStage {
             .collect();
         let change_clusters = {
             let _s = obs::span("retro.cluster", "retro").record_into("retro.cluster_ns");
-            crate::benign::cluster_changes(&suspicious_all, registrar_of)
+            let exec =
+                ShardedExecutor::new(self.threads, crate::exec_metric_names!("retro.cluster"));
+            crate::benign::cluster_changes_sharded(&suspicious_all, registrar_of, &exec)
         };
-        let registrar_driven_fqdns: HashSet<Name> = change_clusters
+        // BTreeSet, not HashSet: only membership is consulted today, but a
+        // sorted set keeps any future iteration from leaking hash order into
+        // ordered output.
+        let registrar_driven_fqdns: BTreeSet<Name> = change_clusters
             .iter()
             .filter(|c| c.fqdns.len() >= 2 && c.registrar_driven())
             .flat_map(|c| c.fqdns.iter().cloned())
@@ -82,7 +124,7 @@ impl RetroStage {
         // produced a suspicious change. `store.iter()` is canonical-order, so
         // the `take` below samples the same corpus on every run and thread
         // count.
-        let suspicious_fqdns: HashSet<&Name> = changes
+        let suspicious_fqdns: BTreeSet<&Name> = changes
             .iter()
             .filter(|c| is_suspicious(c))
             .map(|c| &c.fqdn)
@@ -95,21 +137,45 @@ impl RetroStage {
         let (signatures, signatures_discarded) = {
             let _s =
                 obs::span("retro.validate_signatures", "retro").record_into("retro.validate_ns");
-            validate_signatures(sigs, &benign_corpus)
+            let exec =
+                ShardedExecutor::new(self.threads, crate::exec_metric_names!("retro.validate"));
+            validate_signatures_sharded(sigs, &benign_corpus, &exec)
         };
         obs::gauge("retro.signatures").set(signatures.len() as f64);
         obs::gauge("retro.signatures_discarded").set(signatures_discarded as f64);
         obs::gauge("retro.clusters").set(change_clusters.len() as f64);
 
-        // Match every suspicious change's after-snapshot.
+        // Match every suspicious change's after-snapshot, shard-parallel:
+        // matching and content classification are pure per-record reads, so
+        // they fan out bucketed by the crawl's FQDN hash; the outcomes come
+        // back in input order and the abuse map is then built serially — the
+        // same canonical merge the diff stage applies to crawl outcomes.
         let _match_span = obs::span("retro.match_all", "retro").record_into("retro.match_ns");
+        let suspicious_ruled: Vec<&ChangeRecord> =
+            changes_ruled.iter().filter(|c| is_suspicious(c)).collect();
+        let match_exec =
+            ShardedExecutor::new(self.threads, crate::exec_metric_names!("retro.match"));
+        let shards = store.shard_count();
+        let outcomes: Vec<Option<MatchOutcome>> = match_exec.map(
+            &suspicious_ruled,
+            shards,
+            |rec| fqdn_shard(&rec.fqdn, shards),
+            || (),
+            |_, _, rec| {
+                let matched = match_all(&signatures, &rec.after);
+                if matched.is_empty() {
+                    return None;
+                }
+                Some(MatchOutcome {
+                    kinds: matched.iter().map(|s| s.kind()).collect(),
+                    topic: crate::classify::classify_topic(&rec.after),
+                    techniques: crate::classify::detect_techniques(&rec.after),
+                })
+            },
+        );
         let mut abuse_map: BTreeMap<Name, AbuseRecord> = BTreeMap::new();
-        for rec in changes_ruled.iter().filter(|c| is_suspicious(c)) {
-            let matched = match_all(&signatures, &rec.after);
-            if matched.is_empty() {
-                continue;
-            }
-            let kinds: Vec<_> = matched.iter().map(|s| s.kind()).collect();
+        for (rec, outcome) in suspicious_ruled.iter().zip(outcomes) {
+            let Some(outcome) = outcome else { continue };
             let entry = abuse_map.entry(rec.fqdn.clone()).or_insert_with(|| {
                 let sld = rec.fqdn.sld().unwrap_or_else(|| rec.fqdn.clone());
                 let org = world
@@ -121,8 +187,6 @@ impl RetroStage {
                 let service = fqdn_plan
                     .get(&rec.fqdn)
                     .map(|&i| world.population.plans[i].service);
-                let topic = crate::classify::classify_topic(&rec.after);
-                let techniques = crate::classify::detect_techniques(&rec.after);
                 AbuseRecord {
                     fqdn: rec.fqdn.clone(),
                     sld,
@@ -130,8 +194,8 @@ impl RetroStage {
                     first_seen: rec.day,
                     corrected_at: None,
                     signature_kinds: Vec::new(),
-                    topic,
-                    techniques,
+                    topic: outcome.topic,
+                    techniques: outcome.techniques,
                     language: rec.after.language.clone(),
                     cname_target: rec.after.cname_target.clone(),
                     service,
@@ -148,7 +212,7 @@ impl RetroStage {
                     html: rec.after.html.clone(),
                 }
             });
-            for k in kinds {
+            for k in outcome.kinds {
                 if !entry.signature_kinds.contains(&k) {
                     entry.signature_kinds.push(k);
                 }
@@ -173,9 +237,11 @@ impl RetroStage {
         }
         let abuse: Vec<AbuseRecord> = abuse_map.into_values().collect();
 
-        // Detection evaluation against ground truth.
-        let truth_fqdns: HashSet<&Name> = world.truth.iter().map(|t| &t.victim_fqdn).collect();
-        let detected_fqdns: HashSet<&Name> = abuse.iter().map(|a| &a.fqdn).collect();
+        // Detection evaluation against ground truth. Sorted sets: only
+        // intersection/size arithmetic escapes, but see the hazard note on
+        // `registrar_driven_fqdns`.
+        let truth_fqdns: BTreeSet<&Name> = world.truth.iter().map(|t| &t.victim_fqdn).collect();
+        let detected_fqdns: BTreeSet<&Name> = abuse.iter().map(|a| &a.fqdn).collect();
         let tp = detected_fqdns.intersection(&truth_fqdns).count();
         let detection = DetectionEval {
             true_positives: tp,

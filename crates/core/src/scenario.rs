@@ -10,7 +10,7 @@
 //! [`Scenario::run`] is a thin orchestrator: the actual work lives in the
 //! [`crate::pipeline`] stages — world advancement, Algorithm-1 collection,
 //! the shard-parallel weekly crawl, diff/record, and the retrospective pass.
-//! The crawl's determinism contract (byte-identical results for any
+//! The pipeline-wide determinism contract (byte-identical results for any
 //! `crawl_threads`) is documented in [`crate::pipeline`].
 
 use crate::pipeline::{
@@ -44,8 +44,10 @@ pub struct ScenarioConfig {
     pub org_cert_probability: f64,
     /// Per-hijack probability the campaign also runs a cookie stealer.
     pub cookie_stealer_probability: f64,
-    /// Worker threads for the weekly crawl (0 or 1 = serial). Results are
-    /// byte-identical for any value — see [`crate::pipeline`].
+    /// Worker threads for every parallel stage — the weekly crawl,
+    /// Algorithm-1 classification, and the retrospective pass (0 or 1 =
+    /// serial). Results are byte-identical for any value — see
+    /// [`crate::pipeline`].
     #[serde(default)]
     pub crawl_threads: usize,
     /// Per-fetch probability of a transient crawl failure (0.0 disables the
@@ -149,7 +151,7 @@ impl Scenario {
         let mut rounds: u64 = 0;
 
         let mut world_stage = WorldStage::new(&rs);
-        let mut collect = CollectStage::new(&rs);
+        let mut collect = CollectStage::new(&rs, threads);
         let mut crawl = CrawlStage::new(threads, failure_rate);
         let mut diff = DiffStage;
         let mut persist = match persist_opts {
@@ -237,7 +239,7 @@ impl Scenario {
         }
 
         let _retro = obs::span("retro.assemble", "retro").record_into("pipeline.retro_ns");
-        Ok(RetroStage.assemble(rs))
+        Ok(RetroStage::new(threads).assemble(rs))
     }
 }
 

@@ -285,6 +285,34 @@ pub fn validate_signatures(
     (kept, discarded)
 }
 
+/// [`validate_signatures`], shard-parallel: each signature is checked against
+/// the whole benign corpus independently (sharded by its derivation id — a
+/// content-keyed value, assigned in the deterministic derivation order), and
+/// the keep/discard verdicts are re-assembled in input order, so the kept
+/// list is byte-identical to the serial pass for any thread count.
+pub fn validate_signatures_sharded(
+    signatures: Vec<Signature>,
+    benign: &[&Snapshot],
+    exec: &crate::pipeline::ShardedExecutor,
+) -> (Vec<Signature>, usize) {
+    let before = signatures.len();
+    let buckets = crate::snapshot::DEFAULT_SHARDS;
+    let keep: Vec<bool> = exec.map(
+        &signatures,
+        buckets,
+        |sig| sig.id as usize % buckets,
+        || (),
+        |_, _, sig| !benign.iter().any(|b| sig.matches(b)),
+    );
+    let kept: Vec<Signature> = signatures
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(sig, keep)| keep.then_some(sig))
+        .collect();
+    let discarded = before - kept.len();
+    (kept, discarded)
+}
+
 /// Match a snapshot against all signatures; returns the matching signature
 /// ids (empty = not abused).
 pub fn match_all<'a>(signatures: &'a [Signature], snap: &Snapshot) -> Vec<&'a Signature> {

@@ -115,6 +115,24 @@ pub fn body_hash(body: &[u8]) -> u64 {
 /// small at production scale while staying cheap at test scale.
 pub const DEFAULT_SHARDS: usize = 16;
 
+/// The pipeline's one work-partitioning hash: FNV-1a over an FQDN's labels,
+/// reduced modulo `n`. A fixed hash — not the std `RandomState` — so the
+/// partition is identical across runs, processes and thread counts. Every
+/// shard-parallel pass (crawl, Algorithm-1 classification, the retrospective
+/// signature matching and clustering) buckets by this same function.
+pub fn fqdn_shard(fqdn: &Name, n: usize) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for label in fqdn.labels() {
+        for &b in label.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^= 0xff; // label separator, so ["ab","c"] != ["a","bc"]
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h % n.max(1) as u64) as usize
+}
+
 /// Latest-snapshot store, sharded by a stable hash of the FQDN.
 ///
 /// Sharding serves the parallel monitoring pipeline: the crawl executor
@@ -150,20 +168,10 @@ impl SnapshotStore {
         self.shards.len()
     }
 
-    /// The shard an FQDN lives in. FNV-1a over the labels — a fixed hash,
-    /// not the std `RandomState`, so the partition is identical across runs,
-    /// processes and thread counts.
+    /// The shard an FQDN lives in — [`fqdn_shard`] over this store's shard
+    /// count.
     pub fn shard_of(&self, fqdn: &Name) -> usize {
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        for label in fqdn.labels() {
-            for &b in label.as_bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x1000_0000_01b3);
-            }
-            h ^= 0xff; // label separator, so ["ab","c"] != ["a","bc"]
-            h = h.wrapping_mul(0x1000_0000_01b3);
-        }
-        (h % self.shards.len() as u64) as usize
+        fqdn_shard(fqdn, self.shards.len())
     }
 
     pub fn latest(&self, fqdn: &Name) -> Option<&Snapshot> {

@@ -1,0 +1,188 @@
+//! Property tests for the signature pipeline's determinism and safety
+//! contracts (§3.2):
+//!
+//! - `derive_signatures` is invariant under input shuffling — it sorts its
+//!   suspicious records by `(day, fqdn)` internally, and the pipeline
+//!   guarantees that key is unique (one change per FQDN per round), so the
+//!   generated records keep `(day, fqdn)` pairs unique too;
+//! - a signature that survives `validate_signatures` never matches any
+//!   document of the benign corpus it was validated against — the paper's
+//!   "discard those that fire" loop, stated as an invariant;
+//! - the sharded validation path is byte-identical to the serial one for
+//!   any thread count.
+
+use dangling_core::diff::{ChangeKind, ChangeRecord};
+use dangling_core::pipeline::ShardedExecutor;
+use dangling_core::signature::{
+    derive_signatures, validate_signatures, validate_signatures_sharded,
+};
+use dangling_core::snapshot::Snapshot;
+use dns::Rcode;
+use proptest::prelude::*;
+use simcore::SimTime;
+
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic Fisher–Yates from a seed.
+fn shuffled<T>(mut v: Vec<T>, mut seed: u64) -> Vec<T> {
+    for i in (1..v.len()).rev() {
+        seed = splitmix(seed);
+        v.swap(i, (seed % (i as u64 + 1)) as usize);
+    }
+    v
+}
+
+/// Campaign vocabulary pools: records drawing from the same pool overlap
+/// enough (≥ 0.5) to land in one derivation group; different pools do not.
+const POOLS: &[&[&str]] = &[
+    &["slot", "judi", "gacor", "daftar"],
+    &["premium", "domains", "sale", "offer"],
+    &["casino", "poker", "bonus", "spin"],
+    &["replica", "watches", "luxury", "outlet"],
+];
+
+fn snap(fqdn: &str, kws: &[String], sitemap: Option<u64>, ids: &[String]) -> Snapshot {
+    let mut s = Snapshot::unreachable(fqdn.parse().unwrap(), SimTime(10), Rcode::NoError, None);
+    s.http_status = Some(200);
+    s.index_hash = 42;
+    s.keywords = kws.to_vec();
+    s.sitemap_bytes = sitemap;
+    s.identifiers = ids.to_vec();
+    s
+}
+
+/// One generated change: pool choice, which 3 of the pool's 4 words, a
+/// mass-upload flag, and an identifier flag.
+type ChangeSpec = (usize, usize, bool, bool);
+
+/// Materialize specs as records with *unique* `(day, fqdn)` pairs: the FQDN
+/// embeds the record index (every change record in one pipeline round has a
+/// distinct FQDN), days cycle over a few rounds.
+fn build_changes(specs: &[ChangeSpec]) -> Vec<ChangeRecord> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(pool, skip, huge, with_ids))| {
+            let pool = POOLS[pool % POOLS.len()];
+            let kws: Vec<String> = pool
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| *k != skip % pool.len())
+                .map(|(_, w)| w.to_string())
+                .collect();
+            let fqdn = format!("h{i}.apex{}.com", i % 7);
+            let ids: Vec<String> = if with_ids {
+                vec![format!("phone:62{}", i % 3)]
+            } else {
+                Vec::new()
+            };
+            ChangeRecord {
+                fqdn: fqdn.parse().unwrap(),
+                day: SimTime(10 + (i as i32 % 4) * 7),
+                kinds: vec![ChangeKind::BecameReachable],
+                before_language: None,
+                before_sitemap_bytes: None,
+                before_serving: false,
+                before_keywords: Vec::new(),
+                after: snap(&fqdn, &kws, huge.then_some(800_000), &ids),
+            }
+        })
+        .collect()
+}
+
+fn arb_specs() -> impl Strategy<Value = Vec<ChangeSpec>> {
+    proptest::collection::vec(
+        (0usize..POOLS.len(), 0usize..4, any::<bool>(), any::<bool>()),
+        0..40,
+    )
+}
+
+/// Benign documents: arbitrary keyword mixes, some drawn from the campaign
+/// pools (so validation actually kills signatures sometimes).
+fn arb_benign() -> impl Strategy<Value = Vec<Snapshot>> {
+    proptest::collection::vec(
+        (
+            0usize..POOLS.len(),
+            proptest::collection::vec("[a-z]{3,8}", 0..4),
+            any::<bool>(),
+            any::<bool>(),
+        ),
+        0..20,
+    )
+    .prop_map(|docs| {
+        docs.into_iter()
+            .enumerate()
+            .map(|(i, (pool, extra, from_pool, huge))| {
+                let mut kws: Vec<String> = extra;
+                if from_pool {
+                    kws.extend(POOLS[pool].iter().map(|w| w.to_string()));
+                }
+                snap(
+                    &format!("benign{i}.other.com"),
+                    &kws,
+                    huge.then_some(900_000),
+                    &[],
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Shuffling the change set never changes the derived signature list —
+    /// not just the set: ids, ordering and source counts are all identical,
+    /// because derivation canonicalizes on the unique `(day, fqdn)` key.
+    #[test]
+    fn derivation_invariant_under_shuffle(specs in arb_specs(), seed in any::<u64>()) {
+        let changes = build_changes(&specs);
+        let reference = derive_signatures(&changes, 2);
+        let perm = shuffled(changes, seed);
+        prop_assert_eq!(derive_signatures(&perm, 2), reference);
+    }
+
+    /// Every signature that survives validation is *safe*: it matches no
+    /// document of the corpus it was validated against. And the counts add
+    /// up — kept + discarded = derived.
+    #[test]
+    fn validated_signatures_never_match_benign(specs in arb_specs(), benign in arb_benign()) {
+        let sigs = derive_signatures(&build_changes(&specs), 2);
+        let total = sigs.len();
+        let corpus: Vec<&Snapshot> = benign.iter().collect();
+        let (kept, discarded) = validate_signatures(sigs, &corpus);
+        prop_assert_eq!(kept.len() + discarded, total);
+        for sig in &kept {
+            for doc in &corpus {
+                prop_assert!(
+                    !sig.matches(doc),
+                    "validated signature {} still fires on {}",
+                    sig.id,
+                    doc.fqdn
+                );
+            }
+        }
+    }
+
+    /// The sharded validation path returns exactly the serial result for
+    /// any thread count.
+    #[test]
+    fn sharded_validation_matches_serial(
+        specs in arb_specs(),
+        benign in arb_benign(),
+        threads in 1usize..9,
+    ) {
+        let sigs = derive_signatures(&build_changes(&specs), 2);
+        let corpus: Vec<&Snapshot> = benign.iter().collect();
+        let (kept_serial, disc_serial) = validate_signatures(sigs.clone(), &corpus);
+        let exec = ShardedExecutor::new(threads, dangling_core::exec_metric_names!("test.sigprop"));
+        let (kept_par, disc_par) = validate_signatures_sharded(sigs, &corpus, &exec);
+        prop_assert_eq!(kept_par, kept_serial);
+        prop_assert_eq!(disc_par, disc_serial);
+    }
+}
