@@ -12,7 +12,9 @@ use dangling_core::benign::cluster_changes_sharded;
 use dangling_core::diff::{ChangeKind, ChangeRecord};
 use dangling_core::exec_metric_names;
 use dangling_core::pipeline::{CrawlExecutor, ShardedExecutor};
-use dangling_core::signature::{derive_signatures, match_all, validate_signatures_sharded};
+use dangling_core::signature::{
+    derive_signatures, match_all, validate_signatures_sharded, SignatureFold,
+};
 use dangling_core::snapshot::{fqdn_shard, Snapshot, SnapshotStore, DEFAULT_SHARDS};
 use dns::{Authority, Name, Rcode, RecordData, Resolver, ResourceRecord, Zone, ZoneSet};
 use rand::rngs::StdRng;
@@ -194,5 +196,59 @@ fn bench_retro_scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_crawl_scaling, bench_retro_scaling);
+/// The streaming signature fold against the one-shot batch derivation over
+/// the same 2 000-change history. `derive_batch` is what the batch retro
+/// pass pays once at the horizon; `fold_stream` is the incremental pass's
+/// total push cost plus one final emission; `fold_per_round_emit` adds a
+/// signature emission at every round boundary — the real per-round overhead
+/// `repro --incremental` trades for streaming visibility.
+fn bench_incremental_retro(c: &mut Criterion) {
+    let mut changes = synth_changes(2_000);
+    // Arrival order: rounds by strictly increasing day, FQDN-sorted within.
+    changes.sort_by(|a, b| (a.day, &a.fqdn).cmp(&(b.day, &b.fqdn)));
+    let mut rounds: Vec<&[ChangeRecord]> = Vec::new();
+    let mut start = 0;
+    for i in 1..=changes.len() {
+        if i == changes.len() || changes[i].day != changes[start].day {
+            rounds.push(&changes[start..i]);
+            start = i;
+        }
+    }
+
+    let mut g = c.benchmark_group("retro_incremental");
+    g.throughput(Throughput::Elements(changes.len() as u64));
+    g.bench_function("derive_batch_2000", |b| {
+        b.iter(|| black_box(derive_signatures(&changes, 2)))
+    });
+    g.bench_function("fold_stream_2000", |b| {
+        b.iter(|| {
+            let mut fold = SignatureFold::new();
+            for rec in &changes {
+                fold.push(rec);
+            }
+            black_box(fold.signatures(2))
+        })
+    });
+    g.bench_function("fold_per_round_emit_2000", |b| {
+        b.iter(|| {
+            let mut fold = SignatureFold::new();
+            let mut emitted = 0;
+            for round in &rounds {
+                for rec in *round {
+                    fold.push(rec);
+                }
+                emitted += fold.signatures(2).len();
+            }
+            black_box(emitted)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crawl_scaling,
+    bench_retro_scaling,
+    bench_incremental_retro
+);
 criterion_main!(benches);

@@ -6,7 +6,10 @@
 //! cargo run --release -p bench --bin repro -- --scale 100 --seed 42 all ablations
 //! ```
 
-use bench::{render_target, run_study_persisted, run_study_rounds, ABLATIONS, TARGETS};
+use bench::{
+    render_target, run_study_persisted_incremental, run_study_rounds_incremental, ABLATIONS,
+    TARGETS,
+};
 use dangling_core::{compact_state_dir, PersistOptions};
 
 fn main() {
@@ -16,6 +19,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut state_dir: Option<String> = None;
     let mut resume = false;
+    let mut incremental = false;
     let mut max_rounds: Option<u64> = None;
     let mut compact = false;
     let mut trace_path: Option<String> = None;
@@ -54,6 +58,7 @@ fn main() {
                 state_dir = Some(args.next().expect("--state-dir takes a directory path"));
             }
             "--resume" => resume = true,
+            "--incremental" => incremental = true,
             "--rounds" => {
                 max_rounds = Some(
                     args.next()
@@ -73,13 +78,17 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--scale N] [--seed N] [--threads N] [--json OUT] \
-                     [--persist | --state-dir DIR] [--resume] [--rounds N] [--compact] \
-                     [--trace OUT] [--metrics OUT] [--progress] [-q] <targets...>"
+                     [--persist | --state-dir DIR] [--resume] [--incremental] [--rounds N] \
+                     [--compact] [--trace OUT] [--metrics OUT] [--progress] [-q] <targets...>"
                 );
                 println!("targets: all | ablations | {}", TARGETS.join(" "));
                 println!("ablations: {}", ABLATIONS.join(" "));
                 println!("--threads parallelizes the weekly crawl, Algorithm-1 classification");
                 println!("  and the retrospective pass; results are byte-identical.");
+                println!("--incremental streams the retrospective pass round by round instead");
+                println!("  of one batch at the horizon (same results, byte for byte; emits");
+                println!("  retro.incr.* metrics). With --resume, recorded rounds replay");
+                println!("  straight into it without re-crawling.");
                 println!("--persist records observations to ./repro_state (--state-dir names it);");
                 println!("--resume continues a recorded run, --rounds N stops after N rounds,");
                 println!("--compact drops superseded records from the state dir and exits.");
@@ -134,10 +143,17 @@ fn main() {
         }
     }
 
-    obs::info!("running study at scale 1/{scale}, seed {seed}, {threads} worker thread(s)...");
+    obs::info!(
+        "running study at scale 1/{scale}, seed {seed}, {threads} worker thread(s){}...",
+        if incremental {
+            ", incremental retro pass"
+        } else {
+            ""
+        }
+    );
     let start = std::time::Instant::now();
     let results = match &state_dir {
-        None => run_study_rounds(scale, seed, threads, max_rounds),
+        None => run_study_rounds_incremental(scale, seed, threads, max_rounds, incremental),
         Some(dir) => {
             let mut opts = PersistOptions::new(dir);
             opts.resume = resume;
@@ -150,7 +166,7 @@ fn main() {
                     None => String::new(),
                 }
             );
-            match run_study_persisted(scale, seed, threads, &opts) {
+            match run_study_persisted_incremental(scale, seed, threads, &opts, incremental) {
                 Ok(r) => r,
                 Err(e) => {
                     obs::warn!("error: {e}");

@@ -41,7 +41,23 @@ pub fn run_study_rounds(
     threads: usize,
     max_rounds: Option<u64>,
 ) -> StudyResults {
-    let mut scenario = Scenario::new(study_config(scale_denominator, seed, threads));
+    run_study_rounds_incremental(scale_denominator, seed, threads, max_rounds, false)
+}
+
+/// [`run_study_rounds`] with the retro-pass mode explicit: `incremental`
+/// streams the §3.2 signature pass round by round instead of running it once
+/// at the horizon. Results are byte-identical either way (the
+/// `incremental_equivalence` suite pins this); `repro --incremental` maps
+/// here.
+pub fn run_study_rounds_incremental(
+    scale_denominator: u32,
+    seed: u64,
+    threads: usize,
+    max_rounds: Option<u64>,
+    incremental: bool,
+) -> StudyResults {
+    let mut scenario =
+        Scenario::new(study_config(scale_denominator, seed, threads)).incremental(incremental);
     if let Some(r) = max_rounds {
         scenario = scenario.max_rounds(r);
     }
@@ -58,7 +74,22 @@ pub fn run_study_persisted(
     threads: usize,
     opts: &PersistOptions,
 ) -> Result<StudyResults, PersistError> {
-    Scenario::new(study_config(scale_denominator, seed, threads)).run_persisted(opts)
+    run_study_persisted_incremental(scale_denominator, seed, threads, opts, false)
+}
+
+/// [`run_study_persisted`] with the retro-pass mode explicit. With
+/// `opts.resume` and `incremental`, replayed rounds stream straight from the
+/// storelog segments into the incremental retro pass — no re-crawl.
+pub fn run_study_persisted_incremental(
+    scale_denominator: u32,
+    seed: u64,
+    threads: usize,
+    opts: &PersistOptions,
+    incremental: bool,
+) -> Result<StudyResults, PersistError> {
+    Scenario::new(study_config(scale_denominator, seed, threads))
+        .incremental(incremental)
+        .run_persisted(opts)
 }
 
 /// All renderable targets, in paper order.

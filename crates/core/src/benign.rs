@@ -31,7 +31,7 @@ impl ChangeCluster {
 
 /// One record's cluster fingerprint: its first five content keywords, or its
 /// first five meta keywords when the content yields none.
-fn fingerprint(rec: &ChangeRecord) -> Option<String> {
+pub(crate) fn fingerprint(rec: &ChangeRecord) -> Option<String> {
     let mut fp: Vec<String> = rec.after.keywords.iter().take(5).cloned().collect();
     if fp.is_empty() {
         fp = rec.after.meta_keywords.iter().take(5).cloned().collect();
@@ -42,28 +42,46 @@ fn fingerprint(rec: &ChangeRecord) -> Option<String> {
     Some(cluster_key(&fp))
 }
 
-/// Shared tail of serial and sharded clustering: sorted-key emission plus
-/// registrar annotation. The groups map already carries member sets, so the
-/// output depends only on its *contents*, never on insertion order.
-fn clusters_from_groups<F>(
-    groups: HashMap<String, BTreeSet<Name>>,
+/// Fold records into a fingerprint → member-set map. Set insertion is
+/// commutative and idempotent, so the map's *contents* are the same for any
+/// feed order or partitioning — this is the merge step both the sharded
+/// batch pass and the round-by-round incremental retro pass build on.
+pub fn fold_cluster_map<'a, I>(groups: &mut HashMap<String, BTreeSet<Name>>, changes: I)
+where
+    I: IntoIterator<Item = &'a ChangeRecord>,
+{
+    for rec in changes {
+        let Some(key) = fingerprint(rec) else {
+            continue;
+        };
+        groups.entry(key).or_default().insert(rec.fqdn.clone());
+    }
+}
+
+/// Shared tail of serial, sharded, and incremental clustering: sorted-key
+/// emission plus registrar annotation. The groups map already carries member
+/// sets, so the output depends only on its *contents*, never on insertion
+/// order. Borrows the map — the incremental pass keeps folding into it
+/// across rounds.
+pub fn clusters_from_map<F>(
+    groups: &HashMap<String, BTreeSet<Name>>,
     registrar_of: F,
 ) -> Vec<ChangeCluster>
 where
     F: Fn(&Name) -> Option<u16>,
 {
-    let mut keys: Vec<String> = groups.keys().cloned().collect();
+    let mut keys: Vec<&String> = groups.keys().collect();
     keys.sort();
     keys.into_iter()
         .map(|key| {
-            let fqdns: Vec<Name> = groups[&key].iter().cloned().collect();
+            let fqdns: Vec<Name> = groups[key].iter().cloned().collect();
             let registrars: BTreeSet<u16> = fqdns
                 .iter()
                 .filter_map(|f| f.sld())
                 .filter_map(|sld| registrar_of(&sld))
                 .collect();
             ChangeCluster {
-                key,
+                key: key.clone(),
                 fqdns,
                 registrar_count: registrars.len(),
             }
@@ -79,13 +97,8 @@ where
     F: Fn(&Name) -> Option<u16>,
 {
     let mut groups: HashMap<String, BTreeSet<Name>> = HashMap::new();
-    for rec in changes {
-        let Some(key) = fingerprint(rec) else {
-            continue;
-        };
-        groups.entry(key).or_default().insert(rec.fqdn.clone());
-    }
-    clusters_from_groups(groups, registrar_of)
+    fold_cluster_map(&mut groups, changes);
+    clusters_from_map(&groups, registrar_of)
 }
 
 /// [`cluster_changes`], shard-parallel: records are bucketed by the
@@ -123,7 +136,7 @@ where
             groups.entry(key).or_default().extend(members);
         }
     }
-    clusters_from_groups(groups, registrar_of)
+    clusters_from_map(&groups, registrar_of)
 }
 
 /// Figure 10's series: of clusters with ≥2 member domains, what fraction

@@ -4,6 +4,12 @@
 //! monitored order — appends changes to the change log and commits snapshots
 //! to the sharded store. Keeping this stage serial is what lets the crawl
 //! stage be embarrassingly parallel: workers never write shared state.
+//!
+//! The change log is append-only: records are pushed with strictly
+//! increasing days (one round, one day) and never mutated afterwards. The
+//! streaming retro pass ([`super::IncrementalRetro`]) depends on exactly
+//! that — it consumes each round's new suffix of `rs.changes` right after
+//! this stage runs and indexes into the log by position forever after.
 
 use super::{RunState, Stage};
 use simcore::SimTime;

@@ -1,0 +1,504 @@
+//! Incremental retrospective pass: the §3.2 signature machinery as a
+//! streaming stage.
+//!
+//! [`RetroStage`](super::RetroStage) runs once at the horizon as one
+//! O(all-changes) batch. `IncrementalRetro` consumes the same
+//! [`ChangeRecord`]s as the diff stage emits them each round, so detection
+//! keeps pace with collection — the ROADMAP's prerequisite for a
+//! long-running service mode. Its contract is exact: the final
+//! [`StudyResults`](crate::report::StudyResults) is **byte-identical** to
+//! batch mode for any thread count, fresh or resumed mid-run (the
+//! `incremental_equivalence` differential suite pins all three axes).
+//!
+//! ## Why streaming can be exact
+//!
+//! Each batch computation decomposes differently:
+//!
+//! - **Benign clustering** is a fingerprint → member-set union — commutative
+//!   and idempotent, so folding each round's suspicious records into one
+//!   growing map ([`crate::benign::fold_cluster_map`]) reaches the same map
+//!   contents as the one-shot pass, and the sorted-key emission on top is
+//!   order-blind.
+//! - **Signature derivation** is greedy and order-defined — but the batch
+//!   pass canonicalizes its input to `(day, fqdn)` order, and rounds arrive
+//!   in strictly increasing day order. Feeding each round's suspicious
+//!   records (fqdn-sorted within the round) into a
+//!   [`SignatureFold`] therefore *is* the batch sort, replayed live: the
+//!   fold is prefix-consistent, and no record ever needs re-placing.
+//! - **Registrar rule-out is not monotone**: a cluster that gains a second
+//!   fqdn becomes rule-out-capable, and one that gains a second registrar
+//!   stops being registrar-driven — membership can both grow and shrink.
+//!   When the ruled-out set changes, the fold is rebuilt from the retained
+//!   suspicious prefix (`retro.incr.fold_rebuilds` counts these); rebuilding
+//!   from the same sequence is state-identical, so exactness survives.
+//! - **Matching is pure** in (signature content, snapshot), and a recorded
+//!   change's after-snapshot never mutates. Verdicts are therefore cached
+//!   per signature *content key* — a derived signature that reappears next
+//!   round (same keywords/features, new id) reuses its verdict column, and
+//!   each round only evaluates new signatures × all records plus all
+//!   signatures × new records.
+//! - **Benign-corpus validation is advisory per round**: the corpus
+//!   ("monitored fqdns that never produced a suspicious change") *shrinks*
+//!   as fqdns turn suspicious, so a mid-run verdict can be invalidated
+//!   later. Per-round validation feeds the `retro.incr.*` gauges;
+//!   [`IncrementalRetro::finalize`] revalidates against the final corpus
+//!   exactly as the batch pass does. This is the one stage that cannot be
+//!   folded exactly, and the docs say so rather than pretend.
+//!
+//! Everything downstream of the matched set is shared verbatim with batch
+//! mode ([`super::retro::assemble_results`]).
+//!
+//! ## Determinism under parallelism
+//!
+//! Per-round fan-out (verdict extension, new-signature matching, advisory
+//! validation) goes through one [`ShardedExecutor`] under the pipeline's
+//! keyed-shard contract — bucketed by [`fqdn_shard`] (or the signature's
+//! derivation id), re-assembled in canonical input order — so `--threads`
+//! drives the incremental pass too.
+
+use super::retro::{assemble_results, MatchOutcome};
+use super::{RunState, ShardedExecutor, Stage};
+use crate::diff::ChangeRecord;
+use crate::report::StudyResults;
+use crate::signature::{
+    is_suspicious, validate_signatures_sharded, Signature, SignatureFold, SignatureKind,
+};
+use crate::snapshot::fqdn_shard;
+use dns::Name;
+use simcore::SimTime;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A signature's *content key*: every field [`Signature::matches`] reads.
+/// Two derivations that agree on the key have identical verdicts on every
+/// snapshot, no matter what ids they were assigned — the cache invariant.
+type SigKey = (Vec<String>, Option<u64>, Vec<String>, bool);
+
+fn sig_key(sig: &Signature) -> SigKey {
+    (
+        sig.keywords.clone(),
+        sig.min_sitemap_bytes,
+        sig.script_markers.clone(),
+        sig.requires_identifiers,
+    )
+}
+
+/// One suspicious change the pass has ingested: just enough to re-find the
+/// record (`change_idx` into `RunState::changes`) and keep the canonical
+/// `(day, fqdn)` order without holding snapshot clones.
+#[derive(Debug, Clone)]
+struct SuspiciousEntry {
+    change_idx: usize,
+    fqdn: Name,
+    day: SimTime,
+}
+
+/// Cached matching state for one signature content key.
+struct CachedSig {
+    /// A representative signature carrying this key (id irrelevant).
+    matcher: Signature,
+    /// Verdict per suspicious entry, aligned with the entry list — extended
+    /// every round, never recomputed.
+    verdicts: Vec<bool>,
+    /// Did the key survive the *latest* advisory per-round validation?
+    /// Advisory only: finalize revalidates against the final corpus.
+    provisional_valid: bool,
+}
+
+/// The streaming retro stage. Feed it every round via [`Stage::weekly`]
+/// (after the diff stage), then consume it with
+/// [`IncrementalRetro::finalize`] at the horizon.
+pub struct IncrementalRetro {
+    exec: ShardedExecutor,
+    /// Cursor into `RunState::changes`: everything before it is ingested.
+    processed: usize,
+    /// Fingerprint → member set, grown by [`crate::benign::fold_cluster_map`].
+    cluster_map: HashMap<String, BTreeSet<Name>>,
+    /// Current registrar-driven rule-out set (recomputed each round; not
+    /// monotone).
+    ruled_out: BTreeSet<Name>,
+    /// All suspicious changes so far, in `(day, fqdn)` order (append-only:
+    /// days strictly increase across rounds, fqdns are sorted within one).
+    suspicious: Vec<SuspiciousEntry>,
+    /// Fqdns of `suspicious` — the corpus exclusion set.
+    suspicious_fqdns: BTreeSet<Name>,
+    /// The running greedy grouping over the non-ruled suspicious prefix.
+    fold: SignatureFold,
+    /// Verdict columns per signature content key.
+    match_cache: BTreeMap<SigKey, CachedSig>,
+    /// apex → registrar, built from the population on first ingest (same
+    /// first-match semantics as the batch pass's linear scan).
+    registrars: Option<HashMap<Name, u16>>,
+    min_signature_slds: usize,
+}
+
+impl IncrementalRetro {
+    pub fn new(threads: usize) -> Self {
+        IncrementalRetro {
+            exec: ShardedExecutor::new(threads, crate::exec_metric_names!("retro.incr")),
+            processed: 0,
+            cluster_map: HashMap::new(),
+            ruled_out: BTreeSet::new(),
+            suspicious: Vec::new(),
+            suspicious_fqdns: BTreeSet::new(),
+            fold: SignatureFold::new(),
+            match_cache: BTreeMap::new(),
+            registrars: None,
+            min_signature_slds: 2,
+        }
+    }
+
+    fn registrar_of(&self, sld: &Name) -> Option<u16> {
+        self.registrars.as_ref().and_then(|m| m.get(sld)).copied()
+    }
+
+    /// Recompute the rule-out set from the cluster map: members of any
+    /// multi-fqdn cluster confined to ≤1 registrar. Pure function of the
+    /// map's contents (output is a sorted set), so the map's iteration order
+    /// never escapes.
+    fn compute_ruled_out(&self) -> BTreeSet<Name> {
+        let mut ruled = BTreeSet::new();
+        for fqdns in self.cluster_map.values() {
+            if fqdns.len() < 2 {
+                continue;
+            }
+            let registrars: BTreeSet<u16> = fqdns
+                .iter()
+                .filter_map(|f| f.sld())
+                .filter_map(|sld| self.registrar_of(&sld))
+                .collect();
+            if registrars.len() <= 1 {
+                ruled.extend(fqdns.iter().cloned());
+            }
+        }
+        ruled
+    }
+
+    /// Rebuild the derivation fold over the retained suspicious prefix. The
+    /// entry list is already in canonical `(day, fqdn)` order, so a rebuild
+    /// reaches exactly the state an uninterrupted fold over the same ruled
+    /// set would have.
+    fn rebuild_fold(&mut self, changes: &[ChangeRecord]) {
+        let mut fold = SignatureFold::new();
+        for e in &self.suspicious {
+            if !self.ruled_out.contains(&e.fqdn) {
+                fold.push(&changes[e.change_idx]);
+            }
+        }
+        self.fold = fold;
+    }
+
+    /// Ingest every not-yet-processed change record. `advisory` additionally
+    /// runs the per-round benign validation and refreshes the `retro.incr.*`
+    /// round gauges (skipped during the finalize catch-up, where the real
+    /// validation follows immediately).
+    fn ingest(&mut self, rs: &RunState, advisory: bool) {
+        let _s = obs::span("retro.incr.round", "retro").record_into("retro.incr.round_ns");
+        if self.registrars.is_none() {
+            let mut m: HashMap<Name, u16> = HashMap::new();
+            for org in &rs.world.population.orgs {
+                m.entry(org.apex.clone()).or_insert(org.registrar.0);
+            }
+            self.registrars = Some(m);
+            self.min_signature_slds = rs.cfg.min_signature_slds;
+        }
+        let new = &rs.changes[self.processed..];
+        let new_start = self.processed;
+        self.processed = rs.changes.len();
+
+        // New suspicious entries, sorted by (day, fqdn) within the batch.
+        // Days never decrease across rounds, so appending the sorted batch
+        // keeps the whole list in canonical order.
+        let mut fresh: Vec<SuspiciousEntry> = new
+            .iter()
+            .enumerate()
+            .filter(|(_, rec)| is_suspicious(rec))
+            .map(|(i, rec)| SuspiciousEntry {
+                change_idx: new_start + i,
+                fqdn: rec.fqdn.clone(),
+                day: rec.day,
+            })
+            .collect();
+        fresh.sort_by(|a, b| a.day.cmp(&b.day).then_with(|| a.fqdn.cmp(&b.fqdn)));
+        if let (Some(last), Some(first)) = (self.suspicious.last(), fresh.first()) {
+            debug_assert!(
+                (last.day, &last.fqdn) < (first.day, &first.fqdn),
+                "rounds must arrive in increasing (day, fqdn) order"
+            );
+        }
+        obs::counter("retro.incr.rounds").add(1);
+        obs::counter("retro.incr.new_suspicious").add(fresh.len() as u64);
+        let prev_len = self.suspicious.len();
+        for e in &fresh {
+            self.suspicious_fqdns.insert(e.fqdn.clone());
+        }
+        crate::benign::fold_cluster_map(
+            &mut self.cluster_map,
+            fresh.iter().map(|e| &rs.changes[e.change_idx]),
+        );
+        self.suspicious.extend(fresh);
+
+        // Registrar rule-out is not monotone; on any membership change the
+        // fold restarts from the retained prefix (state-identical to an
+        // uninterrupted fold, see module docs).
+        let ruled = self.compute_ruled_out();
+        if ruled != self.ruled_out {
+            self.ruled_out = ruled;
+            obs::counter("retro.incr.fold_rebuilds").add(1);
+            self.rebuild_fold(&rs.changes);
+        } else {
+            for i in prev_len..self.suspicious.len() {
+                let idx = self.suspicious[i].change_idx;
+                if !self.ruled_out.contains(&self.suspicious[i].fqdn) {
+                    self.fold.push(&rs.changes[idx]);
+                }
+            }
+        }
+
+        let sigs_all = self.fold.signatures(self.min_signature_slds);
+        let shards = rs.store.shard_count();
+
+        // Extend every cached verdict column over the new entries: one
+        // parallel map over the new records, each task evaluating all cached
+        // matchers, scattered back serially in key order.
+        let new_entries: Vec<&ChangeRecord> = self.suspicious[prev_len..]
+            .iter()
+            .map(|e| &rs.changes[e.change_idx])
+            .collect();
+        if !new_entries.is_empty() && !self.match_cache.is_empty() {
+            let matchers: Vec<(SigKey, Signature)> = self
+                .match_cache
+                .iter()
+                .map(|(k, c)| (k.clone(), c.matcher.clone()))
+                .collect();
+            let columns: Vec<Vec<bool>> = self.exec.map(
+                &new_entries,
+                shards,
+                |rec| fqdn_shard(&rec.fqdn, shards),
+                || (),
+                |_, _, rec| {
+                    matchers
+                        .iter()
+                        .map(|(_, m)| m.matches(&rec.after))
+                        .collect()
+                },
+            );
+            for (ki, (key, _)) in matchers.iter().enumerate() {
+                let cached = self.match_cache.get_mut(key).expect("key just listed");
+                cached.verdicts.extend(columns.iter().map(|col| col[ki]));
+            }
+        }
+        // New signature content keys match against *all* entries so far.
+        let mut new_keys: Vec<(SigKey, Signature)> = Vec::new();
+        let mut seen: BTreeSet<SigKey> = BTreeSet::new();
+        for sig in &sigs_all {
+            let key = sig_key(sig);
+            if !self.match_cache.contains_key(&key) && seen.insert(key.clone()) {
+                new_keys.push((key, sig.clone()));
+            }
+        }
+        if !new_keys.is_empty() {
+            obs::counter("retro.incr.match_cache_misses").add(new_keys.len() as u64);
+            let all_entries: Vec<&ChangeRecord> = self
+                .suspicious
+                .iter()
+                .map(|e| &rs.changes[e.change_idx])
+                .collect();
+            let columns: Vec<Vec<bool>> = self.exec.map(
+                &all_entries,
+                shards,
+                |rec| fqdn_shard(&rec.fqdn, shards),
+                || (),
+                |_, _, rec| {
+                    new_keys
+                        .iter()
+                        .map(|(_, m)| m.matches(&rec.after))
+                        .collect()
+                },
+            );
+            for (ki, (key, matcher)) in new_keys.into_iter().enumerate() {
+                self.match_cache.insert(
+                    key,
+                    CachedSig {
+                        matcher,
+                        verdicts: columns.iter().map(|col| col[ki]).collect(),
+                        provisional_valid: false,
+                    },
+                );
+            }
+        }
+        debug_assert!(self
+            .match_cache
+            .values()
+            .all(|c| c.verdicts.len() == self.suspicious.len()));
+
+        obs::gauge("retro.incr.groups").set(self.fold.group_count() as f64);
+        obs::gauge("retro.incr.signatures").set(sigs_all.len() as f64);
+        if advisory {
+            self.advisory_validation(rs, sigs_all);
+        }
+    }
+
+    /// Per-round sharded validation against the *current* benign corpus plus
+    /// the provisional-abuse gauge. Advisory by design: the corpus shrinks
+    /// as fqdns turn suspicious, so these verdicts steer dashboards, not the
+    /// final result.
+    fn advisory_validation(&mut self, rs: &RunState, sigs_all: Vec<Signature>) {
+        let _s = obs::span("retro.incr.validate", "retro").record_into("retro.incr.validate_ns");
+        let corpus: Vec<&crate::snapshot::Snapshot> = rs
+            .store
+            .iter()
+            .filter(|s| !self.suspicious_fqdns.contains(&s.fqdn) && s.is_serving())
+            .take(4000)
+            .collect();
+        let discarded_keys: BTreeSet<SigKey> = {
+            let (kept, _) = validate_signatures_sharded(sigs_all.clone(), &corpus, &self.exec);
+            let kept_keys: BTreeSet<SigKey> = kept.iter().map(sig_key).collect();
+            sigs_all
+                .iter()
+                .map(sig_key)
+                .filter(|k| !kept_keys.contains(k))
+                .collect()
+        };
+        let mut valid = 0usize;
+        for sig in &sigs_all {
+            let key = sig_key(sig);
+            let ok = !discarded_keys.contains(&key);
+            if let Some(c) = self.match_cache.get_mut(&key) {
+                c.provisional_valid = ok;
+            }
+            if ok {
+                valid += 1;
+            }
+        }
+        obs::gauge("retro.incr.valid_signatures").set(valid as f64);
+        // Provisional abuse: non-ruled suspicious fqdns with at least one
+        // provisionally-valid signature hit.
+        let mut hit = vec![false; self.suspicious.len()];
+        for c in self.match_cache.values().filter(|c| c.provisional_valid) {
+            for (i, v) in c.verdicts.iter().enumerate() {
+                hit[i] |= *v;
+            }
+        }
+        let abused: BTreeSet<&Name> = self
+            .suspicious
+            .iter()
+            .zip(&hit)
+            .filter(|(e, h)| **h && !self.ruled_out.contains(&e.fqdn))
+            .map(|(e, _)| &e.fqdn)
+            .collect();
+        obs::gauge("retro.incr.provisional_abuse").set(abused.len() as f64);
+    }
+
+    /// Consume the run state: catch up on any tail, run the *final*
+    /// validation against the final benign corpus (exactly as batch mode
+    /// does — per-round advisory verdicts are deliberately not reused), read
+    /// the matched set out of the verdict cache, and assemble
+    /// [`StudyResults`] through the tail shared with
+    /// [`RetroStage`](super::RetroStage).
+    pub fn finalize(mut self, rs: RunState) -> StudyResults {
+        let _s = obs::span("retro.incr.finalize", "retro").record_into("retro.incr.finalize_ns");
+        self.ingest(&rs, false);
+
+        let change_clusters =
+            crate::benign::clusters_from_map(&self.cluster_map, |sld| self.registrar_of(sld));
+        let sigs_all = self.fold.signatures(self.min_signature_slds);
+        let corpus: Vec<&crate::snapshot::Snapshot> = rs
+            .store
+            .iter()
+            .filter(|s| !self.suspicious_fqdns.contains(&s.fqdn) && s.is_serving())
+            .take(4000)
+            .collect();
+        let (signatures, signatures_discarded) =
+            validate_signatures_sharded(sigs_all, &corpus, &self.exec);
+        obs::gauge("retro.incr.signatures").set(signatures.len() as f64);
+        obs::gauge("retro.incr.signatures_discarded").set(signatures_discarded as f64);
+        obs::gauge("retro.incr.clusters").set(change_clusters.len() as f64);
+
+        // Matched kinds per retained entry, read from the verdict columns in
+        // kept-signature order — the order `match_all` would return.
+        let kept_columns: Vec<Option<&CachedSig>> = signatures
+            .iter()
+            .map(|sig| self.match_cache.get(&sig_key(sig)))
+            .collect();
+        let mut matched_idx: Vec<(usize, Vec<SignatureKind>)> = Vec::new();
+        for (pos, entry) in self.suspicious.iter().enumerate() {
+            if self.ruled_out.contains(&entry.fqdn) {
+                continue;
+            }
+            let kinds: Vec<SignatureKind> = signatures
+                .iter()
+                .zip(&kept_columns)
+                .filter(|(sig, col)| match col {
+                    Some(c) => c.verdicts[pos],
+                    // Cache miss (invariant breach): fall back to a direct
+                    // match so correctness never depends on the cache.
+                    None => {
+                        obs::counter("retro.incr.match_cache_misses").add(1);
+                        sig.matches(&rs.changes[entry.change_idx].after)
+                    }
+                })
+                .map(|(sig, _)| sig.kind())
+                .collect();
+            if !kinds.is_empty() {
+                matched_idx.push((entry.change_idx, kinds));
+            }
+        }
+        // The entry list is (day, fqdn)-ordered; the assembly tail wants
+        // rs.changes position order. Within one round the two differ (the
+        // diff stage emits in monitored order), so re-sort by index.
+        matched_idx.sort_unstable_by_key(|(idx, _)| *idx);
+
+        // Content classification of the matched records, shard-parallel as
+        // in batch mode (pure per-record reads).
+        let matched_recs: Vec<&ChangeRecord> = matched_idx
+            .iter()
+            .map(|(idx, _)| &rs.changes[*idx])
+            .collect();
+        let shards = rs.store.shard_count();
+        let classified: Vec<(crate::classify::Topic, Vec<contentgen::abuse::SeoTechnique>)> =
+            self.exec.map(
+                &matched_recs,
+                shards,
+                |rec| fqdn_shard(&rec.fqdn, shards),
+                || (),
+                |_, _, rec| {
+                    (
+                        crate::classify::classify_topic(&rec.after),
+                        crate::classify::detect_techniques(&rec.after),
+                    )
+                },
+            );
+        let matched: Vec<(ChangeRecord, MatchOutcome)> = matched_idx
+            .into_iter()
+            .zip(classified)
+            .map(|((idx, kinds), (topic, techniques))| {
+                (
+                    rs.changes[idx].clone(),
+                    MatchOutcome {
+                        kinds,
+                        topic,
+                        techniques,
+                    },
+                )
+            })
+            .collect();
+
+        assemble_results(
+            rs,
+            change_clusters,
+            signatures,
+            signatures_discarded,
+            matched,
+        )
+    }
+}
+
+impl Stage for IncrementalRetro {
+    fn name(&self) -> &'static str {
+        "incr_retro"
+    }
+
+    fn weekly(&mut self, rs: &mut RunState, _now: SimTime) {
+        self.ingest(rs, true);
+    }
+}

@@ -17,6 +17,11 @@
 //!   the final [`RunState`] and assembles a
 //!   [`crate::report::StudyResults`].
 //!
+//! Opt-in, [`IncrementalRetro`] replaces the one-shot retro pass with a
+//! streaming stage that runs after the diff stage every round and is
+//! finalized at the horizon — same `StudyResults`, byte for byte (see its
+//! module docs for why that equivalence holds).
+//!
 //! ## Determinism under parallelism
 //!
 //! The crawl, Algorithm-1 classification, and the retrospective pass
@@ -35,6 +40,7 @@ mod collect_stage;
 mod crawl;
 mod diff_stage;
 pub mod exec;
+mod incr;
 pub mod persist;
 mod retro;
 mod world_stage;
@@ -43,6 +49,7 @@ pub use collect_stage::CollectStage;
 pub use crawl::{CrawlExecutor, CrawlOutcome, CrawlStage};
 pub use diff_stage::DiffStage;
 pub use exec::{ExecMetricNames, ShardedExecutor};
+pub use incr::IncrementalRetro;
 pub use persist::{PersistError, PersistOptions, PersistStage};
 pub use retro::RetroStage;
 pub use world_stage::WorldStage;

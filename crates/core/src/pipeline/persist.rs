@@ -25,6 +25,12 @@
 //! reproduce all of them exactly or resume aborts with
 //! [`PersistError::Diverged`].
 //!
+//! Because replayed rounds flow through the diff stage like live ones, they
+//! also feed the streaming retro pass when `--incremental` is on: recorded
+//! segments stream straight into signature derivation without re-running
+//! the crawl (the `incremental_equivalence` suite asserts the crawl stage
+//! stays idle during a full-history replay).
+//!
 //! ## Compaction
 //!
 //! Unchanged-snapshot records only matter until a newer observation of the
@@ -324,8 +330,11 @@ impl PersistStage {
         }
         let mut rounds: BTreeMap<i32, Vec<ObsRecord>> = BTreeMap::new();
         for shard in 0..reader.shard_count() {
-            for payload in reader.read_shard(shard)? {
-                let rec: ObsRecord = serde_json::from_slice(&payload)?;
+            // Zero-copy walk: payloads are decoded straight out of the
+            // segment bytes, no per-record buffer.
+            let stream = reader.stream_shard(shard)?;
+            for payload in stream.iter() {
+                let rec: ObsRecord = serde_json::from_slice(payload)?;
                 rounds.entry(rec.round.0).or_default().push(rec);
             }
         }

@@ -14,8 +14,8 @@
 //! `crawl_threads`) is documented in [`crate::pipeline`].
 
 use crate::pipeline::{
-    CollectStage, CrawlStage, DiffStage, Ev, PersistError, PersistOptions, PersistStage,
-    RetroStage, RunState, Stage, WorldStage,
+    CollectStage, CrawlStage, DiffStage, Ev, IncrementalRetro, PersistError, PersistOptions,
+    PersistStage, RetroStage, RunState, Stage, WorldStage,
 };
 use crate::report::StudyResults;
 use cloudsim::PlatformConfig;
@@ -94,6 +94,7 @@ impl Default for ScenarioConfig {
 pub struct Scenario {
     cfg: ScenarioConfig,
     max_rounds: Option<u64>,
+    incremental: bool,
 }
 
 impl Scenario {
@@ -101,6 +102,7 @@ impl Scenario {
         Scenario {
             cfg,
             max_rounds: None,
+            incremental: false,
         }
     }
 
@@ -110,6 +112,23 @@ impl Scenario {
     /// [`PersistOptions::max_rounds`].
     pub fn max_rounds(mut self, rounds: u64) -> Self {
         self.max_rounds = Some(rounds);
+        self
+    }
+
+    /// Run the retrospective pass incrementally: the streaming
+    /// [`IncrementalRetro`] stage consumes each round's changes as the diff
+    /// stage emits them, and the horizon pass shrinks to a finalize step.
+    /// `StudyResults` is byte-identical either way (the
+    /// `incremental_equivalence` suite pins this).
+    ///
+    /// A builder flag rather than a [`ScenarioConfig`] field on purpose:
+    /// like `crawl_threads`, it cannot affect results, so it must not fork
+    /// the persistence config fingerprint — a run recorded in batch mode can
+    /// be resumed incrementally and vice versa, which is also how storelog
+    /// replay feeds recorded rounds straight into the streaming retro pass
+    /// without re-crawling.
+    pub fn incremental(mut self, on: bool) -> Self {
+        self.incremental = on;
         self
     }
 
@@ -140,6 +159,7 @@ impl Scenario {
         let threads = self.cfg.crawl_threads;
         let failure_rate = self.cfg.crawl_failure_rate;
         let max_rounds = self.max_rounds;
+        let incremental = self.incremental;
         let mut rs = RunState::new(self.cfg);
 
         // Telemetry handles, resolved once. Everything recorded below is
@@ -158,6 +178,7 @@ impl Scenario {
             Some(opts) => Some(PersistStage::open(opts, &rs.cfg, rs.store.shard_count())?),
             None => None,
         };
+        let mut incr = incremental.then(|| IncrementalRetro::new(threads));
 
         while let Some((now, ev)) = rs.q.pop() {
             if now > rs.horizon {
@@ -209,6 +230,16 @@ impl Scenario {
                             .record_into("pipeline.diff_ns");
                         diff.weekly(&mut rs, now);
                     }
+                    // Streaming retro: consume this round's changes right
+                    // behind the diff stage. Replayed rounds flow through
+                    // here too — resume feeds recorded segments straight
+                    // into the retro pass without re-crawling.
+                    if let Some(incr) = incr.as_mut() {
+                        let _s = obs::span("incr.weekly", "retro")
+                            .arg_i64("day", now.0 as i64)
+                            .record_into("pipeline.incr_ns");
+                        incr.weekly(&mut rs, now);
+                    }
                     rounds += 1;
                     m_rounds.inc();
                     m_monitored.set(rs.monitored.len() as f64);
@@ -239,7 +270,10 @@ impl Scenario {
         }
 
         let _retro = obs::span("retro.assemble", "retro").record_into("pipeline.retro_ns");
-        Ok(RetroStage::new(threads).assemble(rs))
+        Ok(match incr {
+            Some(incr) => incr.finalize(rs),
+            None => RetroStage::new(threads).assemble(rs),
+        })
     }
 }
 

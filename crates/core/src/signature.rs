@@ -137,129 +137,206 @@ pub fn is_suspicious(rec: &ChangeRecord) -> bool {
     true
 }
 
-/// Group suspicious changes by *keyword overlap* and derive one signature
-/// per group that spans at least `min_slds` distinct SLDs.
+/// The per-member features signature emission consumes — everything
+/// [`SignatureFold`] keeps of a change record, so a long-running fold never
+/// retains snapshot HTML.
+#[derive(Debug, Clone)]
+struct GroupMember {
+    /// `member_keywords` of the record (the grouping fingerprint).
+    fingerprint: Vec<String>,
+    sld: Option<Name>,
+    sitemap_bytes: Option<u64>,
+    /// Distinct script *filenames* loaded by the after-snapshot.
+    script_files: std::collections::BTreeSet<String>,
+    has_identifiers: bool,
+}
+
+impl GroupMember {
+    fn of(rec: &ChangeRecord, fingerprint: Vec<String>) -> Self {
+        let mut script_files = std::collections::BTreeSet::new();
+        for src in &rec.after.script_srcs {
+            if let Some(fname) = src.rsplit('/').next() {
+                script_files.insert(fname.to_string());
+            }
+        }
+        GroupMember {
+            fingerprint,
+            sld: rec.fqdn.sld(),
+            sitemap_bytes: rec.after.sitemap_bytes,
+            script_files,
+            has_identifiers: !rec.after.identifiers.is_empty(),
+        }
+    }
+}
+
+/// The greedy signature-grouping pass as an explicit *prefix-consistent
+/// fold*: push suspicious change records in `(day, fqdn)` order and the
+/// internal group state — and therefore [`SignatureFold::signatures`] — is
+/// at every point exactly what [`derive_signatures`] would compute over the
+/// records pushed so far.
 ///
 /// Grouping is greedy: a record joins the first existing group whose seed
 /// fingerprint overlaps its own by ≥ 0.5 (overlap coefficient), otherwise it
-/// seeds a new group. This is deliberately more tolerant than exact-
-/// fingerprint equality: abuse pages of one campaign share vocabulary but
-/// not exact keyword lists.
+/// seeds a new group. Greedy placement is order-defined, which is precisely
+/// why it streams: the pipeline feeds rounds in day order (fqdn-sorted
+/// within a round), reproducing the batch pass's canonical sort, so no
+/// record ever has to be re-placed. The incremental retro stage
+/// (`core::pipeline::IncrementalRetro`) leans on two further properties:
+/// the fold is `Clone` (a resume snapshot continues identically) and
+/// rebuilding it from the same record sequence is state-identical (replay).
+#[derive(Debug, Clone, Default)]
+pub struct SignatureFold {
+    seeds: Vec<Vec<String>>,
+    groups: Vec<Vec<GroupMember>>,
+    records: usize,
+}
+
+impl SignatureFold {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one suspicious record into the running groups. The caller is
+    /// responsible for ordering (`(day, fqdn)` ascending) and for the
+    /// [`is_suspicious`] filter; records with an empty fingerprint are
+    /// ignored, exactly as the batch pass skips them.
+    pub fn push(&mut self, rec: &ChangeRecord) {
+        let fingerprint = member_keywords(rec);
+        if fingerprint.is_empty() {
+            return;
+        }
+        self.records += 1;
+        for (gi, seed) in self.seeds.iter().enumerate() {
+            if crate::keywords::overlap(seed, &fingerprint) >= 0.5 {
+                self.groups[gi].push(GroupMember::of(rec, fingerprint));
+                return;
+            }
+        }
+        self.seeds.push(fingerprint.clone());
+        self.groups.push(vec![GroupMember::of(rec, fingerprint)]);
+    }
+
+    /// Records folded so far (after fingerprint filtering).
+    pub fn len(&self) -> usize {
+        self.records
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Groups formed so far.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Emit the signatures of the current groups — for the same pushed
+    /// sequence, byte-identical to what [`derive_signatures`] returns.
+    pub fn signatures(&self, min_slds: usize) -> Vec<Signature> {
+        let mut signatures = Vec::new();
+        for members in &self.groups {
+            let slds: std::collections::BTreeSet<&Name> =
+                members.iter().filter_map(|m| m.sld.as_ref()).collect();
+            if slds.len() < min_slds {
+                continue;
+            }
+            // Signature keywords: the 2–3 terms with the best member coverage
+            // (paper: 2.72 keywords per signature on average). Prefer terms on
+            // ≥80% of members; fall back to ≥60% for heterogeneous groups.
+            let mut counts: HashMap<&str, usize> = HashMap::new();
+            for m in members.iter() {
+                for k in &m.fingerprint {
+                    *counts.entry(k.as_str()).or_insert(0) += 1;
+                }
+            }
+            let pick = |min_cover: f64| -> Vec<String> {
+                let threshold = (members.len() as f64 * min_cover).ceil() as usize;
+                let mut v: Vec<(&str, usize)> = counts
+                    .iter()
+                    .filter(|(_, c)| **c >= threshold)
+                    .map(|(k, c)| (*k, *c))
+                    .collect();
+                v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+                v.truncate(2);
+                v.into_iter().map(|(k, _)| k.to_string()).collect()
+            };
+            let mut common = pick(0.8);
+            if common.len() < 2 {
+                common = pick(0.6);
+            }
+            if common.is_empty() {
+                continue;
+            }
+            // Sitemap feature when most members carry a mass upload.
+            let huge = members
+                .iter()
+                .filter(|m| m.sitemap_bytes.unwrap_or(0) >= HUGE_SITEMAP_BYTES)
+                .count();
+            let min_sitemap_bytes = (huge * 2 >= members.len()).then_some(HUGE_SITEMAP_BYTES);
+            // Infra markers: script filenames shared by at least two members.
+            let mut marker_counts: HashMap<&str, usize> = HashMap::new();
+            for m in members.iter() {
+                for f in &m.script_files {
+                    *marker_counts.entry(f.as_str()).or_insert(0) += 1;
+                }
+            }
+            let mut script_markers: Vec<String> = marker_counts
+                .into_iter()
+                .filter(|(_, c)| *c >= 2 && *c * 2 >= members.len())
+                .map(|(f, _)| f.to_string())
+                .collect();
+            script_markers.sort();
+            // Identifier requirement only when every member carries
+            // identifiers (otherwise it would suppress legitimate matches).
+            let requires_identifiers = members.iter().all(|m| m.has_identifiers);
+            // Emit a plain keywords signature plus (when structural features
+            // exist) a stricter enhanced variant. The benign-corpus
+            // validation that follows discards whichever of the two is
+            // unsafe — exactly the "validate, then discard those that fire"
+            // loop of §3.2. Figure 2's mix of keyword-only and combined
+            // signatures emerges from which variants survive.
+            signatures.push(Signature {
+                id: signatures.len() as u32,
+                keywords: common.clone(),
+                min_sitemap_bytes: None,
+                script_markers: Vec::new(),
+                requires_identifiers: false,
+                source_members: members.len(),
+                source_slds: slds.len(),
+            });
+            if min_sitemap_bytes.is_some() || !script_markers.is_empty() || requires_identifiers {
+                signatures.push(Signature {
+                    id: signatures.len() as u32,
+                    keywords: common,
+                    min_sitemap_bytes,
+                    script_markers,
+                    requires_identifiers,
+                    source_members: members.len(),
+                    source_slds: slds.len(),
+                });
+            }
+        }
+        signatures
+    }
+}
+
+/// Group suspicious changes by *keyword overlap* and derive one signature
+/// per group that spans at least `min_slds` distinct SLDs.
+///
+/// This is the batch entry point: it canonicalizes the processing order by
+/// sorting suspicious records on the unique `(day, fqdn)` key and folds them
+/// through [`SignatureFold`] — the same fold the incremental retro pass
+/// feeds round by round, which is what makes the two modes provably agree.
 pub fn derive_signatures(changes: &[ChangeRecord], min_slds: usize) -> Vec<Signature> {
     // Deterministic processing order.
     let mut suspicious: Vec<&ChangeRecord> = changes.iter().filter(|r| is_suspicious(r)).collect();
     suspicious.sort_by(|a, b| a.day.cmp(&b.day).then_with(|| a.fqdn.cmp(&b.fqdn)));
 
-    let mut seeds: Vec<Vec<String>> = Vec::new();
-    let mut groups: Vec<Vec<&ChangeRecord>> = Vec::new();
+    let mut fold = SignatureFold::new();
     for rec in suspicious {
-        let fingerprint = member_keywords(rec);
-        if fingerprint.is_empty() {
-            continue;
-        }
-        let mut placed = false;
-        for (gi, seed) in seeds.iter().enumerate() {
-            if crate::keywords::overlap(seed, &fingerprint) >= 0.5 {
-                groups[gi].push(rec);
-                placed = true;
-                break;
-            }
-        }
-        if !placed {
-            seeds.push(fingerprint);
-            groups.push(vec![rec]);
-        }
+        fold.push(rec);
     }
-    let mut signatures = Vec::new();
-    for members in &groups {
-        let slds: std::collections::BTreeSet<Name> =
-            members.iter().filter_map(|r| r.fqdn.sld()).collect();
-        if slds.len() < min_slds {
-            continue;
-        }
-        // Signature keywords: the 2–3 terms with the best member coverage
-        // (paper: 2.72 keywords per signature on average). Prefer terms on
-        // ≥80% of members; fall back to ≥60% for heterogeneous groups.
-        let mut counts: HashMap<String, usize> = HashMap::new();
-        for m in members.iter() {
-            for k in member_keywords(m) {
-                *counts.entry(k).or_insert(0) += 1;
-            }
-        }
-        let pick = |min_cover: f64| -> Vec<String> {
-            let threshold = (members.len() as f64 * min_cover).ceil() as usize;
-            let mut v: Vec<(String, usize)> = counts
-                .iter()
-                .filter(|(_, c)| **c >= threshold)
-                .map(|(k, c)| (k.clone(), *c))
-                .collect();
-            v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-            v.truncate(2);
-            v.into_iter().map(|(k, _)| k).collect()
-        };
-        let mut common = pick(0.8);
-        if common.len() < 2 {
-            common = pick(0.6);
-        }
-        if common.is_empty() {
-            continue;
-        }
-        // Sitemap feature when most members carry a mass upload.
-        let huge = members
-            .iter()
-            .filter(|m| m.after.sitemap_bytes.unwrap_or(0) >= HUGE_SITEMAP_BYTES)
-            .count();
-        let min_sitemap_bytes = (huge * 2 >= members.len()).then_some(HUGE_SITEMAP_BYTES);
-        // Infra markers: script filenames shared by at least two members.
-        let mut marker_counts: HashMap<String, usize> = HashMap::new();
-        for m in members.iter() {
-            let mut seen = std::collections::BTreeSet::new();
-            for src in &m.after.script_srcs {
-                if let Some(fname) = src.rsplit('/').next() {
-                    seen.insert(fname.to_string());
-                }
-            }
-            for f in seen {
-                *marker_counts.entry(f).or_insert(0) += 1;
-            }
-        }
-        let mut script_markers: Vec<String> = marker_counts
-            .into_iter()
-            .filter(|(_, c)| *c >= 2 && *c * 2 >= members.len())
-            .map(|(f, _)| f)
-            .collect();
-        script_markers.sort();
-        // Identifier requirement only when every member carries identifiers
-        // (otherwise it would suppress legitimate matches).
-        let requires_identifiers = members.iter().all(|m| !m.after.identifiers.is_empty());
-        // Emit a plain keywords signature plus (when structural features
-        // exist) a stricter enhanced variant. The benign-corpus validation
-        // that follows discards whichever of the two is unsafe — exactly the
-        // "validate, then discard those that fire" loop of §3.2. Figure 2's
-        // mix of keyword-only and combined signatures emerges from which
-        // variants survive.
-        signatures.push(Signature {
-            id: signatures.len() as u32,
-            keywords: common.clone(),
-            min_sitemap_bytes: None,
-            script_markers: Vec::new(),
-            requires_identifiers: false,
-            source_members: members.len(),
-            source_slds: slds.len(),
-        });
-        if min_sitemap_bytes.is_some() || !script_markers.is_empty() || requires_identifiers {
-            signatures.push(Signature {
-                id: signatures.len() as u32,
-                keywords: common,
-                min_sitemap_bytes,
-                script_markers,
-                requires_identifiers,
-                source_members: members.len(),
-                source_slds: slds.len(),
-            });
-        }
-    }
-    signatures
+    fold.signatures(min_slds)
 }
 
 fn member_keywords(rec: &ChangeRecord) -> Vec<String> {

@@ -62,6 +62,23 @@ fn run_persisted(
     Ok(serde_json::to_string(&results).expect("results serialize"))
 }
 
+/// Like [`run_persisted`], but with the streaming retro pass on: replayed
+/// rounds feed `IncrementalRetro` straight from the recovered segments,
+/// re-crawled rounds feed it live.
+fn run_persisted_incremental(
+    dir: &TempDir,
+    resume: bool,
+    max_rounds: Option<u64>,
+) -> Result<String, PersistError> {
+    let mut opts = PersistOptions::new(&dir.0);
+    opts.resume = resume;
+    opts.max_rounds = max_rounds;
+    let results = Scenario::new(study_cfg(2))
+        .incremental(true)
+        .run_persisted(&opts)?;
+    Ok(serde_json::to_string(&results).expect("results serialize"))
+}
+
 /// The round the state dir's newest surviving commit sealed.
 fn recovered_round(dir: &TempDir) -> i32 {
     let reader = LogReader::open(&dir.0).expect("state dir opens");
@@ -141,4 +158,37 @@ fn truncated_segment_invalidates_commits_that_point_past_it() {
     );
     let resumed = run_persisted(&dir, true, None).expect("resume");
     assert_eq!(&resumed, baseline());
+}
+
+#[test]
+fn incremental_run_killed_mid_round_resumes_to_batch_results() {
+    // Record twelve rounds with the streaming retro pass live, then simulate
+    // a kill mid-round: the in-flight round's segment bytes reached disk but
+    // its commit frame was torn. Recovery must roll back exactly one round,
+    // and the resumed *incremental* run — recovered rounds replayed from the
+    // segments, the lost round and the rest of the horizon re-crawled live —
+    // must reproduce the uninterrupted *batch* results byte for byte.
+    let dir = TempDir::new("incr");
+    run_persisted_incremental(&dir, false, Some(12)).expect("recording run");
+    let before = recovered_round(&dir);
+    let commits = dir.0.join("commits.log");
+    let len = std::fs::metadata(&commits).unwrap().len();
+    OpenOptions::new()
+        .write(true)
+        .open(&commits)
+        .unwrap()
+        .set_len(len - 5)
+        .unwrap();
+    let after = recovered_round(&dir);
+    assert_eq!(
+        after,
+        before - 7,
+        "exactly one weekly round rolls back ({before} -> {after})"
+    );
+    let resumed = run_persisted_incremental(&dir, true, None).expect("resume");
+    assert_eq!(
+        &resumed,
+        baseline(),
+        "incremental resume after a mid-round kill diverged from batch"
+    );
 }

@@ -9,12 +9,19 @@
 //!   document of the benign corpus it was validated against — the paper's
 //!   "discard those that fire" loop, stated as an invariant;
 //! - the sharded validation path is byte-identical to the serial one for
-//!   any thread count.
+//!   any thread count;
+//! - [`SignatureFold`] is *prefix-consistent*: folding the suspicious
+//!   stream round by round yields, at every round boundary, exactly the
+//!   signatures the batch derivation computes over the concatenated prefix —
+//!   the invariant the incremental retro pass is built on;
+//! - interrupting the fold at a round boundary and resuming from a cloned
+//!   snapshot of its state is invisible in the derived signatures.
 
 use dangling_core::diff::{ChangeKind, ChangeRecord};
 use dangling_core::pipeline::ShardedExecutor;
 use dangling_core::signature::{
-    derive_signatures, validate_signatures, validate_signatures_sharded,
+    derive_signatures, is_suspicious, validate_signatures, validate_signatures_sharded,
+    SignatureFold,
 };
 use dangling_core::snapshot::Snapshot;
 use dns::Rcode;
@@ -133,6 +140,23 @@ fn arb_benign() -> impl Strategy<Value = Vec<Snapshot>> {
     })
 }
 
+/// The suspicious stream exactly as the pipeline delivers it to the
+/// incremental retro pass: suspicious records only, batched into rounds by
+/// strictly increasing day, FQDN-sorted within each round.
+fn rounds_in_arrival_order(changes: &[ChangeRecord]) -> Vec<Vec<&ChangeRecord>> {
+    let mut suspicious: Vec<&ChangeRecord> =
+        changes.iter().filter(|rec| is_suspicious(rec)).collect();
+    suspicious.sort_by(|a, b| (a.day, &a.fqdn).cmp(&(b.day, &b.fqdn)));
+    let mut rounds: Vec<Vec<&ChangeRecord>> = Vec::new();
+    for rec in suspicious {
+        match rounds.last_mut() {
+            Some(round) if round[0].day == rec.day => round.push(rec),
+            _ => rounds.push(vec![rec]),
+        }
+    }
+    rounds
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -185,4 +209,91 @@ proptest! {
         prop_assert_eq!(kept_par, kept_serial);
         prop_assert_eq!(disc_par, disc_serial);
     }
+
+    /// Prefix-consistency: after every round the streaming fold's signatures
+    /// equal the batch derivation over the concatenation of all rounds so
+    /// far. This is the exact invariant that makes the incremental retro
+    /// pass's final results byte-identical to the batch pass.
+    #[test]
+    fn fold_is_prefix_consistent_at_every_round_boundary(specs in arb_specs()) {
+        let changes = build_changes(&specs);
+        let rounds = rounds_in_arrival_order(&changes);
+        let mut fold = SignatureFold::new();
+        let mut prefix: Vec<ChangeRecord> = Vec::new();
+        for round in &rounds {
+            for rec in round {
+                fold.push(rec);
+                prefix.push((*rec).clone());
+            }
+            prop_assert_eq!(
+                fold.signatures(2),
+                derive_signatures(&prefix, 2),
+                "fold diverged from batch derivation after day {}",
+                round[0].day.0
+            );
+        }
+    }
+
+    /// Interrupting the fold at any round boundary and resuming from a
+    /// cloned snapshot of its state is invisible: the resumed fold derives
+    /// exactly the signatures of the uninterrupted one. This is what lets a
+    /// killed `--persist --incremental` run resume mid-study.
+    #[test]
+    fn fold_resume_at_round_boundary_is_invisible(specs in arb_specs(), cut in any::<usize>()) {
+        let changes = build_changes(&specs);
+        let rounds = rounds_in_arrival_order(&changes);
+        let cut = if rounds.is_empty() { 0 } else { cut % (rounds.len() + 1) };
+
+        let mut straight = SignatureFold::new();
+        for rec in rounds.iter().flatten() {
+            straight.push(rec);
+        }
+
+        let mut first = SignatureFold::new();
+        for rec in rounds[..cut].iter().flatten() {
+            first.push(rec);
+        }
+        let mut resumed = first.clone();
+        for rec in rounds[cut..].iter().flatten() {
+            resumed.push(rec);
+        }
+
+        prop_assert_eq!(resumed.group_count(), straight.group_count());
+        prop_assert_eq!(resumed.len(), straight.len());
+        prop_assert_eq!(resumed.signatures(2), straight.signatures(2));
+    }
+}
+
+/// Regression pin for the incremental pass's validation shortcut: a
+/// [`ShardedExecutor`] constructed with one thread takes the serial path,
+/// and its sharded validation must be *exactly* `validate_signatures` — not
+/// merely equivalent under reordering.
+#[test]
+fn one_thread_sharded_validation_is_the_serial_function() {
+    let specs: Vec<ChangeSpec> = (0..24)
+        .map(|i| (i % 4, i % 3, i % 5 == 0, i % 2 == 0))
+        .collect();
+    let sigs = derive_signatures(&build_changes(&specs), 2);
+    assert!(!sigs.is_empty(), "pin needs signatures to validate");
+    let benign: Vec<Snapshot> = (0..12)
+        .map(|i| {
+            let kws: Vec<String> = POOLS[i % POOLS.len()]
+                .iter()
+                .map(|w| w.to_string())
+                .collect();
+            snap(
+                &format!("pin{i}.other.com"),
+                &kws,
+                (i % 2 == 0).then_some(900_000),
+                &[],
+            )
+        })
+        .collect();
+    let corpus: Vec<&Snapshot> = benign.iter().collect();
+    let (kept_serial, disc_serial) = validate_signatures(sigs.clone(), &corpus);
+    assert!(disc_serial > 0, "pin needs the corpus to kill signatures");
+    let exec = ShardedExecutor::new(1, dangling_core::exec_metric_names!("test.sigpin"));
+    let (kept_one, disc_one) = validate_signatures_sharded(sigs, &corpus, &exec);
+    assert_eq!(kept_one, kept_serial);
+    assert_eq!(disc_one, disc_serial);
 }

@@ -60,6 +60,51 @@ impl Scan {
     }
 }
 
+/// Iterator over the valid-prefix payloads of a frame buffer, borrowing
+/// from it — the zero-copy counterpart of [`scan`] for readers that only
+/// need each payload once (e.g. replay decoding straight out of the segment
+/// bytes). Stops at the first invalid frame, exactly like [`scan`].
+pub struct PayloadIter<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadIter<'a> {
+    /// Byte offset of the next unread frame — after exhaustion, the valid
+    /// prefix length ([`Scan::valid_len`] of the same buffer).
+    pub fn offset(&self) -> u64 {
+        self.pos as u64
+    }
+}
+
+impl<'a> Iterator for PayloadIter<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        let header = self.bytes.get(self.pos..self.pos + HEADER_LEN)?;
+        let len = u32::from_le_bytes(header[..4].try_into().unwrap());
+        if len > MAX_PAYLOAD {
+            return None;
+        }
+        let sum = u64::from_le_bytes(header[4..].try_into().unwrap());
+        let body_start = self.pos + HEADER_LEN;
+        let payload = self.bytes.get(body_start..body_start + len as usize)?;
+        if fnv64(payload) != sum {
+            return None;
+        }
+        self.pos = body_start + len as usize;
+        Some(payload)
+    }
+}
+
+/// Borrowing frame walk over `bytes` starting at `start`.
+pub fn payloads(bytes: &[u8], start: u64) -> PayloadIter<'_> {
+    PayloadIter {
+        bytes,
+        pos: start as usize,
+    }
+}
+
 /// Scan `bytes` (starting at `start`) for consecutive valid frames.
 ///
 /// `start` lets callers skip a file header. Scanning is strict-prefix: the

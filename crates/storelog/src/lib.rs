@@ -63,7 +63,7 @@ pub mod frame;
 mod log;
 
 pub use compact::{compact, CompactStats, Retention};
-pub use log::{CommitRecord, LogReader, LogWriter};
+pub use log::{CommitRecord, LogReader, LogWriter, ShardStream};
 
 use std::path::{Path, PathBuf};
 

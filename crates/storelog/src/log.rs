@@ -370,6 +370,36 @@ impl LogReader {
         debug_assert_eq!(scan.valid_len, limit, "committed region must be valid");
         Ok(scan.into_payloads())
     }
+
+    /// One shard's committed region as a stream: the segment's committed
+    /// bytes are read once, and [`ShardStream::iter`] walks borrowed payload
+    /// slices out of them — no per-record allocation, for consumers (replay
+    /// decoding) that visit each payload exactly once.
+    pub fn stream_shard(&self, shard: usize) -> Result<ShardStream> {
+        let limit = match self.last_commit() {
+            Some(c) => c.offsets[shard],
+            None => 0,
+        };
+        let mut bytes = if limit == 0 {
+            Vec::new()
+        } else {
+            std::fs::read(self.layout.segment_file(shard))?
+        };
+        bytes.truncate(limit as usize);
+        Ok(ShardStream { bytes })
+    }
+}
+
+/// Owned committed bytes of one shard segment; iterate payloads with
+/// [`ShardStream::iter`]. See [`LogReader::stream_shard`].
+pub struct ShardStream {
+    bytes: Vec<u8>,
+}
+
+impl ShardStream {
+    pub fn iter(&self) -> frame::PayloadIter<'_> {
+        frame::payloads(&self.bytes, 0)
+    }
 }
 
 #[cfg(test)]
