@@ -7,7 +7,7 @@
 //! ```
 
 use bench::{
-    render_target, run_study_persisted_incremental, run_study_rounds_incremental, ABLATIONS,
+    render_target, run_study_cfg, run_study_cfg_persisted, study_config_with_profile, ABLATIONS,
     TARGETS,
 };
 use dangling_core::{compact_state_dir, PersistOptions};
@@ -16,6 +16,7 @@ fn main() {
     let mut scale: u32 = 200;
     let mut seed: u64 = 42;
     let mut threads: usize = 1;
+    let mut latency_profile: String = "zero".into();
     let mut json_path: Option<String> = None;
     let mut state_dir: Option<String> = None;
     let mut resume = false;
@@ -51,6 +52,17 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--threads takes a worker count");
             }
+            "--latency-profile" => {
+                let name = args.next().expect("--latency-profile takes a profile name");
+                if !simcore::LatencyProfile::NAMES.contains(&name.as_str()) {
+                    eprintln!(
+                        "unknown latency profile {name:?}; expected one of: {}",
+                        simcore::LatencyProfile::NAMES.join(" ")
+                    );
+                    std::process::exit(2);
+                }
+                latency_profile = name;
+            }
             "--persist" => {
                 state_dir.get_or_insert_with(|| "repro_state".into());
             }
@@ -77,7 +89,8 @@ fn main() {
             "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale N] [--seed N] [--threads N] [--json OUT] \
+                    "usage: repro [--scale N] [--seed N] [--threads N] \
+                     [--latency-profile NAME] [--json OUT] \
                      [--persist | --state-dir DIR] [--resume] [--incremental] [--rounds N] \
                      [--compact] [--trace OUT] [--metrics OUT] [--progress] [-q] <targets...>"
                 );
@@ -85,6 +98,13 @@ fn main() {
                 println!("ablations: {}", ABLATIONS.join(" "));
                 println!("--threads parallelizes the weekly crawl, Algorithm-1 classification");
                 println!("  and the retrospective pass; results are byte-identical.");
+                println!(
+                    "--latency-profile selects the crawl's modeled network clock \
+                     ({}; default zero).",
+                    simcore::LatencyProfile::NAMES.join(" | ")
+                );
+                println!("  off = legacy blocking crawl; zero/datacenter/wan only move virtual");
+                println!("  time (results byte-identical); lossy drops queries deterministically.");
                 println!("--incremental streams the retrospective pass round by round instead");
                 println!("  of one batch at the horizon (same results, byte for byte; emits");
                 println!("  retro.incr.* metrics). With --resume, recorded rounds replay");
@@ -144,16 +164,18 @@ fn main() {
     }
 
     obs::info!(
-        "running study at scale 1/{scale}, seed {seed}, {threads} worker thread(s){}...",
+        "running study at scale 1/{scale}, seed {seed}, {threads} worker thread(s), \
+         latency profile {latency_profile}{}...",
         if incremental {
             ", incremental retro pass"
         } else {
             ""
         }
     );
+    let cfg = study_config_with_profile(scale, seed, threads, &latency_profile);
     let start = std::time::Instant::now();
     let results = match &state_dir {
-        None => run_study_rounds_incremental(scale, seed, threads, max_rounds, incremental),
+        None => run_study_cfg(cfg, max_rounds, incremental),
         Some(dir) => {
             let mut opts = PersistOptions::new(dir);
             opts.resume = resume;
@@ -166,7 +188,7 @@ fn main() {
                     None => String::new(),
                 }
             );
-            match run_study_persisted_incremental(scale, seed, threads, &opts, incremental) {
+            match run_study_cfg_persisted(cfg, &opts, incremental) {
                 Ok(r) => r,
                 Err(e) => {
                     obs::warn!("error: {e}");

@@ -25,6 +25,33 @@ pub fn study_config(scale_denominator: u32, seed: u64, threads: usize) -> Scenar
     cfg
 }
 
+/// [`study_config`] with an explicit crawl latency profile (one of
+/// [`simcore::LatencyProfile::NAMES`]); `repro --latency-profile` maps here.
+pub fn study_config_with_profile(
+    scale_denominator: u32,
+    seed: u64,
+    threads: usize,
+    latency_profile: &str,
+) -> ScenarioConfig {
+    let mut cfg = study_config(scale_denominator, seed, threads);
+    cfg.latency_profile = latency_profile.into();
+    cfg
+}
+
+/// Run an explicit configuration with the smoke-run bounds and retro-pass
+/// mode of the `repro` binary. The named entry points above delegate here.
+pub fn run_study_cfg(
+    cfg: ScenarioConfig,
+    max_rounds: Option<u64>,
+    incremental: bool,
+) -> StudyResults {
+    let mut scenario = Scenario::new(cfg).incremental(incremental);
+    if let Some(r) = max_rounds {
+        scenario = scenario.max_rounds(r);
+    }
+    scenario.run()
+}
+
 /// Run the default study with an explicit crawl thread count. Results are
 /// byte-identical for any `threads` (the pipeline's determinism contract);
 /// only wall-clock changes.
@@ -56,12 +83,11 @@ pub fn run_study_rounds_incremental(
     max_rounds: Option<u64>,
     incremental: bool,
 ) -> StudyResults {
-    let mut scenario =
-        Scenario::new(study_config(scale_denominator, seed, threads)).incremental(incremental);
-    if let Some(r) = max_rounds {
-        scenario = scenario.max_rounds(r);
-    }
-    scenario.run()
+    run_study_cfg(
+        study_config(scale_denominator, seed, threads),
+        max_rounds,
+        incremental,
+    )
 }
 
 /// Like [`run_study_with`], but recording every observation round to the
@@ -87,9 +113,17 @@ pub fn run_study_persisted_incremental(
     opts: &PersistOptions,
     incremental: bool,
 ) -> Result<StudyResults, PersistError> {
-    Scenario::new(study_config(scale_denominator, seed, threads))
-        .incremental(incremental)
-        .run_persisted(opts)
+    run_study_cfg_persisted(study_config(scale_denominator, seed, threads), opts, incremental)
+}
+
+/// Persisted run of an explicit configuration (the `--latency-profile` +
+/// `--persist` combination needs both knobs).
+pub fn run_study_cfg_persisted(
+    cfg: ScenarioConfig,
+    opts: &PersistOptions,
+    incremental: bool,
+) -> Result<StudyResults, PersistError> {
+    Scenario::new(cfg).incremental(incremental).run_persisted(opts)
 }
 
 /// All renderable targets, in paper order.
@@ -130,6 +164,7 @@ pub const TARGETS: &[&str] = &[
     "caa",
     "hsts",
     "detection",
+    "latency",
 ];
 
 /// Ablation targets (each runs extra scenarios).
@@ -182,6 +217,7 @@ pub fn render_target(results: &StudyResults, target: &str) -> String {
         "caa" => caa(results),
         "hsts" => hsts(results),
         "detection" => detection(results),
+        "latency" => latency(results),
         other => format!("unknown target {other:?}; known: {TARGETS:?} + {ABLATIONS:?}\n"),
     }
 }

@@ -727,3 +727,47 @@ pub fn detection(r: &StudyResults) -> String {
         r.detection.recall()
     )
 }
+
+pub fn latency(r: &StudyResults) -> String {
+    let mut out = String::from("== Crawl timing telemetry (modeled network clock) ==\n");
+    match r.resolution_latency_summary() {
+        None => out.push_str("no rounds recorded latency telemetry (blocking path?)\n"),
+        Some(s) => {
+            out.push_str(&format!(
+                "rounds: {}   crawls sampled: {}\nworst per-round DNS resolution latency: p50 {}  p95 {}  p99 {}\n",
+                r.resolution_latency.len(),
+                s.samples,
+                fmt_ns(s.p50_ns),
+                fmt_ns(s.p95_ns),
+                fmt_ns(s.p99_ns),
+            ));
+            out.push_str("last rounds (day: p50 / p95 / p99):\n");
+            for round in r.resolution_latency.iter().rev().take(5).rev() {
+                out.push_str(&format!(
+                    "  day {:>5}: {} / {} / {}\n",
+                    round.day.0,
+                    fmt_ns(round.p50_ns),
+                    fmt_ns(round.p95_ns),
+                    fmt_ns(round.p99_ns),
+                ));
+            }
+        }
+    }
+    out.push_str(
+        "timing is out-of-band: study results are byte-identical across the\n\
+         zero/datacenter/wan profiles (see the latency_equivalence suite)\n",
+    );
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}

@@ -7,10 +7,251 @@
 //! re-analyzing terabytes of unchanged HTML.
 
 use crate::snapshot::{body_hash, Snapshot};
-use dns::resolver::Transport;
+use dns::resolver::{ResolutionInFlight, Transport};
 use dns::{Name, Resolver};
 use httpsim::{Endpoint, Request};
 use simcore::SimTime;
+
+/// The network operation one in-flight crawl is waiting on. The crawl
+/// driver maps these onto its latency model's query classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrawlWait {
+    /// One DNS exchange of the resolution chain.
+    Dns,
+    /// The index-page HTTP request.
+    Index,
+    /// The sitemap HTTP request (only when the index changed).
+    Sitemap,
+}
+
+enum CrawlPhase {
+    Dns(ResolutionInFlight),
+    Index {
+        rcode: dns::Rcode,
+        cname: Option<Name>,
+        ip: std::net::Ipv4Addr,
+    },
+    Sitemap {
+        snap: Box<Snapshot>,
+    },
+    Done(Box<Snapshot>),
+    /// Transient placeholder while `step` owns the real phase.
+    Taken,
+}
+
+/// One crawl observation in flight: the submit/poll form of
+/// [`Crawler::sample`]. At most one network operation is pending at a time
+/// ([`CrawlInFlight::wait`] names it); each [`CrawlInFlight::step`]
+/// completes that operation and readies the next, traversing exactly the
+/// states the blocking sampler always has — DNS chain, index fetch, then
+/// (only when the body changed) the sitemap fetch.
+pub struct CrawlInFlight<'a> {
+    fqdn: Name,
+    now: SimTime,
+    prev: Option<&'a Snapshot>,
+    /// Transient-fetch-failure flag from the executor's flake model: DNS
+    /// still resolves, but the HTTP fetch never happens.
+    fetch_dropped: bool,
+    phase: CrawlPhase,
+    /// Simulated time consumed by the DNS portion (for resolution-latency
+    /// percentiles).
+    dns_elapsed_ns: u64,
+    /// Total simulated time consumed so far.
+    elapsed_ns: u64,
+}
+
+impl<'a> CrawlInFlight<'a> {
+    /// Start crawling `fqdn`: kicks off the DNS resolution. When
+    /// `fetch_dropped` is set the machine still resolves (DNS state is
+    /// recorded either way) but records an unreachable snapshot instead of
+    /// fetching.
+    pub fn begin<T: Transport>(
+        fqdn: Name,
+        resolver: &Resolver<T>,
+        prev: Option<&'a Snapshot>,
+        now: SimTime,
+        fetch_dropped: bool,
+    ) -> Self {
+        let fl = resolver.begin(&fqdn, now);
+        CrawlInFlight {
+            fqdn,
+            now,
+            prev,
+            fetch_dropped,
+            phase: CrawlPhase::Dns(fl),
+            dns_elapsed_ns: 0,
+            elapsed_ns: 0,
+        }
+    }
+
+    /// The operation currently pending (`None` once done).
+    pub fn wait(&self) -> Option<CrawlWait> {
+        match &self.phase {
+            CrawlPhase::Dns(_) => Some(CrawlWait::Dns),
+            CrawlPhase::Index { .. } => Some(CrawlWait::Index),
+            CrawlPhase::Sitemap { .. } => Some(CrawlWait::Sitemap),
+            CrawlPhase::Done(_) => None,
+            CrawlPhase::Taken => unreachable!(),
+        }
+    }
+
+    /// The name the pending operation is addressed to: the current DNS hop
+    /// for [`CrawlWait::Dns`], the crawled FQDN itself for the HTTP phases.
+    /// This is what a latency model prices the wait against.
+    pub fn target(&self) -> &Name {
+        match &self.phase {
+            CrawlPhase::Dns(fl) => fl.pending_qname().unwrap_or(&self.fqdn),
+            _ => &self.fqdn,
+        }
+    }
+
+    pub fn is_done(&self) -> bool {
+        matches!(self.phase, CrawlPhase::Done(_))
+    }
+
+    /// Total simulated time consumed so far.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.elapsed_ns
+    }
+
+    /// Simulated time the DNS chain consumed.
+    pub fn dns_elapsed_ns(&self) -> u64 {
+        self.dns_elapsed_ns
+    }
+
+    /// Complete the pending operation. `dropped` marks a lost DNS query
+    /// (only meaningful in the [`CrawlWait::Dns`] phase — the resolver's
+    /// retry budget decides what happens); `cost_ns` is the simulated time
+    /// the completed wait consumed.
+    pub fn step<T: Transport, E: Endpoint + ?Sized>(
+        &mut self,
+        resolver: &Resolver<T>,
+        web: &E,
+        dropped: bool,
+        cost_ns: u64,
+    ) {
+        self.elapsed_ns += cost_ns;
+        let phase = std::mem::replace(&mut self.phase, CrawlPhase::Taken);
+        self.phase = match phase {
+            CrawlPhase::Dns(mut fl) => {
+                let resp = if dropped {
+                    None
+                } else {
+                    resolver.exchange_pending(&fl)
+                };
+                resolver.advance(&mut fl, resp, cost_ns);
+                if !fl.is_done() {
+                    CrawlPhase::Dns(fl)
+                } else {
+                    let outcome = resolver.conclude(fl);
+                    self.dns_elapsed_ns = outcome.sim_elapsed_ns;
+                    let cname = outcome.final_cname().cloned();
+                    match outcome.addresses.first().copied() {
+                        None => CrawlPhase::Done(Box::new(Snapshot::unreachable(
+                            self.fqdn.clone(),
+                            self.now,
+                            outcome.rcode,
+                            cname,
+                        ))),
+                        Some(ip) if self.fetch_dropped => {
+                            // Transient fetch failure: DNS recorded, HTTP
+                            // skipped.
+                            let mut s = Snapshot::unreachable(
+                                self.fqdn.clone(),
+                                self.now,
+                                outcome.rcode,
+                                cname,
+                            );
+                            s.ip = Some(ip);
+                            CrawlPhase::Done(Box::new(s))
+                        }
+                        Some(ip) => CrawlPhase::Index {
+                            rcode: outcome.rcode,
+                            cname,
+                            ip,
+                        },
+                    }
+                }
+            }
+            CrawlPhase::Index { rcode, cname, ip } => {
+                let host = self.fqdn.to_string();
+                // Request 1: the index page.
+                match web.http_serve(ip, &Request::get(&host, "/"), self.now) {
+                    None => {
+                        let mut s =
+                            Snapshot::unreachable(self.fqdn.clone(), self.now, rcode, cname);
+                        s.ip = Some(ip);
+                        CrawlPhase::Done(Box::new(s))
+                    }
+                    Some(resp) => {
+                        let hash = body_hash(&resp.body);
+                        let mut snap = Snapshot {
+                            fqdn: self.fqdn.clone(),
+                            day: self.now,
+                            rcode,
+                            cname_target: cname,
+                            ip: Some(ip),
+                            http_status: Some(resp.status.0),
+                            index_hash: hash,
+                            index_size: resp.body.len() as u32,
+                            title: None,
+                            language: None,
+                            keywords: Vec::new(),
+                            meta_keywords: Vec::new(),
+                            generator: None,
+                            sitemap_bytes: None,
+                            script_srcs: Vec::new(),
+                            identifiers: Vec::new(),
+                            html: None,
+                        };
+                        let changed = self.prev.map(|p| p.index_hash) != Some(hash);
+                        if changed && resp.status.is_success() {
+                            let html = String::from_utf8_lossy(&resp.body);
+                            snap.ingest_content(&html, true);
+                            // Request 2: the sitemap (only when we need to
+                            // look closer).
+                            CrawlPhase::Sitemap {
+                                snap: Box::new(snap),
+                            }
+                        } else {
+                            if !changed {
+                                if let Some(p) = self.prev {
+                                    snap.inherit_features(p);
+                                }
+                            }
+                            CrawlPhase::Done(Box::new(snap))
+                        }
+                    }
+                }
+            }
+            CrawlPhase::Sitemap { mut snap } => {
+                let host = self.fqdn.to_string();
+                let ip = snap.ip.expect("sitemap phase implies a resolved ip");
+                if let Some(sm) = web.http_serve(ip, &Request::get(&host, "/sitemap.xml"), self.now)
+                {
+                    if sm.status.is_success() {
+                        snap.sitemap_bytes = sm
+                            .headers
+                            .get("Content-Length")
+                            .and_then(|v| v.parse().ok())
+                            .or(Some(sm.body.len() as u64));
+                    }
+                }
+                CrawlPhase::Done(snap)
+            }
+            done @ CrawlPhase::Done(_) => done,
+            CrawlPhase::Taken => unreachable!(),
+        };
+    }
+
+    /// Harvest the snapshot of a completed crawl.
+    pub fn into_snapshot(self) -> Snapshot {
+        match self.phase {
+            CrawlPhase::Done(snap) => *snap,
+            _ => panic!("crawl still in flight"),
+        }
+    }
+}
 
 /// Crawler over a DNS transport and an HTTP endpoint.
 pub struct Crawler;
@@ -19,6 +260,10 @@ impl Crawler {
     /// Take one observation of `fqdn`. `prev` enables the lazy feature
     /// extraction: an unchanged body inherits the previous features instead
     /// of re-parsing (and instead of losing them).
+    ///
+    /// Thin blocking driver of [`CrawlInFlight`]: every wait completes
+    /// instantly, which is exactly the schedule the event-driven crawl
+    /// produces under the zero-latency profile.
     pub fn sample<T: Transport, E: Endpoint + ?Sized>(
         fqdn: &Name,
         resolver: &Resolver<T>,
@@ -26,60 +271,11 @@ impl Crawler {
         prev: Option<&Snapshot>,
         now: SimTime,
     ) -> Snapshot {
-        let prev_hash = prev.map(|p| p.index_hash);
-        let outcome = resolver.resolve_a(fqdn, now);
-        let cname = outcome.final_cname().cloned();
-        let Some(ip) = outcome.addresses.first().copied() else {
-            return Snapshot::unreachable(fqdn.clone(), now, outcome.rcode, cname);
-        };
-        let host = fqdn.to_string();
-        // Request 1: the index page.
-        let resp = web.http_serve(ip, &Request::get(&host, "/"), now);
-        let Some(resp) = resp else {
-            let mut s = Snapshot::unreachable(fqdn.clone(), now, outcome.rcode, cname);
-            s.ip = Some(ip);
-            return s;
-        };
-        let hash = body_hash(&resp.body);
-        let mut snap = Snapshot {
-            fqdn: fqdn.clone(),
-            day: now,
-            rcode: outcome.rcode,
-            cname_target: cname,
-            ip: Some(ip),
-            http_status: Some(resp.status.0),
-            index_hash: hash,
-            index_size: resp.body.len() as u32,
-            title: None,
-            language: None,
-            keywords: Vec::new(),
-            meta_keywords: Vec::new(),
-            generator: None,
-            sitemap_bytes: None,
-            script_srcs: Vec::new(),
-            identifiers: Vec::new(),
-            html: None,
-        };
-        let changed = prev_hash != Some(hash);
-        if changed && resp.status.is_success() {
-            let html = String::from_utf8_lossy(&resp.body);
-            snap.ingest_content(&html, true);
-            // Request 2: the sitemap (only when we need to look closer).
-            if let Some(sm) = web.http_serve(ip, &Request::get(&host, "/sitemap.xml"), now) {
-                if sm.status.is_success() {
-                    snap.sitemap_bytes = sm
-                        .headers
-                        .get("Content-Length")
-                        .and_then(|v| v.parse().ok())
-                        .or(Some(sm.body.len() as u64));
-                }
-            }
-        } else if !changed {
-            if let Some(p) = prev {
-                snap.inherit_features(p);
-            }
+        let mut fl = CrawlInFlight::begin(fqdn.clone(), resolver, prev, now, false);
+        while !fl.is_done() {
+            fl.step(resolver, web, false, 0);
         }
-        snap
+        fl.into_snapshot()
     }
 }
 

@@ -17,20 +17,26 @@
 
 use super::{RunState, ShardedExecutor, Stage};
 use crate::diff::{record as diff_record, ChangeRecord};
-use crate::monitor::Crawler;
+use crate::monitor::{CrawlInFlight, CrawlWait, Crawler};
 use crate::snapshot::{Snapshot, SnapshotStore};
 use dns::resolver::Transport;
 use dns::{Name, Resolver};
 use httpsim::Endpoint;
 use rand::Rng;
-use simcore::{RngTree, SimTime};
+use simcore::{CompletionQueue, LatencyModel, QueryClass, QueryFate, RngTree, SimTime};
 
 /// What one crawl task produced: the new snapshot and, when there was a
-/// previous one, the diff against it.
+/// previous one, the diff against it. The two latency fields are timing
+/// telemetry — they feed the per-round percentile summaries and never any
+/// serialized result.
 #[derive(Debug, Clone)]
 pub struct CrawlOutcome {
     pub snap: Snapshot,
     pub change: Option<ChangeRecord>,
+    /// Total simulated time this crawl consumed (0 when the model is off).
+    pub sim_elapsed_ns: u64,
+    /// Simulated time the DNS resolution consumed.
+    pub dns_elapsed_ns: u64,
 }
 
 /// Shard-parallel crawl executor: the [`ShardedExecutor`] discipline applied
@@ -40,7 +46,17 @@ pub struct CrawlExecutor {
     /// Per-fetch probability of a transient failure (network flake). Zero
     /// disables the model entirely — no RNG stream is even derived.
     failure_rate: f64,
+    /// Per-query latency oracle. When disabled (`off`), crawls take the
+    /// legacy blocking path; otherwise each shard drains a completion queue
+    /// of interleaved in-flight crawls.
+    latency: LatencyModel,
+    /// Cap on concurrently in-flight crawls per shard event loop.
+    max_inflight: usize,
     m_failures: &'static obs::Counter,
+    m_inflight: &'static obs::Gauge,
+    m_sim_latency: &'static obs::Histogram,
+    m_timeouts: &'static obs::Counter,
+    m_makespan: &'static obs::Gauge,
 }
 
 impl CrawlExecutor {
@@ -48,8 +64,28 @@ impl CrawlExecutor {
         CrawlExecutor {
             exec: ShardedExecutor::new(threads, crate::exec_metric_names!("crawl")),
             failure_rate,
+            // The default is the zero profile: event-driven with a
+            // degenerate clock, byte-identical to the blocking path.
+            latency: LatencyModel::default(),
+            max_inflight: 1024,
             m_failures: obs::counter("crawl.transient_failures"),
+            m_inflight: obs::gauge("crawl.inflight"),
+            m_sim_latency: obs::histogram("crawl.sim_latency_ns"),
+            m_timeouts: obs::counter("crawl.query_timeouts"),
+            m_makespan: obs::gauge("crawl.makespan_ns"),
         }
+    }
+
+    /// Select the latency model (builder-style).
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Cap concurrently in-flight crawls per shard event loop.
+    pub fn with_max_inflight(mut self, max_inflight: usize) -> Self {
+        self.max_inflight = max_inflight.max(1);
+        self
     }
 
     /// Crawl `monitored` (in canonical order) against the pre-round `store`,
@@ -75,16 +111,205 @@ impl CrawlExecutor {
         FR: Fn() -> Resolver<T> + Sync,
         FW: Fn() -> E + Sync,
     {
-        // Work is partitioned into the store's shards — a stable, FQDN-keyed
-        // split, so the same name always lands in the same bucket no matter
-        // how many workers run.
-        self.exec.map(
+        if !self.latency.enabled() {
+            // Legacy blocking path: one task = one blocking crawl. Work is
+            // partitioned into the store's shards — a stable, FQDN-keyed
+            // split, so the same name always lands in the same bucket no
+            // matter how many workers run.
+            return self.exec.map(
+                monitored,
+                store.shard_count(),
+                |fqdn| store.shard_of(fqdn),
+                || (make_resolver(), make_web()),
+                |(resolver, web), _i, fqdn| self.crawl_one(fqdn, resolver, web, store, tree, now),
+            );
+        }
+
+        // Event-driven path: each shard drains its own completion queue,
+        // interleaving up to `max_inflight` crawls. Bucket composition is
+        // the same FQDN-keyed split as the blocking path, every latency
+        // draw is keyed by (fqdn, day, event ordinal), and per-bucket
+        // outcome lists are merged back in canonical input order — so the
+        // result stays byte-identical for any thread count.
+        let per_bucket = self.exec.fold_buckets(
             monitored,
             store.shard_count(),
             |fqdn| store.shard_of(fqdn),
-            || (make_resolver(), make_web()),
-            |(resolver, web), _i, fqdn| self.crawl_one(fqdn, resolver, web, store, tree, now),
-        )
+            |_b, bucket| {
+                let resolver = make_resolver();
+                let web = make_web();
+                self.run_bucket(bucket, store, tree, now, &resolver, &web)
+            },
+        );
+
+        // Telemetry: peak concurrency and makespan across shard loops, each
+        // crawl's simulated duration. All out-of-band.
+        let peak = per_bucket.iter().map(|b| b.peak_inflight).max().unwrap_or(0);
+        let makespan = per_bucket.iter().map(|b| b.makespan_ns).max().unwrap_or(0);
+        self.m_inflight.set(peak as f64);
+        self.m_makespan.set(makespan as f64);
+
+        let mut indexed: Vec<(usize, CrawlOutcome)> = per_bucket
+            .into_iter()
+            .flat_map(|b| b.outcomes)
+            .collect();
+        indexed.sort_unstable_by_key(|(i, _)| *i);
+        debug_assert_eq!(indexed.len(), monitored.len());
+        for (_, o) in &indexed {
+            self.m_sim_latency.record(o.sim_elapsed_ns);
+        }
+        indexed.into_iter().map(|(_, o)| o).collect()
+    }
+
+    /// Drain one shard's completion queue: admit crawls in canonical order
+    /// up to the in-flight cap, price every network wait with the latency
+    /// model, and pop completions in deterministic `(fire_time, seq)` order.
+    fn run_bucket<T: Transport, E: Endpoint + ?Sized>(
+        &self,
+        bucket: &[(usize, &Name)],
+        store: &SnapshotStore,
+        tree: &RngTree,
+        now: SimTime,
+        resolver: &Resolver<T>,
+        web: &E,
+    ) -> BucketCrawl {
+        struct Task<'s> {
+            input_idx: usize,
+            fqdn: &'s Name,
+            fl: Option<CrawlInFlight<'s>>,
+            /// Events scheduled so far for this task — the per-task ordinal
+            /// that keys latency draws.
+            ordinal: u64,
+            /// Fate sampled when the pending wait was scheduled.
+            pending: QueryFate,
+        }
+
+        /// Turn a finished task's machine into its [`CrawlOutcome`].
+        fn harvest(
+            task: &mut Task<'_>,
+            store: &SnapshotStore,
+            outcomes: &mut Vec<(usize, CrawlOutcome)>,
+        ) {
+            let fl = task.fl.take().expect("harvesting an empty task");
+            let sim_elapsed_ns = fl.elapsed_ns();
+            let dns_elapsed_ns = fl.dns_elapsed_ns();
+            let snap = fl.into_snapshot();
+            let change = store
+                .latest(task.fqdn)
+                .and_then(|p| diff_record(p, snap.clone()));
+            outcomes.push((
+                task.input_idx,
+                CrawlOutcome {
+                    snap,
+                    change,
+                    sim_elapsed_ns,
+                    dns_elapsed_ns,
+                },
+            ));
+        }
+
+        let free = self.latency.is_free();
+        let mut q: CompletionQueue<usize> = CompletionQueue::new();
+        let mut slots: Vec<Task> = Vec::with_capacity(bucket.len().min(self.max_inflight));
+        let mut outcomes: Vec<(usize, CrawlOutcome)> = Vec::with_capacity(bucket.len());
+        let mut next = 0usize; // next bucket item to admit (canonical order)
+        let mut inflight = 0usize;
+        let mut peak_inflight = 0usize;
+        let mut timeouts = 0u64;
+
+        // Price and schedule a task's pending wait; returns false if the
+        // task is already done (nothing to schedule).
+        let schedule = |task: &mut Task,
+                        q: &mut CompletionQueue<usize>,
+                        slot: usize,
+                        timeouts: &mut u64| {
+            let fl = task.fl.as_ref().expect("scheduling a harvested task");
+            let Some(wait) = fl.wait() else { return false };
+            let fate = if free {
+                QueryFate {
+                    cost_ns: 0,
+                    dropped: false,
+                }
+            } else {
+                let class = match wait {
+                    CrawlWait::Dns => QueryClass::Dns,
+                    CrawlWait::Index | CrawlWait::Sitemap => QueryClass::Http,
+                };
+                let key = format!("net/{}/{}/{}", task.fqdn, now.0, task.ordinal);
+                self.latency
+                    .sample(tree, &key, &fl.target().to_string(), class)
+            };
+            if fate.dropped {
+                *timeouts += 1;
+            }
+            task.ordinal += 1;
+            task.pending = fate;
+            q.schedule_in(fate.cost_ns, slot);
+            true
+        };
+
+        while outcomes.len() < bucket.len() {
+            // Admission in canonical order up to the in-flight cap.
+            while inflight < self.max_inflight && next < bucket.len() {
+                let (input_idx, fqdn) = bucket[next];
+                next += 1;
+                let fetch_dropped = self.failure_rate > 0.0
+                    && tree
+                        .rng(&format!("crawl/{fqdn}/{}", now.0))
+                        .gen_bool(self.failure_rate);
+                if fetch_dropped {
+                    self.m_failures.inc();
+                }
+                let fl = CrawlInFlight::begin(
+                    fqdn.clone(),
+                    resolver,
+                    store.latest(fqdn),
+                    now,
+                    fetch_dropped,
+                );
+                let slot = slots.len();
+                slots.push(Task {
+                    input_idx,
+                    fqdn,
+                    fl: Some(fl),
+                    ordinal: 0,
+                    pending: QueryFate {
+                        cost_ns: 0,
+                        dropped: false,
+                    },
+                });
+                if schedule(&mut slots[slot], &mut q, slot, &mut timeouts) {
+                    inflight += 1;
+                    peak_inflight = peak_inflight.max(inflight);
+                } else {
+                    // Done at begin (DNS cache hit straight to a negative
+                    // answer): harvest without ever entering the queue.
+                    harvest(&mut slots[slot], store, &mut outcomes);
+                }
+            }
+            // Drain the next completion.
+            let Some((_at, slot)) = q.pop() else {
+                debug_assert_eq!(outcomes.len(), bucket.len(), "queue dry with work left");
+                break;
+            };
+            let task = &mut slots[slot];
+            let fate = task.pending;
+            task.fl
+                .as_mut()
+                .expect("completion for a harvested task")
+                .step(resolver, web, fate.dropped, fate.cost_ns);
+            if !schedule(task, &mut q, slot, &mut timeouts) {
+                harvest(task, store, &mut outcomes);
+                inflight -= 1;
+            }
+        }
+
+        self.m_timeouts.add(timeouts);
+        BucketCrawl {
+            outcomes,
+            peak_inflight: peak_inflight as u64,
+            makespan_ns: q.now().as_nanos(),
+        }
     }
 
     fn crawl_one<T: Transport, E: Endpoint + ?Sized>(
@@ -115,8 +340,21 @@ impl CrawlExecutor {
             Crawler::sample(fqdn, resolver, web, prev, now)
         };
         let change = prev.and_then(|p| diff_record(p, snap.clone()));
-        CrawlOutcome { snap, change }
+        CrawlOutcome {
+            snap,
+            change,
+            sim_elapsed_ns: 0,
+            dns_elapsed_ns: 0,
+        }
     }
+}
+
+/// One shard event loop's products: outcomes tagged with input indices plus
+/// the loop's telemetry.
+struct BucketCrawl {
+    outcomes: Vec<(usize, CrawlOutcome)>,
+    peak_inflight: u64,
+    makespan_ns: u64,
 }
 
 /// The weekly-crawl stage: wraps [`CrawlExecutor`] and leaves the round's
@@ -130,6 +368,18 @@ impl CrawlStage {
         CrawlStage {
             exec: CrawlExecutor::new(threads, failure_rate),
         }
+    }
+
+    /// Select the latency model (builder-style).
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.exec = self.exec.with_latency(latency);
+        self
+    }
+
+    /// Cap concurrently in-flight crawls per shard event loop.
+    pub fn with_max_inflight(mut self, max_inflight: usize) -> Self {
+        self.exec = self.exec.with_max_inflight(max_inflight);
+        self
     }
 }
 
@@ -145,6 +395,7 @@ impl Stage for CrawlStage {
             monitored,
             tree,
             crawl_batch,
+            round_latency,
             ..
         } = rs;
         let world = &*world;
@@ -156,6 +407,12 @@ impl Stage for CrawlStage {
             &|| Resolver::new(world.dns()),
             &|| world.web(),
         );
+        // Round telemetry: DNS resolution-latency percentiles. Out-of-band —
+        // never serialized with results (see `report::RoundLatency`).
+        let mut samples: Vec<u64> = crawl_batch.iter().map(|o| o.dns_elapsed_ns).collect();
+        if let Some(r) = crate::report::RoundLatency::from_samples(now, &mut samples) {
+            round_latency.push(r);
+        }
     }
 }
 

@@ -56,7 +56,7 @@ pub use world_stage::WorldStage;
 
 use crate::collect::Feed;
 use crate::diff::ChangeRecord;
-use crate::report::LivenessSample;
+use crate::report::{LivenessSample, RoundLatency};
 use crate::scenario::ScenarioConfig;
 use crate::snapshot::SnapshotStore;
 use crate::world::World;
@@ -120,6 +120,9 @@ pub struct RunState {
     pub ip_lottery_declines: u64,
     pub caa_blocked_certs: u64,
     pub liveness: Vec<LivenessSample>,
+    /// Per-round DNS resolution-latency percentiles, appended by the crawl
+    /// stage (skipped on replayed rounds — persisted logs carry no timing).
+    pub round_latency: Vec<RoundLatency>,
     /// Digest of the world stage's RNG stream positions, refreshed at every
     /// round boundary; recorded in persistence checkpoints so a resumed run
     /// can prove its replayed world marched in lockstep with the original.
@@ -193,6 +196,7 @@ impl RunState {
             ip_lottery_declines: 0,
             caa_blocked_certs: 0,
             liveness: Vec::new(),
+            round_latency: Vec::new(),
             rng_witness: 0,
         }
     }

@@ -376,9 +376,13 @@ impl PersistStage {
             .into_iter()
             .map(|rec| {
                 let change = rec.change.map(|m| m.into_record(&rec.snap));
+                // Latency telemetry is out-of-band and not persisted; replayed
+                // rounds carry zeroed timings.
                 CrawlOutcome {
                     snap: rec.snap,
                     change,
+                    sim_elapsed_ns: 0,
+                    dns_elapsed_ns: 0,
                 }
             })
             .collect();

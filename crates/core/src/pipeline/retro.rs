@@ -79,6 +79,7 @@ pub(crate) fn assemble_results(
         ip_lottery_declines,
         caa_blocked_certs,
         liveness,
+        round_latency,
         ..
     } = rs;
 
@@ -184,6 +185,7 @@ pub(crate) fn assemble_results(
         caa_blocked_certs,
         changes,
         liveness,
+        resolution_latency: round_latency,
     }
 }
 

@@ -82,6 +82,43 @@ pub struct LivenessSample {
     pub http: bool,
 }
 
+/// Per-round DNS resolution-latency percentiles under the modeled network
+/// clock. Pure timing telemetry: it is deliberately **not** part of the
+/// serialized [`StudyResults`] — the determinism contract pins study results
+/// across latency profiles (zero/datacenter/wan), and these numbers differ
+/// by profile by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundLatency {
+    pub day: SimTime,
+    /// Crawls sampled this round.
+    pub samples: usize,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+}
+
+impl RoundLatency {
+    /// Nearest-rank percentiles over one round's per-crawl DNS resolution
+    /// times. Sorts in place; returns `None` for an empty round.
+    pub fn from_samples(day: SimTime, samples: &mut [u64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_unstable();
+        let pick = |p: f64| {
+            let rank = ((p * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            samples[rank - 1]
+        };
+        Some(RoundLatency {
+            day,
+            samples: samples.len(),
+            p50_ns: pick(0.50),
+            p95_ns: pick(0.95),
+            p99_ns: pick(0.99),
+        })
+    }
+}
+
 /// Everything one scenario run produces.
 pub struct StudyResults {
     pub scale: Scale,
@@ -106,6 +143,9 @@ pub struct StudyResults {
     pub changes: Vec<ChangeRecord>,
     /// §2 probe comparison samples over live hijacks.
     pub liveness: Vec<LivenessSample>,
+    /// Per-round DNS resolution-latency percentiles (timing telemetry;
+    /// excluded from serialization — see [`RoundLatency`]).
+    pub resolution_latency: Vec<RoundLatency>,
 }
 
 /// Serialized form of a full run, used by the parallel-equivalence tests to
@@ -169,6 +209,27 @@ impl StudyResults {
         let tcp = self.liveness.iter().filter(|s| s.tcp80 || s.tcp443).count() as f64 / n;
         let http = self.liveness.iter().filter(|s| s.http).count() as f64 / n;
         Some((icmp, tcp, http))
+    }
+
+    /// Whole-run DNS resolution-latency percentiles: the worst (max) of each
+    /// per-round percentile, plus the total sample count. `None` when no
+    /// round recorded latency telemetry.
+    pub fn resolution_latency_summary(&self) -> Option<RoundLatency> {
+        let last_day = self.resolution_latency.last()?.day;
+        let mut acc = RoundLatency {
+            day: last_day,
+            samples: 0,
+            p50_ns: 0,
+            p95_ns: 0,
+            p99_ns: 0,
+        };
+        for r in &self.resolution_latency {
+            acc.samples += r.samples;
+            acc.p50_ns = acc.p50_ns.max(r.p50_ns);
+            acc.p95_ns = acc.p95_ns.max(r.p95_ns);
+            acc.p99_ns = acc.p99_ns.max(r.p99_ns);
+        }
+        Some(acc)
     }
 }
 

@@ -54,6 +54,14 @@ pub struct ScenarioConfig {
     /// model). Keyed per (FQDN, day), so also thread-count-invariant.
     #[serde(default)]
     pub crawl_failure_rate: f64,
+    /// Network latency profile for the event-driven crawl (one of
+    /// [`simcore::LatencyProfile::NAMES`]; empty means the default `zero`
+    /// profile). `off` restores the legacy blocking path; `zero`,
+    /// `datacenter` and `wan` only move virtual time and cannot change
+    /// results; `lossy` injects deterministic, thread-count-invariant query
+    /// drops and is the one profile that does.
+    #[serde(default)]
+    pub latency_profile: String,
 }
 
 impl ScenarioConfig {
@@ -80,7 +88,24 @@ impl ScenarioConfig {
             cookie_stealer_probability: 0.02,
             crawl_threads: 1,
             crawl_failure_rate: 0.0,
+            latency_profile: "zero".into(),
         }
+    }
+
+    /// Resolve [`Self::latency_profile`] into a model. Panics on an unknown
+    /// name — the `repro` CLI validates earlier; a config file with a typo
+    /// should fail loudly, not silently crawl with a different clock.
+    pub fn latency_model(&self) -> simcore::LatencyModel {
+        if self.latency_profile.is_empty() {
+            return simcore::LatencyModel::default();
+        }
+        simcore::LatencyProfile::by_name(&self.latency_profile).unwrap_or_else(|| {
+            panic!(
+                "unknown latency profile {:?} (expected one of {:?})",
+                self.latency_profile,
+                simcore::LatencyProfile::NAMES
+            )
+        })
     }
 }
 
@@ -172,7 +197,8 @@ impl Scenario {
 
         let mut world_stage = WorldStage::new(&rs);
         let mut collect = CollectStage::new(&rs, threads);
-        let mut crawl = CrawlStage::new(threads, failure_rate);
+        let mut crawl =
+            CrawlStage::new(threads, failure_rate).with_latency(rs.cfg.latency_model());
         let mut diff = DiffStage;
         let mut persist = match persist_opts {
             Some(opts) => Some(PersistStage::open(opts, &rs.cfg, rs.store.shard_count())?),

@@ -7,15 +7,20 @@
 
 use dangling_core::scenario::{Scenario, ScenarioConfig};
 
-fn run_serialized(threads: usize) -> String {
+fn run_with_profile(threads: usize, latency_profile: &str) -> String {
     let mut cfg = ScenarioConfig::at_scale(2000);
     cfg.world.n_fortune1000 = 30;
     cfg.world.n_global500 = 15;
     cfg.seed = 11;
     cfg.crawl_threads = threads;
     cfg.crawl_failure_rate = 0.02;
+    cfg.latency_profile = latency_profile.into();
     let results = Scenario::new(cfg).run();
     serde_json::to_string(&results).expect("results serialize")
+}
+
+fn run_serialized(threads: usize) -> String {
+    run_with_profile(threads, "zero")
 }
 
 #[test]
@@ -38,4 +43,21 @@ fn parallel_crawl_is_byte_identical_to_serial() {
         spans.iter().any(|s| s.name == "crawl.weekly"),
         "tracing was enabled, so pipeline spans must have been collected"
     );
+}
+
+/// The lossy profile injects dropped DNS queries (retries, SERVFAIL after
+/// the retry budget) — it *changes* results relative to the zero profile,
+/// but every drop is drawn from a stream keyed by (fqdn, day, ordinal), so
+/// the changed results are still byte-identical for any thread count.
+#[test]
+fn lossy_transport_is_thread_count_invariant() {
+    let serial = run_with_profile(1, "lossy");
+    assert!(serial.len() > 1000, "run produced a non-trivial result");
+    for threads in [2, 4, 8] {
+        let par = run_with_profile(threads, "lossy");
+        assert_eq!(
+            serial, par,
+            "lossy StudyResults diverged between 1 and {threads} crawl threads"
+        );
+    }
 }

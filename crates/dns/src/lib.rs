@@ -32,6 +32,6 @@ pub mod zone;
 pub use message::{Header, Message, Opcode, Question, Rcode};
 pub use name::{Name, NameError};
 pub use record::{CaaRecord, RecordClass, RecordData, RecordType, ResourceRecord, Soa};
-pub use resolver::{ResolutionOutcome, Resolver, ResolverConfig};
+pub use resolver::{ResolutionInFlight, ResolutionOutcome, Resolver, ResolverConfig};
 pub use server::Authority;
 pub use zone::{Zone, ZoneSet};

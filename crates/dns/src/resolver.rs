@@ -28,6 +28,14 @@ use std::sync::Arc;
 /// interior state).
 pub trait Transport: Sync {
     fn exchange(&self, query: &Message) -> Message;
+
+    /// Lossy-aware exchange: `None` means the query was dropped on the wire
+    /// — no response ever arrives and the caller's retry/timeout budget
+    /// decides what happens next. The default never drops, so existing
+    /// transports are lossless unless they opt in.
+    fn try_exchange(&self, query: &Message) -> Option<Message> {
+        Some(self.exchange(query))
+    }
 }
 
 impl Transport for Authority {
@@ -39,6 +47,10 @@ impl Transport for Authority {
 impl<T: Transport + Send + ?Sized> Transport for Arc<T> {
     fn exchange(&self, query: &Message) -> Message {
         (**self).exchange(query)
+    }
+
+    fn try_exchange(&self, query: &Message) -> Option<Message> {
+        (**self).try_exchange(query)
     }
 }
 
@@ -52,6 +64,11 @@ pub struct ResolutionOutcome {
     pub cname_chain: Vec<Name>,
     /// Terminal A records (empty on negative outcomes).
     pub addresses: Vec<Ipv4Addr>,
+    /// Simulated time the resolution consumed, summed over every query of
+    /// the chain (retries and timeout budgets included). Zero under the
+    /// legacy blocking path, on cache hits, and under the zero-latency
+    /// profile — timing telemetry, never an input to any result.
+    pub sim_elapsed_ns: u64,
 }
 
 impl ResolutionOutcome {
@@ -85,6 +102,10 @@ pub struct ResolverConfig {
     pub cache: bool,
     /// Cap on cached entries (FIFO-ish eviction by insertion day).
     pub cache_capacity: usize,
+    /// Attempts per query before the resolver gives up with SERVFAIL: one
+    /// initial send plus `max_query_attempts - 1` retries after drops. Only
+    /// lossy transports/latency profiles ever consume more than the first.
+    pub max_query_attempts: u32,
 }
 
 impl Default for ResolverConfig {
@@ -93,6 +114,7 @@ impl Default for ResolverConfig {
             max_chain: 16,
             cache: true,
             cache_capacity: 100_000,
+            max_query_attempts: 3,
         }
     }
 }
@@ -101,6 +123,106 @@ impl Default for ResolverConfig {
 struct CacheEntry {
     expires: SimTime,
     outcome: ResolutionOutcome,
+}
+
+#[derive(Debug)]
+enum FlightState {
+    /// One query is on the wire awaiting its completion.
+    Pending { query: Message },
+    /// Terminal: [`Resolver::conclude`] may harvest the outcome.
+    Done,
+}
+
+/// One A-resolution in flight: the submit/poll form of
+/// [`Resolver::resolve_a`]. The machine has at most **one query pending at
+/// a time**; each [`Resolver::advance`] consumes that query's completion
+/// and either readies the next (CNAME hop, or retry after a drop) or
+/// finishes. The event-driven crawl schedules each pending query on its
+/// completion queue; the blocking wrapper completes them inline — both
+/// traverse exactly the same states.
+#[derive(Debug)]
+pub struct ResolutionInFlight {
+    name: Name,
+    now: SimTime,
+    state: FlightState,
+    /// Pre-resolved outcome from the TTL cache (machine starts done).
+    cached: Option<ResolutionOutcome>,
+    chain: Vec<Name>,
+    seen: Vec<Name>,
+    current: Name,
+    addresses: Vec<Ipv4Addr>,
+    rcode: Rcode,
+    min_ttl: u32,
+    /// CNAME hops still permitted (the old `0..=max_chain` bound).
+    hops_left: usize,
+    /// Attempts left for the *current* query before SERVFAIL.
+    attempts_left: u32,
+    /// Simulated nanoseconds consumed so far.
+    elapsed_ns: u64,
+}
+
+impl ResolutionInFlight {
+    fn cached(name: Name, now: SimTime, outcome: ResolutionOutcome) -> Self {
+        ResolutionInFlight {
+            current: name.clone(),
+            name,
+            now,
+            state: FlightState::Done,
+            cached: Some(outcome),
+            chain: Vec::new(),
+            seen: Vec::new(),
+            addresses: Vec::new(),
+            rcode: Rcode::NoError,
+            min_ttl: 0,
+            hops_left: 0,
+            attempts_left: 0,
+            elapsed_ns: 0,
+        }
+    }
+
+    fn fresh(name: Name, now: SimTime, query: Message, config: &ResolverConfig) -> Self {
+        ResolutionInFlight {
+            current: name.clone(),
+            seen: vec![name.clone()],
+            name,
+            now,
+            state: FlightState::Pending { query },
+            cached: None,
+            chain: Vec::new(),
+            addresses: Vec::new(),
+            rcode: Rcode::NoError,
+            min_ttl: 86_400 * 7, // cap cache residency at a week
+            hops_left: config.max_chain,
+            attempts_left: config.max_query_attempts.max(1),
+            elapsed_ns: 0,
+        }
+    }
+
+    /// The query currently on the wire, if any.
+    pub fn pending_query(&self) -> Option<&Message> {
+        match &self.state {
+            FlightState::Pending { query } => Some(query),
+            FlightState::Done => None,
+        }
+    }
+
+    /// The name the pending query asks about (the current CNAME hop) — what
+    /// a latency model prices the exchange against.
+    pub fn pending_qname(&self) -> Option<&Name> {
+        match &self.state {
+            FlightState::Pending { .. } => Some(&self.current),
+            FlightState::Done => None,
+        }
+    }
+
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, FlightState::Done)
+    }
+
+    /// Simulated time consumed so far.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.elapsed_ns
+    }
 }
 
 /// A caching stub resolver.
@@ -153,76 +275,140 @@ impl<T: Transport> Resolver<T> {
 
     /// Resolve the A records for `name` at simulated time `now`, chasing
     /// CNAME chains with loop detection.
+    ///
+    /// Thin blocking wrapper over the submit/poll machine: every query
+    /// completes instantly and in submission order, which is exactly the
+    /// schedule the event-driven crawl produces under the zero-latency
+    /// profile.
     pub fn resolve_a(&self, name: &Name, now: SimTime) -> ResolutionOutcome {
+        let mut fl = self.begin(name, now);
+        while !fl.is_done() {
+            let resp = self.exchange_pending(&fl);
+            self.advance(&mut fl, resp, 0);
+        }
+        self.conclude(fl)
+    }
+
+    /// Start resolving `name`: checks the cache and, on a miss, readies the
+    /// first query. Drive the returned machine with [`Self::advance`] until
+    /// [`ResolutionInFlight::is_done`], then harvest via [`Self::conclude`].
+    pub fn begin(&self, name: &Name, now: SimTime) -> ResolutionInFlight {
         if self.config.cache {
             let cache = self.cache.lock();
             if let Some(e) = cache.get(&(name.clone(), RecordType::A)) {
                 if e.expires > now {
                     self.stats.lock().cache_hits += 1;
-                    return e.outcome.clone();
+                    let mut outcome = e.outcome.clone();
+                    outcome.sim_elapsed_ns = 0; // a hit costs no network time
+                    return ResolutionInFlight::cached(name.clone(), now, outcome);
                 }
             }
         }
         self.stats.lock().cache_misses += 1;
+        let query = Message::query(self.fresh_id(), name.clone(), RecordType::A);
+        ResolutionInFlight::fresh(name.clone(), now, query, &self.config)
+    }
 
-        let mut chain: Vec<Name> = Vec::new();
-        let mut seen: Vec<Name> = vec![name.clone()];
-        let mut current = name.clone();
-        let mut addresses: Vec<Ipv4Addr> = Vec::new();
-        let mut rcode = Rcode::NoError;
-        let mut min_ttl: u32 = 86_400 * 7; // cap cache residency at a week
+    /// Send the machine's pending query over the transport, counting it.
+    /// `None` when the transport dropped it (or nothing is pending).
+    pub fn exchange_pending(&self, fl: &ResolutionInFlight) -> Option<Message> {
+        let q = fl.pending_query()?;
+        self.stats.lock().queries_sent += 1;
+        self.transport.try_exchange(q)
+    }
 
-        'outer: for _ in 0..=self.config.max_chain {
-            let q = Message::query(self.fresh_id(), current.clone(), RecordType::A);
-            self.stats.lock().queries_sent += 1;
-            let resp = self.transport.exchange(&q);
-            rcode = resp.header.rcode;
-            if rcode == Rcode::Refused || rcode == Rcode::ServFail {
-                break;
+    /// Feed one completion into the machine: the response to its pending
+    /// query (`None` = dropped on the wire) and the simulated time the
+    /// attempt consumed. Readies the next query (CNAME hop or retry) or
+    /// finishes the chain.
+    pub fn advance(
+        &self,
+        fl: &mut ResolutionInFlight,
+        response: Option<Message>,
+        cost_ns: u64,
+    ) {
+        let FlightState::Pending { .. } = fl.state else {
+            return; // already done; nothing in flight to complete
+        };
+        fl.elapsed_ns += cost_ns;
+        let Some(resp) = response else {
+            // Dropped: burn one attempt, retry the same name or give up.
+            fl.attempts_left -= 1;
+            if fl.attempts_left == 0 {
+                fl.rcode = Rcode::ServFail;
+                fl.state = FlightState::Done;
+            } else {
+                let q = Message::query(self.fresh_id(), fl.current.clone(), RecordType::A);
+                fl.state = FlightState::Pending { query: q };
             }
-            let mut progressed = false;
-            for rr in &resp.answers {
-                min_ttl = min_ttl.min(rr.ttl);
-                match &rr.data {
-                    RecordData::A(ip) => {
-                        addresses.push(*ip);
-                    }
-                    RecordData::Cname(target) => {
-                        if seen.contains(target) {
-                            // CNAME loop crossing authorities.
-                            rcode = Rcode::ServFail;
-                            break 'outer;
-                        }
-                        chain.push(target.clone());
-                        seen.push(target.clone());
-                        current = target.clone();
-                        progressed = true;
-                    }
-                    _ => {}
+            return;
+        };
+        fl.rcode = resp.header.rcode;
+        if fl.rcode == Rcode::Refused || fl.rcode == Rcode::ServFail {
+            fl.state = FlightState::Done;
+            return;
+        }
+        let mut progressed = false;
+        for rr in &resp.answers {
+            fl.min_ttl = fl.min_ttl.min(rr.ttl);
+            match &rr.data {
+                RecordData::A(ip) => {
+                    fl.addresses.push(*ip);
                 }
-            }
-            if !addresses.is_empty() || rcode == Rcode::NxDomain || !progressed {
-                break;
+                RecordData::Cname(target) => {
+                    if fl.seen.contains(target) {
+                        // CNAME loop crossing authorities.
+                        fl.rcode = Rcode::ServFail;
+                        fl.state = FlightState::Done;
+                        return;
+                    }
+                    fl.chain.push(target.clone());
+                    fl.seen.push(target.clone());
+                    fl.current = target.clone();
+                    progressed = true;
+                }
+                _ => {}
             }
         }
+        if !fl.addresses.is_empty() || fl.rcode == Rcode::NxDomain || !progressed {
+            fl.state = FlightState::Done;
+            return;
+        }
+        if fl.hops_left == 0 {
+            // Chain budget exhausted (same bound as the old `0..=max_chain`).
+            fl.state = FlightState::Done;
+            return;
+        }
+        fl.hops_left -= 1;
+        fl.attempts_left = self.config.max_query_attempts.max(1);
+        let q = Message::query(self.fresh_id(), fl.current.clone(), RecordType::A);
+        fl.state = FlightState::Pending { query: q };
+    }
 
+    /// Finish a completed resolution: build the outcome and cache it under
+    /// the same TTL rules the blocking path always had.
+    pub fn conclude(&self, fl: ResolutionInFlight) -> ResolutionOutcome {
+        debug_assert!(fl.is_done(), "concluding a resolution still in flight");
+        if let Some(outcome) = fl.cached {
+            return outcome; // cache hit: never re-inserted
+        }
         let outcome = ResolutionOutcome {
-            rcode,
-            cname_chain: chain,
-            addresses,
+            rcode: fl.rcode,
+            cname_chain: fl.chain,
+            addresses: fl.addresses,
+            sim_elapsed_ns: fl.elapsed_ns,
         };
-
-        if self.config.cache && rcode != Rcode::ServFail && rcode != Rcode::Refused {
-            let ttl_days = (min_ttl / 86_400) as i32;
+        if self.config.cache && fl.rcode != Rcode::ServFail && fl.rcode != Rcode::Refused {
+            let ttl_days = (fl.min_ttl / 86_400) as i32;
             if ttl_days >= 1 {
                 let mut cache = self.cache.lock();
                 if cache.len() >= self.config.cache_capacity {
                     cache.clear(); // crude but deterministic
                 }
                 cache.insert(
-                    (name.clone(), RecordType::A),
+                    (fl.name.clone(), RecordType::A),
                     CacheEntry {
-                        expires: now + ttl_days,
+                        expires: fl.now + ttl_days,
                         outcome: outcome.clone(),
                     },
                 );
@@ -411,5 +597,188 @@ mod tests {
         let out = r.resolve_a(&n("www.unknown-zone.net"), SimTime(0));
         assert_eq!(out.rcode, Rcode::Refused);
         assert!(!out.is_resolvable());
+    }
+
+    /// Drops the first N queries it sees, then behaves like its inner
+    /// authority — the timeout/retry test double.
+    struct DroppingTransport {
+        inner: Authority,
+        drop_first: u64,
+        seen: Mutex<u64>,
+    }
+
+    impl DroppingTransport {
+        fn new(inner: Authority, drop_first: u64) -> Self {
+            DroppingTransport {
+                inner,
+                drop_first,
+                seen: Mutex::new(0),
+            }
+        }
+    }
+
+    impl Transport for DroppingTransport {
+        fn exchange(&self, query: &Message) -> Message {
+            self.inner.exchange(query)
+        }
+
+        fn try_exchange(&self, query: &Message) -> Option<Message> {
+            let mut seen = self.seen.lock();
+            *seen += 1;
+            if *seen <= self.drop_first {
+                None
+            } else {
+                Some(self.inner.exchange(query))
+            }
+        }
+    }
+
+    #[test]
+    fn drops_within_budget_retry_to_success() {
+        // 2 drops, 3 attempts: the third attempt lands.
+        let r = Resolver::new(DroppingTransport::new(authority(), 2));
+        let out = r.resolve_a(&n("www.example.com"), SimTime(0));
+        assert!(out.is_resolvable());
+        assert_eq!(r.stats().queries_sent, 3);
+    }
+
+    #[test]
+    fn drops_exhausting_budget_yield_servfail() {
+        // 3 drops, 3 attempts: budget exhausted -> SERVFAIL, never cached.
+        let r = Resolver::new(DroppingTransport::new(authority(), 3));
+        let out = r.resolve_a(&n("www.example.com"), SimTime(0));
+        assert_eq!(out.rcode, Rcode::ServFail);
+        assert!(!out.is_resolvable());
+        // Not cached: the next call goes back to the (now healed) wire.
+        let out2 = r.resolve_a(&n("www.example.com"), SimTime(0));
+        assert!(out2.is_resolvable());
+    }
+
+    /// Two separate authorities (the chain must cross them query by query)
+    /// with drops injected at chosen query ordinals.
+    struct SplitLossyTransport {
+        org: Authority,
+        cloud: Authority,
+        drop_ordinals: Vec<u64>,
+        seen: Mutex<u64>,
+    }
+
+    impl SplitLossyTransport {
+        fn new(drop_ordinals: Vec<u64>) -> Self {
+            let mut org_zs = ZoneSet::new();
+            let mut ex = Zone::new(n("example.com"));
+            ex.add(ResourceRecord::new(
+                n("shop.example.com"),
+                300,
+                RecordData::Cname(n("shop-prod.azurewebsites.net")),
+            ));
+            org_zs.insert(ex);
+            let mut cloud_zs = ZoneSet::new();
+            let mut az = Zone::new(n("azurewebsites.net"));
+            az.add(ResourceRecord::new(
+                n("shop-prod.azurewebsites.net"),
+                60,
+                RecordData::A(Ipv4Addr::new(20, 40, 60, 80)),
+            ));
+            cloud_zs.insert(az);
+            SplitLossyTransport {
+                org: Authority::new(org_zs),
+                cloud: Authority::new(cloud_zs),
+                drop_ordinals,
+                seen: Mutex::new(0),
+            }
+        }
+
+        fn route(&self, query: &Message) -> Message {
+            let qname = &query.questions[0].name;
+            if qname.ends_with(&n("azurewebsites.net")) {
+                self.cloud.exchange(query)
+            } else {
+                self.org.exchange(query)
+            }
+        }
+    }
+
+    impl Transport for SplitLossyTransport {
+        fn exchange(&self, query: &Message) -> Message {
+            self.route(query)
+        }
+
+        fn try_exchange(&self, query: &Message) -> Option<Message> {
+            let mut seen = self.seen.lock();
+            *seen += 1;
+            if self.drop_ordinals.contains(&seen) {
+                None
+            } else {
+                Some(self.route(query))
+            }
+        }
+    }
+
+    #[test]
+    fn drop_retry_spans_cname_hops() {
+        // Drop budget is per query, not per chain: one drop on each hop
+        // still resolves with 2 attempts per query.
+        let cfg = ResolverConfig {
+            max_query_attempts: 2,
+            ..ResolverConfig::default()
+        };
+        // Query 1 (hop 1) and query 3 (hop 2) are dropped; retries land.
+        let r = Resolver::with_config(SplitLossyTransport::new(vec![1, 3]), cfg);
+        let out = r.resolve_a(&n("shop.example.com"), SimTime(0));
+        assert!(out.is_resolvable());
+        assert_eq!(out.cname_chain, vec![n("shop-prod.azurewebsites.net")]);
+        assert_eq!(r.stats().queries_sent, 4);
+    }
+
+    #[test]
+    fn machine_accumulates_elapsed_time() {
+        // Drive the submit/poll machine by hand, charging a modeled cost per
+        // completion: a drop burns the full timeout budget, answers their RTT.
+        let r = Resolver::new(SplitLossyTransport::new(vec![1]));
+        let mut fl = r.begin(&n("shop.example.com"), SimTime(0));
+        let mut costs = [5_000_000_000u64, 20_000_000, 25_000_000].into_iter();
+        while !fl.is_done() {
+            assert!(fl.pending_qname().is_some());
+            let resp = r.exchange_pending(&fl);
+            r.advance(&mut fl, resp, costs.next().expect("≤3 completions"));
+        }
+        let out = r.conclude(fl);
+        assert!(out.is_resolvable());
+        // Dropped hop-1 attempt + answered hop-1 retry + answered hop 2.
+        assert_eq!(out.sim_elapsed_ns, 5_000_000_000 + 20_000_000 + 25_000_000);
+    }
+
+    #[test]
+    fn cache_hit_costs_no_simulated_time() {
+        let r = Resolver::new(authority());
+        let mut fl = r.begin(&n("www.example.com"), SimTime(0));
+        while !fl.is_done() {
+            let resp = r.exchange_pending(&fl);
+            r.advance(&mut fl, resp, 1_000_000);
+        }
+        let first = r.conclude(fl);
+        assert_eq!(first.sim_elapsed_ns, 1_000_000);
+        // Second resolution hits the TTL cache: same answer, zero cost.
+        let hit = r.resolve_a(&n("www.example.com"), SimTime(1));
+        assert!(hit.is_resolvable());
+        assert_eq!(hit.sim_elapsed_ns, 0);
+    }
+
+    #[test]
+    fn blocking_wrapper_matches_machine() {
+        // The blocking API and a hand-driven machine traverse identical
+        // states: same outcome, field for field.
+        let r1 = Resolver::new(authority());
+        let r2 = Resolver::new(authority());
+        for name in ["www.example.com", "shop.example.com", "nope.example.com"] {
+            let blocking = r1.resolve_a(&n(name), SimTime(0));
+            let mut fl = r2.begin(&n(name), SimTime(0));
+            while !fl.is_done() {
+                let resp = r2.exchange_pending(&fl);
+                r2.advance(&mut fl, resp, 0);
+            }
+            assert_eq!(blocking, r2.conclude(fl), "{name}");
+        }
     }
 }

@@ -28,4 +28,4 @@ pub use cookie::{Cookie, CookieJar, SameSite};
 pub use headers::HeaderMap;
 pub use hsts::{HstsPolicy, HstsStore};
 pub use message::{Method, Request, Response, StatusCode};
-pub use probe::{Endpoint, ProbeKind, ProbeResult};
+pub use probe::{Endpoint, ProbeInFlight, ProbeKind, ProbeResult, ProbeWait};

@@ -17,12 +17,14 @@
 
 pub mod dist;
 pub mod events;
+pub mod net;
 pub mod rng;
 pub mod scale;
 pub mod time;
 
 pub use dist::{LogNormal, Pareto, Poisson, WeightedIndex, Zipf};
-pub use events::EventQueue;
+pub use events::{EventQueue, QueueTime};
+pub use net::{CompletionQueue, LatencyModel, LatencyProfile, NetTime, QueryClass, QueryFate};
 pub use rng::RngTree;
 pub use scale::Scale;
 pub use time::{Date, SimTime};

@@ -1,0 +1,419 @@
+//! Modeled network time and per-query latency.
+//!
+//! The paper's crawl (§3.1, Algorithm 1) is a real network measurement whose
+//! throughput is bounded by round-trip latency and concurrency, not CPU. The
+//! simulated transports used to be synchronous call-and-return, which made
+//! crawl throughput a pure function of thread count. This module supplies
+//! the missing dimension: a **nanosecond-granular virtual clock**
+//! ([`NetTime`]) that runs *within* one crawl round (orthogonal to the
+//! day-granular [`crate::SimTime`] world clock), a [`CompletionQueue`] that
+//! drains pending network operations in deterministic `(fire_time, seq)`
+//! order, and a [`LatencyModel`] that prices every query from a keyed RNG
+//! stream — base RTT + jitter + per-platform multipliers + loss/timeout
+//! injection — so latency draws are a pure function of *(fqdn, day, event
+//! ordinal)* and never of which thread issued the query.
+
+use crate::events::{EventQueue, QueueTime};
+use crate::rng::RngTree;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// A point in simulated network time: nanoseconds since the start of the
+/// current round's virtual clock. Sub-day resolution — one monitoring round
+/// (7 simulated days) is far longer than any crawl's modeled makespan, so
+/// the network clock resets every round and never needs to interact with
+/// [`crate::SimTime`] arithmetic.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NetTime(pub u64);
+
+impl NetTime {
+    pub const ZERO: NetTime = NetTime(0);
+
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+}
+
+impl QueueTime for NetTime {
+    type Delta = u64;
+    const ZERO: Self = NetTime(0);
+    fn after(self, delta: u64) -> Self {
+        NetTime(self.0.saturating_add(delta))
+    }
+}
+
+impl Add<u64> for NetTime {
+    type Output = NetTime;
+    fn add(self, rhs: u64) -> NetTime {
+        NetTime(self.0.saturating_add(rhs))
+    }
+}
+
+impl AddAssign<u64> for NetTime {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 = self.0.saturating_add(rhs);
+    }
+}
+
+impl fmt::Display for NetTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// The deterministic completion queue the event-driven crawl drains: the
+/// same `(fire_time, seq)` discipline as the world's [`EventQueue`], on the
+/// network clock. Same-instant completions pop in submission order, so a
+/// zero-latency profile reproduces the synchronous call-and-return schedule
+/// exactly.
+pub type CompletionQueue<E> = EventQueue<E, NetTime>;
+
+/// The kind of network operation being priced. The three probe techniques
+/// and the crawl's request chain all decompose into these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryClass {
+    /// One DNS query/response exchange (per CNAME hop, per retry).
+    Dns,
+    /// Transport-level reachability: TCP handshake, or an ICMP echo.
+    Connect,
+    /// One HTTP request/response on an established connection.
+    Http,
+}
+
+/// What the latency model decided for one attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryFate {
+    /// Simulated time the attempt consumes. For a dropped query this is the
+    /// full timeout budget the caller waits before retrying.
+    pub cost_ns: u64,
+    /// The query was lost on the wire: no response arrives; the caller
+    /// retries or gives up (SERVFAIL) after its retry budget.
+    pub dropped: bool,
+}
+
+/// A named latency profile: the tunable surface of the [`LatencyModel`].
+///
+/// All times are nanoseconds of simulated time. Jitter is uniform in
+/// `[0, jitter]` on top of the base, both scaled by the per-platform
+/// multiplier of the first matching name suffix (cloud platforms differ in
+/// how fast their resolvers/front ends answer — the per-platform dimension
+/// rate-limit and slow-platform scenarios tune).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyProfile {
+    pub name: String,
+    pub dns_base_ns: u64,
+    pub dns_jitter_ns: u64,
+    pub connect_base_ns: u64,
+    pub connect_jitter_ns: u64,
+    pub http_base_ns: u64,
+    pub http_jitter_ns: u64,
+    /// Per-DNS-query drop probability (loss → timeout → retry → SERVFAIL).
+    pub dns_loss: f64,
+    /// Timeout budget one dropped query consumes before the retry fires.
+    pub dns_timeout_ns: u64,
+    /// `(name suffix, multiplier)` pairs; the first suffix match scales the
+    /// sampled cost. Models per-platform speed differences.
+    pub platform_multipliers: Vec<(String, f64)>,
+}
+
+const MS: u64 = 1_000_000;
+
+impl LatencyProfile {
+    /// The zero-latency compatibility profile (the default): every operation
+    /// completes instantly and nothing is ever dropped, so the event-driven
+    /// crawl's completion order degenerates to submission order and results
+    /// are byte-identical to the synchronous path.
+    pub fn zero() -> Self {
+        LatencyProfile {
+            name: "zero".into(),
+            dns_base_ns: 0,
+            dns_jitter_ns: 0,
+            connect_base_ns: 0,
+            connect_jitter_ns: 0,
+            http_base_ns: 0,
+            http_jitter_ns: 0,
+            dns_loss: 0.0,
+            dns_timeout_ns: 0,
+            platform_multipliers: Vec::new(),
+        }
+    }
+
+    /// Same-facility measurement: sub-millisecond RTTs, no loss.
+    pub fn datacenter() -> Self {
+        LatencyProfile {
+            name: "datacenter".into(),
+            dns_base_ns: 400_000,
+            dns_jitter_ns: 200_000,
+            connect_base_ns: 300_000,
+            connect_jitter_ns: 100_000,
+            http_base_ns: 1_200_000,
+            http_jitter_ns: 600_000,
+            dns_loss: 0.0,
+            dns_timeout_ns: 500 * MS,
+            platform_multipliers: Vec::new(),
+        }
+    }
+
+    /// Internet-scale measurement, the paper's own vantage: tens of
+    /// milliseconds per exchange, platform-dependent front-end speed, no
+    /// loss.
+    pub fn wan() -> Self {
+        LatencyProfile {
+            name: "wan".into(),
+            dns_base_ns: 18 * MS,
+            dns_jitter_ns: 24 * MS,
+            connect_base_ns: 30 * MS,
+            connect_jitter_ns: 20 * MS,
+            http_base_ns: 90 * MS,
+            http_jitter_ns: 80 * MS,
+            dns_loss: 0.0,
+            dns_timeout_ns: 5_000 * MS,
+            platform_multipliers: vec![
+                ("azurewebsites.net".into(), 1.3),
+                ("web.core.windows.net".into(), 1.2),
+                ("trafficmanager.net".into(), 1.1),
+                ("elasticbeanstalk.com".into(), 1.25),
+                ("s3.amazonaws.com".into(), 1.15),
+            ],
+        }
+    }
+
+    /// The wan profile plus a 5% per-query DNS loss rate: queries time out,
+    /// retries burn budget, and names whose retry budget runs dry resolve
+    /// SERVFAIL. Changes *results* (deterministically — draws are keyed per
+    /// (fqdn, day, ordinal)), which is exactly what the lossy
+    /// parallel-equivalence leg pins.
+    pub fn lossy() -> Self {
+        LatencyProfile {
+            name: "lossy".into(),
+            dns_loss: 0.05,
+            ..Self::wan()
+        }
+    }
+
+    /// Look up a built-in profile by name; `off` maps to the disabled model
+    /// (no event machinery at all, the legacy blocking path).
+    pub fn by_name(name: &str) -> Option<LatencyModel> {
+        match name {
+            "off" => Some(LatencyModel::off()),
+            "zero" => Some(LatencyModel::new(Self::zero())),
+            "datacenter" => Some(LatencyModel::new(Self::datacenter())),
+            "wan" => Some(LatencyModel::new(Self::wan())),
+            "lossy" => Some(LatencyModel::new(Self::lossy())),
+            _ => None,
+        }
+    }
+
+    /// The built-in profile names, for CLI help and validation messages.
+    pub const NAMES: &'static [&'static str] = &["off", "zero", "datacenter", "wan", "lossy"];
+}
+
+/// Per-query latency oracle. `None` profile = model off: callers take the
+/// legacy synchronous path and no virtual clock exists at all.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    profile: Option<LatencyProfile>,
+}
+
+impl Default for LatencyModel {
+    /// The default is the **zero** profile — event-driven with a degenerate
+    /// clock — not `off`, so the completion-queue machinery is exercised on
+    /// every default-config run.
+    fn default() -> Self {
+        LatencyModel::new(LatencyProfile::zero())
+    }
+}
+
+impl LatencyModel {
+    pub fn new(profile: LatencyProfile) -> Self {
+        LatencyModel {
+            profile: Some(profile),
+        }
+    }
+
+    /// The disabled model: the legacy blocking call-and-return path.
+    pub fn off() -> Self {
+        LatencyModel { profile: None }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.profile.is_some()
+    }
+
+    pub fn profile(&self) -> Option<&LatencyProfile> {
+        self.profile.as_ref()
+    }
+
+    pub fn name(&self) -> &str {
+        self.profile.as_ref().map(|p| p.name.as_str()).unwrap_or("off")
+    }
+
+    /// True when every sample is trivially `{0, not dropped}` — the zero
+    /// profile (or the model being off). Callers can skip RNG stream-key
+    /// construction entirely on this path.
+    pub fn is_free(&self) -> bool {
+        match &self.profile {
+            None => true,
+            Some(p) => {
+                p.dns_base_ns == 0
+                    && p.dns_jitter_ns == 0
+                    && p.connect_base_ns == 0
+                    && p.connect_jitter_ns == 0
+                    && p.http_base_ns == 0
+                    && p.http_jitter_ns == 0
+                    && p.dns_loss == 0.0
+            }
+        }
+    }
+
+    /// Price one attempt. `stream_key` must identify the *logical* attempt —
+    /// the pipeline uses `net/{fqdn}/{day}/{ordinal}` where `ordinal` counts
+    /// the crawl task's network events (retries included) — so the draw is a
+    /// pure function of content, invariant under any thread schedule.
+    /// `target` is the name the operation is addressed to (the DNS qname of
+    /// the current CNAME hop, or the HTTP host), matched against the
+    /// profile's platform multiplier suffixes.
+    pub fn sample(
+        &self,
+        tree: &RngTree,
+        stream_key: &str,
+        target: &str,
+        class: QueryClass,
+    ) -> QueryFate {
+        let Some(p) = &self.profile else {
+            return QueryFate {
+                cost_ns: 0,
+                dropped: false,
+            };
+        };
+        let (base, jitter) = match class {
+            QueryClass::Dns => (p.dns_base_ns, p.dns_jitter_ns),
+            QueryClass::Connect => (p.connect_base_ns, p.connect_jitter_ns),
+            QueryClass::Http => (p.http_base_ns, p.http_jitter_ns),
+        };
+        // Fast path for the zero profile: no RNG derivation at all.
+        if base == 0 && jitter == 0 && p.dns_loss == 0.0 {
+            return QueryFate {
+                cost_ns: 0,
+                dropped: false,
+            };
+        }
+        let mut rng = tree.rng(stream_key);
+        if class == QueryClass::Dns && p.dns_loss > 0.0 && rng.gen_bool(p.dns_loss) {
+            return QueryFate {
+                cost_ns: p.dns_timeout_ns,
+                dropped: true,
+            };
+        }
+        let raw = base + if jitter > 0 { rng.gen_range(0..=jitter) } else { 0 };
+        let mult = p
+            .platform_multipliers
+            .iter()
+            .find(|(suffix, _)| target.ends_with(suffix.as_str()))
+            .map(|&(_, m)| m)
+            .unwrap_or(1.0);
+        QueryFate {
+            cost_ns: (raw as f64 * mult) as u64,
+            dropped: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_profile_costs_nothing() {
+        let m = LatencyModel::default();
+        let tree = RngTree::new(1);
+        let f = m.sample(&tree, "net/a.b.c/7/0", "a.b.c", QueryClass::Dns);
+        assert_eq!(f, QueryFate { cost_ns: 0, dropped: false });
+        assert_eq!(m.name(), "zero");
+        assert!(m.enabled());
+    }
+
+    #[test]
+    fn off_model_is_disabled() {
+        let m = LatencyModel::off();
+        assert!(!m.enabled());
+        assert_eq!(m.name(), "off");
+        let tree = RngTree::new(1);
+        let f = m.sample(&tree, "k", "t", QueryClass::Http);
+        assert_eq!(f.cost_ns, 0);
+        assert!(!f.dropped);
+    }
+
+    #[test]
+    fn sampling_is_keyed_not_sequential() {
+        let m = LatencyProfile::by_name("wan").unwrap();
+        let tree = RngTree::new(9);
+        let a = m.sample(&tree, "net/x/7/0", "x", QueryClass::Dns);
+        let b = m.sample(&tree, "net/x/7/0", "x", QueryClass::Dns);
+        assert_eq!(a, b, "same key, same draw — regardless of call order");
+        let c = m.sample(&tree, "net/x/7/1", "x", QueryClass::Dns);
+        // Overwhelmingly likely distinct with 24ms of jitter.
+        assert_ne!(a.cost_ns, c.cost_ns, "different ordinals draw independently");
+    }
+
+    #[test]
+    fn platform_multiplier_scales_matching_suffix() {
+        let mut p = LatencyProfile::wan();
+        p.dns_jitter_ns = 0; // make the draw deterministic in value
+        let m = LatencyModel::new(p);
+        let tree = RngTree::new(9);
+        let plain = m.sample(&tree, "k", "shop.example.com", QueryClass::Dns);
+        let azure = m.sample(&tree, "k", "shop-prod.azurewebsites.net", QueryClass::Dns);
+        assert_eq!(plain.cost_ns, 18 * MS);
+        assert_eq!(azure.cost_ns, (18.0 * MS as f64 * 1.3) as u64);
+    }
+
+    #[test]
+    fn lossy_profile_drops_deterministically() {
+        let m = LatencyProfile::by_name("lossy").unwrap();
+        let tree = RngTree::new(4);
+        // Whatever the outcome, it is a pure function of the key.
+        let mut dropped = 0;
+        for i in 0..1000 {
+            let key = format!("net/h{i}.apex.com/7/0");
+            let a = m.sample(&tree, &key, "x", QueryClass::Dns);
+            let b = m.sample(&tree, &key, "x", QueryClass::Dns);
+            assert_eq!(a, b);
+            if a.dropped {
+                assert_eq!(a.cost_ns, 5_000 * MS, "drop costs the timeout budget");
+                dropped += 1;
+            }
+        }
+        // ~5% of 1000; generous band.
+        assert!((20..=110).contains(&dropped), "dropped {dropped}/1000");
+    }
+
+    #[test]
+    fn unknown_profile_rejected() {
+        assert!(LatencyProfile::by_name("warp").is_none());
+        for name in LatencyProfile::NAMES {
+            assert!(LatencyProfile::by_name(name).is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn net_time_display() {
+        assert_eq!(NetTime(12).to_string(), "12ns");
+        assert_eq!(NetTime(1_500_000).to_string(), "1.500ms");
+        assert_eq!(NetTime(2_250_000_000).to_string(), "2.250s");
+    }
+}
