@@ -71,9 +71,14 @@ fn bench_crawl_latency(c: &mut Criterion) {
         let exec = CrawlExecutor::new(1, 0.0)
             .with_latency(LatencyProfile::by_name("wan").unwrap())
             .with_max_inflight(4 * SITES);
-        let out = exec.run(&monitored, &store, &tree, SimTime(7), &|| {
-            Resolver::new(auth.clone())
-        }, &|| &platform);
+        let out = exec.run(
+            &monitored,
+            &store,
+            &tree,
+            SimTime(7),
+            &|| Resolver::new(auth.clone()),
+            &|| &platform,
+        );
         assert_eq!(out.len(), SITES);
         let peak = obs::gauge("crawl.inflight").get();
         assert!(
@@ -98,9 +103,14 @@ fn bench_crawl_latency(c: &mut Criterion) {
             .with_max_inflight(4 * SITES);
         g.bench_function(format!("{label}_{SITES}_sites_t1"), |b| {
             b.iter(|| {
-                black_box(exec.run(&monitored, &store, &tree, SimTime(7), &|| {
-                    Resolver::new(auth.clone())
-                }, &|| &platform))
+                black_box(exec.run(
+                    &monitored,
+                    &store,
+                    &tree,
+                    SimTime(7),
+                    &|| Resolver::new(auth.clone()),
+                    &|| &platform,
+                ))
             })
         });
     }

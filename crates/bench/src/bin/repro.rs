@@ -7,10 +7,30 @@
 //! ```
 
 use bench::{
-    render_target, run_study_cfg, run_study_cfg_persisted, study_config_with_profile, ABLATIONS,
-    TARGETS,
+    render_target, run_study_cfg, run_study_cfg_persisted, run_study_cfg_persisted_sink,
+    run_study_cfg_sink, study_config_with_profile, ABLATIONS, TARGETS,
 };
 use dangling_core::{compact_state_dir, PersistOptions};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Load a `--serve-queries` script: one JSON-encoded [`serve::Query`] per
+/// line (`"Status"`, `{"Verdict":{"fqdn":"a.b.example"}}`, ...). Without a
+/// script the daemon still answers a status+health pass per round.
+fn load_query_script(path: Option<&str>) -> Vec<serve::Query> {
+    let Some(path) = path else {
+        return vec![serve::Query::Status, serve::Query::Health];
+    };
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("reading query script {path}: {e}"));
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            serde_json::from_str(l).unwrap_or_else(|e| panic!("bad query {l:?} in {path}: {e}"))
+        })
+        .collect()
+}
 
 fn main() {
     let mut scale: u32 = 200;
@@ -27,6 +47,9 @@ fn main() {
     let mut metrics_path: Option<String> = None;
     let mut progress = false;
     let mut quiet = false;
+    let mut serve_mode = false;
+    let mut serve_queries: Option<String> = None;
+    let mut serve_out: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -85,6 +108,13 @@ fn main() {
             "--metrics" => {
                 metrics_path = Some(args.next().expect("--metrics takes an output path"));
             }
+            "--serve" => serve_mode = true,
+            "--serve-queries" => {
+                serve_queries = Some(args.next().expect("--serve-queries takes a script path"));
+            }
+            "--serve-out" => {
+                serve_out = Some(args.next().expect("--serve-out takes an output path"));
+            }
             "--progress" => progress = true,
             "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => {
@@ -92,6 +122,7 @@ fn main() {
                     "usage: repro [--scale N] [--seed N] [--threads N] \
                      [--latency-profile NAME] [--json OUT] \
                      [--persist | --state-dir DIR] [--resume] [--incremental] [--rounds N] \
+                     [--serve] [--serve-queries FILE] [--serve-out FILE] \
                      [--compact] [--trace OUT] [--metrics OUT] [--progress] [-q] <targets...>"
                 );
                 println!("targets: all | ablations | {}", TARGETS.join(" "));
@@ -115,6 +146,12 @@ fn main() {
                 println!("--trace OUT writes a Chrome trace_event JSON of pipeline spans");
                 println!("  (load it at ui.perfetto.dev); --metrics OUT dumps every counter,");
                 println!("  gauge and histogram as JSON. Telemetry never changes results.");
+                println!("--serve runs the monitoring daemon: each committed round publishes a");
+                println!("  snapshot-consistent query view (forces --incremental; provisional");
+                println!("  verdicts). --serve-queries FILE runs a JSON-lines query script");
+                println!("  against every published round; --serve-out FILE collects the");
+                println!("  replies as JSON lines. Combine with --persist/--resume for");
+                println!("  stop-and-continue service runs.");
                 println!("--progress prints one status line per monitoring round;");
                 println!("-q / --quiet silences narration (warnings still print).");
                 return;
@@ -163,19 +200,65 @@ fn main() {
         }
     }
 
+    // Serve mode publishes the streaming pass's advisory state, so it
+    // implies the incremental retro pass.
+    if serve_mode {
+        incremental = true;
+    }
     obs::info!(
         "running study at scale 1/{scale}, seed {seed}, {threads} worker thread(s), \
-         latency profile {latency_profile}{}...",
+         latency profile {latency_profile}{}{}...",
         if incremental {
             ", incremental retro pass"
         } else {
             ""
-        }
+        },
+        if serve_mode { ", serve mode" } else { "" }
     );
     let cfg = study_config_with_profile(scale, seed, threads, &latency_profile);
+
+    // The daemon pair plus a query thread replaying the script against
+    // every published round. All of it is out-of-band: results stay
+    // byte-identical with serve mode on (the serve_equivalence suite).
+    let mut sink_box: Option<Box<dyn dangling_core::RoundSink>> = None;
+    let served = serve_mode.then(|| {
+        let (sink, handle) = serve::daemon();
+        sink_box = Some(Box::new(sink));
+        let script = load_query_script(serve_queries.as_deref());
+        let stop = Arc::new(AtomicBool::new(false));
+        let querier = {
+            let handle = handle.clone();
+            let script = script.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut replies: Vec<String> = Vec::new();
+                let mut last_seen = u64::MAX;
+                loop {
+                    let published = handle.rounds_published();
+                    if published != last_seen {
+                        last_seen = published;
+                        for q in &script {
+                            let reply = handle.query(q);
+                            replies.push(serde_json::to_string(&reply).expect("replies serialize"));
+                        }
+                    }
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                replies
+            })
+        };
+        (handle, script, stop, querier)
+    });
+
     let start = std::time::Instant::now();
     let results = match &state_dir {
-        None => run_study_cfg(cfg, max_rounds, incremental),
+        None => match sink_box {
+            None => run_study_cfg(cfg, max_rounds, incremental),
+            Some(sink) => run_study_cfg_sink(cfg, max_rounds, incremental, sink),
+        },
         Some(dir) => {
             let mut opts = PersistOptions::new(dir);
             opts.resume = resume;
@@ -188,7 +271,11 @@ fn main() {
                     None => String::new(),
                 }
             );
-            match run_study_cfg_persisted(cfg, &opts, incremental) {
+            let run = match sink_box {
+                None => run_study_cfg_persisted(cfg, &opts, incremental),
+                Some(sink) => run_study_cfg_persisted_sink(cfg, &opts, incremental, sink),
+            };
+            match run {
                 Ok(r) => r,
                 Err(e) => {
                     obs::warn!("error: {e}");
@@ -204,6 +291,38 @@ fn main() {
         results.world.truth.len(),
         results.abuse.len()
     );
+
+    if let Some((handle, script, stop, querier)) = served {
+        // Graceful teardown mirrors the daemon contract: drain in-flight
+        // queries, stop the querier, then run the script once more against
+        // the final sealed round so --serve-out always covers it.
+        handle.drain();
+        stop.store(true, Ordering::SeqCst);
+        let mut replies = querier.join().expect("query thread");
+        for q in &script {
+            let reply = handle.query(q);
+            replies.push(serde_json::to_string(&reply).expect("replies serialize"));
+        }
+        let q = obs::histogram("serve.query_ns").snapshot();
+        let p = obs::histogram("serve.publish_round_ns").snapshot();
+        obs::info!(
+            "serve: {} rounds published, {} queries answered \
+             (query p50/p95/p99 {:.0}/{:.0}/{:.0} us; publish p50/p99 {:.1}/{:.1} ms)",
+            handle.rounds_published(),
+            handle.queries_served(),
+            q.quantile(0.50) as f64 / 1e3,
+            q.quantile(0.95) as f64 / 1e3,
+            q.quantile(0.99) as f64 / 1e3,
+            p.quantile(0.50) as f64 / 1e6,
+            p.quantile(0.99) as f64 / 1e6,
+        );
+        if let Some(path) = &serve_out {
+            let mut text = replies.join("\n");
+            text.push('\n');
+            std::fs::write(path, text).expect("write serve replies");
+            obs::info!("wrote {} serve replies to {path}", replies.len());
+        }
+    }
 
     if let Some(path) = &json_path {
         let summary = bench::json_summary(&results);

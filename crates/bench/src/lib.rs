@@ -9,7 +9,9 @@
 pub mod ablations;
 pub mod render;
 
-use dangling_core::{PersistError, PersistOptions, Scenario, ScenarioConfig, StudyResults};
+use dangling_core::{
+    PersistError, PersistOptions, RoundSink, Scenario, ScenarioConfig, StudyResults,
+};
 
 /// Run the default study at the given scale/seed.
 pub fn run_study(scale_denominator: u32, seed: u64) -> StudyResults {
@@ -113,7 +115,11 @@ pub fn run_study_persisted_incremental(
     opts: &PersistOptions,
     incremental: bool,
 ) -> Result<StudyResults, PersistError> {
-    run_study_cfg_persisted(study_config(scale_denominator, seed, threads), opts, incremental)
+    run_study_cfg_persisted(
+        study_config(scale_denominator, seed, threads),
+        opts,
+        incremental,
+    )
 }
 
 /// Persisted run of an explicit configuration (the `--latency-profile` +
@@ -123,7 +129,41 @@ pub fn run_study_cfg_persisted(
     opts: &PersistOptions,
     incremental: bool,
 ) -> Result<StudyResults, PersistError> {
-    Scenario::new(cfg).incremental(incremental).run_persisted(opts)
+    Scenario::new(cfg)
+        .incremental(incremental)
+        .run_persisted(opts)
+}
+
+/// [`run_study_cfg`] with a [`RoundSink`] attached: the sink observes every
+/// committed round and can request a graceful stop at a round boundary.
+/// `repro --serve` runs the daemon's publication sink through here.
+pub fn run_study_cfg_sink(
+    cfg: ScenarioConfig,
+    max_rounds: Option<u64>,
+    incremental: bool,
+    sink: Box<dyn RoundSink>,
+) -> StudyResults {
+    let mut scenario = Scenario::new(cfg).incremental(incremental).round_sink(sink);
+    if let Some(r) = max_rounds {
+        scenario = scenario.max_rounds(r);
+    }
+    scenario.run()
+}
+
+/// [`run_study_cfg_persisted`] with a [`RoundSink`] attached. With
+/// `opts.resume`, the recorded rounds replay *through the sink* too — a
+/// resumed `--serve` daemon republishes the sealed history before going
+/// live.
+pub fn run_study_cfg_persisted_sink(
+    cfg: ScenarioConfig,
+    opts: &PersistOptions,
+    incremental: bool,
+    sink: Box<dyn RoundSink>,
+) -> Result<StudyResults, PersistError> {
+    Scenario::new(cfg)
+        .incremental(incremental)
+        .round_sink(sink)
+        .run_persisted(opts)
 }
 
 /// All renderable targets, in paper order.

@@ -47,6 +47,10 @@ pub mod snapshot;
 pub mod world;
 
 pub use pipeline::persist::{compact_state_dir, PersistError, PersistOptions};
+pub use pipeline::{
+    ProvisionalCluster, ProvisionalRound, ProvisionalSignature, ProvisionalVerdict, RoundSink,
+    RoundView,
+};
 pub use report::{StudyReport, StudyResults};
 pub use scenario::{Scenario, ScenarioConfig};
 pub use world::{HijackTruth, World};

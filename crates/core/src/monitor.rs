@@ -25,7 +25,7 @@ pub enum CrawlWait {
 }
 
 enum CrawlPhase {
-    Dns(ResolutionInFlight),
+    Dns(Box<ResolutionInFlight>),
     Index {
         rcode: dns::Rcode,
         cname: Option<Name>,
@@ -78,7 +78,7 @@ impl<'a> CrawlInFlight<'a> {
             now,
             prev,
             fetch_dropped,
-            phase: CrawlPhase::Dns(fl),
+            phase: CrawlPhase::Dns(Box::new(fl)),
             dns_elapsed_ns: 0,
             elapsed_ns: 0,
         }
@@ -143,7 +143,7 @@ impl<'a> CrawlInFlight<'a> {
                 if !fl.is_done() {
                     CrawlPhase::Dns(fl)
                 } else {
-                    let outcome = resolver.conclude(fl);
+                    let outcome = resolver.conclude(*fl);
                     self.dns_elapsed_ns = outcome.sim_elapsed_ns;
                     let cname = outcome.final_cname().cloned();
                     match outcome.addresses.first().copied() {

@@ -144,15 +144,17 @@ impl CrawlExecutor {
 
         // Telemetry: peak concurrency and makespan across shard loops, each
         // crawl's simulated duration. All out-of-band.
-        let peak = per_bucket.iter().map(|b| b.peak_inflight).max().unwrap_or(0);
+        let peak = per_bucket
+            .iter()
+            .map(|b| b.peak_inflight)
+            .max()
+            .unwrap_or(0);
         let makespan = per_bucket.iter().map(|b| b.makespan_ns).max().unwrap_or(0);
         self.m_inflight.set(peak as f64);
         self.m_makespan.set(makespan as f64);
 
-        let mut indexed: Vec<(usize, CrawlOutcome)> = per_bucket
-            .into_iter()
-            .flat_map(|b| b.outcomes)
-            .collect();
+        let mut indexed: Vec<(usize, CrawlOutcome)> =
+            per_bucket.into_iter().flat_map(|b| b.outcomes).collect();
         indexed.sort_unstable_by_key(|(i, _)| *i);
         debug_assert_eq!(indexed.len(), monitored.len());
         for (_, o) in &indexed {
@@ -219,34 +221,32 @@ impl CrawlExecutor {
 
         // Price and schedule a task's pending wait; returns false if the
         // task is already done (nothing to schedule).
-        let schedule = |task: &mut Task,
-                        q: &mut CompletionQueue<usize>,
-                        slot: usize,
-                        timeouts: &mut u64| {
-            let fl = task.fl.as_ref().expect("scheduling a harvested task");
-            let Some(wait) = fl.wait() else { return false };
-            let fate = if free {
-                QueryFate {
-                    cost_ns: 0,
-                    dropped: false,
-                }
-            } else {
-                let class = match wait {
-                    CrawlWait::Dns => QueryClass::Dns,
-                    CrawlWait::Index | CrawlWait::Sitemap => QueryClass::Http,
+        let schedule =
+            |task: &mut Task, q: &mut CompletionQueue<usize>, slot: usize, timeouts: &mut u64| {
+                let fl = task.fl.as_ref().expect("scheduling a harvested task");
+                let Some(wait) = fl.wait() else { return false };
+                let fate = if free {
+                    QueryFate {
+                        cost_ns: 0,
+                        dropped: false,
+                    }
+                } else {
+                    let class = match wait {
+                        CrawlWait::Dns => QueryClass::Dns,
+                        CrawlWait::Index | CrawlWait::Sitemap => QueryClass::Http,
+                    };
+                    let key = format!("net/{}/{}/{}", task.fqdn, now.0, task.ordinal);
+                    self.latency
+                        .sample(tree, &key, &fl.target().to_string(), class)
                 };
-                let key = format!("net/{}/{}/{}", task.fqdn, now.0, task.ordinal);
-                self.latency
-                    .sample(tree, &key, &fl.target().to_string(), class)
+                if fate.dropped {
+                    *timeouts += 1;
+                }
+                task.ordinal += 1;
+                task.pending = fate;
+                q.schedule_in(fate.cost_ns, slot);
+                true
             };
-            if fate.dropped {
-                *timeouts += 1;
-            }
-            task.ordinal += 1;
-            task.pending = fate;
-            q.schedule_in(fate.cost_ns, slot);
-            true
-        };
 
         while outcomes.len() < bucket.len() {
             // Admission in canonical order up to the in-flight cap.

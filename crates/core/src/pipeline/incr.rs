@@ -92,6 +92,78 @@ struct SuspiciousEntry {
     day: SimTime,
 }
 
+/// The streaming pass's advisory per-round state, promoted from bare
+/// `retro.incr.*` gauges into a structured value so service mode can
+/// publish real payloads (verdicts, catalog, clusters) instead of two
+/// numbers. Everything here is provisional *by construction*: the benign
+/// validation corpus shrinks as fqdns turn suspicious, so a mid-run verdict
+/// can be invalidated later and [`IncrementalRetro::finalize`] revalidates
+/// from scratch (module docs). Consumers must surface that distinction —
+/// the serve API stamps `provisional: true` on every field derived from
+/// this.
+#[derive(Debug, Clone)]
+pub struct ProvisionalRound {
+    /// Day of the monitoring round this state was computed after.
+    pub day: SimTime,
+    /// Derived signatures before validation (`retro.incr.signatures`).
+    pub signatures_total: usize,
+    /// Survivors of this round's advisory validation
+    /// (`retro.incr.valid_signatures`).
+    pub signatures_valid: usize,
+    /// Distinct non-ruled-out fqdns with a provisionally-valid signature
+    /// hit (`retro.incr.provisional_abuse`).
+    pub provisional_abuse: usize,
+    /// Live greedy derivation groups (`retro.incr.groups`).
+    pub fold_groups: usize,
+    /// One verdict per suspicious fqdn so far, in name order.
+    pub verdicts: Vec<ProvisionalVerdict>,
+    /// The current signature catalog, in derivation (id) order.
+    pub signatures: Vec<ProvisionalSignature>,
+    /// Identical-change clusters, in fingerprint order.
+    pub clusters: Vec<ProvisionalCluster>,
+}
+
+/// Advisory per-fqdn verdict: what the streaming pass would answer *today*
+/// for "is this resource abused?".
+#[derive(Debug, Clone)]
+pub struct ProvisionalVerdict {
+    pub fqdn: Name,
+    /// Some provisionally-valid signature matches one of this fqdn's
+    /// suspicious changes, and the fqdn is not ruled out.
+    pub abused: bool,
+    /// Ruled out by the registrar-diversity check (not monotone: can flip
+    /// back in a later round).
+    pub ruled_out: bool,
+    /// First / last day a suspicious change was observed.
+    pub first_day: SimTime,
+    pub last_day: SimTime,
+    /// Feature classes of the provisionally-valid signatures that hit,
+    /// sorted and deduplicated.
+    pub kinds: Vec<SignatureKind>,
+}
+
+/// One derived signature plus its advisory validation verdict.
+#[derive(Debug, Clone)]
+pub struct ProvisionalSignature {
+    pub id: u32,
+    pub kind: SignatureKind,
+    pub keywords: Vec<String>,
+    pub source_members: usize,
+    pub source_slds: usize,
+    /// Survived this round's validation against the current benign corpus.
+    pub valid: bool,
+}
+
+/// One identical-change cluster from the registrar rule-out.
+#[derive(Debug, Clone)]
+pub struct ProvisionalCluster {
+    pub key: String,
+    pub members: usize,
+    pub registrar_count: usize,
+    /// Multi-fqdn and confined to ≤1 registrar: members are ruled out.
+    pub ruled_out: bool,
+}
+
 /// Cached matching state for one signature content key.
 struct CachedSig {
     /// A representative signature carrying this key (id irrelevant).
@@ -129,6 +201,10 @@ pub struct IncrementalRetro {
     /// first-match semantics as the batch pass's linear scan).
     registrars: Option<HashMap<Name, u16>>,
     min_signature_slds: usize,
+    /// Advisory state of the last round, rebuilt by each advisory ingest;
+    /// `None` until the first round (and never refreshed by the finalize
+    /// catch-up, whose validation is authoritative instead).
+    provisional: Option<ProvisionalRound>,
 }
 
 impl IncrementalRetro {
@@ -144,7 +220,15 @@ impl IncrementalRetro {
             match_cache: BTreeMap::new(),
             registrars: None,
             min_signature_slds: 2,
+            provisional: None,
         }
+    }
+
+    /// The advisory state computed after the most recent round, if any —
+    /// what a service-mode sink publishes. See [`ProvisionalRound`] for why
+    /// every consumer must carry its provisional flag forward.
+    pub fn provisional_round(&self) -> Option<&ProvisionalRound> {
+        self.provisional.as_ref()
     }
 
     fn registrar_of(&self, sld: &Name) -> Option<u16> {
@@ -187,11 +271,12 @@ impl IncrementalRetro {
         self.fold = fold;
     }
 
-    /// Ingest every not-yet-processed change record. `advisory` additionally
-    /// runs the per-round benign validation and refreshes the `retro.incr.*`
-    /// round gauges (skipped during the finalize catch-up, where the real
-    /// validation follows immediately).
-    fn ingest(&mut self, rs: &RunState, advisory: bool) {
+    /// Ingest every not-yet-processed change record. `advisory` carries the
+    /// round's day and additionally runs the per-round benign validation,
+    /// refreshing the `retro.incr.*` round gauges and the structured
+    /// [`ProvisionalRound`] (skipped during the finalize catch-up, where
+    /// the real validation follows immediately).
+    fn ingest(&mut self, rs: &RunState, advisory: Option<SimTime>) {
         let _s = obs::span("retro.incr.round", "retro").record_into("retro.incr.round_ns");
         if self.registrars.is_none() {
             let mut m: HashMap<Name, u16> = HashMap::new();
@@ -333,16 +418,17 @@ impl IncrementalRetro {
 
         obs::gauge("retro.incr.groups").set(self.fold.group_count() as f64);
         obs::gauge("retro.incr.signatures").set(sigs_all.len() as f64);
-        if advisory {
-            self.advisory_validation(rs, sigs_all);
+        if let Some(day) = advisory {
+            self.advisory_validation(rs, sigs_all, day);
         }
     }
 
     /// Per-round sharded validation against the *current* benign corpus plus
-    /// the provisional-abuse gauge. Advisory by design: the corpus shrinks
-    /// as fqdns turn suspicious, so these verdicts steer dashboards, not the
+    /// the provisional-abuse gauge and the structured [`ProvisionalRound`].
+    /// Advisory by design: the corpus shrinks as fqdns turn suspicious, so
+    /// these verdicts steer dashboards and service-mode queries, not the
     /// final result.
-    fn advisory_validation(&mut self, rs: &RunState, sigs_all: Vec<Signature>) {
+    fn advisory_validation(&mut self, rs: &RunState, sigs_all: Vec<Signature>, day: SimTime) {
         let _s = obs::span("retro.incr.validate", "retro").record_into("retro.incr.validate_ns");
         let corpus: Vec<&crate::snapshot::Snapshot> = rs
             .store
@@ -372,21 +458,87 @@ impl IncrementalRetro {
         }
         obs::gauge("retro.incr.valid_signatures").set(valid as f64);
         // Provisional abuse: non-ruled suspicious fqdns with at least one
-        // provisionally-valid signature hit.
+        // provisionally-valid signature hit. Alongside the flat hit vector,
+        // keep the matching feature classes per entry so the structured
+        // verdicts can say *how* each fqdn was flagged.
         let mut hit = vec![false; self.suspicious.len()];
+        let mut hit_kinds: Vec<Vec<SignatureKind>> = vec![Vec::new(); self.suspicious.len()];
         for c in self.match_cache.values().filter(|c| c.provisional_valid) {
+            let kind = c.matcher.kind();
             for (i, v) in c.verdicts.iter().enumerate() {
-                hit[i] |= *v;
+                if *v {
+                    hit[i] = true;
+                    if !hit_kinds[i].contains(&kind) {
+                        hit_kinds[i].push(kind);
+                    }
+                }
             }
         }
-        let abused: BTreeSet<&Name> = self
-            .suspicious
+
+        // Aggregate per fqdn (BTreeMap: verdicts come out in name order).
+        let mut per_fqdn: BTreeMap<Name, ProvisionalVerdict> = BTreeMap::new();
+        for ((entry, h), kinds) in self.suspicious.iter().zip(&hit).zip(&hit_kinds) {
+            let ruled = self.ruled_out.contains(&entry.fqdn);
+            let v = per_fqdn
+                .entry(entry.fqdn.clone())
+                .or_insert_with(|| ProvisionalVerdict {
+                    fqdn: entry.fqdn.clone(),
+                    abused: false,
+                    ruled_out: ruled,
+                    first_day: entry.day,
+                    last_day: entry.day,
+                    kinds: Vec::new(),
+                });
+            v.ruled_out = ruled;
+            v.first_day = v.first_day.min(entry.day);
+            v.last_day = v.last_day.max(entry.day);
+            if *h && !ruled {
+                v.abused = true;
+            }
+            for k in kinds {
+                if !v.kinds.contains(k) {
+                    v.kinds.push(*k);
+                }
+            }
+        }
+        let abused = per_fqdn.values().filter(|v| v.abused).count();
+        obs::gauge("retro.incr.provisional_abuse").set(abused as f64);
+
+        let signatures: Vec<ProvisionalSignature> = sigs_all
             .iter()
-            .zip(&hit)
-            .filter(|(e, h)| **h && !self.ruled_out.contains(&e.fqdn))
-            .map(|(e, _)| &e.fqdn)
+            .map(|s| ProvisionalSignature {
+                id: s.id,
+                kind: s.kind(),
+                keywords: s.keywords.clone(),
+                source_members: s.source_members,
+                source_slds: s.source_slds,
+                valid: !discarded_keys.contains(&sig_key(s)),
+            })
             .collect();
-        obs::gauge("retro.incr.provisional_abuse").set(abused.len() as f64);
+        let clusters: Vec<ProvisionalCluster> =
+            crate::benign::clusters_from_map(&self.cluster_map, |sld| self.registrar_of(sld))
+                .into_iter()
+                .map(|c| ProvisionalCluster {
+                    ruled_out: c.fqdns.len() >= 2 && c.registrar_driven(),
+                    key: c.key,
+                    members: c.fqdns.len(),
+                    registrar_count: c.registrar_count,
+                })
+                .collect();
+        let mut verdicts: Vec<ProvisionalVerdict> = per_fqdn.into_values().collect();
+        for v in &mut verdicts {
+            v.kinds.sort_unstable();
+        }
+        self.provisional = Some(ProvisionalRound {
+            day,
+            signatures_total: sigs_all.len(),
+            signatures_valid: valid,
+            provisional_abuse: abused,
+            fold_groups: self.fold.group_count(),
+            verdicts,
+            signatures,
+            clusters,
+        });
     }
 
     /// Consume the run state: catch up on any tail, run the *final*
@@ -397,7 +549,7 @@ impl IncrementalRetro {
     /// [`RetroStage`](super::RetroStage).
     pub fn finalize(mut self, rs: RunState) -> StudyResults {
         let _s = obs::span("retro.incr.finalize", "retro").record_into("retro.incr.finalize_ns");
-        self.ingest(&rs, false);
+        self.ingest(&rs, None);
 
         let change_clusters =
             crate::benign::clusters_from_map(&self.cluster_map, |sld| self.registrar_of(sld));
@@ -498,7 +650,7 @@ impl Stage for IncrementalRetro {
         "incr_retro"
     }
 
-    fn weekly(&mut self, rs: &mut RunState, _now: SimTime) {
-        self.ingest(rs, true);
+    fn weekly(&mut self, rs: &mut RunState, now: SimTime) {
+        self.ingest(rs, Some(now));
     }
 }

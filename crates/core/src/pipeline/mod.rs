@@ -49,7 +49,10 @@ pub use collect_stage::CollectStage;
 pub use crawl::{CrawlExecutor, CrawlOutcome, CrawlStage};
 pub use diff_stage::DiffStage;
 pub use exec::{ExecMetricNames, ShardedExecutor};
-pub use incr::IncrementalRetro;
+pub use incr::{
+    IncrementalRetro, ProvisionalCluster, ProvisionalRound, ProvisionalSignature,
+    ProvisionalVerdict,
+};
 pub use persist::{PersistError, PersistOptions, PersistStage};
 pub use retro::RetroStage;
 pub use world_stage::WorldStage;
@@ -95,6 +98,46 @@ pub trait Stage {
 
     /// Run one monitoring round (`MonitorWeek`), in pipeline order.
     fn weekly(&mut self, _rs: &mut RunState, _now: SimTime) {}
+}
+
+/// A read-only snapshot of one committed round, handed to a [`RoundSink`]
+/// right after the round is sealed (after the persist stage's
+/// `finish_round`, before the next round starts).
+///
+/// The sink sees shared references only: it can build whatever external
+/// surface it wants from the round (service mode builds a published query
+/// view) but cannot perturb the run — the determinism contracts of the
+/// equivalence suites hold with any sink attached, by construction.
+pub struct RoundView<'a> {
+    /// The full run state as of this round's commit.
+    pub rs: &'a RunState,
+    /// Simulated day of the round.
+    pub now: SimTime,
+    /// Monitoring rounds completed so far (1-based: 1 after the first).
+    pub rounds_done: u64,
+    /// The incremental retro pass's advisory per-round state, when the run
+    /// is streaming (`None` in batch mode, where no mid-run verdicts
+    /// exist).
+    pub provisional: Option<&'a ProvisionalRound>,
+}
+
+/// An observer of committed rounds — the hook service mode builds on.
+///
+/// [`crate::scenario::Scenario::round_sink`] attaches one to a run; the
+/// orchestrator calls [`RoundSink::round_committed`] once per monitoring
+/// round and polls [`RoundSink::stop_requested`] right after, breaking out
+/// of the event loop at the round boundary when it returns true. A
+/// persisted run has already sealed the round at that point, so a stop
+/// request is a clean shutdown: a later `--resume` picks up at the next
+/// round exactly as after `PersistOptions::max_rounds`.
+pub trait RoundSink: Send {
+    fn round_committed(&mut self, view: RoundView<'_>);
+
+    /// Ask the run to stop at this round boundary (SIGTERM-style graceful
+    /// shutdown). Polled after every `round_committed`.
+    fn stop_requested(&self) -> bool {
+        false
+    }
 }
 
 /// Shared state the stages read and write; everything the retrospective

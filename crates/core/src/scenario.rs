@@ -15,7 +15,7 @@
 
 use crate::pipeline::{
     CollectStage, CrawlStage, DiffStage, Ev, IncrementalRetro, PersistError, PersistOptions,
-    PersistStage, RetroStage, RunState, Stage, WorldStage,
+    PersistStage, RetroStage, RoundSink, RoundView, RunState, Stage, WorldStage,
 };
 use crate::report::StudyResults;
 use cloudsim::PlatformConfig;
@@ -120,6 +120,7 @@ pub struct Scenario {
     cfg: ScenarioConfig,
     max_rounds: Option<u64>,
     incremental: bool,
+    sink: Option<Box<dyn RoundSink>>,
 }
 
 impl Scenario {
@@ -128,6 +129,7 @@ impl Scenario {
             cfg,
             max_rounds: None,
             incremental: false,
+            sink: None,
         }
     }
 
@@ -154,6 +156,17 @@ impl Scenario {
     /// without re-crawling.
     pub fn incremental(mut self, on: bool) -> Self {
         self.incremental = on;
+        self
+    }
+
+    /// Attach a [`RoundSink`]: an observer invoked after every committed
+    /// monitoring round with a read-only [`RoundView`], and polled for a
+    /// graceful stop at each round boundary. Service mode publishes its
+    /// query views through this hook. The sink sees shared references only,
+    /// so — like telemetry — it cannot perturb results; the
+    /// `serve_equivalence` suite pins that byte for byte.
+    pub fn round_sink(mut self, sink: Box<dyn RoundSink>) -> Self {
+        self.sink = Some(sink);
         self
     }
 
@@ -185,6 +198,7 @@ impl Scenario {
         let failure_rate = self.cfg.crawl_failure_rate;
         let max_rounds = self.max_rounds;
         let incremental = self.incremental;
+        let mut sink = self.sink;
         let mut rs = RunState::new(self.cfg);
 
         // Telemetry handles, resolved once. Everything recorded below is
@@ -197,8 +211,7 @@ impl Scenario {
 
         let mut world_stage = WorldStage::new(&rs);
         let mut collect = CollectStage::new(&rs, threads);
-        let mut crawl =
-            CrawlStage::new(threads, failure_rate).with_latency(rs.cfg.latency_model());
+        let mut crawl = CrawlStage::new(threads, failure_rate).with_latency(rs.cfg.latency_model());
         let mut diff = DiffStage;
         let mut persist = match persist_opts {
             Some(opts) => Some(PersistStage::open(opts, &rs.cfg, rs.store.shard_count())?),
@@ -276,14 +289,26 @@ impl Scenario {
                         rs.changes.len() - changes_before,
                         round_started.elapsed().as_secs_f64() * 1e3
                     );
+                    let mut stop = false;
                     if let Some(p) = persist.as_mut() {
                         rs.rng_witness = world_stage.rng_cursor_digest();
                         p.finish_round(&rs, now)?;
-                        if p.should_stop() {
-                            break;
-                        }
+                        stop = p.should_stop();
                     }
-                    if max_rounds.is_some_and(|m| rounds >= m) {
+                    // The round is sealed: hand the committed state to the
+                    // sink (read-only — query surfaces are out-of-band by
+                    // construction) and honor a graceful stop request at
+                    // this round boundary.
+                    if let Some(sink) = sink.as_mut() {
+                        sink.round_committed(RoundView {
+                            rs: &rs,
+                            now,
+                            rounds_done: rounds,
+                            provisional: incr.as_ref().and_then(|i| i.provisional_round()),
+                        });
+                        stop = stop || sink.stop_requested();
+                    }
+                    if stop || max_rounds.is_some_and(|m| rounds >= m) {
                         break;
                     }
                 }

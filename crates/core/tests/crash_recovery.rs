@@ -6,7 +6,7 @@
 
 use dangling_core::pipeline::persist::Checkpoint;
 use dangling_core::scenario::{Scenario, ScenarioConfig};
-use dangling_core::{PersistError, PersistOptions};
+use dangling_core::{PersistError, PersistOptions, RoundSink, RoundView};
 use std::fs::OpenOptions;
 use std::io::Write;
 use std::path::PathBuf;
@@ -158,6 +158,65 @@ fn truncated_segment_invalidates_commits_that_point_past_it() {
     );
     let resumed = run_persisted(&dir, true, None).expect("resume");
     assert_eq!(&resumed, baseline());
+}
+
+/// A [`RoundSink`] that requests a graceful stop after `stop_after`
+/// committed rounds — the crash-free sibling of the kill tests: service
+/// mode's SIGTERM path stops at a round boundary via exactly this hook.
+struct StopSink {
+    stop_after: u64,
+    seen: u64,
+}
+
+impl RoundSink for StopSink {
+    fn round_committed(&mut self, _view: RoundView<'_>) {
+        self.seen += 1;
+    }
+
+    fn stop_requested(&self) -> bool {
+        self.seen >= self.stop_after
+    }
+}
+
+#[test]
+fn graceful_sink_stop_seals_the_round_and_resumes_to_batch_results() {
+    // Stop after four committed rounds through the RoundSink hook (no
+    // crash, no torn bytes): the fourth round must be fully sealed, and a
+    // later incremental resume must replay it — not re-crawl it — and
+    // still land on the batch baseline byte for byte.
+    let dir = TempDir::new("sink");
+    let opts = PersistOptions::new(&dir.0);
+    Scenario::new(study_cfg(2))
+        .incremental(true)
+        .round_sink(Box::new(StopSink {
+            stop_after: 4,
+            seen: 0,
+        }))
+        .run_persisted(&opts)
+        .expect("graceful-stop run");
+    // The sink stop must land on the same sealed boundary as
+    // `max_rounds = 4` — both are "after the fourth committed round".
+    let reference_round = {
+        let reference = TempDir::new("sink_ref");
+        run_persisted(&reference, false, Some(4)).expect("reference run");
+        recovered_round(&reference)
+    };
+    assert_eq!(
+        recovered_round(&dir),
+        reference_round,
+        "the stop must land exactly after the fourth sealed weekly round"
+    );
+    let replayed_before = obs::counter("persist.rounds_replayed").get();
+    let resumed = run_persisted_incremental(&dir, true, None).expect("resume");
+    assert!(
+        obs::counter("persist.rounds_replayed").get() >= replayed_before + 4,
+        "all four sealed rounds must replay instead of re-crawling"
+    );
+    assert_eq!(
+        &resumed,
+        baseline(),
+        "graceful stop + resume diverged from the uninterrupted run"
+    );
 }
 
 #[test]

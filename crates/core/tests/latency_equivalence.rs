@@ -64,9 +64,7 @@ fn latency_profiles_change_timing_telemetry_never_results() {
 
     // The blocking path never touches the network clock at all.
     assert!(
-        off.resolution_latency
-            .iter()
-            .all(|r| r.p99_ns == 0),
+        off.resolution_latency.iter().all(|r| r.p99_ns == 0),
         "off profile must not accumulate simulated latency"
     );
 }

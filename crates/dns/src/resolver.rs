@@ -321,12 +321,7 @@ impl<T: Transport> Resolver<T> {
     /// query (`None` = dropped on the wire) and the simulated time the
     /// attempt consumed. Readies the next query (CNAME hop or retry) or
     /// finishes the chain.
-    pub fn advance(
-        &self,
-        fl: &mut ResolutionInFlight,
-        response: Option<Message>,
-        cost_ns: u64,
-    ) {
+    pub fn advance(&self, fl: &mut ResolutionInFlight, response: Option<Message>, cost_ns: u64) {
         let FlightState::Pending { .. } = fl.state else {
             return; // already done; nothing in flight to complete
         };

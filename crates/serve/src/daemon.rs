@@ -1,0 +1,211 @@
+//! The daemon core: round publication and the reader handle.
+//!
+//! [`daemon`] returns a connected pair — a [`ServeSink`] to attach to the
+//! pipeline via [`Scenario::round_sink`](dangling_core::Scenario::round_sink)
+//! and a cloneable [`ServeHandle`] for any number of reader threads. The
+//! two sides share only an [`ArcSwap`]`<LiveView>` plus a few counters:
+//!
+//! - **Writer** (pipeline thread): after each committed round, build the
+//!   next [`LiveView`] off to the side, then publish it with one atomic
+//!   pointer swap. Readers still inside round N keep their pinned view;
+//!   epoch-based reclamation frees it when the last guard drops.
+//! - **Readers**: [`ServeHandle::query`] pins the current view, answers
+//!   from it alone, and unpins — wait-free, never blocking the committing
+//!   round and never blocked by it.
+//!
+//! Graceful shutdown is cooperative: [`ServeHandle::request_stop`] raises a
+//! flag the pipeline polls at each round boundary (the SIGTERM handler of a
+//! real deployment would call exactly this), the run stops *after* the
+//! in-progress round is sealed by the persist protocol, and
+//! [`ServeHandle::drain`] waits for in-flight queries to finish. A later
+//! `--serve --resume` replays the sealed rounds back through the sink and
+//! picks up where the daemon left off.
+
+use crate::query::{Query, Reply};
+use crate::view::LiveView;
+use arc_swap::ArcSwap;
+use dangling_core::pipeline::{RoundSink, RoundView};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+
+struct Shared {
+    view: ArcSwap<LiveView>,
+    stop: AtomicBool,
+    inflight: AtomicU64,
+    queries: AtomicU64,
+    published: AtomicU64,
+}
+
+/// Create a connected sink/handle pair, initialized with the empty seq-0
+/// view so queries are answerable before the first round commits.
+pub fn daemon() -> (ServeSink, ServeHandle) {
+    let shared = Arc::new(Shared {
+        view: ArcSwap::new(Arc::new(LiveView::empty())),
+        stop: AtomicBool::new(false),
+        inflight: AtomicU64::new(0),
+        queries: AtomicU64::new(0),
+        published: AtomicU64::new(0),
+    });
+    (
+        ServeSink {
+            shared: shared.clone(),
+            seq: 0,
+        },
+        ServeHandle { shared },
+    )
+}
+
+/// The read side: cheap to clone, safe to hammer from any number of
+/// threads concurrently with round commits.
+#[derive(Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServeHandle {
+    /// Answer one query from the currently published view. Wait-free on
+    /// the read path; the entire reply is read from a single pinned view,
+    /// so it is snapshot-consistent by construction.
+    pub fn query(&self, q: &Query) -> Reply {
+        self.shared.inflight.fetch_add(1, SeqCst);
+        let started = std::time::Instant::now();
+        let reply = {
+            let view = self.shared.view.load();
+            Reply::answer(&view, q)
+        };
+        obs::histogram("serve.query_ns").record(started.elapsed().as_nanos() as u64);
+        obs::counter("serve.queries").inc();
+        self.shared.queries.fetch_add(1, SeqCst);
+        self.shared.inflight.fetch_sub(1, SeqCst);
+        reply
+    }
+
+    /// Clone out the current view (for bulk readers; `query` is the hot
+    /// path).
+    pub fn view(&self) -> Arc<LiveView> {
+        self.shared.view.load_full()
+    }
+
+    /// Rounds published so far (0 until the first commit).
+    pub fn rounds_published(&self) -> u64 {
+        self.shared.published.load(SeqCst)
+    }
+
+    /// Queries answered through this daemon.
+    pub fn queries_served(&self) -> u64 {
+        self.shared.queries.load(SeqCst)
+    }
+
+    /// Queries currently executing.
+    pub fn inflight(&self) -> u64 {
+        self.shared.inflight.load(SeqCst)
+    }
+
+    /// Ask the run to stop at the next round boundary (SIGTERM-style). The
+    /// round in progress is still sealed through the persist protocol, so
+    /// a later `--resume` continues cleanly.
+    pub fn request_stop(&self) {
+        self.shared.stop.store(true, SeqCst);
+    }
+
+    pub fn stop_requested(&self) -> bool {
+        self.shared.stop.load(SeqCst)
+    }
+
+    /// Wait until no query is in flight. Readers that keep querying after
+    /// a stop still get answers (the last view stays published); drain
+    /// only waits for the *current* in-flight set to clear.
+    pub fn drain(&self) {
+        while self.shared.inflight.load(SeqCst) > 0 {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// The write side: a [`RoundSink`] that turns each committed round into a
+/// published [`LiveView`]. Exactly one exists per daemon — publication is
+/// single-writer by construction (the `ArcSwap` itself also tolerates
+/// multiple writers, which the consistency suite exercises separately).
+pub struct ServeSink {
+    shared: Arc<Shared>,
+    seq: u64,
+}
+
+impl ServeSink {
+    /// Another handle onto this daemon's read side.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Publish a pre-built view as-is (benches use this to drive
+    /// publication without a live pipeline). The normal path is
+    /// [`RoundSink::round_committed`].
+    pub fn publish_raw(&mut self, view: Arc<LiveView>) {
+        let started = std::time::Instant::now();
+        self.seq = self.seq.max(view.seq);
+        self.shared.view.store(view);
+        obs::histogram("serve.store_ns").record(started.elapsed().as_nanos() as u64);
+        self.shared.published.fetch_add(1, SeqCst);
+        obs::counter("serve.rounds_published").inc();
+    }
+}
+
+impl RoundSink for ServeSink {
+    fn round_committed(&mut self, round: RoundView<'_>) {
+        let _s = obs::span("serve.publish", "serve")
+            .arg_i64("day", round.now.0 as i64)
+            .record_into("serve.publish_round_ns");
+        self.seq += 1;
+        let built = std::time::Instant::now();
+        let view = LiveView::from_round(&round, self.seq);
+        obs::histogram("serve.build_ns").record(built.elapsed().as_nanos() as u64);
+        obs::gauge("serve.view_verdicts").set(view.verdicts.len() as f64);
+        obs::gauge("serve.view_signatures").set(view.signatures.len() as f64);
+        obs::gauge("serve.view_seq").set(view.seq as f64);
+        self.publish_raw(Arc::new(view));
+    }
+
+    fn stop_requested(&self) -> bool {
+        self.shared.stop.load(SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_daemon_answers_with_seq_zero() {
+        let (_sink, handle) = daemon();
+        let r = handle.query(&Query::Status);
+        assert_eq!(r.seq, 0);
+        assert_eq!(r.round, 0);
+        assert!(r.consistent());
+        assert_eq!(handle.queries_served(), 1);
+        assert_eq!(handle.inflight(), 0);
+    }
+
+    #[test]
+    fn publish_raw_advances_the_served_view() {
+        let (mut sink, handle) = daemon();
+        sink.publish_raw(Arc::new(LiveView::synthetic(1, 8)));
+        sink.publish_raw(Arc::new(LiveView::synthetic(2, 12)));
+        let r = handle.query(&Query::Status);
+        assert_eq!(r.seq, 2);
+        assert!(r.consistent());
+        assert_eq!(handle.rounds_published(), 2);
+    }
+
+    #[test]
+    fn stop_flag_reaches_the_sink() {
+        let (sink, handle) = daemon();
+        assert!(!RoundSink::stop_requested(&sink));
+        handle.request_stop();
+        assert!(RoundSink::stop_requested(&sink));
+        assert!(handle.stop_requested());
+        handle.drain();
+        assert_eq!(handle.inflight(), 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! HTTP facade over the query API, on `httpsim` machinery.
+//!
+//! The daemon is in-process, but its surface is an HTTP API so real
+//! clients could front it unchanged:
+//!
+//! | route                | query                        |
+//! |----------------------|------------------------------|
+//! | `GET /v1/status`     | [`Query::Status`]            |
+//! | `GET /v1/health`     | [`Query::Health`]            |
+//! | `GET /v1/signatures` | [`Query::Signatures`]        |
+//! | `GET /v1/clusters`   | [`Query::Clusters`]          |
+//! | `GET /v1/verdict/F`  | [`Query::Verdict`] `{fqdn:F}`|
+//!
+//! Responses are JSON-encoded [`Reply`]s. Every data payload carries the
+//! reply's `provisional` flag and `stamp` — wire clients get the same
+//! torn-read witness as in-process ones.
+
+use crate::daemon::ServeHandle;
+use crate::query::Query;
+use httpsim::{Method, Request, Response, StatusCode};
+
+/// Map a request path to a query. `None` = no such route.
+fn route(path: &str) -> Option<Query> {
+    match path {
+        "/v1/status" => Some(Query::Status),
+        "/v1/health" => Some(Query::Health),
+        "/v1/signatures" => Some(Query::Signatures),
+        "/v1/clusters" => Some(Query::Clusters),
+        _ => path.strip_prefix("/v1/verdict/").and_then(|f| {
+            (!f.is_empty() && !f.contains('/')).then(|| Query::Verdict {
+                fqdn: f.to_string(),
+            })
+        }),
+    }
+}
+
+fn json_response(status: StatusCode, body: String) -> Response {
+    let mut r = Response::new(status);
+    r.headers.set("Content-Type", "application/json");
+    r.body = body.into_bytes();
+    r.headers.set("Content-Length", r.body.len().to_string());
+    r
+}
+
+/// Serve one request against the published view.
+pub fn handle_request(handle: &ServeHandle, req: &Request) -> Response {
+    if req.method != Method::Get {
+        return json_response(StatusCode(405), "{\"error\":\"method not allowed\"}".into());
+    }
+    match route(&req.path) {
+        Some(q) => {
+            let reply = handle.query(&q);
+            json_response(
+                StatusCode::OK,
+                serde_json::to_string(&reply).expect("replies always serialize"),
+            )
+        }
+        None => json_response(
+            StatusCode::NOT_FOUND,
+            "{\"error\":\"no such route\"}".into(),
+        ),
+    }
+}
+
+/// Wire-level entry point: parse request bytes, serve, serialize the
+/// response — what a socket loop would call per connection.
+pub fn handle_bytes(handle: &ServeHandle, raw: &[u8]) -> Vec<u8> {
+    let resp = match httpsim::parse::parse_request(raw) {
+        Ok(req) => handle_request(handle, &req),
+        Err(_) => json_response(StatusCode(400), "{\"error\":\"malformed request\"}".into()),
+    };
+    httpsim::parse::serialize_response(&resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::daemon;
+    use crate::view::LiveView;
+    use std::sync::Arc;
+
+    #[test]
+    fn routes_resolve_and_answer_json() {
+        let (mut sink, handle) = daemon();
+        sink.publish_raw(Arc::new(LiveView::synthetic(4, 8)));
+        for path in ["/v1/status", "/v1/health", "/v1/signatures", "/v1/clusters"] {
+            let resp = handle_request(&handle, &Request::get("serve.local", path));
+            assert_eq!(resp.status, StatusCode::OK, "{path}");
+            let v: serde_json::Value = serde_json::from_str(&resp.body_text()).unwrap();
+            assert_eq!(v["round"], serde_json::json!(4), "{path}");
+            assert_eq!(v["provisional"], serde_json::json!(true), "{path}");
+        }
+        let resp = handle_request(
+            &handle,
+            &Request::get("serve.local", "/v1/verdict/host-1.victim-4.example"),
+        );
+        let v: serde_json::Value = serde_json::from_str(&resp.body_text()).unwrap();
+        assert!(v["body"]["Verdict"]["fqdn"]
+            .as_str()
+            .unwrap()
+            .contains("host-1"));
+    }
+
+    #[test]
+    fn unknown_routes_and_methods_are_refused() {
+        let (_sink, handle) = daemon();
+        let r = handle_request(&handle, &Request::get("serve.local", "/v2/nope"));
+        assert_eq!(r.status, StatusCode::NOT_FOUND);
+        let mut post = Request::get("serve.local", "/v1/status");
+        post.method = Method::Post;
+        assert_eq!(handle_request(&handle, &post).status, StatusCode(405));
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let (_sink, handle) = daemon();
+        let raw = httpsim::parse::serialize_request(&Request::get("serve.local", "/v1/status"));
+        let out = handle_bytes(&handle, &raw);
+        let resp = httpsim::parse::parse_response(&out).unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        assert!(resp.body_text().contains("\"round\""));
+    }
+}

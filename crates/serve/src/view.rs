@@ -1,0 +1,362 @@
+//! The published, versioned, read-only view of live state.
+//!
+//! One [`LiveView`] is built per committed monitoring round — off to the
+//! side, from the round's [`RoundView`] — then published with a single
+//! atomic pointer swap. Readers therefore see round N in full or not at
+//! all; there is no field a reader can observe mid-update.
+//!
+//! The [`ViewStamp`] turns that claim into something tests can *assert*: it
+//! freezes the view's counts and a checksum over its payload at build time.
+//! A hypothetical torn read (a mix of round N and N+1 state) would
+//! disagree with its own stamp, so the consistency suite hammers
+//! [`LiveView::consistent`] from reader threads while rounds commit.
+
+use dangling_core::pipeline::RoundView;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Advisory verdict for one FQDN: what the daemon answers *now* for "is
+/// this resource dangling/abused?". `provisional` is always `true` on
+/// served verdicts — the final authoritative pass only exists once the run
+/// finalizes (see DESIGN.md §11).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FqdnVerdict {
+    pub fqdn: String,
+    pub abused: bool,
+    pub ruled_out: bool,
+    pub provisional: bool,
+    /// First / last simulated day a suspicious change was observed.
+    pub first_day: i64,
+    pub last_day: i64,
+    /// Feature classes of the provisionally-valid signatures that hit.
+    pub kinds: Vec<String>,
+}
+
+/// One catalog entry: a derived signature plus its advisory validation
+/// verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignatureEntry {
+    pub id: u32,
+    pub kind: String,
+    pub keywords: Vec<String>,
+    pub source_members: usize,
+    pub source_slds: usize,
+    pub valid: bool,
+    pub provisional: bool,
+}
+
+/// One identical-change cluster from the registrar rule-out.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterEntry {
+    pub key: String,
+    pub members: usize,
+    pub registrar_count: usize,
+    pub ruled_out: bool,
+}
+
+/// The `retro.incr.*` health gauges, promoted into a structured payload.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Health {
+    pub rounds: u64,
+    pub day: i64,
+    pub monitored: u64,
+    pub changes_total: u64,
+    pub signatures_total: u64,
+    pub valid_signatures: u64,
+    pub provisional_abuse: u64,
+    pub fold_groups: u64,
+    /// Whether the run streams the retro pass (verdict payloads exist).
+    pub streaming: bool,
+}
+
+/// Counts and a checksum frozen when the view was built — the torn-read
+/// witness. [`LiveView::consistent`] recomputes and compares.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViewStamp {
+    pub seq: u64,
+    pub round: u64,
+    pub verdicts: u64,
+    pub abused: u64,
+    pub signatures: u64,
+    pub valid_signatures: u64,
+    pub clusters: u64,
+    pub checksum: u64,
+}
+
+/// One round's published state. Immutable once built; replaced wholesale at
+/// the next round commit.
+#[derive(Debug, Clone, Serialize)]
+pub struct LiveView {
+    /// Monotone publication sequence (0 = the pre-first-round empty view).
+    pub seq: u64,
+    /// Monitoring rounds committed when this view was built.
+    pub round: u64,
+    /// Simulated day of the last committed round.
+    pub day: i64,
+    pub monitored: u64,
+    pub changes: u64,
+    /// Payloads are the streaming pass's advisory state, never the final
+    /// authoritative pass.
+    pub provisional: bool,
+    /// FQDN (string form) → verdict.
+    pub verdicts: BTreeMap<String, FqdnVerdict>,
+    pub signatures: Vec<SignatureEntry>,
+    pub clusters: Vec<ClusterEntry>,
+    pub health: Health,
+    pub stamp: ViewStamp,
+}
+
+/// FNV-1a, enough to make an accidental torn mix vanishingly unlikely to
+/// collide.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        for &x in b {
+            self.0 ^= x as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+}
+
+impl LiveView {
+    /// The view published before the first round commits: empty, seq 0.
+    pub fn empty() -> LiveView {
+        let mut v = LiveView {
+            seq: 0,
+            round: 0,
+            day: 0,
+            monitored: 0,
+            changes: 0,
+            provisional: true,
+            verdicts: BTreeMap::new(),
+            signatures: Vec::new(),
+            clusters: Vec::new(),
+            health: Health::default(),
+            stamp: ViewStamp::default(),
+        };
+        v.stamp = v.compute_stamp();
+        v
+    }
+
+    /// Build the next view from a committed round. Runs on the pipeline
+    /// thread *before* publication — readers never observe a view under
+    /// construction.
+    pub fn from_round(v: &RoundView<'_>, seq: u64) -> LiveView {
+        let day = v.now.0 as i64;
+        let mut verdicts = BTreeMap::new();
+        let mut signatures = Vec::new();
+        let mut clusters = Vec::new();
+        if let Some(p) = v.provisional {
+            for pv in &p.verdicts {
+                let fqdn = pv.fqdn.to_string();
+                verdicts.insert(
+                    fqdn.clone(),
+                    FqdnVerdict {
+                        fqdn,
+                        abused: pv.abused,
+                        ruled_out: pv.ruled_out,
+                        provisional: true,
+                        first_day: pv.first_day.0 as i64,
+                        last_day: pv.last_day.0 as i64,
+                        kinds: pv.kinds.iter().map(|k| format!("{k:?}")).collect(),
+                    },
+                );
+            }
+            signatures.extend(p.signatures.iter().map(|s| SignatureEntry {
+                id: s.id,
+                kind: format!("{:?}", s.kind),
+                keywords: s.keywords.clone(),
+                source_members: s.source_members,
+                source_slds: s.source_slds,
+                valid: s.valid,
+                provisional: true,
+            }));
+            clusters.extend(p.clusters.iter().map(|c| ClusterEntry {
+                key: c.key.clone(),
+                members: c.members,
+                registrar_count: c.registrar_count,
+                ruled_out: c.ruled_out,
+            }));
+        }
+        let health = Health {
+            rounds: v.rounds_done,
+            day,
+            monitored: v.rs.monitored.len() as u64,
+            changes_total: v.rs.changes.len() as u64,
+            signatures_total: v.provisional.map_or(0, |p| p.signatures_total as u64),
+            valid_signatures: v.provisional.map_or(0, |p| p.signatures_valid as u64),
+            provisional_abuse: v.provisional.map_or(0, |p| p.provisional_abuse as u64),
+            fold_groups: v.provisional.map_or(0, |p| p.fold_groups as u64),
+            streaming: v.provisional.is_some(),
+        };
+        let mut view = LiveView {
+            seq,
+            round: v.rounds_done,
+            day,
+            monitored: v.rs.monitored.len() as u64,
+            changes: v.rs.changes.len() as u64,
+            provisional: true,
+            verdicts,
+            signatures,
+            clusters,
+            health,
+            stamp: ViewStamp::default(),
+        };
+        view.stamp = view.compute_stamp();
+        view
+    }
+
+    /// A self-consistent view with `n` synthetic entries — for consistency
+    /// tests and benches that need publishable payloads without a live run.
+    pub fn synthetic(seq: u64, n: usize) -> LiveView {
+        let mut verdicts = BTreeMap::new();
+        let mut signatures = Vec::new();
+        let mut clusters = Vec::new();
+        for i in 0..n {
+            let fqdn = format!("host-{i}.victim-{seq}.example");
+            verdicts.insert(
+                fqdn.clone(),
+                FqdnVerdict {
+                    fqdn,
+                    abused: i % 3 == 0,
+                    ruled_out: i % 7 == 0,
+                    provisional: true,
+                    first_day: seq as i64,
+                    last_day: seq as i64 + i as i64,
+                    kinds: vec!["KeywordsOnly".into()],
+                },
+            );
+            signatures.push(SignatureEntry {
+                id: i as u32,
+                kind: "KeywordsSitemap".into(),
+                keywords: vec![format!("kw-{seq}-{i}")],
+                source_members: 2 + i,
+                source_slds: 2,
+                valid: i % 2 == 0,
+                provisional: true,
+            });
+            clusters.push(ClusterEntry {
+                key: format!("cluster-{seq}-{i}"),
+                members: 1 + i % 5,
+                registrar_count: 1 + i % 3,
+                ruled_out: i % 5 == 0,
+            });
+        }
+        let mut view = LiveView {
+            seq,
+            round: seq,
+            day: seq as i64,
+            monitored: n as u64,
+            changes: (n * 2) as u64,
+            provisional: true,
+            verdicts,
+            signatures,
+            clusters,
+            health: Health {
+                rounds: seq,
+                day: seq as i64,
+                monitored: n as u64,
+                changes_total: (n * 2) as u64,
+                signatures_total: n as u64,
+                valid_signatures: n.div_ceil(2) as u64,
+                provisional_abuse: (n + 2) as u64 / 3,
+                fold_groups: n as u64,
+                streaming: true,
+            },
+            stamp: ViewStamp::default(),
+        };
+        view.stamp = view.compute_stamp();
+        view
+    }
+
+    /// Recompute the stamp from the payload actually held.
+    fn compute_stamp(&self) -> ViewStamp {
+        let mut h = Fnv::new();
+        h.u64(self.seq);
+        h.u64(self.round);
+        h.u64(self.day as u64);
+        let mut abused = 0u64;
+        for (k, v) in &self.verdicts {
+            h.bytes(k.as_bytes());
+            h.u64(v.abused as u64 | (v.ruled_out as u64) << 1);
+            h.u64(v.last_day as u64);
+            if v.abused {
+                abused += 1;
+            }
+        }
+        let mut valid = 0u64;
+        for s in &self.signatures {
+            h.u64(s.id as u64);
+            h.u64(s.valid as u64);
+            if s.valid {
+                valid += 1;
+            }
+        }
+        for c in &self.clusters {
+            h.bytes(c.key.as_bytes());
+            h.u64(c.members as u64);
+        }
+        ViewStamp {
+            seq: self.seq,
+            round: self.round,
+            verdicts: self.verdicts.len() as u64,
+            abused,
+            signatures: self.signatures.len() as u64,
+            valid_signatures: valid,
+            clusters: self.clusters.len() as u64,
+            checksum: h.0,
+        }
+    }
+
+    /// Does the payload agree with the stamp frozen at build time? A torn
+    /// read — any mix of two rounds' state — fails this.
+    pub fn consistent(&self) -> bool {
+        self.compute_stamp() == self.stamp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_views_are_self_consistent() {
+        for (seq, n) in [(0, 0), (1, 1), (5, 64), (9, 257)] {
+            let v = LiveView::synthetic(seq, n);
+            assert!(v.consistent());
+            assert_eq!(v.stamp.seq, seq);
+            assert_eq!(v.stamp.verdicts, n as u64);
+        }
+        assert!(LiveView::empty().consistent());
+    }
+
+    #[test]
+    fn any_payload_mutation_breaks_the_stamp() {
+        let mut v = LiveView::synthetic(3, 16);
+        v.signatures[4].valid = !v.signatures[4].valid;
+        assert!(!v.consistent(), "flipped validity must be detected");
+
+        let mut v = LiveView::synthetic(3, 16);
+        v.verdicts
+            .remove(&v.verdicts.keys().next().unwrap().clone());
+        assert!(!v.consistent(), "dropped verdict must be detected");
+
+        let mut v = LiveView::synthetic(3, 16);
+        v.round += 1;
+        assert!(!v.consistent(), "round skew must be detected");
+
+        // The torn mix the stamp exists for: round-N counts with round-N+1
+        // payload.
+        let a = LiveView::synthetic(3, 16);
+        let mut torn = LiveView::synthetic(4, 16);
+        torn.stamp = a.stamp;
+        assert!(!torn.consistent());
+    }
+}

@@ -1,0 +1,134 @@
+//! Graceful shutdown and resume for serve mode: a stop requested through
+//! the [`serve::ServeHandle`] (what a SIGTERM handler would call) must end
+//! the run *at a round boundary* with that round sealed by the persist
+//! protocol, in-flight queries drained — and a later `--serve --resume`
+//! must replay the sealed rounds back through the sink and finish the
+//! horizon byte-identically to an uninterrupted run.
+
+use dangling_core::pipeline::{RoundSink, RoundView};
+use dangling_core::scenario::{Scenario, ScenarioConfig};
+use dangling_core::PersistOptions;
+use serve::{daemon, Query, ServeHandle, ServeSink};
+use std::path::PathBuf;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("serve_rec_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn study_cfg() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::at_scale(3000);
+    cfg.world.n_fortune1000 = 20;
+    cfg.world.n_global500 = 10;
+    cfg.seed = 5;
+    cfg.crawl_threads = 2;
+    cfg.crawl_failure_rate = 0.02;
+    cfg
+}
+
+/// Wraps the real [`ServeSink`] and raises the daemon's own stop flag after
+/// `stop_after` committed rounds — a deterministic stand-in for an operator
+/// sending SIGTERM mid-run.
+struct StopAfter {
+    inner: ServeSink,
+    handle: ServeHandle,
+    stop_after: u64,
+    seen: u64,
+}
+
+impl RoundSink for StopAfter {
+    fn round_committed(&mut self, view: RoundView<'_>) {
+        self.inner.round_committed(view);
+        self.seen += 1;
+        if self.seen == self.stop_after {
+            self.handle.request_stop();
+        }
+    }
+
+    fn stop_requested(&self) -> bool {
+        RoundSink::stop_requested(&self.inner)
+    }
+}
+
+#[test]
+fn graceful_stop_drains_and_resume_reaches_batch_results() {
+    let baseline = {
+        let results = Scenario::new(study_cfg()).incremental(true).run();
+        serde_json::to_string(&results).expect("results serialize")
+    };
+
+    let dir = TempDir::new("main");
+
+    // Leg 1: serve until the stop lands after round 3, sealed through the
+    // persist protocol.
+    let (sink, handle) = daemon();
+    let stopper = StopAfter {
+        handle: sink.handle(),
+        inner: sink,
+        stop_after: 3,
+        seen: 0,
+    };
+    let opts = PersistOptions::new(&dir.0);
+    let partial = Scenario::new(study_cfg())
+        .incremental(true)
+        .round_sink(Box::new(stopper))
+        .run_persisted(&opts)
+        .expect("serve leg");
+    assert_eq!(
+        handle.rounds_published(),
+        3,
+        "the stop must land exactly at the requested round boundary"
+    );
+    assert!(handle.stop_requested());
+    handle.drain();
+    assert_eq!(handle.inflight(), 0, "drain must leave no query in flight");
+    // Queries still answer after the stop, from the last sealed round.
+    let reply = handle.query(&Query::Status);
+    assert_eq!(reply.round, 3);
+    assert!(reply.consistent());
+    assert!(
+        serde_json::to_string(&partial).expect("results serialize") != baseline,
+        "three rounds cannot equal the full horizon — the stop must be real"
+    );
+
+    // Leg 2: a fresh daemon resumes the same state dir. The three sealed
+    // rounds replay *through the sink* (no re-crawl), then the run
+    // continues live to the horizon.
+    let (sink, handle) = daemon();
+    let mut opts = PersistOptions::new(&dir.0);
+    opts.resume = true;
+    let resumed = Scenario::new(study_cfg())
+        .incremental(true)
+        .round_sink(Box::new(sink))
+        .run_persisted(&opts)
+        .expect("resume leg");
+    assert!(
+        handle.rounds_published() > 3,
+        "resume must republish the replayed rounds and keep going (got {})",
+        handle.rounds_published()
+    );
+    let view = handle.view();
+    assert!(view.consistent());
+    assert_eq!(
+        view.round,
+        handle.rounds_published(),
+        "the final view must be the last committed round"
+    );
+    assert_eq!(
+        serde_json::to_string(&resumed).expect("results serialize"),
+        baseline,
+        "stop + resume under serve mode diverged from the uninterrupted run"
+    );
+}

@@ -259,7 +259,10 @@ impl LatencyModel {
     }
 
     pub fn name(&self) -> &str {
-        self.profile.as_ref().map(|p| p.name.as_str()).unwrap_or("off")
+        self.profile
+            .as_ref()
+            .map(|p| p.name.as_str())
+            .unwrap_or("off")
     }
 
     /// True when every sample is trivially `{0, not dropped}` — the zero
@@ -319,7 +322,12 @@ impl LatencyModel {
                 dropped: true,
             };
         }
-        let raw = base + if jitter > 0 { rng.gen_range(0..=jitter) } else { 0 };
+        let raw = base
+            + if jitter > 0 {
+                rng.gen_range(0..=jitter)
+            } else {
+                0
+            };
         let mult = p
             .platform_multipliers
             .iter()
@@ -342,7 +350,13 @@ mod tests {
         let m = LatencyModel::default();
         let tree = RngTree::new(1);
         let f = m.sample(&tree, "net/a.b.c/7/0", "a.b.c", QueryClass::Dns);
-        assert_eq!(f, QueryFate { cost_ns: 0, dropped: false });
+        assert_eq!(
+            f,
+            QueryFate {
+                cost_ns: 0,
+                dropped: false
+            }
+        );
         assert_eq!(m.name(), "zero");
         assert!(m.enabled());
     }
@@ -367,7 +381,10 @@ mod tests {
         assert_eq!(a, b, "same key, same draw — regardless of call order");
         let c = m.sample(&tree, "net/x/7/1", "x", QueryClass::Dns);
         // Overwhelmingly likely distinct with 24ms of jitter.
-        assert_ne!(a.cost_ns, c.cost_ns, "different ordinals draw independently");
+        assert_ne!(
+            a.cost_ns, c.cost_ns,
+            "different ordinals draw independently"
+        );
     }
 
     #[test]
