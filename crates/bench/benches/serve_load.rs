@@ -87,13 +87,15 @@ fn live_load_contract() {
     println!(
         "serve_load contract: batches={batches} queries={queries} peak_inflight={peak} \
          torn={torn} rounds={first_round}..{last_round} \
-         query_p50_ns={} query_p99_ns={} \
-         publish_p50_ns={} publish_p95_ns={} publish_p99_ns={}",
+         query_p50_ns={} query_p99_ns={} query_p999_ns={} \
+         publish_p50_ns={} publish_p95_ns={} publish_p99_ns={} publish_p999_ns={}",
         query.quantile(0.50),
         query.quantile(0.99),
+        query.quantile(0.999),
         publish.quantile(0.50),
         publish.quantile(0.95),
         publish.quantile(0.99),
+        publish.quantile(0.999),
     );
 }
 

@@ -44,6 +44,8 @@ fn main() {
     let mut max_rounds: Option<u64> = None;
     let mut compact = false;
     let mut trace_path: Option<String> = None;
+    let mut trace_sample: u64 = 1;
+    let mut critical_path_flag = false;
     let mut metrics_path: Option<String> = None;
     let mut progress = false;
     let mut quiet = false;
@@ -105,6 +107,13 @@ fn main() {
             "--trace" => {
                 trace_path = Some(args.next().expect("--trace takes an output path"));
             }
+            "--trace-sample" => {
+                trace_sample = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--trace-sample takes a sampling modulus (keep 1-in-N traces)");
+            }
+            "--critical-path" => critical_path_flag = true,
             "--metrics" => {
                 metrics_path = Some(args.next().expect("--metrics takes an output path"));
             }
@@ -123,7 +132,8 @@ fn main() {
                      [--latency-profile NAME] [--json OUT] \
                      [--persist | --state-dir DIR] [--resume] [--incremental] [--rounds N] \
                      [--serve] [--serve-queries FILE] [--serve-out FILE] \
-                     [--compact] [--trace OUT] [--metrics OUT] [--progress] [-q] <targets...>"
+                     [--compact] [--trace OUT] [--trace-sample N] [--critical-path] \
+                     [--metrics OUT] [--progress] [-q] <targets...>"
                 );
                 println!("targets: all | ablations | {}", TARGETS.join(" "));
                 println!("ablations: {}", ABLATIONS.join(" "));
@@ -146,6 +156,11 @@ fn main() {
                 println!("--trace OUT writes a Chrome trace_event JSON of pipeline spans");
                 println!("  (load it at ui.perfetto.dev); --metrics OUT dumps every counter,");
                 println!("  gauge and histogram as JSON. Telemetry never changes results.");
+                println!("--trace also records per-crawl causal spans (virtual-time track,");
+                println!("  flow arrows dns -> connect -> request). --trace-sample N keeps a");
+                println!("  deterministic 1-in-N of traces (keyed hash, not RNG; default 1).");
+                println!("--critical-path enables causal tracing and renders the per-round");
+                println!("  critical-path report (longest chain, queue-wait vs service).");
                 println!("--serve runs the monitoring daemon: each committed round publishes a");
                 println!("  snapshot-consistent query view (forces --incremental; provisional");
                 println!("  verdicts). --serve-queries FILE runs a JSON-lines query script");
@@ -167,6 +182,10 @@ fn main() {
     obs::set_progress(progress);
     if trace_path.is_some() {
         obs::set_tracing(true);
+    }
+    obs::set_trace_sample(trace_sample);
+    if trace_path.is_some() || critical_path_flag {
+        obs::set_causal_tracing(true);
     }
     if compact {
         let dir = state_dir.unwrap_or_else(|| "repro_state".into());
@@ -198,6 +217,9 @@ fn main() {
             "ablations" => expanded.extend(ABLATIONS.iter().map(|s| s.to_string())),
             other => expanded.push(other.to_string()),
         }
+    }
+    if critical_path_flag && !expanded.iter().any(|t| t == "critical-path") {
+        expanded.push("critical-path".into());
     }
 
     // Serve mode publishes the streaming pass's advisory state, so it
@@ -307,15 +329,27 @@ fn main() {
         let p = obs::histogram("serve.publish_round_ns").snapshot();
         obs::info!(
             "serve: {} rounds published, {} queries answered \
-             (query p50/p95/p99 {:.0}/{:.0}/{:.0} us; publish p50/p99 {:.1}/{:.1} ms)",
+             (query p50/p95/p99/p99.9 {:.0}/{:.0}/{:.0}/{:.0} us; \
+             publish p50/p99/p99.9 {:.1}/{:.1}/{:.1} ms)",
             handle.rounds_published(),
             handle.queries_served(),
             q.quantile(0.50) as f64 / 1e3,
             q.quantile(0.95) as f64 / 1e3,
             q.quantile(0.99) as f64 / 1e3,
+            q.quantile(0.999) as f64 / 1e3,
             p.quantile(0.50) as f64 / 1e6,
             p.quantile(0.99) as f64 / 1e6,
+            p.quantile(0.999) as f64 / 1e6,
         );
+        // Surface the serve-path percentiles as gauges so a `--metrics`
+        // dump carries them as plain JSON numbers CI can assert against.
+        obs::gauge("serve.query_p50_ns").set(q.quantile(0.50) as f64);
+        obs::gauge("serve.query_p95_ns").set(q.quantile(0.95) as f64);
+        obs::gauge("serve.query_p99_ns").set(q.quantile(0.99) as f64);
+        obs::gauge("serve.query_p999_ns").set(q.quantile(0.999) as f64);
+        obs::gauge("serve.publish_p50_ns").set(p.quantile(0.50) as f64);
+        obs::gauge("serve.publish_p99_ns").set(p.quantile(0.99) as f64);
+        obs::gauge("serve.publish_p999_ns").set(p.quantile(0.999) as f64);
         if let Some(path) = &serve_out {
             let mut text = replies.join("\n");
             text.push('\n');

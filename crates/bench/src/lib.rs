@@ -205,6 +205,7 @@ pub const TARGETS: &[&str] = &[
     "hsts",
     "detection",
     "latency",
+    "critical-path",
 ];
 
 /// Ablation targets (each runs extra scenarios).
@@ -258,6 +259,7 @@ pub fn render_target(results: &StudyResults, target: &str) -> String {
         "hsts" => hsts(results),
         "detection" => detection(results),
         "latency" => latency(results),
+        "critical-path" => critical_path(results),
         other => format!("unknown target {other:?}; known: {TARGETS:?} + {ABLATIONS:?}\n"),
     }
 }

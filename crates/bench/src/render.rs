@@ -734,21 +734,23 @@ pub fn latency(r: &StudyResults) -> String {
         None => out.push_str("no rounds recorded latency telemetry (blocking path?)\n"),
         Some(s) => {
             out.push_str(&format!(
-                "rounds: {}   crawls sampled: {}\nworst per-round DNS resolution latency: p50 {}  p95 {}  p99 {}\n",
+                "rounds: {}   crawls sampled: {}\nworst per-round DNS resolution latency: p50 {}  p95 {}  p99 {}  p99.9 {}\n",
                 r.resolution_latency.len(),
                 s.samples,
                 fmt_ns(s.p50_ns),
                 fmt_ns(s.p95_ns),
                 fmt_ns(s.p99_ns),
+                fmt_ns(s.p999_ns),
             ));
-            out.push_str("last rounds (day: p50 / p95 / p99):\n");
+            out.push_str("last rounds (day: p50 / p95 / p99 / p99.9):\n");
             for round in r.resolution_latency.iter().rev().take(5).rev() {
                 out.push_str(&format!(
-                    "  day {:>5}: {} / {} / {}\n",
+                    "  day {:>5}: {} / {} / {} / {}\n",
                     round.day.0,
                     fmt_ns(round.p50_ns),
                     fmt_ns(round.p95_ns),
                     fmt_ns(round.p99_ns),
+                    fmt_ns(round.p999_ns),
                 ));
             }
         }
@@ -756,6 +758,61 @@ pub fn latency(r: &StudyResults) -> String {
     out.push_str(
         "timing is out-of-band: study results are byte-identical across the\n\
          zero/datacenter/wan profiles (see the latency_equivalence suite)\n",
+    );
+    out
+}
+
+/// Per-round critical-path analysis over the causal spans collected during
+/// the run (DESIGN.md §12). Renders, for each crawl round: the makespan
+/// trace (longest root span in virtual time), its queue-wait vs service
+/// decomposition, the causal chain along the critical trace, and the top-K
+/// slowest FQDNs.
+pub fn critical_path(_r: &StudyResults) -> String {
+    let spans = obs::collect_causal();
+    if spans.is_empty() {
+        return String::from(
+            "== Per-round critical path (causal virtual-time traces) ==\n\
+             no causal spans collected; run `repro --critical-path` (or --trace)\n\
+             to enable causal tracing for this target\n",
+        );
+    }
+    let rounds = obs::critical_paths(&spans, 5);
+    let mut out = String::from("== Per-round critical path (causal virtual-time traces) ==\n");
+    out.push_str(&format!(
+        "causal spans: {}   rounds traced: {}\n",
+        spans.len(),
+        rounds.len()
+    ));
+    for rcp in rounds.iter().rev().take(5).rev() {
+        out.push_str(&format!(
+            "day {:>5}: {} traces, makespan {} ({}), decomposed {:.1}% (queue-wait {} + service {})\n",
+            rcp.day,
+            rcp.traces,
+            fmt_ns(rcp.makespan_ns),
+            rcp.critical.fqdn,
+            rcp.decomposed_fraction * 100.0,
+            fmt_ns(rcp.queue_wait_total_ns),
+            fmt_ns(rcp.service_total_ns),
+        ));
+        out.push_str("  critical chain:");
+        for (name, start, dur) in &rcp.chain {
+            out.push_str(&format!("  {name}@{}+{}", fmt_ns(*start), fmt_ns(*dur)));
+        }
+        out.push('\n');
+        out.push_str("  slowest traces (fqdn: total = queue-wait + service):\n");
+        for d in &rcp.top {
+            out.push_str(&format!(
+                "    {}: {} = {} + {}\n",
+                d.fqdn,
+                fmt_ns(d.total_ns),
+                fmt_ns(d.queue_wait_ns),
+                fmt_ns(d.service_ns),
+            ));
+        }
+    }
+    out.push_str(
+        "tracing is out-of-band: study results are byte-identical with causal\n\
+         tracing on or off, at any sample rate (telemetry_equivalence suite)\n",
     );
     out
 }

@@ -9,7 +9,7 @@
 use crate::snapshot::{body_hash, Snapshot};
 use dns::resolver::{ResolutionInFlight, Transport};
 use dns::{Name, Resolver};
-use httpsim::{Endpoint, Request};
+use httpsim::{Endpoint, ProbeInFlight, ProbeKind, ProbeResult, ProbeWait};
 use simcore::SimTime;
 
 /// The network operation one in-flight crawl is waiting on. The crawl
@@ -18,6 +18,9 @@ use simcore::SimTime;
 pub enum CrawlWait {
     /// One DNS exchange of the resolution chain.
     Dns,
+    /// TCP/TLS connection establishment preceding an HTTP request (both
+    /// the index and sitemap fetches start with one).
+    Connect,
     /// The index-page HTTP request.
     Index,
     /// The sitemap HTTP request (only when the index changed).
@@ -26,13 +29,18 @@ pub enum CrawlWait {
 
 enum CrawlPhase {
     Dns(Box<ResolutionInFlight>),
+    /// The index fetch, driven through the staged probe machine (connect
+    /// event, then request event).
     Index {
         rcode: dns::Rcode,
         cname: Option<Name>,
         ip: std::net::Ipv4Addr,
+        probe: ProbeInFlight,
     },
+    /// The sitemap fetch, same staged probe machine.
     Sitemap {
         snap: Box<Snapshot>,
+        probe: ProbeInFlight,
     },
     Done(Box<Snapshot>),
     /// Transient placeholder while `step` owns the real phase.
@@ -58,6 +66,9 @@ pub struct CrawlInFlight<'a> {
     dns_elapsed_ns: u64,
     /// Total simulated time consumed so far.
     elapsed_ns: u64,
+    /// Root causal trace context, when this crawl's trace is sampled.
+    /// Forwarded (re-based) into each stage machine; pure telemetry.
+    trace: Option<obs::TraceCtx>,
 }
 
 impl<'a> CrawlInFlight<'a> {
@@ -81,15 +92,33 @@ impl<'a> CrawlInFlight<'a> {
             phase: CrawlPhase::Dns(Box::new(fl)),
             dns_elapsed_ns: 0,
             elapsed_ns: 0,
+            trace: None,
         }
+    }
+
+    /// Attach the crawl's root causal trace context (call right after
+    /// [`Self::begin`], before any step). Each stage machine then emits
+    /// linked child spans — `dns.query`, `probe.connect`, `probe.request`
+    /// — stamped in virtual time relative to `ctx.base_ns`.
+    pub fn set_trace(&mut self, ctx: obs::TraceCtx) {
+        if let CrawlPhase::Dns(fl) = &mut self.phase {
+            fl.set_trace(ctx.child(obs::causal::SALT_DNS, ctx.base_ns));
+        }
+        self.trace = Some(ctx);
     }
 
     /// The operation currently pending (`None` once done).
     pub fn wait(&self) -> Option<CrawlWait> {
         match &self.phase {
             CrawlPhase::Dns(_) => Some(CrawlWait::Dns),
-            CrawlPhase::Index { .. } => Some(CrawlWait::Index),
-            CrawlPhase::Sitemap { .. } => Some(CrawlWait::Sitemap),
+            CrawlPhase::Index { probe, .. } => match probe.pending() {
+                Some(ProbeWait::Connect) => Some(CrawlWait::Connect),
+                _ => Some(CrawlWait::Index),
+            },
+            CrawlPhase::Sitemap { probe, .. } => match probe.pending() {
+                Some(ProbeWait::Connect) => Some(CrawlWait::Connect),
+                _ => Some(CrawlWait::Sitemap),
+            },
             CrawlPhase::Done(_) => None,
             CrawlPhase::Taken => unreachable!(),
         }
@@ -131,6 +160,19 @@ impl<'a> CrawlInFlight<'a> {
         cost_ns: u64,
     ) {
         self.elapsed_ns += cost_ns;
+        // In-flight probes step in place: routing every probe event through
+        // the move-based transition below would memcpy the whole phase (the
+        // probe machine plus any buffered response) twice per event. The
+        // phase is only moved once the probe machine has concluded.
+        match &mut self.phase {
+            CrawlPhase::Index { probe, .. } | CrawlPhase::Sitemap { probe, .. } => {
+                probe.step_timed(web, self.now, cost_ns);
+                if !probe.is_done() {
+                    return;
+                }
+            }
+            _ => {}
+        }
         let phase = std::mem::replace(&mut self.phase, CrawlPhase::Taken);
         self.phase = match phase {
             CrawlPhase::Dns(mut fl) => {
@@ -165,25 +207,39 @@ impl<'a> CrawlInFlight<'a> {
                             s.ip = Some(ip);
                             CrawlPhase::Done(Box::new(s))
                         }
-                        Some(ip) => CrawlPhase::Index {
-                            rcode: outcome.rcode,
-                            cname,
-                            ip,
-                        },
+                        Some(ip) => {
+                            // Request 1: the index page, staged as a
+                            // connect event then a request event.
+                            let mut probe = ProbeInFlight::new(
+                                ProbeKind::Http { https: false },
+                                ip,
+                                self.fqdn.to_string(),
+                            );
+                            if let Some(tr) = &self.trace {
+                                probe.set_trace(
+                                    tr.child(obs::causal::SALT_INDEX, tr.base_ns + self.elapsed_ns),
+                                );
+                            }
+                            CrawlPhase::Index {
+                                rcode: outcome.rcode,
+                                cname,
+                                ip,
+                                probe,
+                            }
+                        }
                     }
                 }
             }
-            CrawlPhase::Index { rcode, cname, ip } => {
-                let host = self.fqdn.to_string();
-                // Request 1: the index page.
-                match web.http_serve(ip, &Request::get(&host, "/"), self.now) {
-                    None => {
-                        let mut s =
-                            Snapshot::unreachable(self.fqdn.clone(), self.now, rcode, cname);
-                        s.ip = Some(ip);
-                        CrawlPhase::Done(Box::new(s))
-                    }
-                    Some(resp) => {
+            // Reached only once the in-place fast path above has stepped
+            // the probe machine to completion.
+            CrawlPhase::Index {
+                rcode,
+                cname,
+                ip,
+                probe,
+            } => {
+                match probe.into_result() {
+                    ProbeResult::HttpResponse(resp) => {
                         let hash = body_hash(&resp.body);
                         let mut snap = Snapshot {
                             fqdn: self.fqdn.clone(),
@@ -208,10 +264,23 @@ impl<'a> CrawlInFlight<'a> {
                         if changed && resp.status.is_success() {
                             let html = String::from_utf8_lossy(&resp.body);
                             snap.ingest_content(&html, true);
-                            // Request 2: the sitemap (only when we need to
-                            // look closer).
+                            // Request 2: the sitemap (only when we need
+                            // to look closer).
+                            let mut probe = ProbeInFlight::new(
+                                ProbeKind::Http { https: false },
+                                ip,
+                                self.fqdn.to_string(),
+                            )
+                            .with_path("/sitemap.xml");
+                            if let Some(tr) = &self.trace {
+                                probe.set_trace(tr.child(
+                                    obs::causal::SALT_SITEMAP,
+                                    tr.base_ns + self.elapsed_ns,
+                                ));
+                            }
                             CrawlPhase::Sitemap {
                                 snap: Box::new(snap),
+                                probe,
                             }
                         } else {
                             if !changed {
@@ -222,13 +291,21 @@ impl<'a> CrawlInFlight<'a> {
                             CrawlPhase::Done(Box::new(snap))
                         }
                     }
+                    // No front end at the IP (ConnectionFailed; the
+                    // transport-only results cannot occur for HTTP
+                    // probes).
+                    _ => {
+                        let mut s =
+                            Snapshot::unreachable(self.fqdn.clone(), self.now, rcode, cname);
+                        s.ip = Some(ip);
+                        CrawlPhase::Done(Box::new(s))
+                    }
                 }
             }
-            CrawlPhase::Sitemap { mut snap } => {
-                let host = self.fqdn.to_string();
-                let ip = snap.ip.expect("sitemap phase implies a resolved ip");
-                if let Some(sm) = web.http_serve(ip, &Request::get(&host, "/sitemap.xml"), self.now)
-                {
+            // Reached only once the probe machine has concluded (in-place
+            // fast path above).
+            CrawlPhase::Sitemap { mut snap, probe } => {
+                if let ProbeResult::HttpResponse(sm) = probe.into_result() {
                     if sm.status.is_success() {
                         snap.sitemap_bytes = sm
                             .headers

@@ -184,9 +184,12 @@ impl CrawlExecutor {
             ordinal: u64,
             /// Fate sampled when the pending wait was scheduled.
             pending: QueryFate,
+            /// Root causal trace context when this crawl is sampled.
+            trace: Option<obs::TraceCtx>,
         }
 
-        /// Turn a finished task's machine into its [`CrawlOutcome`].
+        /// Turn a finished task's machine into its [`CrawlOutcome`],
+        /// emitting the trace's root span when the crawl was sampled.
         fn harvest(
             task: &mut Task<'_>,
             store: &SnapshotStore,
@@ -196,6 +199,25 @@ impl CrawlExecutor {
             let sim_elapsed_ns = fl.elapsed_ns();
             let dns_elapsed_ns = fl.dns_elapsed_ns();
             let snap = fl.into_snapshot();
+            if let Some(ctx) = task.trace.take() {
+                // Root span: round start → completion. Queue-wait is the
+                // virtual time before admission (ctx.base_ns); service is
+                // the sum of priced waits — the two add up to the span
+                // exactly, because a task's events are contiguous.
+                obs::causal::emit(obs::CausalSpan {
+                    trace: ctx.trace,
+                    span_id: ctx.parent,
+                    parent: None,
+                    name: "crawl",
+                    fqdn: task.fqdn.to_string(),
+                    day: ctx.day,
+                    start_ns: 0,
+                    dur_ns: ctx.base_ns + sim_elapsed_ns,
+                    queue_wait_ns: ctx.base_ns,
+                    service_ns: sim_elapsed_ns,
+                    args: Vec::new(),
+                });
+            }
             let change = store
                 .latest(task.fqdn)
                 .and_then(|p| diff_record(p, snap.clone()));
@@ -233,6 +255,7 @@ impl CrawlExecutor {
                 } else {
                     let class = match wait {
                         CrawlWait::Dns => QueryClass::Dns,
+                        CrawlWait::Connect => QueryClass::Connect,
                         CrawlWait::Index | CrawlWait::Sitemap => QueryClass::Http,
                     };
                     let key = format!("net/{}/{}/{}", task.fqdn, now.0, task.ordinal);
@@ -260,13 +283,27 @@ impl CrawlExecutor {
                 if fetch_dropped {
                     self.m_failures.inc();
                 }
-                let fl = CrawlInFlight::begin(
+                let mut fl = CrawlInFlight::begin(
                     fqdn.clone(),
                     resolver,
                     store.latest(fqdn),
                     now,
                     fetch_dropped,
                 );
+                // Causal tracing: the sampling decision is a pure hash of
+                // (fqdn, day) — no RNG stream touched, so results cannot
+                // depend on it. Admission time (the queue's current
+                // virtual instant) is the crawl's queue-wait.
+                let mut trace = None;
+                if obs::causal_enabled() {
+                    let day = now.0 as i64;
+                    let tid = obs::trace_id(&fqdn.to_string(), day);
+                    if obs::sampled(tid) {
+                        let ctx = obs::TraceCtx::root(tid, q.now().as_nanos(), day);
+                        fl.set_trace(ctx);
+                        trace = Some(ctx);
+                    }
+                }
                 let slot = slots.len();
                 slots.push(Task {
                     input_idx,
@@ -277,6 +314,7 @@ impl CrawlExecutor {
                         cost_ns: 0,
                         dropped: false,
                     },
+                    trace,
                 });
                 if schedule(&mut slots[slot], &mut q, slot, &mut timeouts) {
                     inflight += 1;
@@ -305,6 +343,10 @@ impl CrawlExecutor {
         }
 
         self.m_timeouts.add(timeouts);
+        // Defensive: worker threads exit per round (their thread-local
+        // buffers flush on drop), but flush explicitly so spans survive any
+        // future executor that reuses threads.
+        obs::causal::flush_thread();
         BucketCrawl {
             outcomes,
             peak_inflight: peak_inflight as u64,

@@ -95,6 +95,7 @@ pub struct RoundLatency {
     pub p50_ns: u64,
     pub p95_ns: u64,
     pub p99_ns: u64,
+    pub p999_ns: u64,
 }
 
 impl RoundLatency {
@@ -115,6 +116,7 @@ impl RoundLatency {
             p50_ns: pick(0.50),
             p95_ns: pick(0.95),
             p99_ns: pick(0.99),
+            p999_ns: pick(0.999),
         })
     }
 }
@@ -222,12 +224,14 @@ impl StudyResults {
             p50_ns: 0,
             p95_ns: 0,
             p99_ns: 0,
+            p999_ns: 0,
         };
         for r in &self.resolution_latency {
             acc.samples += r.samples;
             acc.p50_ns = acc.p50_ns.max(r.p50_ns);
             acc.p95_ns = acc.p95_ns.max(r.p95_ns);
             acc.p99_ns = acc.p99_ns.max(r.p99_ns);
+            acc.p999_ns = acc.p999_ns.max(r.p999_ns);
         }
         Some(acc)
     }

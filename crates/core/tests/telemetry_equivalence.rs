@@ -50,4 +50,40 @@ fn results_are_byte_identical_with_telemetry_on_or_off() {
         spans.iter().any(|s| s.name == "crawl.weekly"),
         "traced runs collected no crawl spans"
     );
+
+    // Causal leg: the per-crawl virtual-time trace machinery obeys the
+    // same contract — byte-identical results with causal tracing on, at
+    // any thread count and any deterministic sampling modulus.
+    for (threads, sample) in [(1, 1), (1, 16), (4, 1), (4, 16)] {
+        obs::set_trace_sample(sample);
+        obs::set_causal_tracing(true);
+        let variant = run_serialized(threads, false);
+        obs::set_causal_tracing(false);
+        let causal = obs::take_causal();
+        obs::set_trace_sample(1);
+        assert_eq!(
+            baseline, variant,
+            "StudyResults diverged at {threads} thread(s) with causal tracing \
+             (sample 1-in-{sample}) — causal spans leaked into the simulation"
+        );
+        assert!(
+            causal
+                .iter()
+                .any(|s| s.name == "crawl" && s.parent.is_none()),
+            "causal run ({threads} threads, sample {sample}) collected no root spans"
+        );
+        assert!(
+            causal.iter().any(|s| s.name == "dns.query"),
+            "causal run ({threads} threads, sample {sample}) collected no DNS child spans"
+        );
+        if sample > 1 {
+            // Sampling is a pure hash of the trace id: every surviving
+            // trace satisfies the modulus, and sampling strictly shrinks
+            // the kept-trace set rather than perturbing it.
+            assert!(
+                causal.iter().all(|s| s.trace.0 % sample == 0),
+                "sampled run kept a trace outside the 1-in-{sample} hash class"
+            );
+        }
+    }
 }

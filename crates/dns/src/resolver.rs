@@ -159,6 +159,9 @@ pub struct ResolutionInFlight {
     attempts_left: u32,
     /// Simulated nanoseconds consumed so far.
     elapsed_ns: u64,
+    /// Causal trace context + next child-span index, when this resolution's
+    /// trace is sampled. Pure telemetry: never read by resolution logic.
+    trace: Option<(obs::TraceCtx, u64)>,
 }
 
 impl ResolutionInFlight {
@@ -177,6 +180,7 @@ impl ResolutionInFlight {
             hops_left: 0,
             attempts_left: 0,
             elapsed_ns: 0,
+            trace: None,
         }
     }
 
@@ -195,7 +199,15 @@ impl ResolutionInFlight {
             hops_left: config.max_chain,
             attempts_left: config.max_query_attempts.max(1),
             elapsed_ns: 0,
+            trace: None,
         }
+    }
+
+    /// Attach a causal trace context (the crawl's, re-based to this
+    /// machine's start). Each completed query then emits a `dns.query`
+    /// child span stamped in virtual time.
+    pub fn set_trace(&mut self, ctx: obs::TraceCtx) {
+        self.trace = Some((ctx, 0));
     }
 
     /// The query currently on the wire, if any.
@@ -325,6 +337,23 @@ impl<T: Transport> Resolver<T> {
         let FlightState::Pending { .. } = fl.state else {
             return; // already done; nothing in flight to complete
         };
+        if let Some((ctx, index)) = &mut fl.trace {
+            let start_ns = ctx.base_ns + fl.elapsed_ns;
+            ctx.emit_child(
+                *index,
+                "dns.query",
+                start_ns,
+                cost_ns,
+                vec![
+                    ("qname", obs::span::ArgValue::Str(fl.current.to_string())),
+                    (
+                        "dropped",
+                        obs::span::ArgValue::I64(response.is_none() as i64),
+                    ),
+                ],
+            );
+            *index += 1;
+        }
         fl.elapsed_ns += cost_ns;
         let Some(resp) = response else {
             // Dropped: burn one attempt, retry the same name or give up.

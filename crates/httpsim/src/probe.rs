@@ -123,17 +123,41 @@ pub struct ProbeInFlight {
     kind: ProbeKind,
     ip: Ipv4Addr,
     host: String,
+    /// Request path for HTTP probes (default `/`).
+    path: &'static str,
     phase: ProbePhase,
+    /// Simulated nanoseconds consumed so far (telemetry only).
+    elapsed_ns: u64,
+    /// Causal trace context + next child-span index, when this probe's
+    /// trace is sampled. Pure telemetry: never read by probe logic.
+    trace: Option<(obs::TraceCtx, u64)>,
 }
 
 impl ProbeInFlight {
-    pub fn new(kind: ProbeKind, ip: Ipv4Addr, host: &str) -> Self {
+    pub fn new(kind: ProbeKind, ip: Ipv4Addr, host: impl Into<String>) -> Self {
         ProbeInFlight {
             kind,
             ip,
-            host: host.to_string(),
+            host: host.into(),
+            path: "/",
             phase: ProbePhase::Connect,
+            elapsed_ns: 0,
+            trace: None,
         }
+    }
+
+    /// Use `path` for the request phase instead of `/` (e.g.
+    /// `/sitemap.xml`).
+    pub fn with_path(mut self, path: &'static str) -> Self {
+        self.path = path;
+        self
+    }
+
+    /// Attach a causal trace context (re-based to this probe's start).
+    /// Each timed step then emits a `probe.connect` / `probe.request`
+    /// child span stamped in virtual time.
+    pub fn set_trace(&mut self, ctx: obs::TraceCtx) {
+        self.trace = Some((ctx, 0));
     }
 
     /// What the probe is currently waiting on (`None` once done).
@@ -168,9 +192,9 @@ impl ProbeInFlight {
             ProbePhase::Request => {
                 let https = matches!(self.kind, ProbeKind::Http { https: true });
                 let req = if https {
-                    Request::get_https(&self.host, "/")
+                    Request::get_https(&self.host, self.path)
                 } else {
-                    Request::get(&self.host, "/")
+                    Request::get(&self.host, self.path)
                 };
                 ProbePhase::Done(match endpoint.http_serve(self.ip, &req, now) {
                     Some(resp) => ProbeResult::HttpResponse(resp),
@@ -179,6 +203,33 @@ impl ProbeInFlight {
             }
             ProbePhase::Done(r) => ProbePhase::Done(r.clone()),
         };
+    }
+
+    /// [`Self::step`], charging `cost_ns` of simulated time to the phase
+    /// just completed and emitting its causal child span (when traced).
+    /// The event-driven crawl uses this; the blocking [`probe`] driver
+    /// keeps using the free-running `step`.
+    pub fn step_timed<E: Endpoint + ?Sized>(&mut self, endpoint: &E, now: SimTime, cost_ns: u64) {
+        let name = match self.phase {
+            ProbePhase::Connect => "probe.connect",
+            ProbePhase::Request => "probe.request",
+            ProbePhase::Done(_) => {
+                return;
+            }
+        };
+        if let Some((ctx, index)) = &mut self.trace {
+            let start_ns = ctx.base_ns + self.elapsed_ns;
+            ctx.emit_child(
+                *index,
+                name,
+                start_ns,
+                cost_ns,
+                vec![("host", obs::span::ArgValue::Str(self.host.clone()))],
+            );
+            *index += 1;
+        }
+        self.elapsed_ns += cost_ns;
+        self.step(endpoint, now);
     }
 
     /// Harvest the result of a completed probe.

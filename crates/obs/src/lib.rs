@@ -23,6 +23,11 @@
 //! - [`output`] — verbosity-gated human output ([`info!`], [`warn!`],
 //!   [`progress!`]) replacing ad-hoc `eprintln!` calls; libraries default to
 //!   silent, binaries opt in.
+//! - [`causal`] — deterministic, *virtual-time* causal traces of individual
+//!   crawls (`trace/{fqdn}/{day}`-keyed ids, keyed sampling, Perfetto flow
+//!   arrows, per-round critical-path analysis). Opt-in via
+//!   [`set_causal_tracing`]; like everything else here, provably unable to
+//!   perturb results.
 //!
 //! ## Always-on vs. opt-in
 //!
@@ -40,15 +45,21 @@
 //! `world.hijacks`. Durations are always `_ns` histograms; ratios are
 //! gauges.
 
+pub mod causal;
 pub mod metrics;
 pub mod output;
 pub mod span;
 
+pub use causal::{
+    causal_enabled, collect_causal, critical_paths, sampled, set_causal_tracing, set_trace_sample,
+    take_causal, trace_id, trace_sample, CausalSpan, RoundCriticalPath, TraceCtx, TraceDigest,
+    TraceId,
+};
 pub use metrics::{counter, gauge, histogram, metrics_json, Counter, Gauge, Histogram};
 pub use output::{set_progress, set_verbosity, Verbosity};
 pub use span::{
-    export_trace, set_tracing, take_spans, tracing_enabled, write_chrome_trace, SpanGuard,
-    SpanRecord,
+    export_trace, set_tracing, take_spans, tracing_enabled, write_chrome_trace,
+    write_chrome_trace_with_causal, SpanGuard, SpanRecord,
 };
 
 /// Start a span named `name` under category `cat`. The guard records a trace

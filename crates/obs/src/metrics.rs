@@ -347,10 +347,13 @@ pub fn metrics_json() -> String {
             ));
             push_f64(&mut out, s.mean());
             out.push_str(&format!(
-                ", \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
+                ", \"p50\": {}, \"p90\": {}, \"p95\": {}, \"p99\": {}, \"p999\": {}, \
+                 \"buckets\": [",
                 s.quantile(0.5),
                 s.quantile(0.9),
-                s.quantile(0.99)
+                s.quantile(0.95),
+                s.quantile(0.99),
+                s.quantile(0.999)
             ));
             let mut bfirst = true;
             for (i, &c) in s.buckets.iter().enumerate() {

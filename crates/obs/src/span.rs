@@ -224,6 +224,18 @@ pub fn json_escape(s: &str) -> String {
 /// loadable in Perfetto and `chrome://tracing`. Timestamps and durations are
 /// microseconds with ns precision kept as fractions.
 pub fn write_chrome_trace<W: Write>(spans: &[SpanRecord], w: &mut W) -> io::Result<()> {
+    write_chrome_trace_with_causal(spans, &[], w)
+}
+
+/// [`write_chrome_trace`], plus causal virtual-time spans appended as a
+/// second Perfetto process (pid 2) with flow arrows — see [`crate::causal`].
+/// The two tracks share one file: pid 1 is the wall clock, pid 2 the
+/// simulated clock.
+pub fn write_chrome_trace_with_causal<W: Write>(
+    spans: &[SpanRecord],
+    causal: &[crate::causal::CausalSpan],
+    w: &mut W,
+) -> io::Result<()> {
     writeln!(w, "{{")?;
     writeln!(w, "  \"displayTimeUnit\": \"ms\",")?;
     writeln!(w, "  \"traceEvents\": [")?;
@@ -263,19 +275,22 @@ pub fn write_chrome_trace<W: Write>(spans: &[SpanRecord], w: &mut W) -> io::Resu
         }
         write!(w, "}}")?;
     }
+    crate::causal::write_causal_trace_events(causal, w)?;
     writeln!(w, "\n  ]")?;
     writeln!(w, "}}")?;
     Ok(())
 }
 
-/// Drain all spans and write them to `path` as Chrome trace JSON. Returns
-/// the number of exported spans.
+/// Drain all wall spans, collect any causal virtual-time spans, and write
+/// both tracks to `path` as Chrome trace JSON. Returns the number of
+/// exported events (wall + causal).
 pub fn export_trace(path: &std::path::Path) -> io::Result<usize> {
     let spans = take_spans();
+    let causal = crate::causal::collect_causal();
     let mut f = io::BufWriter::new(std::fs::File::create(path)?);
-    write_chrome_trace(&spans, &mut f)?;
+    write_chrome_trace_with_causal(&spans, &causal, &mut f)?;
     f.flush()?;
-    Ok(spans.len())
+    Ok(spans.len() + causal.len())
 }
 
 #[cfg(test)]

@@ -22,11 +22,36 @@
 //! picks up where the daemon left off.
 
 use crate::query::{Query, Reply};
-use crate::view::LiveView;
+use crate::view::{LiveView, SloHealth};
 use arc_swap::ArcSwap;
 use dangling_core::pipeline::{RoundSink, RoundView};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// SLO budgets the watchdog enforces. A round (or query) exceeding its
+/// budget burns a counter and flags the published view; it never affects
+/// the pipeline itself. Defaults are deliberately generous so a healthy
+/// run publishes zero violations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloBudgets {
+    /// Wall-clock budget per round (commit-to-commit).
+    pub round_wall_ns: u64,
+    /// Simulated-makespan budget per round's crawl.
+    pub round_virtual_ns: u64,
+    /// Wall-clock budget per query.
+    pub query_ns: u64,
+}
+
+impl Default for SloBudgets {
+    fn default() -> Self {
+        SloBudgets {
+            round_wall_ns: 120_000_000_000,      // 120 s of wall per round
+            round_virtual_ns: 3_600_000_000_000, // 1 simulated hour of crawl
+            query_ns: 50_000_000,                // 50 ms per query
+        }
+    }
+}
 
 struct Shared {
     view: ArcSwap<LiveView>,
@@ -34,6 +59,8 @@ struct Shared {
     inflight: AtomicU64,
     queries: AtomicU64,
     published: AtomicU64,
+    query_budget_ns: AtomicU64,
+    queries_over_budget: AtomicU64,
 }
 
 /// Create a connected sink/handle pair, initialized with the empty seq-0
@@ -45,11 +72,19 @@ pub fn daemon() -> (ServeSink, ServeHandle) {
         inflight: AtomicU64::new(0),
         queries: AtomicU64::new(0),
         published: AtomicU64::new(0),
+        query_budget_ns: AtomicU64::new(SloBudgets::default().query_ns),
+        queries_over_budget: AtomicU64::new(0),
     });
     (
         ServeSink {
             shared: shared.clone(),
             seq: 0,
+            budgets: SloBudgets::default(),
+            last_publish: Instant::now(),
+            round_walls: Vec::new(),
+            rounds_over_budget: 0,
+            injected_stall_ns: None,
+            last_violation: String::new(),
         },
         ServeHandle { shared },
     )
@@ -73,7 +108,12 @@ impl ServeHandle {
             let view = self.shared.view.load();
             Reply::answer(&view, q)
         };
-        obs::histogram("serve.query_ns").record(started.elapsed().as_nanos() as u64);
+        let elapsed_ns = started.elapsed().as_nanos() as u64;
+        obs::histogram("serve.query_ns").record(elapsed_ns);
+        if elapsed_ns > self.shared.query_budget_ns.load(SeqCst) {
+            self.shared.queries_over_budget.fetch_add(1, SeqCst);
+            obs::counter("serve.slo_queries_over_budget").inc();
+        }
         obs::counter("serve.queries").inc();
         self.shared.queries.fetch_add(1, SeqCst);
         self.shared.inflight.fetch_sub(1, SeqCst);
@@ -99,6 +139,11 @@ impl ServeHandle {
     /// Queries currently executing.
     pub fn inflight(&self) -> u64 {
         self.shared.inflight.load(SeqCst)
+    }
+
+    /// Queries that exceeded the SLO query budget.
+    pub fn queries_over_budget(&self) -> u64 {
+        self.shared.queries_over_budget.load(SeqCst)
     }
 
     /// Ask the run to stop at the next round boundary (SIGTERM-style). The
@@ -129,6 +174,25 @@ impl ServeHandle {
 pub struct ServeSink {
     shared: Arc<Shared>,
     seq: u64,
+    budgets: SloBudgets,
+    /// When the previous view was published (sink creation for round 1) —
+    /// the commit-to-commit wall clock the watchdog meters.
+    last_publish: Instant,
+    /// Sorted wall times of published rounds, for the percentile section.
+    round_walls: Vec<u64>,
+    rounds_over_budget: u64,
+    /// Test hook: pretend the next round took this long on the wall.
+    injected_stall_ns: Option<u64>,
+    last_violation: String,
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 impl ServeSink {
@@ -139,9 +203,24 @@ impl ServeSink {
         }
     }
 
+    /// Replace the watchdog's SLO budgets (builder-style).
+    pub fn with_budgets(mut self, budgets: SloBudgets) -> Self {
+        self.budgets = budgets;
+        self.shared.query_budget_ns.store(budgets.query_ns, SeqCst);
+        self
+    }
+
+    /// Test hook: report the next published round as having taken
+    /// `wall_ns` on the wall clock, so watchdog behavior is testable
+    /// without actually stalling a pipeline.
+    pub fn inject_stalled_round(&mut self, wall_ns: u64) {
+        self.injected_stall_ns = Some(wall_ns);
+    }
+
     /// Publish a pre-built view as-is (benches use this to drive
     /// publication without a live pipeline). The normal path is
-    /// [`RoundSink::round_committed`].
+    /// [`RoundSink::round_committed`], which routes through the watchdog
+    /// via [`Self::publish_watched`].
     pub fn publish_raw(&mut self, view: Arc<LiveView>) {
         let started = std::time::Instant::now();
         self.seq = self.seq.max(view.seq);
@@ -149,6 +228,65 @@ impl ServeSink {
         obs::histogram("serve.store_ns").record(started.elapsed().as_nanos() as u64);
         self.shared.published.fetch_add(1, SeqCst);
         obs::counter("serve.rounds_published").inc();
+    }
+
+    /// Run the watchdog over a freshly built view, fill in its health/SLO
+    /// section, and publish it. The view's stamp excludes the health
+    /// section, so this mutation cannot introduce a stamp mismatch.
+    pub fn publish_watched(&mut self, mut view: LiveView) {
+        let now = Instant::now();
+        let lag_ns = now.duration_since(self.last_publish).as_nanos() as u64;
+        self.last_publish = now;
+        let wall_ns = self.injected_stall_ns.take().unwrap_or(lag_ns);
+        let virtual_ns = obs::gauge("crawl.makespan_ns").get() as u64;
+
+        let pos = self.round_walls.partition_point(|&w| w <= wall_ns);
+        self.round_walls.insert(pos, wall_ns);
+
+        let mut stalled = false;
+        if wall_ns > self.budgets.round_wall_ns {
+            stalled = true;
+            self.last_violation = format!(
+                "round {} exceeded its wall budget: {} ns > {} ns",
+                view.round, wall_ns, self.budgets.round_wall_ns
+            );
+        }
+        if virtual_ns > self.budgets.round_virtual_ns {
+            stalled = true;
+            self.last_violation = format!(
+                "round {} exceeded its virtual budget: {} ns > {} ns",
+                view.round, virtual_ns, self.budgets.round_virtual_ns
+            );
+        }
+        if stalled {
+            self.rounds_over_budget += 1;
+            obs::counter("serve.slo_rounds_over_budget").inc();
+            obs::warn!("serve watchdog: {}", self.last_violation);
+        }
+
+        let q = obs::histogram("serve.query_ns").snapshot();
+        view.health.slo = SloHealth {
+            round_wall_p50_ns: nearest_rank(&self.round_walls, 0.50),
+            round_wall_p95_ns: nearest_rank(&self.round_walls, 0.95),
+            round_wall_p99_ns: nearest_rank(&self.round_walls, 0.99),
+            round_wall_p999_ns: nearest_rank(&self.round_walls, 0.999),
+            last_round_wall_ns: wall_ns,
+            last_round_virtual_ns: virtual_ns,
+            publish_lag_ns: lag_ns,
+            query_p50_ns: q.quantile(0.5),
+            query_p95_ns: q.quantile(0.95),
+            query_p99_ns: q.quantile(0.99),
+            query_p999_ns: q.quantile(0.999),
+            rounds_over_budget: self.rounds_over_budget,
+            queries_over_budget: self.shared.queries_over_budget.load(SeqCst),
+            round_wall_budget_ns: self.budgets.round_wall_ns,
+            round_virtual_budget_ns: self.budgets.round_virtual_ns,
+            query_budget_ns: self.budgets.query_ns,
+            stalled,
+            last_violation: self.last_violation.clone(),
+        };
+        debug_assert!(view.consistent(), "health mutation must not break stamp");
+        self.publish_raw(Arc::new(view));
     }
 }
 
@@ -164,7 +302,7 @@ impl RoundSink for ServeSink {
         obs::gauge("serve.view_verdicts").set(view.verdicts.len() as f64);
         obs::gauge("serve.view_signatures").set(view.signatures.len() as f64);
         obs::gauge("serve.view_seq").set(view.seq as f64);
-        self.publish_raw(Arc::new(view));
+        self.publish_watched(view);
     }
 
     fn stop_requested(&self) -> bool {

@@ -38,8 +38,8 @@ pub mod load;
 pub mod query;
 pub mod view;
 
-pub use daemon::{daemon, ServeHandle, ServeSink};
+pub use daemon::{daemon, ServeHandle, ServeSink, SloBudgets};
 pub use http::handle_request;
 pub use load::{run_load, LoadConfig, LoadReport};
 pub use query::{Query, Reply, ReplyBody};
-pub use view::{ClusterEntry, FqdnVerdict, Health, LiveView, SignatureEntry, ViewStamp};
+pub use view::{ClusterEntry, FqdnVerdict, Health, LiveView, SignatureEntry, SloHealth, ViewStamp};

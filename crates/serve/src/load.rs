@@ -59,6 +59,7 @@ pub struct LoadReport {
     pub p50_ns: u64,
     pub p95_ns: u64,
     pub p99_ns: u64,
+    pub p999_ns: u64,
     pub max_ns: u64,
     /// Lowest / highest round version observed across replies — strictly
     /// increasing between batches proves rounds advanced under load.
@@ -180,6 +181,7 @@ pub fn run_load(handle: &ServeHandle, cfg: &LoadConfig) -> LoadReport {
     report.p50_ns = nearest_rank(&samples, 0.50);
     report.p95_ns = nearest_rank(&samples, 0.95);
     report.p99_ns = nearest_rank(&samples, 0.99);
+    report.p999_ns = nearest_rank(&samples, 0.999);
     report.max_ns = samples.last().copied().unwrap_or(0);
     report
 }

@@ -54,6 +54,48 @@ pub struct ClusterEntry {
     pub ruled_out: bool,
 }
 
+/// Live SLO / watchdog state, published alongside the round counters. All
+/// figures are wall-clock telemetry except `last_round_virtual_ns` (the
+/// crawl's simulated makespan); none of them feed back into results.
+///
+/// The [`ViewStamp`] deliberately excludes the whole `health` section, so
+/// the sink may fill this in after the view is built without perturbing
+/// the torn-read checksum.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SloHealth {
+    /// Round-commit (publish-path) wall latency percentiles over the run.
+    pub round_wall_p50_ns: u64,
+    pub round_wall_p95_ns: u64,
+    pub round_wall_p99_ns: u64,
+    pub round_wall_p999_ns: u64,
+    /// Wall time of the round just published.
+    pub last_round_wall_ns: u64,
+    /// Simulated makespan of the round's crawl (0 when the latency model
+    /// is off).
+    pub last_round_virtual_ns: u64,
+    /// Wall time since the previous publish — how stale the served view
+    /// had become when this one replaced it.
+    pub publish_lag_ns: u64,
+    /// Query-latency percentiles over the daemon's lifetime.
+    pub query_p50_ns: u64,
+    pub query_p95_ns: u64,
+    pub query_p99_ns: u64,
+    pub query_p999_ns: u64,
+    /// SLO burn counters: rounds / queries that exceeded their budget.
+    pub rounds_over_budget: u64,
+    pub queries_over_budget: u64,
+    /// The budgets in force (so dashboards can render burn against them).
+    pub round_wall_budget_ns: u64,
+    pub round_virtual_budget_ns: u64,
+    pub query_budget_ns: u64,
+    /// Watchdog verdict for the round just published: it exceeded a
+    /// budget (virtual or wall).
+    pub stalled: bool,
+    /// Human-readable description of the most recent violation (empty =
+    /// the run is clean).
+    pub last_violation: String,
+}
+
 /// The `retro.incr.*` health gauges, promoted into a structured payload.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Health {
@@ -67,6 +109,9 @@ pub struct Health {
     pub fold_groups: u64,
     /// Whether the run streams the retro pass (verdict payloads exist).
     pub streaming: bool,
+    /// Live SLO / watchdog section (filled by the serve sink just before
+    /// publication; excluded from the view stamp by design).
+    pub slo: SloHealth,
 }
 
 /// Counts and a checksum frozen when the view was built — the torn-read
@@ -195,6 +240,7 @@ impl LiveView {
             provisional_abuse: v.provisional.map_or(0, |p| p.provisional_abuse as u64),
             fold_groups: v.provisional.map_or(0, |p| p.fold_groups as u64),
             streaming: v.provisional.is_some(),
+            slo: SloHealth::default(),
         };
         let mut view = LiveView {
             seq,
@@ -269,6 +315,7 @@ impl LiveView {
                 provisional_abuse: (n + 2) as u64 / 3,
                 fold_groups: n as u64,
                 streaming: true,
+                slo: SloHealth::default(),
             },
             stamp: ViewStamp::default(),
         };

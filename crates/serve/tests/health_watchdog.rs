@@ -1,0 +1,139 @@
+//! The live health/SLO layer (DESIGN.md §12): every published round routes
+//! through the watchdog, which stamps a [`SloHealth`] section into the
+//! view's health payload — wall percentiles, publish lag, query
+//! percentiles, and SLO burn counters. Contracts pinned here:
+//!
+//! - a clean run under the (generous) default budgets publishes **zero**
+//!   violations;
+//! - a stalled round is flagged in the *published* view within one publish
+//!   interval — `stalled` set, the burn counter incremented, and the
+//!   violation named;
+//! - the flag clears on the next healthy round while the burn counter
+//!   keeps its history;
+//! - query-budget burn observed on the read path surfaces in the next
+//!   published view;
+//! - the health mutation never breaks the snapshot-consistency stamp
+//!   ([`Reply::consistent`] holds on every health reply).
+
+use serve::{daemon, LiveView, Query, ReplyBody, SloBudgets};
+
+fn health_of(handle: &serve::ServeHandle) -> (serve::SloHealth, bool) {
+    let reply = handle.query(&Query::Health);
+    let consistent = reply.consistent();
+    match reply.body {
+        ReplyBody::Health(h) => (h.slo, consistent),
+        other => panic!("health query answered {other:?}"),
+    }
+}
+
+#[test]
+fn clean_rounds_publish_zero_violations() {
+    let (mut sink, handle) = daemon();
+    for round in 1..=3 {
+        sink.publish_watched(LiveView::synthetic(round, 16));
+    }
+    let (slo, consistent) = health_of(&handle);
+    assert!(consistent, "health reply must stay snapshot-consistent");
+    assert!(!slo.stalled, "clean rounds must not be flagged");
+    assert_eq!(slo.rounds_over_budget, 0);
+    assert_eq!(slo.queries_over_budget, 0);
+    assert!(slo.last_violation.is_empty());
+    assert_eq!(
+        slo.round_wall_budget_ns,
+        SloBudgets::default().round_wall_ns
+    );
+    assert_eq!(slo.query_budget_ns, SloBudgets::default().query_ns);
+    assert!(
+        slo.round_wall_p50_ns <= slo.round_wall_p999_ns,
+        "percentiles must be ordered"
+    );
+    assert_eq!(handle.rounds_published(), 3);
+}
+
+#[test]
+fn stalled_round_is_flagged_within_one_publish() {
+    let (sink, handle) = daemon();
+    let mut sink = sink.with_budgets(SloBudgets {
+        round_wall_ns: 50_000_000, // 50 ms — a synthetic publish is far under
+        round_virtual_ns: u64::MAX,
+        query_ns: u64::MAX,
+    });
+
+    sink.publish_watched(LiveView::synthetic(1, 16));
+    let (slo, _) = health_of(&handle);
+    assert!(!slo.stalled, "healthy round wrongly flagged");
+    assert_eq!(slo.rounds_over_budget, 0);
+
+    // A round that took 1 s of wall clock: flagged in the very next
+    // published view, with the violation named and the percentiles fed.
+    sink.inject_stalled_round(1_000_000_000);
+    sink.publish_watched(LiveView::synthetic(2, 16));
+    let (slo, consistent) = health_of(&handle);
+    assert!(consistent);
+    assert!(slo.stalled, "stalled round not flagged");
+    assert_eq!(slo.rounds_over_budget, 1);
+    assert_eq!(slo.last_round_wall_ns, 1_000_000_000);
+    assert!(
+        slo.last_violation.contains("wall budget"),
+        "violation must name the burned budget: {:?}",
+        slo.last_violation
+    );
+    assert_eq!(
+        slo.round_wall_p999_ns, 1_000_000_000,
+        "the stall must dominate the wall tail"
+    );
+
+    // The next healthy round clears the flag but keeps the burn history.
+    sink.publish_watched(LiveView::synthetic(3, 16));
+    let (slo, _) = health_of(&handle);
+    assert!(!slo.stalled, "flag must clear on a healthy round");
+    assert_eq!(slo.rounds_over_budget, 1, "burn counter must be cumulative");
+    assert!(
+        !slo.last_violation.is_empty(),
+        "last violation stays visible for operators"
+    );
+}
+
+#[test]
+fn virtual_budget_violations_are_flagged_too() {
+    let (sink, handle) = daemon();
+    let mut sink = sink.with_budgets(SloBudgets {
+        round_wall_ns: u64::MAX,
+        round_virtual_ns: 5_000,
+        query_ns: u64::MAX,
+    });
+    obs::gauge("crawl.makespan_ns").set(10_000.0);
+    sink.publish_watched(LiveView::synthetic(1, 16));
+    obs::gauge("crawl.makespan_ns").set(0.0);
+    let (slo, _) = health_of(&handle);
+    assert!(slo.stalled, "virtual-budget burn not flagged");
+    assert_eq!(slo.last_round_virtual_ns, 10_000);
+    assert!(
+        slo.last_violation.contains("virtual budget"),
+        "violation must name the virtual budget: {:?}",
+        slo.last_violation
+    );
+}
+
+#[test]
+fn query_budget_burn_surfaces_in_the_published_view() {
+    let (sink, handle) = daemon();
+    let mut sink = sink.with_budgets(SloBudgets {
+        query_ns: 0, // every measurable query burns it
+        ..SloBudgets::default()
+    });
+    sink.publish_watched(LiveView::synthetic(1, 16));
+    for _ in 0..50 {
+        let _ = handle.query(&Query::Status);
+    }
+    let burned = handle.queries_over_budget();
+    assert!(burned > 0, "no query exceeded a zero budget");
+    sink.publish_watched(LiveView::synthetic(2, 16));
+    let (slo, consistent) = health_of(&handle);
+    assert!(consistent);
+    assert!(
+        slo.queries_over_budget >= burned,
+        "published burn counter ({}) lags the observed one ({burned})",
+        slo.queries_over_budget
+    );
+}

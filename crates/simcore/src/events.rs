@@ -114,12 +114,15 @@ impl<E, T: QueueTime> EventQueue<E, T> {
         self.heap.push(Entry { at, seq, event });
     }
 
-    /// Schedule `event` `delay` clock units after the current time. A
+    /// Schedule `event` `delay` clock units after the current time and
+    /// return the absolute instant it will fire — the enqueue→fire window
+    /// callers (e.g. causal tracing) can attribute as queue wait. A
     /// negative delay panics via the past-scheduling check in
     /// [`Self::schedule`].
-    pub fn schedule_in(&mut self, delay: T::Delta, event: E) {
+    pub fn schedule_in(&mut self, delay: T::Delta, event: E) -> T {
         let at = self.now.after(delay);
         self.schedule(at, event);
+        at
     }
 
     /// Pop the earliest event, advancing `now` to its timestamp.

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Bench-baseline drift check: parse criterion-shim output against the
+``ci_budgets`` section of a BENCH_*.json baseline.
+
+Usage::
+
+    python3 scripts/bench_drift.py <bench_output.txt> <BENCH_file.json> [...]
+
+Two line shapes are understood:
+
+- timed rows, one per benchmark::
+
+    group/name        mean 12345 ns/iter (8 iters)   843.21 Kelem/s
+
+- contract lines (greppable ``key=value`` summaries printed by a bench's
+  untimed contract phase)::
+
+    serve_load contract: ... query_p50_ns=255 publish_p99_ns=10580000 ...
+
+Budgets live next to the recorded baselines::
+
+    "ci_budgets": {
+      "mean_ns":     { "group/name": <ceiling in ns/iter>, ... },
+      "contract_ns": { "query_p99_ns": <ceiling in ns>, ... }
+    }
+
+Ceilings are deliberately generous (~8x the recorded baseline) so shared CI
+runners never flap; a violation therefore means a real order-of-magnitude
+regression, not noise. A budgeted row absent from the output is skipped
+(bench smokes filter rows), but an output matching *no* budgeted row fails:
+that catches renamed benchmarks silently detaching from their budgets.
+"""
+
+import json
+import re
+import sys
+
+MEAN_RE = re.compile(r"^(\S+)\s+mean\s+([\d_]+)\s+ns/iter")
+CONTRACT_RE = re.compile(r"(\w+)=(\d+)")
+
+
+def parse_output(path):
+    means, contract = {}, {}
+    with open(path) as f:
+        for line in f:
+            m = MEAN_RE.match(line)
+            if m:
+                means[m.group(1)] = int(m.group(2).replace("_", ""))
+            elif "contract:" in line:
+                for key, val in CONTRACT_RE.findall(line):
+                    contract[key] = int(val)
+    return means, contract
+
+
+def check(kind, observed, budgets, failures, checked):
+    for name, ceiling in sorted(budgets.items()):
+        if name not in observed:
+            print(f"  skip  {name}: not in this output (filtered run)")
+            continue
+        got = observed[name]
+        checked.append(name)
+        verdict = "ok" if got <= ceiling else "FAIL"
+        print(f"  {verdict:>4}  {name}: {got} ns <= {ceiling} ns ({kind})")
+        if got > ceiling:
+            failures.append(f"{name}: {got} ns exceeds the {ceiling} ns ceiling")
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    out_path, baselines = argv[1], argv[2:]
+    means, contract = parse_output(out_path)
+    failures, checked = [], []
+    for base_path in baselines:
+        with open(base_path) as f:
+            base = json.load(f)
+        budgets = base.get("ci_budgets")
+        if not budgets:
+            print(f"{base_path}: no ci_budgets section, nothing to check")
+            continue
+        print(f"{out_path} vs {base_path}:")
+        check("mean", means, budgets.get("mean_ns", {}), failures, checked)
+        check("contract", contract, budgets.get("contract_ns", {}), failures, checked)
+    if not checked:
+        print(f"error: no budgeted row found in {out_path} — renamed benchmark?")
+        return 1
+    if failures:
+        print("bench drift detected:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"bench drift ok: {len(checked)} row(s) within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
