@@ -1,24 +1,41 @@
 //! Criterion benches: the storelog persistence substrate under the
-//! monitoring pipeline's write pattern — batched appends sealed by a
-//! fsynced round commit, then the recovery-scan + replay read path. Sizes
-//! bracket real deployments: 10k records ≈ one round at production scale,
-//! 1M ≈ a multi-year recorded study.
+//! monitoring pipeline's write pattern, measured for both payload formats —
+//! v1 (JSON) and v2 (interned/delta binary) — so the format migration's
+//! claimed wins stay measured, not asserted.
 //!
-//! The measured payloads are a real serialized
-//! [`dangling_core::pipeline::persist::ObsRecord`], so bytes/record match
-//! what `repro --state-dir` actually writes.
+//! The record stream is a realistic monitoring mix: a ~10k-FQDN pool
+//! (subdomains clustered under shared parent domains, shared keyword and
+//! title vocabulary) re-observed round after round with ~2% of records
+//! changing per round. That shape is exactly what the v2 codec exploits
+//! (intern tables amortize the shared strings, deltas collapse the 98%
+//! unchanged re-observations), and exactly what `repro --state-dir` writes.
+//!
+//! Row ids use `n10k`/`n100k`/`n1m` labels — not raw numbers — so CI smoke
+//! filters like `-- n10k n100k` select exact sizes without the substring
+//! collisions raw `10000`/`100000` would cause.
+//!
+//! Besides the timed rows, an untimed contract line reports the on-disk
+//! size ratio for drift-checking by `scripts/bench_drift.py`:
+//!
+//! ```text
+//! snapshot_log contract: v1_bytes_n100k=... v2_bytes_n100k=... v2_size_pct_of_v1=NN
+//! ```
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dangling_core::pipeline::persist::ObsRecord;
-use dangling_core::snapshot::Snapshot;
+use dangling_core::diff::ChangeKind;
+use dangling_core::pipeline::obs_codec::ShardCodec;
+use dangling_core::pipeline::persist::{ChangeMeta, ObsRecord};
+use dangling_core::snapshot::{fqdn_shard, Snapshot};
 use dns::Rcode;
 use simcore::SimTime;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use storelog::{LogReader, LogWriter};
 
 const SHARDS: usize = 16;
-/// Records per commit — the pipeline commits once per monitoring round.
-const ROUND: usize = 10_000;
+/// FQDN pool size — one monitoring round at production scale.
+const POOL: usize = 10_000;
+/// Fraction of re-observations that carry a content change: 1 in 50 (~2%).
+const CHANGE_EVERY: u64 = 50;
 
 struct TempDir(PathBuf);
 
@@ -41,81 +58,190 @@ impl Drop for TempDir {
     }
 }
 
-/// One representative observation payload (a serving snapshot with typical
-/// content features, no retained HTML — the overwhelmingly common case).
-fn sample_payload() -> Vec<u8> {
+fn mix(i: u64, r: u64) -> u64 {
+    // Cheap deterministic hash so changed content differs per (record, round).
+    (i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ r.wrapping_mul(0xff51_afd7_ed55_8ccd)).rotate_left(31)
+}
+
+/// The round-0 observation of pool entry `i`: a serving snapshot with
+/// typical content features (no retained HTML — the overwhelmingly common
+/// case). Strings are deliberately shared across the pool: 500 parent
+/// domains, one title template, one keyword vocabulary.
+fn base_record(i: usize) -> ObsRecord {
+    let parent = i % 500;
+    let host = i / 500;
+    let fqdn = format!("svc-{host:04}.corp-{parent:03}.example.com");
     let mut snap = Snapshot::unreachable(
-        "dev-portal.contoso-f1000-0042.com".parse().unwrap(),
-        SimTime(1834),
+        fqdn.parse().unwrap(),
+        SimTime(0),
         Rcode::NoError,
-        Some("contoso-dev-portal.azurewebsites.net".parse().unwrap()),
+        Some(
+            format!("corp-{parent:03}-web.azurewebsites.net")
+                .parse()
+                .unwrap(),
+        ),
     );
-    snap.ip = Some("20.40.60.80".parse().unwrap());
+    snap.ip = Some(std::net::Ipv4Addr::from(
+        (0x1428_3c50u32).wrapping_add(i as u32),
+    ));
     snap.http_status = Some(200);
-    snap.index_hash = 0x1234_5678_9abc_def0;
+    snap.index_hash = mix(i as u64, 0);
     snap.index_size = 18_432;
-    snap.title = Some("Contoso Developer Portal".into());
+    snap.title = Some(format!("Corp {parent} Developer Portal"));
     snap.language = Some("en".into());
-    snap.keywords = ["developer", "portal", "contoso", "docs", "api"]
+    snap.keywords = ["developer", "portal", "docs", "api"]
         .map(String::from)
         .to_vec();
     snap.sitemap_bytes = Some(48_000);
-    let rec = ObsRecord {
-        round: SimTime(1834),
-        seq: 7,
+    ObsRecord {
+        round: SimTime(0),
+        seq: i as u32,
         snap,
         change: None,
-    };
-    serde_json::to_vec(&rec).expect("record serializes")
+    }
 }
 
-fn write_log(dir: &std::path::Path, payload: &[u8], n: usize) {
-    let mut w = LogWriter::create(dir, SHARDS, b"bench-config").unwrap();
-    for i in 0..n {
-        w.append(i % SHARDS, payload);
-        if (i + 1) % ROUND == 0 || i + 1 == n {
-            w.commit(b"{\"round\":1834}").unwrap();
+/// Advance the pool to round `r`: every record gets the new day; ~2% get a
+/// content change (new hash, grown sitemap) plus change metadata. All
+/// values are absolute functions of `(i, r)` so rounds can be regenerated
+/// in any order and the stream is identical across bench iterations.
+fn advance_round(pool: &mut [ObsRecord], r: u64) {
+    for (i, rec) in pool.iter_mut().enumerate() {
+        rec.round = SimTime(r as i32);
+        rec.snap.day = SimTime(r as i32);
+        rec.seq = (r as u32).wrapping_mul(POOL as u32) + i as u32;
+        let changed = r > 0 && (i as u64 + r * 53).is_multiple_of(CHANGE_EVERY);
+        if changed {
+            let before_sitemap = rec.snap.sitemap_bytes;
+            rec.snap.index_hash = mix(i as u64, r);
+            rec.snap.sitemap_bytes = Some(48_000 + r * 17);
+            rec.change = Some(ChangeMeta {
+                kinds: vec![ChangeKind::Content, ChangeKind::SitemapGrew],
+                before_language: rec.snap.language.clone(),
+                before_sitemap_bytes: before_sitemap,
+                before_serving: true,
+                before_keywords: rec.snap.keywords.clone(),
+            });
+        } else {
+            rec.change = None;
         }
     }
 }
 
+/// Write `rounds` pool passes in payload format `version`, one fsynced
+/// commit per round — the pipeline's exact cadence. Returns total appended
+/// payload bytes.
+fn write_log(dir: &Path, version: u32, rounds: u64) -> u64 {
+    let mut w = LogWriter::create_versioned(dir, SHARDS, b"bench-config", version).unwrap();
+    let mut pool: Vec<ObsRecord> = (0..POOL).map(base_record).collect();
+    let mut codecs: Vec<ShardCodec> = (0..SHARDS).map(|_| ShardCodec::new()).collect();
+    let mut buf = Vec::new();
+    let mut bytes = 0u64;
+    for r in 0..rounds {
+        advance_round(&mut pool, r);
+        for rec in &pool {
+            let shard = fqdn_shard(&rec.snap.fqdn, SHARDS);
+            buf.clear();
+            if version >= 2 {
+                codecs[shard].encode_into(rec, &mut buf);
+            } else {
+                serde_json::to_writer(&mut buf, rec).unwrap();
+            }
+            bytes += buf.len() as u64;
+            w.append(shard, &buf);
+        }
+        w.commit(format!("{{\"round\":{r}}}").as_bytes()).unwrap();
+    }
+    bytes
+}
+
+/// Recovery-scan + decode of every record, exactly like resume replay:
+/// checksum-validate all frames, then decode each payload back to an
+/// [`ObsRecord`] (JSON for v1, streaming codec for v2).
+fn replay_log(dir: &Path) -> usize {
+    let reader = LogReader::open(dir).unwrap();
+    let v2 = reader.format_version() >= 2;
+    let mut records = 0usize;
+    for shard in 0..reader.shard_count() {
+        let stream = reader.stream_shard(shard).unwrap();
+        let mut codec = ShardCodec::new();
+        for payload in stream.iter() {
+            let rec = if v2 {
+                codec.decode(payload).unwrap()
+            } else {
+                serde_json::from_slice::<ObsRecord>(payload).unwrap()
+            };
+            black_box(rec.seq);
+            records += 1;
+        }
+    }
+    records
+}
+
+fn segment_bytes(dir: &Path) -> u64 {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".seg"))
+        .map(|e| e.metadata().unwrap().len())
+        .sum()
+}
+
+/// `(label, rounds)` — n10k is one pool pass (all-full records, interning
+/// only), n100k a ten-round study, n1m a hundred-round multi-year study.
+const SIZES: [(&str, u64); 3] = [("n10k", 1), ("n100k", 10), ("n1m", 100)];
+
 fn bench_append(c: &mut Criterion) {
-    let payload = sample_payload();
     let mut g = c.benchmark_group("snapshot_log_append");
-    for n in [10_000usize, 100_000, 1_000_000] {
-        g.throughput(Throughput::Bytes((payload.len() * n) as u64));
-        g.bench_with_input(BenchmarkId::new("append_fsync_commit", n), &n, |b, &n| {
-            b.iter(|| {
-                let t = TempDir::new("append");
-                write_log(&t.0, &payload, n);
-                black_box(t)
-            })
-        });
+    for (label, rounds) in SIZES {
+        g.throughput(Throughput::Elements(rounds * POOL as u64));
+        for (fmt, version) in [("v1_json", 1u32), ("v2_binary", 2)] {
+            g.bench_with_input(BenchmarkId::new(fmt, label), &rounds, |b, &rounds| {
+                b.iter(|| {
+                    let t = TempDir::new("append");
+                    black_box(write_log(&t.0, version, rounds));
+                    t
+                })
+            });
+        }
     }
     g.finish();
 }
 
 fn bench_replay(c: &mut Criterion) {
-    let payload = sample_payload();
     let mut g = c.benchmark_group("snapshot_log_replay");
-    for n in [10_000usize, 100_000, 1_000_000] {
-        let t = TempDir::new("replay");
-        write_log(&t.0, &payload, n);
-        g.throughput(Throughput::Bytes((payload.len() * n) as u64));
-        g.bench_with_input(BenchmarkId::new("scan_all_shards", n), &n, |b, _| {
-            b.iter(|| {
-                let reader = LogReader::open(&t.0).unwrap();
-                let mut records = 0usize;
-                for shard in 0..reader.shard_count() {
-                    records += reader.read_shard(shard).unwrap().len();
-                }
-                assert_eq!(records, n);
-                black_box(records)
-            })
-        });
+    for (label, rounds) in SIZES {
+        let n = rounds as usize * POOL;
+        g.throughput(Throughput::Elements(n as u64));
+        for (fmt, version) in [("v1_json", 1u32), ("v2_binary", 2)] {
+            let t = TempDir::new("replay");
+            write_log(&t.0, version, rounds);
+            g.bench_with_input(BenchmarkId::new(fmt, label), &n, |b, &n| {
+                b.iter(|| {
+                    let records = replay_log(&t.0);
+                    assert_eq!(records, n);
+                    black_box(records)
+                })
+            });
+        }
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_append, bench_replay);
+/// Untimed size contract: on-disk segment bytes for a ten-round (n100k)
+/// recording in each format. Always printed (even under CI smoke filters)
+/// so `bench_drift.py` can hold the ratio to its budget.
+fn size_contract(_c: &mut Criterion) {
+    let (v1, v2) = (TempDir::new("size_v1"), TempDir::new("size_v2"));
+    write_log(&v1.0, 1, 10);
+    write_log(&v2.0, 2, 10);
+    let (b1, b2) = (segment_bytes(&v1.0), segment_bytes(&v2.0));
+    println!(
+        "snapshot_log contract: v1_bytes_n100k={b1} v2_bytes_n100k={b2} \
+         v2_size_pct_of_v1={}",
+        (b2 * 100).div_ceil(b1)
+    );
+}
+
+criterion_group!(benches, bench_append, bench_replay, size_contract);
 criterion_main!(benches);

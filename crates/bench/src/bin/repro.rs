@@ -10,7 +10,7 @@ use bench::{
     render_target, run_study_cfg, run_study_cfg_persisted, run_study_cfg_persisted_sink,
     run_study_cfg_sink, study_config_with_profile, ABLATIONS, TARGETS,
 };
-use dangling_core::{compact_state_dir, PersistOptions};
+use dangling_core::{compact_state_dir, migrate_state_dir, PersistOptions, OBS_FORMAT};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -43,6 +43,8 @@ fn main() {
     let mut incremental = false;
     let mut max_rounds: Option<u64> = None;
     let mut compact = false;
+    let mut migrate = false;
+    let mut format: Option<u32> = None;
     let mut trace_path: Option<String> = None;
     let mut trace_sample: u64 = 1;
     let mut critical_path_flag = false;
@@ -104,6 +106,23 @@ fn main() {
                 );
             }
             "--compact" => compact = true,
+            "--migrate-state" => migrate = true,
+            "--format" => {
+                let v: u32 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--format takes a storelog payload format version");
+                if !(storelog::MIN_FORMAT_VERSION..=storelog::FORMAT_VERSION).contains(&v) {
+                    eprintln!(
+                        "unsupported --format {v}; this build writes \
+                         v{}..v{}",
+                        storelog::MIN_FORMAT_VERSION,
+                        storelog::FORMAT_VERSION
+                    );
+                    std::process::exit(2);
+                }
+                format = Some(v);
+            }
             "--trace" => {
                 trace_path = Some(args.next().expect("--trace takes an output path"));
             }
@@ -131,6 +150,7 @@ fn main() {
                     "usage: repro [--scale N] [--seed N] [--threads N] \
                      [--latency-profile NAME] [--json OUT] \
                      [--persist | --state-dir DIR] [--resume] [--incremental] [--rounds N] \
+                     [--format V] [--migrate-state] \
                      [--serve] [--serve-queries FILE] [--serve-out FILE] \
                      [--compact] [--trace OUT] [--trace-sample N] [--critical-path] \
                      [--metrics OUT] [--progress] [-q] <targets...>"
@@ -153,6 +173,15 @@ fn main() {
                 println!("--persist records observations to ./repro_state (--state-dir names it);");
                 println!("--resume continues a recorded run, --rounds N stops after N rounds,");
                 println!("--compact drops superseded records from the state dir and exits.");
+                println!(
+                    "--format V records a fresh state dir with storelog payload format V \
+                     (default v{OBS_FORMAT}:"
+                );
+                println!(
+                    "  binary interned/delta records; v1 = legacy JSON). Ignored on --resume."
+                );
+                println!("--migrate-state rewrites a v1 state dir to v2 in place and exits");
+                println!("  (original kept as DIR.v1.bak; replayed results are byte-identical).");
                 println!("--trace OUT writes a Chrome trace_event JSON of pipeline spans");
                 println!("  (load it at ui.perfetto.dev); --metrics OUT dumps every counter,");
                 println!("  gauge and histogram as JSON. Telemetry never changes results.");
@@ -186,6 +215,18 @@ fn main() {
     obs::set_trace_sample(trace_sample);
     if trace_path.is_some() || critical_path_flag {
         obs::set_causal_tracing(true);
+    }
+    if migrate {
+        let dir = state_dir.unwrap_or_else(|| "repro_state".into());
+        match migrate_state_dir(std::path::Path::new(&dir)) {
+            // migrate_state_dir logs the full stat line (rounds, records,
+            // payload bytes, backup path) itself.
+            Ok(_stats) => return,
+            Err(e) => {
+                obs::warn!("error: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     if compact {
         let dir = state_dir.unwrap_or_else(|| "repro_state".into());
@@ -285,6 +326,7 @@ fn main() {
             let mut opts = PersistOptions::new(dir);
             opts.resume = resume;
             opts.max_rounds = max_rounds;
+            opts.format = format;
             obs::info!(
                 "persisting to {dir}{}{}",
                 if resume { " (resuming)" } else { "" },

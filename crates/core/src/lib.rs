@@ -46,7 +46,9 @@ pub mod signature;
 pub mod snapshot;
 pub mod world;
 
-pub use pipeline::persist::{compact_state_dir, PersistError, PersistOptions};
+pub use pipeline::persist::{
+    compact_state_dir, migrate_state_dir, MigrateStats, PersistError, PersistOptions, OBS_FORMAT,
+};
 pub use pipeline::{
     ProvisionalCluster, ProvisionalRound, ProvisionalSignature, ProvisionalVerdict, RoundSink,
     RoundView,

@@ -41,6 +41,7 @@ mod crawl;
 mod diff_stage;
 pub mod exec;
 mod incr;
+pub mod obs_codec;
 pub mod persist;
 mod retro;
 mod world_stage;

@@ -40,20 +40,24 @@
 //! replayed rounds: the change log replays from the kept change records and
 //! the final store state from the kept last-per-FQDN records.
 
-use super::{CrawlOutcome, RunState};
+use super::obs_codec::ShardCodec;
+use super::{CrawlOutcome, RunState, ShardedExecutor};
 use crate::diff::{ChangeKind, ChangeRecord};
 use crate::scenario::ScenarioConfig;
 use crate::snapshot::Snapshot;
 use serde::{Deserialize, Serialize};
 use simcore::SimTime;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 use storelog::{CompactStats, LogReader, LogWriter, Retention};
 
-/// Version of the JSON record/checkpoint payloads inside the storelog
-/// frames. Bump together with [`storelog::FORMAT_VERSION`] discipline: a
-/// migration note in `crates/storelog/MIGRATIONS.md`.
-pub const OBS_FORMAT: u32 = 1;
+/// Version of the record/checkpoint payloads inside the storelog frames,
+/// tracking [`storelog::FORMAT_VERSION`]: v1 = JSON `ObsRecord`s, v2 =
+/// binary interned/delta records ([`super::obs_codec`]). Checkpoints are
+/// JSON in both. Bump only with a migration note in
+/// `crates/storelog/MIGRATIONS.md`. This build reads both and writes v2 by
+/// default ([`PersistOptions::format`] selects).
+pub const OBS_FORMAT: u32 = storelog::FORMAT_VERSION;
 
 /// One logged observation: what one crawl task produced in one round.
 ///
@@ -125,9 +129,9 @@ pub struct Checkpoint {
 }
 
 impl Checkpoint {
-    fn capture(rs: &RunState, now: SimTime, rounds_done: u64) -> Self {
+    fn capture(rs: &RunState, now: SimTime, rounds_done: u64, format: u32) -> Self {
         Checkpoint {
-            format: OBS_FORMAT,
+            format,
             round: now,
             rounds_done,
             monitored_total: rs.monitored.len() as u64,
@@ -153,6 +157,12 @@ pub struct PersistOptions {
     /// kill-at-a-round-boundary knob the resume tests (and incremental
     /// long-run operation) are built on.
     pub max_rounds: Option<u64>,
+    /// Payload format for a **freshly created** state dir: `None` = the
+    /// current default ([`OBS_FORMAT`]). Recording v1 from a v2-native
+    /// build is how the differential format tests and the bench compare
+    /// the codecs. Ignored on resume — an existing dir already knows its
+    /// format.
+    pub format: Option<u32>,
 }
 
 impl PersistOptions {
@@ -161,6 +171,7 @@ impl PersistOptions {
             state_dir: state_dir.into(),
             resume: false,
             max_rounds: None,
+            format: None,
         }
     }
 }
@@ -178,6 +189,11 @@ pub enum PersistError {
     },
     /// The state dir exists and `resume` was not requested.
     AlreadyExists(PathBuf),
+    /// A committed record payload failed to decode — the segment was
+    /// corrupted past what frame checksums can heal (e.g. a spliced but
+    /// checksum-valid frame), or written by an incompatible build. Never
+    /// silently tolerated: replay refuses the whole dir.
+    Decode(String),
     /// Replay failed to reproduce the recorded checkpoint — the log is
     /// corrupt or was produced by an incompatible build.
     Diverged(String),
@@ -200,6 +216,9 @@ impl std::fmt::Display for PersistError {
                  to continue it or remove the directory",
                 p.display()
             ),
+            PersistError::Decode(m) => {
+                write!(f, "state dir payload decode error: {m}")
+            }
             PersistError::Diverged(m) => {
                 write!(f, "resume replay diverged from recorded checkpoint: {m}")
             }
@@ -238,6 +257,23 @@ pub struct PersistStage {
     replay: Option<ReplayData>,
     rounds_done: u64,
     max_rounds: Option<u64>,
+    /// The dir's payload format (1 = JSON, 2 = binary; see [`OBS_FORMAT`]).
+    payload_format: u32,
+    /// v2 only: one streaming codec context per shard. On resume these are
+    /// the decoder states at the end of the committed history, so live
+    /// appends continue the intern tables and delta chains exactly where
+    /// the recording stopped. Empty for v1 dirs.
+    codecs: Vec<ShardCodec>,
+    /// Scratch encode buffer, reused across records.
+    scratch: Vec<u8>,
+}
+
+fn fresh_codecs(format: u32, shards: usize) -> Vec<ShardCodec> {
+    if format >= 2 {
+        (0..shards).map(|_| ShardCodec::new()).collect()
+    } else {
+        Vec::new()
+    }
 }
 
 /// The serialized config a state dir is stamped with. The crawl thread
@@ -262,22 +298,27 @@ impl PersistStage {
     ) -> Result<Self, PersistError> {
         let fingerprint = config_fingerprint(cfg)?;
         let dir = &opts.state_dir;
+        let threads = cfg.crawl_threads.max(1);
 
-        let existing = match LogReader::open(dir) {
+        let existing = match LogReader::open_with_threads(dir, threads) {
             Ok(reader) => Some(reader),
             Err(storelog::Error::NoState(_)) => None,
             Err(e) => return Err(e.into()),
         };
 
-        let replay = match existing {
+        let (replay, codecs) = match existing {
             None => {
                 std::fs::create_dir_all(dir).map_err(storelog::Error::Io)?;
-                let writer = LogWriter::create(dir, shards, &fingerprint)?;
+                let version = opts.format.unwrap_or(OBS_FORMAT);
+                let writer = LogWriter::create_versioned(dir, shards, &fingerprint, version)?;
                 return Ok(PersistStage {
                     writer,
                     replay: None,
                     rounds_done: 0,
                     max_rounds: opts.max_rounds,
+                    payload_format: version,
+                    codecs: fresh_codecs(version, shards),
+                    scratch: Vec::new(),
                 });
             }
             Some(reader) => {
@@ -295,7 +336,7 @@ impl PersistStage {
                         reader.shard_count()
                     )));
                 }
-                Self::load_replay(&reader)?
+                Self::load_replay(&reader, threads)?
             }
         };
 
@@ -307,45 +348,109 @@ impl PersistStage {
                 rep.frontier.0
             );
         }
+        // The dir dictates the payload format on resume; `opts.format` only
+        // applies to fresh creations.
         let writer = LogWriter::open_append(dir)?;
+        let payload_format = writer.format_version();
         Ok(PersistStage {
             writer,
             replay,
             rounds_done: 0,
             max_rounds: opts.max_rounds,
+            payload_format,
+            codecs,
+            scratch: Vec::new(),
         })
     }
 
-    fn load_replay(reader: &LogReader) -> Result<Option<ReplayData>, PersistError> {
+    /// Load the committed history for replay, decoding shards in parallel
+    /// through the pipeline's [`ShardedExecutor`]. Returns the replay data
+    /// (None for an empty dir) plus, for v2 dirs, the per-shard codec states
+    /// at the end of the committed stream — the exact encoder contexts live
+    /// appends must continue from.
+    fn load_replay(
+        reader: &LogReader,
+        threads: usize,
+    ) -> Result<(Option<ReplayData>, Vec<ShardCodec>), PersistError> {
+        let version = reader.format_version();
+        let shards = reader.shard_count();
         let Some(commit) = reader.last_commit() else {
             // Created but never committed a round: nothing to replay.
-            return Ok(None);
+            return Ok((None, fresh_codecs(version, shards)));
         };
         let checkpoint: Checkpoint = serde_json::from_slice(&commit.app)?;
-        if checkpoint.format != OBS_FORMAT {
+        if checkpoint.format != version {
             return Err(PersistError::Diverged(format!(
-                "recorded payload format v{}, this build writes v{OBS_FORMAT}",
+                "checkpoint says payload format v{}, FORMAT file says v{version}",
                 checkpoint.format
             )));
         }
+
+        // Shards are independent streams — fan the decode out under the same
+        // determinism contract as the crawl (results re-assembled in shard
+        // order; merge below is shard-order deterministic).
+        let shard_ids: Vec<usize> = (0..shards).collect();
+        type ShardOut = Result<(Vec<ObsRecord>, Option<ShardCodec>), PersistError>;
+        let exec = ShardedExecutor::new(threads, crate::exec_metric_names!("persist.replay"));
+        let per_shard: Vec<ShardOut> = exec.map(
+            &shard_ids,
+            shards,
+            |&s| s,
+            || (),
+            |_, _, &shard| {
+                let stream = reader.stream_shard(shard).map_err(PersistError::from)?;
+                let mut recs: Vec<ObsRecord> = Vec::new();
+                let mut codec = (version >= 2).then(ShardCodec::new);
+                for payload in stream.iter() {
+                    let rec = match &mut codec {
+                        Some(c) => c
+                            .decode(payload)
+                            .map_err(|e| PersistError::Decode(format!("shard {shard}: {e}")))?,
+                        None => serde_json::from_slice::<ObsRecord>(payload)?,
+                    };
+                    // A checksum-valid frame spliced in from another shard's
+                    // segment would decode fine; membership in the shard's
+                    // FQDN partition is the structural check against it.
+                    if crate::snapshot::fqdn_shard(&rec.snap.fqdn, shards) != shard {
+                        return Err(PersistError::Decode(format!(
+                            "shard {shard}: record for {} belongs to shard {}",
+                            rec.snap.fqdn,
+                            crate::snapshot::fqdn_shard(&rec.snap.fqdn, shards)
+                        )));
+                    }
+                    recs.push(rec);
+                }
+                Ok((recs, codec))
+            },
+        );
+
         let mut rounds: BTreeMap<i32, Vec<ObsRecord>> = BTreeMap::new();
-        for shard in 0..reader.shard_count() {
-            // Zero-copy walk: payloads are decoded straight out of the
-            // segment bytes, no per-record buffer.
-            let stream = reader.stream_shard(shard)?;
-            for payload in stream.iter() {
-                let rec: ObsRecord = serde_json::from_slice(payload)?;
+        let mut codecs: Vec<ShardCodec> = Vec::new();
+        for out in per_shard {
+            let (recs, codec) = out?;
+            for rec in recs {
                 rounds.entry(rec.round.0).or_default().push(rec);
             }
+            if let Some(c) = codec {
+                codecs.push(c);
+            }
         }
-        for group in rounds.values_mut() {
+        for (round, group) in rounds.iter_mut() {
             group.sort_unstable_by_key(|r| r.seq);
+            if group.windows(2).any(|w| w[0].seq == w[1].seq) {
+                return Err(PersistError::Decode(format!(
+                    "round {round}: duplicate seq (spliced or duplicated frame)"
+                )));
+            }
         }
-        Ok(Some(ReplayData {
-            frontier: checkpoint.round,
-            rounds,
-            checkpoint,
-        }))
+        Ok((
+            Some(ReplayData {
+                frontier: checkpoint.round,
+                rounds,
+                checkpoint,
+            }),
+            codecs,
+        ))
     }
 
     /// If `now` is inside the recorded history, install the logged outcomes
@@ -400,9 +505,14 @@ impl PersistStage {
                 snap: out.snap.clone(),
                 change: out.change.as_ref().map(ChangeMeta::from_record),
             };
-            let payload = serde_json::to_vec(&rec)?;
-            self.writer
-                .append(rs.store.shard_of(&out.snap.fqdn), &payload);
+            let shard = rs.store.shard_of(&out.snap.fqdn);
+            if self.payload_format >= 2 {
+                self.codecs[shard].encode_into(&rec, &mut self.scratch);
+                self.writer.append(shard, &self.scratch);
+            } else {
+                let payload = serde_json::to_vec(&rec)?;
+                self.writer.append(shard, &payload);
+            }
         }
         obs::counter("persist.records").add(rs.crawl_batch.len() as u64);
         Ok(())
@@ -420,7 +530,8 @@ impl PersistStage {
                 std::cmp::Ordering::Equal => {
                     // At the frontier: prove the replay landed exactly where
                     // the original run stood before accepting live appends.
-                    let rebuilt = Checkpoint::capture(rs, now, self.rounds_done);
+                    let rebuilt =
+                        Checkpoint::capture(rs, now, self.rounds_done, self.payload_format);
                     if rebuilt != rep.checkpoint {
                         return Err(PersistError::Diverged(format!(
                             "at round {}: rebuilt {rebuilt:?} != recorded {:?}",
@@ -439,7 +550,7 @@ impl PersistStage {
                 }
             }
         }
-        let cp = Checkpoint::capture(rs, now, self.rounds_done);
+        let cp = Checkpoint::capture(rs, now, self.rounds_done, self.payload_format);
         self.writer.commit(&serde_json::to_vec(&cp)?)?;
         Ok(())
     }
@@ -459,15 +570,168 @@ impl PersistStage {
 /// newer observation of the same FQDN supersedes. Change records are always
 /// kept. Safe at any point between runs; resume works identically on the
 /// compacted log.
+///
+/// v1 dirs drop frames in place (payloads are self-contained JSON); v2 dirs
+/// must *transcode* — intern ids and delta bases are positional in the
+/// stream, so the surviving records are re-encoded with a fresh
+/// [`ShardCodec`] per shard ([`storelog::compact_with`]).
 pub fn compact_state_dir(dir: &Path) -> Result<CompactStats, PersistError> {
-    let stats = storelog::compact(dir, |payload| {
-        match serde_json::from_slice::<ObsRecord>(payload) {
-            // A change record is study signal — never dropped.
-            Ok(rec) if rec.change.is_none() => Retention::Supersede(rec.snap.fqdn.to_string()),
-            // Unparseable records are kept, not silently destroyed.
-            _ => Retention::Keep,
+    let (version, _) = storelog::read_format(dir)?;
+    if version < 2 {
+        let stats = storelog::compact(dir, |payload| {
+            match serde_json::from_slice::<ObsRecord>(payload) {
+                // A change record is study signal — never dropped.
+                Ok(rec) if rec.change.is_none() => Retention::Supersede(rec.snap.fqdn.to_string()),
+                // Unparseable records are kept, not silently destroyed.
+                _ => Retention::Keep,
+            }
+        })?;
+        return Ok(stats);
+    }
+    let stats = storelog::compact_with(dir, |shard, payloads| {
+        let mut dec = ShardCodec::new();
+        let recs: Vec<ObsRecord> = payloads
+            .iter()
+            .map(|p| dec.decode(p))
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("shard {shard}: {e}"))?;
+        // Same retention rule as v1: keep every change record, plus the
+        // last record per FQDN among the unchanged-snapshot ones.
+        let mut last_of: HashMap<String, usize> = HashMap::new();
+        for (i, rec) in recs.iter().enumerate() {
+            if rec.change.is_none() {
+                last_of.insert(rec.snap.fqdn.to_string(), i);
+            }
         }
+        let mut enc = ShardCodec::new();
+        let mut out = Vec::new();
+        for (i, rec) in recs.iter().enumerate() {
+            let keep = rec.change.is_some() || last_of.get(&rec.snap.fqdn.to_string()) == Some(&i);
+            if keep {
+                let mut buf = Vec::new();
+                enc.encode_into(rec, &mut buf);
+                out.push(buf);
+            }
+        }
+        Ok(out)
     })?;
+    Ok(stats)
+}
+
+/// Outcome of [`migrate_state_dir`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrateStats {
+    /// Committed rounds carried over.
+    pub rounds: u64,
+    /// Data records transcoded.
+    pub records: u64,
+    /// Total segment bytes before (v1) and after (v2).
+    pub bytes_before: u64,
+    pub bytes_after: u64,
+}
+
+/// Rewrite a v1 (JSON-payload) state dir to the current v2 binary format,
+/// in place. Records are transcoded commit by commit so every original
+/// round boundary and checkpoint survives (the checkpoint's `format` field
+/// is rewritten 1→2); the replayed history of the migrated dir is
+/// byte-identical to the original's.
+///
+/// Crash-safe: the new dir is built as a sibling `<dir>.v2.tmp`, then
+/// published by renaming the original to `<dir>.v1.bak` and the temp dir
+/// into place. A crash at any point leaves the original recoverable (under
+/// its own name or the `.v1.bak` name); a leftover `.v2.tmp` from an
+/// earlier crash is discarded and rebuilt. Refused if `<dir>.v1.bak`
+/// already exists (a previous migration's backup would be clobbered).
+pub fn migrate_state_dir(dir: &Path) -> Result<MigrateStats, PersistError> {
+    let (version, shards) = storelog::read_format(dir)?;
+    if version != 1 {
+        return Err(PersistError::Store(storelog::Error::Format(format!(
+            "migrate expects a v1 state dir, {} is v{version}",
+            dir.display()
+        ))));
+    }
+    let reader = LogReader::open(dir)?;
+    let file_name = dir
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| storelog::Error::Format(format!("bad state dir path {}", dir.display())))?;
+    let tmp = dir.with_file_name(format!("{file_name}.v2.tmp"));
+    let bak = dir.with_file_name(format!("{file_name}.v1.bak"));
+    if bak.exists() {
+        return Err(PersistError::Store(storelog::Error::Format(format!(
+            "backup {} already exists; remove it before migrating again",
+            bak.display()
+        ))));
+    }
+    if tmp.exists() {
+        std::fs::remove_dir_all(&tmp).map_err(storelog::Error::Io)?;
+    }
+    std::fs::create_dir_all(&tmp).map_err(storelog::Error::Io)?;
+    let mut writer = LogWriter::create_versioned(&tmp, shards, reader.config(), 2)?;
+
+    // Walk the committed history oldest-first, consuming each shard's
+    // payload stream up to every commit's recorded offset — the transcoded
+    // dir gets one commit per original commit, at the transcoded offsets.
+    let mut stats = MigrateStats {
+        rounds: 0,
+        records: 0,
+        bytes_before: 0,
+        bytes_after: 0,
+    };
+    let mut codecs = fresh_codecs(2, shards);
+    let mut streams = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        streams.push(reader.stream_shard(shard)?);
+    }
+    let mut iters: Vec<_> = streams.iter().map(|s| s.iter()).collect();
+    let mut consumed = vec![0u64; shards]; // v1 bytes consumed per shard
+    let mut buf = Vec::new();
+    for commit in reader.commits() {
+        for shard in 0..shards {
+            let target = commit.offsets[shard];
+            while consumed[shard] < target {
+                let Some(payload) = iters[shard].next() else {
+                    return Err(PersistError::Diverged(format!(
+                        "shard {shard}: commit offset {target} past the end \
+                         of the committed stream",
+                    )));
+                };
+                consumed[shard] += storelog::frame::frame_len(payload.len()) as u64;
+                let rec: ObsRecord = serde_json::from_slice(payload)?;
+                codecs[shard].encode_into(&rec, &mut buf);
+                writer.append(shard, &buf);
+                stats.records += 1;
+                stats.bytes_before += payload.len() as u64;
+                stats.bytes_after += buf.len() as u64;
+            }
+            if consumed[shard] != target {
+                return Err(PersistError::Diverged(format!(
+                    "shard {shard}: commit offset {target} does not land on \
+                     a frame boundary ({} consumed)",
+                    consumed[shard]
+                )));
+            }
+        }
+        let mut cp: Checkpoint = serde_json::from_slice(&commit.app)?;
+        cp.format = 2;
+        writer.commit(&serde_json::to_vec(&cp)?)?;
+        stats.rounds += 1;
+    }
+    drop(writer);
+
+    // Publish: original out of the way first, then the new dir into place.
+    std::fs::rename(dir, &bak).map_err(storelog::Error::Io)?;
+    std::fs::rename(&tmp, dir).map_err(storelog::Error::Io)?;
+    obs::info!(
+        "migrated {} to format v2: {} round(s), {} record(s), {} -> {} payload bytes \
+         (v1 original kept at {})",
+        dir.display(),
+        stats.rounds,
+        stats.records,
+        stats.bytes_before,
+        stats.bytes_after,
+        bak.display()
+    );
     Ok(stats)
 }
 

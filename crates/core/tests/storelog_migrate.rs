@@ -1,0 +1,174 @@
+//! v1→v2 state-dir migration: the committed fixture under
+//! `tests/fixtures/v1_state/` is a tiny v1 (JSON-payload) recording; it
+//! must keep migrating cleanly and replaying byte-identically on every
+//! future build — the compatibility gate MIGRATIONS.md promises.
+//!
+//! Regenerate the fixture (only after an intentional, documented format or
+//! scenario change) with:
+//!
+//! ```sh
+//! cargo test -p dangling-core --test storelog_migrate -- --ignored regenerate
+//! ```
+
+use dangling_core::scenario::{Scenario, ScenarioConfig};
+use dangling_core::{migrate_state_dir, PersistOptions};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("slmig_{tag}_{}_{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+        // migrate_state_dir publishes a sibling backup; sweep it too.
+        let mut bak = self.0.as_os_str().to_owned();
+        bak.push(".v1.bak");
+        let _ = std::fs::remove_dir_all(PathBuf::from(bak));
+    }
+}
+
+/// The exact scenario the fixture was recorded with. Changing anything here
+/// (or in what `ScenarioConfig` serializes) invalidates the fixture — that
+/// is the point: resume refuses mismatched configs, so this test fails
+/// loudly instead of the fixture rotting silently.
+fn fixture_cfg(threads: usize) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::at_scale(12_000);
+    cfg.world.n_fortune1000 = 2;
+    cfg.world.n_global500 = 1;
+    cfg.seed = 11;
+    cfg.crawl_threads = threads;
+    cfg.crawl_failure_rate = 0.02;
+    cfg
+}
+
+const FIXTURE_ROUNDS: u64 = 4;
+
+fn fixture_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/v1_state")
+}
+
+fn copy_fixture(tag: &str) -> TempDir {
+    let dst = TempDir::new(tag);
+    for entry in std::fs::read_dir(fixture_path()).expect("fixture dir exists — see module docs")
+    {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dst.0.join(entry.file_name())).unwrap();
+    }
+    dst
+}
+
+fn resume_to_completion(dir: &Path, threads: usize) -> String {
+    let mut opts = PersistOptions::new(dir);
+    opts.resume = true;
+    let results = Scenario::new(fixture_cfg(threads))
+        .run_persisted(&opts)
+        .expect("resume");
+    serde_json::to_string(&results).expect("results serialize")
+}
+
+#[test]
+fn fixture_is_v1() {
+    let (version, shards) = storelog::read_format(&fixture_path()).expect("fixture readable");
+    assert_eq!(version, 1, "fixture must stay a v1 dir");
+    assert_eq!(shards, 16);
+}
+
+#[test]
+fn migrated_fixture_replays_byte_identically_to_the_v1_original() {
+    let v1 = copy_fixture("orig");
+    let v2 = copy_fixture("mig");
+
+    let stats = migrate_state_dir(&v2.0).expect("migration");
+    assert_eq!(stats.rounds, FIXTURE_ROUNDS);
+    assert!(stats.records > 0);
+    assert!(
+        stats.bytes_after * 3 <= stats.bytes_before,
+        "binary payloads should be far smaller: {} -> {} bytes",
+        stats.bytes_before,
+        stats.bytes_after
+    );
+    assert_eq!(storelog::read_format(&v2.0).unwrap().0, 2);
+    // The original moved to the sibling backup, byte-for-byte.
+    let mut bak = v2.0.as_os_str().to_owned();
+    bak.push(".v1.bak");
+    assert_eq!(
+        storelog::read_format(&PathBuf::from(bak)).unwrap().0,
+        1,
+        "the v1 original must survive as the .v1.bak sibling"
+    );
+
+    // Both dirs resume into identical studies — the recorded rounds replay
+    // (JSON vs binary decode), the rest of the horizon re-crawls live.
+    let out_v1 = resume_to_completion(&v1.0, 2);
+    let out_v2 = resume_to_completion(&v2.0, 2);
+    assert_eq!(out_v1, out_v2, "migration changed replayed history");
+
+    // And both equal the uninterrupted in-memory run.
+    let baseline = serde_json::to_string(&Scenario::new(fixture_cfg(1)).run()).unwrap();
+    assert_eq!(out_v1, baseline, "fixture resume diverged from baseline");
+}
+
+#[test]
+fn migrate_refuses_v2_dirs_and_existing_backups() {
+    let dir = copy_fixture("refuse");
+    migrate_state_dir(&dir.0).expect("first migration");
+    // Already v2: a second migration must refuse, not double-transcode.
+    let err = migrate_state_dir(&dir.0).expect_err("v2 dir refused");
+    assert!(err.to_string().contains("expects a v1"), "{err}");
+
+    // A fresh v1 copy whose backup name is already taken must refuse too
+    // (never clobber the only pristine copy).
+    let dir2 = copy_fixture("bak");
+    let mut bak = dir2.0.as_os_str().to_owned();
+    bak.push(".v1.bak");
+    std::fs::create_dir_all(PathBuf::from(bak)).unwrap();
+    let err = migrate_state_dir(&dir2.0).expect_err("existing backup refused");
+    assert!(err.to_string().contains("already exists"), "{err}");
+}
+
+#[test]
+fn unknown_future_format_is_refused_with_a_migration_pointer() {
+    // The exact failure mode a v1-era reader exhibits on a v2 dir (its
+    // FORMAT gate predates v2): an unsupported version must be a hard
+    // error pointing at MIGRATIONS.md, never a silent decode attempt.
+    let dir = copy_fixture("future");
+    std::fs::write(dir.0.join("FORMAT"), "storelog 999\nshards 16\n").unwrap();
+    let err = match storelog::LogReader::open(&dir.0) {
+        Ok(_) => panic!("future version must be refused"),
+        Err(e) => e,
+    };
+    let msg = err.to_string();
+    assert!(msg.contains("MIGRATIONS.md"), "{msg}");
+    assert!(
+        msg.contains(&format!("v{}", storelog::FORMAT_VERSION)),
+        "error should name the supported range: {msg}"
+    );
+}
+
+/// Rebuilds `tests/fixtures/v1_state/`. Run explicitly (see module docs)
+/// after an intentional scenario/config change; commit the result.
+#[test]
+#[ignore = "regenerates the committed fixture; run explicitly"]
+fn regenerate_v1_fixture() {
+    let path = fixture_path();
+    let _ = std::fs::remove_dir_all(&path);
+    std::fs::create_dir_all(&path).unwrap();
+    let mut opts = PersistOptions::new(&path);
+    opts.max_rounds = Some(FIXTURE_ROUNDS);
+    opts.format = Some(1);
+    Scenario::new(fixture_cfg(2))
+        .run_persisted(&opts)
+        .expect("fixture recording");
+    let (version, _) = storelog::read_format(&path).unwrap();
+    assert_eq!(version, 1);
+}

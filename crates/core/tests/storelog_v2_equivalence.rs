@@ -1,0 +1,207 @@
+//! Differential v1/v2 storelog harness: the same study recorded with JSON
+//! (v1) and binary interned/delta (v2) payloads must produce byte-identical
+//! `StudyResults` — fresh, replayed at every thread count, resumed through
+//! the incremental retro pass, and after a mid-round kill. On top of the
+//! equivalence, the v2 segments must be ≥5× smaller than v1's.
+
+use dangling_core::scenario::{Scenario, ScenarioConfig};
+use dangling_core::{PersistError, PersistOptions};
+use std::fs::OpenOptions;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("slv2_{tag}_{}_{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Same harness configuration as the crash-recovery suite.
+fn study_cfg(threads: usize) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::at_scale(3000);
+    cfg.world.n_fortune1000 = 20;
+    cfg.world.n_global500 = 10;
+    cfg.seed = 5;
+    cfg.crawl_threads = threads;
+    cfg.crawl_failure_rate = 0.02;
+    cfg
+}
+
+fn baseline() -> &'static String {
+    static BASELINE: OnceLock<String> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        let results = Scenario::new(study_cfg(1)).run();
+        serde_json::to_string(&results).expect("results serialize")
+    })
+}
+
+fn run_persisted(
+    dir: &TempDir,
+    format: Option<u32>,
+    resume: bool,
+    max_rounds: Option<u64>,
+    threads: usize,
+    incremental: bool,
+) -> Result<String, PersistError> {
+    let mut opts = PersistOptions::new(&dir.0);
+    opts.resume = resume;
+    opts.max_rounds = max_rounds;
+    opts.format = format;
+    let results = Scenario::new(study_cfg(threads))
+        .incremental(incremental)
+        .run_persisted(&opts)?;
+    Ok(serde_json::to_string(&results).expect("results serialize"))
+}
+
+fn segment_bytes(dir: &TempDir) -> u64 {
+    (0..64)
+        .filter_map(|i| std::fs::metadata(dir.0.join(format!("shard-{i:03}.seg"))).ok())
+        .map(|m| m.len())
+        .sum()
+}
+
+/// A fully recorded run per format, shared across the tests below (the
+/// recording runs are the expensive part; full-history replays are cheap).
+fn recorded(format: u32) -> &'static (TempDir, String) {
+    static V1: OnceLock<(TempDir, String)> = OnceLock::new();
+    static V2: OnceLock<(TempDir, String)> = OnceLock::new();
+    let cell = match format {
+        1 => &V1,
+        2 => &V2,
+        _ => unreachable!(),
+    };
+    cell.get_or_init(|| {
+        let dir = TempDir::new(&format!("rec_v{format}"));
+        let out = run_persisted(&dir, Some(format), false, None, 2, false).expect("recording run");
+        (dir, out)
+    })
+}
+
+#[test]
+fn v1_and_v2_recordings_match_the_in_memory_baseline() {
+    let (v1_dir, v1_out) = recorded(1);
+    let (v2_dir, v2_out) = recorded(2);
+    assert_eq!(v1_out, baseline(), "v1 recording diverged");
+    assert_eq!(v2_out, baseline(), "v2 recording diverged");
+    assert_eq!(storelog::read_format(&v1_dir.0).unwrap().0, 1);
+    assert_eq!(storelog::read_format(&v2_dir.0).unwrap().0, 2);
+}
+
+#[test]
+fn v2_segments_are_at_least_5x_smaller_than_v1() {
+    let (v1_dir, _) = recorded(1);
+    let (v2_dir, _) = recorded(2);
+    let (v1_bytes, v2_bytes) = (segment_bytes(v1_dir), segment_bytes(v2_dir));
+    assert!(v1_bytes > 0 && v2_bytes > 0);
+    assert!(
+        v2_bytes * 5 <= v1_bytes,
+        "v2 segments {v2_bytes} B vs v1 {v1_bytes} B — ratio {:.1}x < 5x",
+        v1_bytes as f64 / v2_bytes as f64
+    );
+}
+
+#[test]
+fn full_history_replay_is_thread_count_invariant_in_both_formats() {
+    // Resuming a complete recording replays the whole horizon from the
+    // segments (no live rounds). Both decoders — serial JSON and the
+    // shard-parallel binary path — must land on the baseline byte for byte
+    // at every thread count.
+    for format in [1u32, 2] {
+        let (dir, _) = recorded(format);
+        for threads in [1usize, 2, 4, 8] {
+            let replayed = run_persisted(dir, None, true, None, threads, false)
+                .unwrap_or_else(|e| panic!("v{format} replay at {threads} threads: {e}"));
+            assert_eq!(
+                &replayed,
+                baseline(),
+                "v{format} replay at {threads} threads diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_resume_of_partial_recordings_matches_in_both_formats() {
+    // Record 12 rounds, then resume with the streaming retro pass on:
+    // recorded rounds replay straight from the segments, the rest of the
+    // horizon is crawled live, and the v1/v2 results must both equal the
+    // uninterrupted batch baseline.
+    for format in [1u32, 2] {
+        let dir = TempDir::new(&format!("partial_v{format}"));
+        run_persisted(&dir, Some(format), false, Some(12), 2, true).expect("recording run");
+        assert_eq!(storelog::read_format(&dir.0).unwrap().0, format);
+        let resumed = run_persisted(&dir, None, true, None, 4, true).expect("resume");
+        assert_eq!(
+            &resumed,
+            baseline(),
+            "v{format} incremental resume diverged"
+        );
+        // The resumed appends continued in the dir's own format.
+        assert_eq!(storelog::read_format(&dir.0).unwrap().0, format);
+    }
+}
+
+#[test]
+fn v2_run_killed_mid_round_resumes_to_batch_results() {
+    // The crash-recovery scenario on the binary format: segment bytes of
+    // the in-flight round reached disk but the commit frame was torn.
+    // Recovery rolls back exactly one round; the resumed incremental run
+    // re-encodes live rounds through codec contexts recovered from the
+    // committed prefix and must reproduce the batch baseline.
+    let dir = TempDir::new("kill_v2");
+    run_persisted(&dir, Some(2), false, Some(12), 2, true).expect("recording run");
+    let commits = dir.0.join("commits.log");
+    let len = std::fs::metadata(&commits).unwrap().len();
+    OpenOptions::new()
+        .write(true)
+        .open(&commits)
+        .unwrap()
+        .set_len(len - 5)
+        .unwrap();
+    let resumed = run_persisted(&dir, None, true, None, 4, true).expect("resume after kill");
+    assert_eq!(
+        &resumed,
+        baseline(),
+        "v2 resume after a mid-round kill diverged from batch"
+    );
+}
+
+#[test]
+fn compaction_preserves_replay_in_both_formats() {
+    // Compact a partial recording (v2 transcodes through fresh codec
+    // contexts; v1 drops frames in place), then resume: results must stay
+    // on the baseline and the dir must actually have shrunk.
+    for format in [1u32, 2] {
+        let dir = TempDir::new(&format!("compact_v{format}"));
+        run_persisted(&dir, Some(format), false, Some(12), 2, false).expect("recording run");
+        let before = segment_bytes(&dir);
+        let stats = dangling_core::compact_state_dir(&dir.0).expect("compact");
+        assert!(
+            stats.records_after < stats.records_before,
+            "v{format} compaction dropped nothing \
+             ({} -> {} records)",
+            stats.records_before,
+            stats.records_after
+        );
+        assert!(segment_bytes(&dir) < before);
+        let resumed = run_persisted(&dir, None, true, None, 2, false).expect("resume");
+        assert_eq!(
+            &resumed,
+            baseline(),
+            "v{format} post-compaction resume diverged"
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Varint primitives and a bounded cursor for binary record payloads.
+//!
+//! Format v2 payloads (see `MIGRATIONS.md`) are built from three wire
+//! shapes, all little-endian where fixed-width:
+//!
+//! - `uvarint` — LEB128: 7 value bits per byte, high bit = continuation,
+//!   at most 10 bytes (u64). Canonical encoding is shortest-form; the
+//!   decoder additionally rejects >10-byte runs and bit-65 overflow.
+//! - `ivarint` — zigzag-mapped signed integer over `uvarint`
+//!   (`0 → 0, -1 → 1, 1 → 2, …`), so small deltas of either sign stay
+//!   one byte.
+//! - fixed bytes — `u16`/`u64` LE and raw length-prefixed slices.
+//!
+//! [`Reader`] is the decode cursor: every accessor is bounds-checked
+//! against the payload slice and returns [`CodecError`] instead of
+//! panicking, because decoders downstream feed it *attacker-shaped* bytes
+//! in the corruption-injection suite. Allocation is always bounded by the
+//! remaining slice length — a corrupt length prefix can never request more
+//! memory than the frame actually holds.
+
+/// Decode-side failure: the payload is structurally invalid. Encoders never
+/// produce these; seeing one means the bytes were corrupted or spliced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload ended before the field did.
+    Truncated,
+    /// A varint ran past 10 bytes or overflowed 64 bits.
+    VarintOverflow,
+    /// Structurally impossible value (context in the message).
+    Malformed(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "payload truncated mid-field"),
+            CodecError::VarintOverflow => write!(f, "varint overflows u64"),
+            CodecError::Malformed(m) => write!(f, "malformed payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Shorthand used by every decoder in this crate and downstream.
+pub type CodecResult<T> = std::result::Result<T, CodecError>;
+
+/// Append `v` as a LEB128 uvarint.
+pub fn put_uvarint(mut v: u64, out: &mut Vec<u8>) {
+    while v >= 0x80 {
+        out.push((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Append `v` zigzag-mapped as a uvarint.
+pub fn put_ivarint(v: i64, out: &mut Vec<u8>) {
+    put_uvarint(((v << 1) ^ (v >> 63)) as u64, out);
+}
+
+/// Bounds-checked decode cursor over one payload slice.
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Fail unless the whole payload was consumed — trailing garbage after
+    /// a well-formed record is corruption, not padding.
+    pub fn expect_end(&self) -> CodecResult<()> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::Malformed(format!(
+                "{} trailing byte(s) after record",
+                self.remaining()
+            )))
+        }
+    }
+
+    pub fn u8(&mut self) -> CodecResult<u8> {
+        let b = *self.bytes.get(self.pos).ok_or(CodecError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// A raw slice of exactly `n` bytes.
+    pub fn bytes(&mut self, n: usize) -> CodecResult<&'a [u8]> {
+        let s = self
+            .bytes
+            .get(self.pos..self.pos.checked_add(n).ok_or(CodecError::Truncated)?)
+            .ok_or(CodecError::Truncated)?;
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u16_le(&mut self) -> CodecResult<u16> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
+    }
+
+    pub fn u64_le(&mut self) -> CodecResult<u64> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    pub fn uvarint(&mut self) -> CodecResult<u64> {
+        let mut v = 0u64;
+        for shift in 0..10 {
+            let b = self.u8()?;
+            let bits = (b & 0x7f) as u64;
+            // Byte 10 may only carry the final value bit of a u64.
+            if shift == 9 && b > 0x01 {
+                return Err(CodecError::VarintOverflow);
+            }
+            v |= bits << (shift * 7);
+            if b < 0x80 {
+                return Ok(v);
+            }
+        }
+        Err(CodecError::VarintOverflow)
+    }
+
+    pub fn ivarint(&mut self) -> CodecResult<i64> {
+        let z = self.uvarint()?;
+        Ok((z >> 1) as i64 ^ -((z & 1) as i64))
+    }
+
+    /// A uvarint length prefix followed by that many raw bytes. The length
+    /// is implicitly capped by the remaining slice via [`Reader::bytes`].
+    pub fn len_prefixed(&mut self) -> CodecResult<&'a [u8]> {
+        let n = self.uvarint()?;
+        if n > self.remaining() as u64 {
+            return Err(CodecError::Truncated);
+        }
+        self.bytes(n as usize)
+    }
+}
+
+/// Append a uvarint length prefix + the raw bytes.
+pub fn put_len_prefixed(bytes: &[u8], out: &mut Vec<u8>) {
+    put_uvarint(bytes.len() as u64, out);
+    out.extend_from_slice(bytes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_u(v: u64) {
+        let mut buf = Vec::new();
+        put_uvarint(v, &mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.uvarint().unwrap(), v);
+        r.expect_end().unwrap();
+    }
+
+    fn roundtrip_i(v: i64) {
+        let mut buf = Vec::new();
+        put_ivarint(v, &mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.ivarint().unwrap(), v);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn uvarint_roundtrips_across_widths() {
+        for v in [0, 1, 127, 128, 129, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            roundtrip_u(v);
+        }
+    }
+
+    #[test]
+    fn ivarint_roundtrips_both_signs() {
+        for v in [0, 1, -1, 63, -64, 64, -65, i64::MAX, i64::MIN] {
+            roundtrip_i(v);
+        }
+    }
+
+    #[test]
+    fn zigzag_keeps_small_magnitudes_short() {
+        for v in [-63i64, -1, 0, 1, 63] {
+            let mut buf = Vec::new();
+            put_ivarint(v, &mut buf);
+            assert_eq!(buf.len(), 1, "ivarint({v}) should be one byte");
+        }
+    }
+
+    #[test]
+    fn truncated_varint_is_an_error() {
+        let mut buf = Vec::new();
+        put_uvarint(u64::MAX, &mut buf);
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            assert_eq!(r.uvarint(), Err(CodecError::Truncated));
+        }
+    }
+
+    #[test]
+    fn overlong_varint_is_an_error() {
+        // 10 continuation bytes then a terminator: > 64 bits of payload.
+        let buf = [
+            0x80u8, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01,
+        ];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.uvarint(), Err(CodecError::VarintOverflow));
+        // Byte 10 carrying more than the final u64 bit overflows too.
+        let buf = [0xffu8, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.uvarint(), Err(CodecError::VarintOverflow));
+    }
+
+    #[test]
+    fn len_prefix_cannot_outrun_the_slice() {
+        let mut buf = Vec::new();
+        put_uvarint(1 << 40, &mut buf); // claims a terabyte
+        buf.extend_from_slice(b"tiny");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.len_prefixed(), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn fixed_width_reads_are_bounds_checked() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert!(r.u16_le().is_ok());
+        assert_eq!(r.u64_le(), Err(CodecError::Truncated));
+        assert_eq!(r.remaining(), 1, "failed read consumes nothing");
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = Vec::new();
+        put_uvarint(7, &mut buf);
+        buf.push(0);
+        let mut r = Reader::new(&buf);
+        r.uvarint().unwrap();
+        assert!(matches!(r.expect_end(), Err(CodecError::Malformed(_))));
+    }
+}

@@ -47,7 +47,51 @@ pub struct CompactStats {
 /// Rewrite the committed region of `dir`, classifying every record payload
 /// with `classify`. Uncommitted tails are discarded (they were already
 /// invisible). No-op on a log that never committed.
+///
+/// Surviving payload bytes are copied verbatim, so this is only correct for
+/// payload encodings where records decode independently (format v1). For
+/// context-dependent encodings (v2 interned/delta streams) use
+/// [`compact_with`] and re-encode the survivors.
 pub fn compact(dir: &Path, mut classify: impl FnMut(&[u8]) -> Retention) -> Result<CompactStats> {
+    compact_with(dir, |_shard, records| {
+        // Pass 1: last occurrence of each supersede key in this shard.
+        // (Shards partition the keyspace, so per-shard lastness is global
+        // lastness for any consistent classifier.)
+        let mut last_of: HashMap<String, usize> = HashMap::new();
+        let mut verdicts = Vec::with_capacity(records.len());
+        for (i, rec) in records.iter().enumerate() {
+            let v = classify(rec);
+            if let Retention::Supersede(key) = &v {
+                last_of.insert(key.clone(), i);
+            }
+            verdicts.push(v);
+        }
+        // Pass 2: survivors in order.
+        Ok(records
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| match &verdicts[*i] {
+                Retention::Keep => true,
+                Retention::Supersede(key) => last_of[key] == *i,
+            })
+            .map(|(_, rec)| rec)
+            .collect())
+    })
+}
+
+/// Shard-batch rewrite: `plan` receives every committed payload of one
+/// shard in append order and returns the replacement payload list (also in
+/// append order), or a format-error message. This is the compaction
+/// primitive for payload encodings that cannot drop records byte-verbatim —
+/// a v2 interned/delta stream is decoded, filtered, and re-encoded against
+/// a fresh table by the application-side `plan`.
+///
+/// The crash-safety protocol is identical to [`compact`]: tmp files,
+/// fsync, segments-then-commit renames, directory sync.
+pub fn compact_with(
+    dir: &Path,
+    mut plan: impl FnMut(usize, Vec<Vec<u8>>) -> std::result::Result<Vec<Vec<u8>>, String>,
+) -> Result<CompactStats> {
     let reader = LogReader::open(dir)?;
     let layout = Layout::new(dir);
     let shards = reader.shard_count();
@@ -74,31 +118,12 @@ pub fn compact(dir: &Path, mut classify: impl FnMut(&[u8]) -> Retention) -> Resu
         stats.records_before += records.len();
         stats.bytes_before += head.offsets[shard];
 
-        // Pass 1: last occurrence of each supersede key in this shard.
-        // (Shards partition the keyspace, so per-shard lastness is global
-        // lastness for any consistent classifier.)
-        let mut last_of: HashMap<String, usize> = HashMap::new();
-        let mut verdicts = Vec::with_capacity(records.len());
-        for (i, rec) in records.iter().enumerate() {
-            let v = classify(rec);
-            if let Retention::Supersede(key) = &v {
-                last_of.insert(key.clone(), i);
-            }
-            verdicts.push(v);
-        }
-
-        // Pass 2: rewrite survivors in order.
+        let survivors = plan(shard, records).map_err(Error::Format)?;
         let mut out = Vec::new();
-        for (i, rec) in records.iter().enumerate() {
-            let keep = match &verdicts[i] {
-                Retention::Keep => true,
-                Retention::Supersede(key) => last_of[key] == i,
-            };
-            if keep {
-                frame::encode_into(rec, &mut out);
-                stats.records_after += 1;
-            }
+        for rec in &survivors {
+            frame::encode_into(rec, &mut out);
         }
+        stats.records_after += survivors.len();
         stats.bytes_after += out.len() as u64;
         new_offsets.push(out.len() as u64);
 
@@ -223,6 +248,47 @@ mod tests {
             vec![b"x:u".to_vec(), b"x:c".to_vec()]
         );
         assert_eq!(r.last_commit().unwrap().app, b"r3");
+    }
+
+    #[test]
+    fn compact_with_can_transcode_payloads() {
+        let t = TempDir::new("compact_with");
+        let mut w = LogWriter::create(&t.0, 2, b"cfg").unwrap();
+        for r in 0..3 {
+            w.append(0, format!("rec{r}").as_bytes());
+            w.append(1, format!("other{r}").as_bytes());
+            w.commit(format!("r{r}").as_bytes()).unwrap();
+        }
+        drop(w);
+
+        // Drop the first record of each shard and rewrite the rest —
+        // payload bytes change, which plain `compact` can never do.
+        let stats = compact_with(&t.0, |shard, records| {
+            Ok(records
+                .into_iter()
+                .skip(1)
+                .map(|r| {
+                    let mut v = format!("s{shard}:").into_bytes();
+                    v.extend_from_slice(&r);
+                    v
+                })
+                .collect())
+        })
+        .unwrap();
+        assert_eq!(stats.records_before, 6);
+        assert_eq!(stats.records_after, 4);
+
+        let r = LogReader::open(&t.0).unwrap();
+        assert_eq!(r.last_commit().unwrap().app, b"r2", "checkpoint carried");
+        assert_eq!(
+            r.read_shard(0).unwrap(),
+            vec![b"s0:rec1".to_vec(), b"s0:rec2".to_vec()]
+        );
+
+        // A plan error aborts without touching the live files.
+        assert!(compact_with(&t.0, |_, _| Err("boom".into())).is_err());
+        let r = LogReader::open(&t.0).unwrap();
+        assert_eq!(r.read_shard(0).unwrap().len(), 2);
     }
 
     #[test]

@@ -105,6 +105,18 @@ pub fn payloads(bytes: &[u8], start: u64) -> PayloadIter<'_> {
     }
 }
 
+/// Length of the checksum-valid frame prefix of `bytes` starting at
+/// `start`, without materializing any payload: `(valid_len, torn_bytes)`.
+/// Recovery analysis only needs these two numbers per segment, and the
+/// allocation-free walk keeps the open-time scan bounded by I/O even on
+/// million-record segments.
+pub fn valid_len(bytes: &[u8], start: u64) -> (u64, u64) {
+    let mut it = payloads(bytes, start);
+    for _ in it.by_ref() {}
+    let valid = it.offset();
+    (valid, bytes.len() as u64 - valid)
+}
+
 /// Scan `bytes` (starting at `start`) for consecutive valid frames.
 ///
 /// `start` lets callers skip a file header. Scanning is strict-prefix: the
@@ -206,6 +218,15 @@ mod tests {
         encode_into(b"x", &mut buf);
         let s = scan(&buf, 8);
         assert_eq!(s.into_payloads(), vec![b"x".to_vec()]);
+    }
+
+    #[test]
+    fn valid_len_agrees_with_scan() {
+        let mut buf = buf_with(&[b"first", b"second", b"third"]);
+        buf.extend_from_slice(b"torn tail bytes");
+        let s = scan(&buf, 0);
+        assert_eq!(valid_len(&buf, 0), (s.valid_len, s.torn_bytes));
+        assert_eq!(valid_len(b"", 0), (0, 0));
     }
 
     #[test]

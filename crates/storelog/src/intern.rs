@@ -1,0 +1,237 @@
+//! Streaming string intern tables for format-v2 payloads.
+//!
+//! Both sides of the codec maintain the same table, updated record by
+//! record in append order: the first time a string appears in a shard's
+//! stream, the encoder writes it inline and both sides assign it the next
+//! dense id; every later reference is just a varint id. There is no
+//! separate table section on disk — the table *is* the replayed prefix of
+//! the stream, which keeps append-only semantics, torn-tail recovery, and
+//! compaction (which re-encodes with a fresh table) untouched.
+//!
+//! Wire shape of a reference (`put_ref`/`read_ref`):
+//!
+//! ```text
+//! uvarint 0        → new string: uvarint len + UTF-8 bytes follow;
+//!                    assigned id = table length before insertion
+//! uvarint k (k>0)  → existing string with id k-1
+//! ```
+//!
+//! The optional variant (`put_opt_ref`/`read_opt_ref`) shifts by one:
+//! `0 → None`, `1 → new + inline`, `k>1 → id k-2`.
+//!
+//! Decoding validates structure, not just bounds: an inline "new" string
+//! that is *already* in the table is rejected ([`CodecError::Malformed`]),
+//! because the encoder never re-inlines — a duplicate definition is the
+//! signature of a duplicated or spliced frame. Out-of-range ids are
+//! rejected the same way (a removed frame shifts every later id).
+
+use crate::codec::{put_len_prefixed, put_uvarint, CodecError, CodecResult, Reader};
+use std::collections::HashMap;
+
+/// One direction-agnostic intern table (encoder and decoder use the same
+/// type so a decoder's end state can seed a resuming encoder).
+#[derive(Clone, Default)]
+pub struct InternTable {
+    strings: Vec<String>,
+    ids: HashMap<String, u32>,
+}
+
+impl InternTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// The string behind `id` (panics on out-of-range: decoders validate
+    /// ids before handing them out).
+    pub fn get(&self, id: u32) -> &str {
+        &self.strings[id as usize]
+    }
+
+    /// The id of `s` if it is interned already.
+    pub fn lookup(&self, s: &str) -> Option<u32> {
+        self.ids.get(s).copied()
+    }
+
+    fn insert(&mut self, s: &str) -> u32 {
+        let id = self.strings.len() as u32;
+        self.strings.push(s.to_string());
+        self.ids.insert(s.to_string(), id);
+        id
+    }
+
+    /// Encode a reference to `s`, inlining it on first sight.
+    pub fn put_ref(&mut self, s: &str, out: &mut Vec<u8>) {
+        match self.lookup(s) {
+            Some(id) => put_uvarint(id as u64 + 1, out),
+            None => {
+                put_uvarint(0, out);
+                put_len_prefixed(s.as_bytes(), out);
+                self.insert(s);
+            }
+        }
+    }
+
+    /// Decode a reference, returning the id (resolve with [`InternTable::get`]).
+    pub fn read_ref(&mut self, r: &mut Reader<'_>) -> CodecResult<u32> {
+        match r.uvarint()? {
+            0 => self.read_new(r),
+            k => self.check_id(k - 1),
+        }
+    }
+
+    /// Encode an optional reference (`None` is one byte).
+    pub fn put_opt_ref(&mut self, s: Option<&str>, out: &mut Vec<u8>) {
+        match s {
+            None => put_uvarint(0, out),
+            Some(s) => match self.lookup(s) {
+                Some(id) => put_uvarint(id as u64 + 2, out),
+                None => {
+                    put_uvarint(1, out);
+                    put_len_prefixed(s.as_bytes(), out);
+                    self.insert(s);
+                }
+            },
+        }
+    }
+
+    /// Decode an optional reference.
+    pub fn read_opt_ref(&mut self, r: &mut Reader<'_>) -> CodecResult<Option<u32>> {
+        match r.uvarint()? {
+            0 => Ok(None),
+            1 => self.read_new(r).map(Some),
+            k => self.check_id(k - 2).map(Some),
+        }
+    }
+
+    fn read_new(&mut self, r: &mut Reader<'_>) -> CodecResult<u32> {
+        let bytes = r.len_prefixed()?;
+        let s = std::str::from_utf8(bytes)
+            .map_err(|_| CodecError::Malformed("interned string is not UTF-8".into()))?;
+        if self.ids.contains_key(s) {
+            return Err(CodecError::Malformed(format!(
+                "duplicate intern definition of {s:?} (duplicated or spliced frame)"
+            )));
+        }
+        Ok(self.insert(s))
+    }
+
+    fn check_id(&self, id: u64) -> CodecResult<u32> {
+        if id < self.strings.len() as u64 {
+            Ok(id as u32)
+        } else {
+            Err(CodecError::Malformed(format!(
+                "intern id {id} out of range (table has {})",
+                self.strings.len()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sight_inlines_then_references() {
+        let mut enc = InternTable::new();
+        let mut buf = Vec::new();
+        enc.put_ref("alpha", &mut buf);
+        enc.put_ref("beta", &mut buf);
+        enc.put_ref("alpha", &mut buf);
+        // Third ref is a bare id: 1 byte.
+        assert!(buf.len() < 2 * (1 + 1 + 5) + 1 + 1);
+
+        let mut dec = InternTable::new();
+        let mut r = Reader::new(&buf);
+        let a = dec.read_ref(&mut r).unwrap();
+        let b = dec.read_ref(&mut r).unwrap();
+        let a2 = dec.read_ref(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(dec.get(a), "alpha");
+        assert_eq!(dec.get(b), "beta");
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn optional_refs_roundtrip() {
+        let mut enc = InternTable::new();
+        let mut buf = Vec::new();
+        enc.put_opt_ref(None, &mut buf);
+        enc.put_opt_ref(Some("x"), &mut buf);
+        enc.put_opt_ref(Some("x"), &mut buf);
+        enc.put_opt_ref(None, &mut buf);
+
+        let mut dec = InternTable::new();
+        let mut r = Reader::new(&buf);
+        assert_eq!(dec.read_opt_ref(&mut r).unwrap(), None);
+        let x = dec.read_opt_ref(&mut r).unwrap().unwrap();
+        assert_eq!(dec.read_opt_ref(&mut r).unwrap(), Some(x));
+        assert_eq!(dec.read_opt_ref(&mut r).unwrap(), None);
+        assert_eq!(dec.get(x), "x");
+    }
+
+    #[test]
+    fn duplicate_inline_definition_is_rejected() {
+        // Simulates a duplicated frame: the same "new" encoding seen twice.
+        let mut enc = InternTable::new();
+        let mut once = Vec::new();
+        enc.put_ref("dup", &mut once);
+        let mut twice = once.clone();
+        twice.extend_from_slice(&once);
+
+        let mut dec = InternTable::new();
+        let mut r = Reader::new(&twice);
+        dec.read_ref(&mut r).unwrap();
+        assert!(matches!(
+            dec.read_ref(&mut r),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_id_is_rejected() {
+        let mut buf = Vec::new();
+        put_uvarint(5, &mut buf); // id 4 in an empty table
+        let mut dec = InternTable::new();
+        assert!(matches!(
+            dec.read_ref(&mut Reader::new(&buf)),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn non_utf8_inline_is_rejected() {
+        let mut buf = Vec::new();
+        put_uvarint(0, &mut buf);
+        put_uvarint(2, &mut buf);
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let mut dec = InternTable::new();
+        assert!(matches!(
+            dec.read_ref(&mut Reader::new(&buf)),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn unicode_strings_intern_fine() {
+        let mut enc = InternTable::new();
+        let mut buf = Vec::new();
+        for s in ["héllo", "мир", "🦀", ""] {
+            enc.put_ref(s, &mut buf);
+        }
+        let mut dec = InternTable::new();
+        let mut r = Reader::new(&buf);
+        for s in ["héllo", "мир", "🦀", ""] {
+            let id = dec.read_ref(&mut r).unwrap();
+            assert_eq!(dec.get(id), s);
+        }
+    }
+}

@@ -58,18 +58,29 @@
 //! only change together with a migration note in `MIGRATIONS.md` (CI
 //! enforces this).
 
+pub mod codec;
 mod compact;
 pub mod frame;
+pub mod intern;
 mod log;
 
-pub use compact::{compact, CompactStats, Retention};
+pub use compact::{compact, compact_with, CompactStats, Retention};
 pub use log::{CommitRecord, LogReader, LogWriter, ShardStream};
 
 use std::path::{Path, PathBuf};
 
-/// On-disk format version. Bump ONLY with a migration note in
-/// `crates/storelog/MIGRATIONS.md` — CI fails the build otherwise.
-pub const FORMAT_VERSION: u32 = 1;
+/// On-disk format version written by default. Bump ONLY with a migration
+/// note in `crates/storelog/MIGRATIONS.md` — CI fails the build otherwise.
+///
+/// v2 changed the *record payload* encoding (binary interned/delta records,
+/// see MIGRATIONS.md); the frame, commit and recovery machinery is identical
+/// in v1 and v2, so this crate reads and writes both. The version in a
+/// dir's FORMAT file tells the application which payload codec its records
+/// use.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest format version this build still reads.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// Everything that can go wrong opening, reading or writing a state dir.
 #[derive(Debug)]
@@ -101,6 +112,13 @@ impl From<std::io::Error> for Error {
 
 pub type Result<T> = std::result::Result<T, Error>;
 
+/// Read a state dir's FORMAT marker — `(format_version, shard_count)` —
+/// without recovery analysis. The cheap way for an application to decide
+/// which payload codec (or migration) a dir needs before opening it.
+pub fn read_format(dir: &Path) -> Result<(u32, usize)> {
+    Layout::new(dir).read_format()
+}
+
 /// Path helpers for one state directory.
 pub(crate) struct Layout {
     pub root: PathBuf,
@@ -130,16 +148,17 @@ impl Layout {
     }
 
     /// Write the FORMAT marker (version + shard count).
-    pub fn write_format(&self, shards: usize) -> Result<()> {
+    pub fn write_format(&self, version: u32, shards: usize) -> Result<()> {
+        debug_assert!((MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version));
         std::fs::write(
             self.format_file(),
-            format!("storelog {FORMAT_VERSION}\nshards {shards}\n"),
+            format!("storelog {version}\nshards {shards}\n"),
         )?;
         Ok(())
     }
 
-    /// Parse the FORMAT marker, returning the shard count.
-    pub fn read_format(&self) -> Result<usize> {
+    /// Parse the FORMAT marker, returning `(version, shard count)`.
+    pub fn read_format(&self) -> Result<(u32, usize)> {
         let path = self.format_file();
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
@@ -158,11 +177,14 @@ impl Layout {
             }
         }
         match (version, shards) {
-            (Some(v), _) if v != FORMAT_VERSION => Err(Error::Format(format!(
-                "state dir is format v{v}, this build reads v{FORMAT_VERSION} \
-                 (see crates/storelog/MIGRATIONS.md)"
-            ))),
-            (Some(_), Some(s)) if s >= 1 => Ok(s),
+            (Some(v), _) if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&v) => {
+                Err(Error::Format(format!(
+                    "state dir is format v{v}, this build reads \
+                     v{MIN_FORMAT_VERSION}..v{FORMAT_VERSION} \
+                     (see crates/storelog/MIGRATIONS.md)"
+                )))
+            }
+            (Some(v), Some(s)) if s >= 1 => Ok((v, s)),
             _ => Err(Error::Format(format!(
                 "malformed FORMAT file in {}",
                 self.root.display()
@@ -207,11 +229,16 @@ mod tests {
     fn format_roundtrip_and_version_gate() {
         let t = TempDir::new("format");
         let layout = Layout::new(&t.0);
-        layout.write_format(16).unwrap();
-        assert_eq!(layout.read_format().unwrap(), 16);
+        layout.write_format(FORMAT_VERSION, 16).unwrap();
+        assert_eq!(layout.read_format().unwrap(), (FORMAT_VERSION, 16));
 
+        // v1 dirs stay readable; unknown future versions are refused with a
+        // pointer at MIGRATIONS.md.
+        layout.write_format(1, 8).unwrap();
+        assert_eq!(layout.read_format().unwrap(), (1, 8));
         std::fs::write(layout.format_file(), "storelog 999\nshards 4\n").unwrap();
-        assert!(matches!(layout.read_format(), Err(Error::Format(_))));
+        let err = layout.read_format().unwrap_err();
+        assert!(err.to_string().contains("MIGRATIONS.md"), "{err}");
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! and never a record from the middle.
 
 use crate::frame;
-use crate::{Error, Layout, Result};
+use crate::{Error, Layout, Result, FORMAT_VERSION, MIN_FORMAT_VERSION};
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::Path;
@@ -73,6 +73,7 @@ impl CommitRecord {
 
 /// Append side of the log (see module docs for the durability protocol).
 pub struct LogWriter {
+    format_version: u32,
     segments: Vec<File>,
     seg_lens: Vec<u64>,
     commits: File,
@@ -99,10 +100,29 @@ fn writer_metrics() -> (
 }
 
 impl LogWriter {
-    /// Initialize a fresh state directory (refuses to clobber an existing
-    /// one — recovery and resumption go through [`LogWriter::open_append`]).
+    /// Initialize a fresh state directory at the current [`FORMAT_VERSION`]
+    /// (refuses to clobber an existing one — recovery and resumption go
+    /// through [`LogWriter::open_append`]).
     pub fn create(dir: &Path, shards: usize, config: &[u8]) -> Result<LogWriter> {
+        Self::create_versioned(dir, shards, config, FORMAT_VERSION)
+    }
+
+    /// [`LogWriter::create`] with an explicit format version. Writing the
+    /// older v1 payload format is how the differential tests and the bench
+    /// produce v1 state dirs from a v2-native build.
+    pub fn create_versioned(
+        dir: &Path,
+        shards: usize,
+        config: &[u8],
+        version: u32,
+    ) -> Result<LogWriter> {
         assert!(shards >= 1, "at least one shard");
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
+            return Err(Error::Format(format!(
+                "cannot create a v{version} state dir \
+                 (this build writes v{MIN_FORMAT_VERSION}..v{FORMAT_VERSION})"
+            )));
+        }
         std::fs::create_dir_all(dir)?;
         let layout = Layout::new(dir);
         if layout.format_file().exists() {
@@ -111,7 +131,7 @@ impl LogWriter {
                 dir.display()
             )));
         }
-        layout.write_format(shards)?;
+        layout.write_format(version, shards)?;
         std::fs::write(layout.config_file(), config)?;
         let segments = (0..shards)
             .map(|i| {
@@ -129,6 +149,7 @@ impl LogWriter {
             .open(layout.commits_file())?;
         let (m_append_bytes, m_appends, m_commits) = writer_metrics();
         Ok(LogWriter {
+            format_version: version,
             seg_lens: vec![0; shards],
             buffers: vec![Vec::new(); shards],
             segments,
@@ -172,6 +193,7 @@ impl LogWriter {
 
         let (m_append_bytes, m_appends, m_commits) = writer_metrics();
         Ok(LogWriter {
+            format_version: reader.format_version(),
             seg_lens: offsets,
             buffers: vec![Vec::new(); shards],
             segments,
@@ -185,6 +207,12 @@ impl LogWriter {
 
     pub fn shard_count(&self) -> usize {
         self.segments.len()
+    }
+
+    /// The format version of the state dir this writer appends to (set at
+    /// creation; `open_append` preserves whatever the dir already is).
+    pub fn format_version(&self) -> u32 {
+        self.format_version
     }
 
     /// Records buffered since the last commit.
@@ -250,6 +278,7 @@ impl LogWriter {
 /// are then served from the committed region only.
 pub struct LogReader {
     layout: Layout,
+    format_version: u32,
     shards: usize,
     config: Vec<u8>,
     /// Commits up to and including the selected durable one.
@@ -261,24 +290,64 @@ pub struct LogReader {
     torn_bytes: u64,
 }
 
+fn read_or_empty(p: &Path) -> Result<Vec<u8>> {
+    match std::fs::read(p) {
+        Ok(b) => Ok(b),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Checksum-scan every segment's valid prefix, fanning shards across up to
+/// `threads` OS threads. The crate is deliberately std-only, so this uses
+/// `std::thread::scope` rather than an executor; results come back in shard
+/// order regardless of scheduling, keeping recovery deterministic.
+fn scan_segments(layout: &Layout, shards: usize, threads: usize) -> Result<Vec<u64>> {
+    let scan_one = |i: usize| -> Result<u64> {
+        Ok(frame::valid_len(&read_or_empty(&layout.segment_file(i))?, 0).0)
+    };
+    let workers = threads.min(shards).max(1);
+    if workers <= 1 {
+        return (0..shards).map(scan_one).collect();
+    }
+    let parts: Vec<Vec<(usize, Result<u64>)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let scan_one = &scan_one;
+                s.spawn(move || {
+                    (w..shards)
+                        .step_by(workers)
+                        .map(|i| (i, scan_one(i)))
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut out = vec![0u64; shards];
+    for part in parts {
+        for (i, r) in part {
+            out[i] = r?;
+        }
+    }
+    Ok(out)
+}
+
 impl LogReader {
     pub fn open(dir: &Path) -> Result<LogReader> {
+        Self::open_with_threads(dir, 1)
+    }
+
+    /// [`LogReader::open`] with the recovery checksum scan parallelized
+    /// across up to `threads` threads (one unit of work per shard). The
+    /// result is identical for any thread count; only open latency changes.
+    pub fn open_with_threads(dir: &Path, threads: usize) -> Result<LogReader> {
         let layout = Layout::new(dir);
-        let shards = layout.read_format()?;
+        let (format_version, shards) = layout.read_format()?;
         let config = std::fs::read(layout.config_file())?;
 
-        let read_or_empty = |p: std::path::PathBuf| -> Result<Vec<u8>> {
-            match std::fs::read(&p) {
-                Ok(b) => Ok(b),
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
-                Err(e) => Err(e.into()),
-            }
-        };
-
-        let seg_valid: Vec<u64> = (0..shards)
-            .map(|i| Ok(frame::scan(&read_or_empty(layout.segment_file(i))?, 0).valid_len))
-            .collect::<Result<_>>()?;
-        let commit_bytes = read_or_empty(layout.commits_file())?;
+        let seg_valid = scan_segments(&layout, shards, threads)?;
+        let commit_bytes = read_or_empty(&layout.commits_file())?;
         let commit_scan = frame::scan(&commit_bytes, 0);
         let mut torn_bytes = commit_scan.torn_bytes;
 
@@ -326,6 +395,7 @@ impl LogReader {
 
         Ok(LogReader {
             layout,
+            format_version,
             shards,
             config,
             commits: commits.into_iter().map(|(_, r)| r).collect(),
@@ -336,6 +406,12 @@ impl LogReader {
 
     pub fn shard_count(&self) -> usize {
         self.shards
+    }
+
+    /// The format version declared by the state dir's FORMAT file — tells
+    /// the application which payload codec the record bytes use.
+    pub fn format_version(&self) -> u32 {
+        self.format_version
     }
 
     /// The opaque application config written at creation.
@@ -532,6 +608,55 @@ mod tests {
         // round appended one more.
         assert_eq!(recs.len(), 5);
         assert_eq!(recs[4], b"resumed".to_vec());
+    }
+
+    #[test]
+    fn versioned_create_roundtrips_and_open_append_preserves() {
+        let t = TempDir::new("versioned");
+        let w = LogWriter::create_versioned(&t.0, 2, b"cfg", 1).unwrap();
+        assert_eq!(w.format_version(), 1);
+        drop(w);
+        assert_eq!(LogReader::open(&t.0).unwrap().format_version(), 1);
+        assert_eq!(LogWriter::open_append(&t.0).unwrap().format_version(), 1);
+
+        let t2 = TempDir::new("versioned2");
+        let w = LogWriter::create(&t2.0, 2, b"cfg").unwrap();
+        assert_eq!(w.format_version(), FORMAT_VERSION);
+        drop(w);
+        assert_eq!(
+            LogReader::open(&t2.0).unwrap().format_version(),
+            FORMAT_VERSION
+        );
+
+        let t3 = TempDir::new("versioned3");
+        assert!(matches!(
+            LogWriter::create_versioned(&t3.0, 2, b"cfg", 99),
+            Err(Error::Format(_))
+        ));
+    }
+
+    #[test]
+    fn parallel_open_matches_serial_open() {
+        let t = TempDir::new("par_open");
+        write_rounds(&t.0, 5, 4, 3);
+        // Tear one segment so recovery analysis has real work to agree on.
+        let seg = Layout::new(&t.0).segment_file(3);
+        let len = std::fs::metadata(&seg).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .unwrap()
+            .set_len(len - 2)
+            .unwrap();
+        let serial = LogReader::open(&t.0).unwrap();
+        for threads in [2, 4, 8] {
+            let par = LogReader::open_with_threads(&t.0, threads).unwrap();
+            assert_eq!(par.commits(), serial.commits());
+            assert_eq!(par.torn_bytes(), serial.torn_bytes());
+            for s in 0..5 {
+                assert_eq!(par.read_shard(s).unwrap(), serial.read_shard(s).unwrap());
+            }
+        }
     }
 
     #[test]
