@@ -72,7 +72,7 @@ impl Scanner {
                 if extra != 1 {
                     continue;
                 }
-                return Some((*service, target.labels()[0].clone(), region.clone()));
+                return Some((*service, target.labels()[0].to_string(), region.clone()));
             }
         }
         None

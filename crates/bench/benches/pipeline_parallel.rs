@@ -5,6 +5,17 @@
 //! wall-clock should move. The scaling target is ≥2× on the 4-thread rows
 //! over the serial rows; note this needs ≥4 real cores (on a single-CPU
 //! container the threaded rows can only add scheduling overhead).
+//!
+//! The `pipeline_scale` group is the paper-scale tier: timed crawl rows at
+//! n100k/n1m (row ids use size labels, not raw numbers, so CI filters like
+//! `-- n100k` select exact sizes), plus an untimed contract phase that runs
+//! one full 1M-site round at every thread count and *asserts* — not just
+//! reports — byte-identical outcomes and the per-FQDN memory budget. The
+//! contract prints one greppable line::
+//!
+//!     pipeline_scale contract: sites=... identical_across_threads=1 ...
+//!
+//! which `scripts/bench_drift.py` checks against `BENCH_pipeline.json`.
 
 use cloudsim::{AccountId, CloudPlatform, PlatformConfig, ServiceId, SiteContent, Sitemap};
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
@@ -245,10 +256,187 @@ fn bench_incremental_retro(c: &mut Criterion) {
     g.finish();
 }
 
+/// FNV-1a over the `Debug` form of every outcome, in canonical order. The
+/// `Debug` form covers the whole snapshot (FQDN, rcode, cname chain, status,
+/// features, retained HTML) plus the diff and timing fields, so two runs
+/// hash equal only if they agree byte for byte.
+fn outcome_hash(outcomes: &[dangling_core::pipeline::CrawlOutcome]) -> u64 {
+    use std::fmt::Write as _;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut buf = String::new();
+    for o in outcomes {
+        buf.clear();
+        write!(buf, "{o:?}").unwrap();
+        for b in buf.as_bytes() {
+            h = (h ^ *b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Mirror of the criterion shim's row selection, so the expensive
+/// paper-scale worlds are only built when a `pipeline_scale` row (or no
+/// filter at all) was asked for — the retro/crawl smoke filters must not
+/// pay for a million-site build they never measure.
+fn scale_rows_selected(ids: &[&str]) -> bool {
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-') && a != "bench" && a != "test")
+        .collect();
+    filters.is_empty()
+        || ids
+            .iter()
+            .any(|id| filters.iter().any(|f| id.contains(f.as_str())))
+}
+
+/// Paper-scale crawl rows and the million-domain determinism/memory
+/// contract. Timed rows sample one weekly round against a fresh store at
+/// n100k and n1m; the contract phase (untimed, run whenever a `n1m` or
+/// `contract` row is selected) then:
+///
+/// - runs the same 1M-site round at every thread count in {1, 2, 4, 8} and
+///   asserts the outcome hashes are identical — the interned pipeline's
+///   headline equivalence, at full population scale,
+/// - ingests a round and re-crawls to reach the steady state (HTML retained
+///   only on change), and asserts the store + monitored set + intern table
+///   stay under [`BYTES_PER_FQDN_BUDGET`] bytes per FQDN.
+fn bench_paper_scale(c: &mut Criterion) {
+    let want_100k = scale_rows_selected(&[
+        "pipeline_scale/crawl_n100k_t1",
+        "pipeline_scale/crawl_n100k_t8",
+    ]);
+    let want_1m = scale_rows_selected(&[
+        "pipeline_scale/crawl_n1m_t1",
+        "pipeline_scale/crawl_n1m_t8",
+        "pipeline_scale/contract",
+    ]);
+    if !want_100k && !want_1m {
+        return;
+    }
+    let mut g = c.benchmark_group("pipeline_scale");
+
+    if want_100k {
+        let (platform, zs, monitored) = build(100_000);
+        let store = SnapshotStore::new();
+        let tree = RngTree::new(1);
+        let auth = std::sync::Arc::new(Authority::new(zs));
+        g.throughput(Throughput::Elements(monitored.len() as u64));
+        for threads in [1usize, 8] {
+            let exec = CrawlExecutor::new(threads, 0.0);
+            g.bench_function(format!("crawl_n100k_t{threads}"), |b| {
+                b.iter(|| {
+                    black_box(exec.run(
+                        &monitored,
+                        &store,
+                        &tree,
+                        SimTime(7),
+                        &|| Resolver::new(auth.clone()),
+                        &|| &platform,
+                    ))
+                })
+            });
+        }
+    }
+
+    if !want_1m {
+        g.finish();
+        return;
+    }
+    let (platform, zs, monitored) = build(1_000_000);
+    let store = SnapshotStore::new();
+    let tree = RngTree::new(1);
+    let auth = std::sync::Arc::new(Authority::new(zs));
+    g.throughput(Throughput::Elements(monitored.len() as u64));
+    for threads in [1usize, 8] {
+        let exec = CrawlExecutor::new(threads, 0.0);
+        g.bench_function(format!("crawl_n1m_t{threads}"), |b| {
+            b.iter(|| {
+                black_box(exec.run(
+                    &monitored,
+                    &store,
+                    &tree,
+                    SimTime(7),
+                    &|| Resolver::new(auth.clone()),
+                    &|| &platform,
+                ))
+            })
+        });
+    }
+    g.finish();
+
+    // ----- contract phase (untimed, always run) -----
+    let mut first_hash = None;
+    let mut identical = true;
+    let mut round_t1_ns = 0u64;
+    let mut last_outcomes = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let exec = CrawlExecutor::new(threads, 0.0);
+        let start = std::time::Instant::now();
+        let outcomes = exec.run(
+            &monitored,
+            &store,
+            &tree,
+            SimTime(7),
+            &|| Resolver::new(auth.clone()),
+            &|| &platform,
+        );
+        if threads == 1 {
+            round_t1_ns = start.elapsed().as_nanos() as u64;
+        }
+        let h = outcome_hash(&outcomes);
+        identical &= *first_hash.get_or_insert(h) == h;
+        last_outcomes = outcomes;
+    }
+    assert!(
+        identical,
+        "1M-site round outcomes differ across thread counts — the \
+         determinism contract is broken at paper scale"
+    );
+
+    // Steady state: ingest the first round (first sight retains HTML), then
+    // re-crawl the unchanged world so retained HTML is dropped on replace —
+    // the population-proportional footprint a long run actually holds.
+    let mut steady = SnapshotStore::new();
+    for o in last_outcomes {
+        steady.insert(o.snap);
+    }
+    let exec = CrawlExecutor::new(8, 0.0);
+    let start = std::time::Instant::now();
+    let outcomes = exec.run(
+        &monitored,
+        &steady,
+        &tree,
+        SimTime(14),
+        &|| Resolver::new(auth.clone()),
+        &|| &platform,
+    );
+    let steady_round_ns = start.elapsed().as_nanos() as u64;
+    for o in outcomes {
+        steady.insert(o.snap);
+    }
+    let bpf = dangling_core::bytes_per_fqdn_of(&steady, &monitored);
+    assert!(
+        bpf > 0.0 && bpf <= dangling_core::BYTES_PER_FQDN_BUDGET,
+        "steady-state 1M-site store costs {bpf:.0} bytes/FQDN, over the {} \
+         budget",
+        dangling_core::BYTES_PER_FQDN_BUDGET
+    );
+    println!(
+        "pipeline_scale contract: sites={} identical_across_threads={} \
+         bytes_per_fqdn={} budget={} round_t1_ns={round_t1_ns} \
+         steady_round_t8_ns={steady_round_ns}",
+        monitored.len(),
+        identical as u32,
+        bpf as u64,
+        dangling_core::BYTES_PER_FQDN_BUDGET as u64,
+    );
+}
+
 criterion_group!(
     benches,
     bench_crawl_scaling,
     bench_retro_scaling,
-    bench_incremental_retro
+    bench_incremental_retro,
+    bench_paper_scale
 );
 criterion_main!(benches);

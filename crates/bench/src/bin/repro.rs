@@ -34,6 +34,8 @@ fn load_query_script(path: Option<&str>) -> Vec<serve::Query> {
 
 fn main() {
     let mut scale: u32 = 200;
+    let mut scale_explicit = false;
+    let mut profile: Option<String> = None;
     let mut seed: u64 = 42;
     let mut threads: usize = 1;
     let mut latency_profile: String = "zero".into();
@@ -66,6 +68,10 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--scale takes a denominator");
+                scale_explicit = true;
+            }
+            "--profile" => {
+                profile = Some(args.next().expect("--profile takes a profile name"));
             }
             "--seed" => {
                 seed = args
@@ -147,7 +153,7 @@ fn main() {
             "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale N] [--seed N] [--threads N] \
+                    "usage: repro [--scale N | --profile paper-scale] [--seed N] [--threads N] \
                      [--latency-profile NAME] [--json OUT] \
                      [--persist | --state-dir DIR] [--resume] [--incremental] [--rounds N] \
                      [--format V] [--migrate-state] \
@@ -157,6 +163,14 @@ fn main() {
                 );
                 println!("targets: all | ablations | {}", TARGETS.join(" "));
                 println!("ablations: {}", ABLATIONS.join(" "));
+                println!("--profile paper-scale runs the full study population (scale 1: the");
+                println!("  paper's 1.5M->3.1M monitored-FQDN growth curve), prints the monthly");
+                println!("  growth curve, and fails if pipeline.bytes_per_fqdn exceeds the");
+                println!(
+                    "  documented budget ({:.0} bytes/FQDN). Combine with --scale to smoke the",
+                    dangling_core::BYTES_PER_FQDN_BUDGET
+                );
+                println!("  same checks at reduced scale (CI does).");
                 println!("--threads parallelizes the weekly crawl, Algorithm-1 classification");
                 println!("  and the retrospective pass; results are byte-identical.");
                 println!(
@@ -244,6 +258,24 @@ fn main() {
             Err(e) => {
                 obs::warn!("error: {e}");
                 std::process::exit(1);
+            }
+        }
+    }
+    // Named profiles: bundles of settings plus post-run checks. `paper-scale`
+    // is the full study population with the per-FQDN memory budget enforced;
+    // an explicit --scale keeps the same checks at reduced scale (CI smoke).
+    let mut budget_profile = false;
+    if let Some(p) = &profile {
+        match p.as_str() {
+            "paper-scale" => {
+                budget_profile = true;
+                if !scale_explicit {
+                    scale = 1;
+                }
+            }
+            other => {
+                eprintln!("unknown profile {other:?}; expected: paper-scale");
+                std::process::exit(2);
             }
         }
     }
@@ -355,6 +387,40 @@ fn main() {
         results.world.truth.len(),
         results.abuse.len()
     );
+
+    if budget_profile {
+        // Growth curve: cumulative monitored FQDNs by month — at scale 1
+        // this is the study's own 1.5M -> 3.1M timeline. Print yearly
+        // waypoints (every 12th month) plus the final point.
+        let mut acc = 0.0;
+        let curve: Vec<(i32, f64)> = results
+            .monitored_monthly
+            .iter()
+            .map(|&(m, v)| {
+                acc += v;
+                (m, acc)
+            })
+            .collect();
+        obs::info!("paper-scale growth curve (cumulative monitored FQDNs):");
+        for (i, (m, total)) in curve.iter().enumerate() {
+            if i % 12 == 0 || i + 1 == curve.len() {
+                obs::info!("  {:>4}-{:02}  {:>9}", m / 12, m % 12 + 1, *total as u64);
+            }
+        }
+        let bpf = obs::gauge("pipeline.bytes_per_fqdn").get();
+        let budget = dangling_core::BYTES_PER_FQDN_BUDGET;
+        obs::info!(
+            "paper-scale memory: {bpf:.0} bytes/FQDN (budget {budget:.0}, {} monitored)",
+            results.monitored_total
+        );
+        if bpf > budget {
+            obs::warn!(
+                "error: pipeline.bytes_per_fqdn {bpf:.0} exceeds the documented \
+                 budget of {budget:.0} bytes"
+            );
+            std::process::exit(1);
+        }
+    }
 
     if let Some((handle, script, stop, querier)) = served {
         // Graceful teardown mirrors the daemon contract: drain in-flight

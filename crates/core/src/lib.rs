@@ -50,8 +50,8 @@ pub use pipeline::persist::{
     compact_state_dir, migrate_state_dir, MigrateStats, PersistError, PersistOptions, OBS_FORMAT,
 };
 pub use pipeline::{
-    ProvisionalCluster, ProvisionalRound, ProvisionalSignature, ProvisionalVerdict, RoundSink,
-    RoundView,
+    bytes_per_fqdn_of, ProvisionalCluster, ProvisionalRound, ProvisionalSignature,
+    ProvisionalVerdict, RoundSink, RoundView, BYTES_PER_FQDN_BUDGET,
 };
 pub use report::{StudyReport, StudyResults};
 pub use scenario::{Scenario, ScenarioConfig};

@@ -8,8 +8,11 @@
 //!
 //! 1. work is partitioned into buckets by a **fixed, content-keyed hash**
 //!    (never by arrival or iteration order),
-//! 2. workers steal *whole buckets* off a shared cursor (one lock per bucket,
-//!    not per item), and
+//! 2. each bucket is split into bounded **task batches** enqueued onto
+//!    per-worker queues at admission; a worker drains its own queue and only
+//!    then steals batches from other workers' queues — so at 1M+ tasks
+//!    admission costs one enqueue per batch instead of every worker
+//!    hammering one shared cursor lock, and
 //! 3. outputs are re-assembled in the **canonical input order** (or, for
 //!    bucket folds, in bucket-id order) before anything downstream sees them,
 //!
@@ -26,6 +29,16 @@
 //! remaining workers.
 
 use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::ops::Range;
+
+/// A contiguous run of one bucket's task indices: the unit of queueing and
+/// stealing. Bounded so one giant bucket still spreads across workers.
+#[derive(Debug, Clone)]
+struct Batch {
+    bucket: usize,
+    range: Range<usize>,
+}
 
 /// Telemetry names for one executor, fixed at compile time. Build with
 /// [`crate::exec_metric_names!`].
@@ -60,6 +73,9 @@ macro_rules! exec_metric_names {
 /// Shard-parallel executor (see module docs for the determinism contract).
 pub struct ShardedExecutor {
     threads: usize,
+    /// Max tasks per queued batch; `None` picks a size from the workload
+    /// (see [`ShardedExecutor::batch_size_for`]).
+    batch_size: Option<usize>,
     // Telemetry handles, resolved once at construction so the hot path never
     // touches the registry lock. All out-of-band: nothing here feeds back
     // into results.
@@ -75,6 +91,7 @@ impl ShardedExecutor {
     pub fn new(threads: usize, names: ExecMetricNames) -> Self {
         ShardedExecutor {
             threads: threads.max(1),
+            batch_size: None,
             m_tasks: obs::counter(names.tasks),
             m_steals: obs::counter(names.steals),
             m_shard_tasks: obs::histogram(names.shard_tasks),
@@ -86,6 +103,24 @@ impl ShardedExecutor {
 
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Override the task-batch size (mainly for tests pinning batch-boundary
+    /// behavior and for bench tuning). Values are clamped to ≥ 1.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = Some(batch_size.max(1));
+        self
+    }
+
+    /// Batch size for a workload: aim for several batches per worker so
+    /// stealing can level imbalance, but cap admission overhead at large
+    /// scale (1M tasks on 8 threads → 4096-task batches, ~256 enqueues,
+    /// not 1M cursor bumps).
+    fn batch_size_for(&self, n_items: usize) -> usize {
+        match self.batch_size {
+            Some(b) => b,
+            None => (n_items / (self.threads * 8)).clamp(64, 4096),
+        }
     }
 
     /// Partition `items` into `buckets` index buckets by `shard_of`. The
@@ -148,38 +183,74 @@ impl ShardedExecutor {
         self.m_shard_imbalance
             .set(shard_max as f64 * buckets.len() as f64 / items.len() as f64);
 
-        let cursor = Mutex::new(0usize);
+        // Admission: split each bucket into bounded batches and deal them
+        // onto per-worker queues (bucket-major, round-robin across workers).
+        // Each enqueue covers up to `batch` tasks, so admission cost is
+        // O(items / batch) — not one shared-cursor bump per bucket per
+        // worker — and a single oversized bucket still spreads out.
+        let batch = self.batch_size_for(items.len());
+        let n_workers = self.threads.min(items.len()).max(1);
+        let queues: Vec<Mutex<VecDeque<Batch>>> = (0..n_workers)
+            .map(|_| Mutex::new(VecDeque::new()))
+            .collect();
+        {
+            let mut next_worker = 0usize;
+            for (b, bucket) in buckets.iter().enumerate() {
+                let mut start = 0;
+                while start < bucket.len() {
+                    let end = (start + batch).min(bucket.len());
+                    queues[next_worker].lock().push_back(Batch {
+                        bucket: b,
+                        range: start..end,
+                    });
+                    next_worker = (next_worker + 1) % n_workers;
+                    start = end;
+                }
+            }
+        }
+
         let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
-        // (tasks done, buckets stolen) per worker, pushed as each worker
+        // (tasks done, batches stolen) per worker, pushed as each worker
         // exits; merged into the registry after the scope joins.
         let worker_stats: Mutex<Vec<(u64, u64)>> = Mutex::new(Vec::new());
 
         crossbeam::scope(|s| {
-            for _ in 0..self.threads.min(buckets.len()) {
-                s.spawn(|_| {
+            for w in 0..n_workers {
+                let queues = &queues;
+                let buckets = &buckets;
+                let collected = &collected;
+                let worker_stats = &worker_stats;
+                let make_ctx = &make_ctx;
+                let work = &work;
+                s.spawn(move |_| {
                     let mut ctx = make_ctx();
                     let mut local: Vec<(usize, R)> = Vec::new();
-                    let mut buckets_taken: u64 = 0;
+                    let mut stolen: u64 = 0;
                     loop {
-                        // Work-steal whole buckets: cheap contention (one
-                        // lock per bucket, not per item).
-                        let b = {
-                            let mut c = cursor.lock();
-                            let b = *c;
-                            *c += 1;
-                            b
+                        // Own queue first (front: admission order), then
+                        // steal from victims' backs — opposite ends keep the
+                        // owner and thieves off the same cache lines of work.
+                        let mut next = queues[w].lock().pop_front();
+                        if next.is_none() {
+                            for v in 1..n_workers {
+                                let victim = (w + v) % n_workers;
+                                if let Some(b) = queues[victim].lock().pop_back() {
+                                    stolen += 1;
+                                    next = Some(b);
+                                    break;
+                                }
+                            }
+                        }
+                        // Every queue drained: no new batches are ever
+                        // admitted after spawn, so empty means done.
+                        let Some(Batch { bucket, range }) = next else {
+                            break;
                         };
-                        let Some(bucket) = buckets.get(b) else { break };
-                        buckets_taken += 1;
-                        for &i in bucket {
+                        for &i in &buckets[bucket][range] {
                             local.push((i, work(&mut ctx, i, &items[i])));
                         }
                     }
-                    // A worker's first claim is its assignment; every further
-                    // bucket was stolen from the shared pool.
-                    worker_stats
-                        .lock()
-                        .push((local.len() as u64, buckets_taken.saturating_sub(1)));
+                    worker_stats.lock().push((local.len() as u64, stolen));
                     collected.lock().extend(local);
                 });
             }
@@ -322,6 +393,76 @@ mod tests {
             // Bucket b holds 0..100 congruent to b mod 4; sums are fixed and
             // come back in bucket order.
             assert_eq!(sums, vec![1200, 1225, 1250, 1275], "threads={threads}");
+        }
+    }
+
+    /// The PR-4 executor (whole-bucket shared cursor) merged outputs in
+    /// input order after canonical reassembly. Emulate it exactly: process
+    /// buckets in bucket-id order, then sort by input index — the reference
+    /// the batched per-worker queues must keep matching.
+    fn pr4_cursor_reference<FS: Fn(&u64) -> usize>(
+        items: &[u64],
+        buckets: usize,
+        shard_of: FS,
+    ) -> Vec<u64> {
+        let buckets = buckets.max(1);
+        let mut parts: Vec<Vec<usize>> = vec![Vec::new(); buckets];
+        for (i, x) in items.iter().enumerate() {
+            parts[shard_of(x).min(buckets - 1)].push(i);
+        }
+        let mut indexed: Vec<(usize, u64)> = Vec::new();
+        for bucket in &parts {
+            for &i in bucket {
+                indexed.push((i, items[i] * items[i]));
+            }
+        }
+        indexed.sort_unstable_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, x)| x).collect()
+    }
+
+    #[test]
+    fn batched_admission_never_reorders_vs_pr4_cursor() {
+        // Batch boundaries are the dangerous part: exercise bucket sizes
+        // that are below, at, exactly at, one over, and far over the batch
+        // size, at every thread count the equivalence suites pin.
+        let shard = |x: &u64| (*x % 7) as usize;
+        for n_items in [1usize, 7, 63, 64, 65, 128, 129, 1000] {
+            let items: Vec<u64> = (0..n_items as u64).rev().collect();
+            let want = pr4_cursor_reference(&items, 7, shard);
+            for threads in [1, 2, 4, 8] {
+                for batch_size in [1, 2, 64, 4096] {
+                    let got = exec(threads).with_batch_size(batch_size).map(
+                        &items,
+                        7,
+                        shard,
+                        || (),
+                        |_, _, x| x * x,
+                    );
+                    assert_eq!(
+                        got, want,
+                        "n={n_items} threads={threads} batch={batch_size}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stealing_drains_imbalanced_queues() {
+        // Everything hashes to one bucket: admission splits it into many
+        // batches dealt round-robin, and stealing must still complete the
+        // whole workload in canonical order.
+        let items: Vec<u64> = (0..3000).collect();
+        let want: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [2, 8] {
+            let got = exec(threads).with_batch_size(16).map(
+                &items,
+                64,
+                |_| 0usize,
+                || (),
+                |_, _, x| x * x,
+            );
+            assert_eq!(got, want, "threads={threads}");
         }
     }
 

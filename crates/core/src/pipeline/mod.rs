@@ -141,6 +141,15 @@ pub trait RoundSink: Send {
     }
 }
 
+/// The paper-scale memory budget: approximate resident bytes per monitored
+/// FQDN ([`RunState::bytes_per_fqdn`]) that a run must stay under. At 3.1M
+/// FQDNs (the study's final population) this bounds pipeline state at
+/// ≈ 4.6 GiB — a single commodity machine, which is the point: the paper ran
+/// its measurement from one vantage. Enforced by `repro --profile
+/// paper-scale`, the `memory_budget` regression test and the
+/// `pipeline_parallel` bench contract row.
+pub const BYTES_PER_FQDN_BUDGET: f64 = 1600.0;
+
 /// Shared state the stages read and write; everything the retrospective
 /// pass needs to assemble [`crate::report::StudyResults`].
 pub struct RunState {
@@ -244,4 +253,29 @@ impl RunState {
             rng_witness: 0,
         }
     }
+
+    /// Approximate resident bytes per monitored FQDN — see
+    /// [`bytes_per_fqdn_of`]. Published as the `pipeline.bytes_per_fqdn`
+    /// gauge at every round boundary.
+    pub fn bytes_per_fqdn(&self) -> f64 {
+        bytes_per_fqdn_of(&self.store, &self.monitored)
+    }
+}
+
+/// Approximate resident bytes per monitored FQDN: the snapshot store, the
+/// monitored list, and the process-global label-intern table's text, divided
+/// by the monitored count. This is the quantity the paper-scale profile
+/// budgets ([`BYTES_PER_FQDN_BUDGET`]): everything that grows with the
+/// monitored *population*. The append-only change history is excluded — it
+/// grows with events, is streamed to disk by persisted runs, and is reported
+/// separately. The monitored list is counted at `len` (not `capacity`);
+/// amortized growth headroom is part of the budget's slack.
+pub fn bytes_per_fqdn_of(store: &SnapshotStore, monitored: &[Name]) -> f64 {
+    if monitored.is_empty() {
+        return 0.0;
+    }
+    let monitored_vec = std::mem::size_of_val(monitored)
+        + monitored.iter().map(Name::heap_bytes).sum::<usize>();
+    let total = store.approx_bytes() + monitored_vec + dns::intern::global().label_bytes();
+    total as f64 / monitored.len() as f64
 }

@@ -206,6 +206,7 @@ impl Scenario {
         // feeds back into the simulation.
         let m_rounds = obs::counter("pipeline.rounds");
         let m_monitored = obs::gauge("pipeline.monitored");
+        let m_bytes_per_fqdn = obs::gauge("pipeline.bytes_per_fqdn");
         let m_world_ns = obs::histogram("pipeline.world_ns");
         let mut rounds: u64 = 0;
 
@@ -282,6 +283,7 @@ impl Scenario {
                     rounds += 1;
                     m_rounds.inc();
                     m_monitored.set(rs.monitored.len() as f64);
+                    m_bytes_per_fqdn.set(rs.bytes_per_fqdn());
                     obs::progress!(
                         "round {rounds:>4}  day {:>5}  monitored {:>6}  changes +{:<5}  {:.1} ms",
                         now.0,

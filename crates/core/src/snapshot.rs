@@ -99,6 +99,33 @@ impl Snapshot {
     pub fn is_serving(&self) -> bool {
         matches!(self.http_status, Some(s) if s < 500)
     }
+
+    /// Approximate resident bytes of this snapshot: the struct itself plus
+    /// every owned heap allocation (string capacities approximated by
+    /// length). This is the per-snapshot term of the paper-scale
+    /// `pipeline.bytes_per_fqdn` budget; interned label text is accounted
+    /// once per process by the interner, not here.
+    pub fn approx_bytes(&self) -> usize {
+        fn s(v: &Option<String>) -> usize {
+            v.as_ref().map_or(0, String::len)
+        }
+        fn vs(v: &[String]) -> usize {
+            v.iter()
+                .map(|x| std::mem::size_of::<String>() + x.len())
+                .sum()
+        }
+        std::mem::size_of::<Snapshot>()
+            + self.fqdn.heap_bytes()
+            + self.cname_target.as_ref().map_or(0, Name::heap_bytes)
+            + s(&self.title)
+            + s(&self.language)
+            + s(&self.generator)
+            + s(&self.html)
+            + vs(&self.keywords)
+            + vs(&self.meta_keywords)
+            + vs(&self.script_srcs)
+            + vs(&self.identifiers)
+    }
 }
 
 /// FNV-1a body hash.
@@ -190,6 +217,25 @@ impl SnapshotStore {
 
     pub fn is_empty(&self) -> bool {
         self.shards.iter().all(HashMap::is_empty)
+    }
+
+    /// Approximate resident bytes of the whole store: every snapshot's
+    /// [`Snapshot::approx_bytes`] plus HashMap bucket overhead (key + value
+    /// slot per capacity unit, 7/8 load factor approximated by counting
+    /// capacity). Feeds the `pipeline.bytes_per_fqdn` gauge.
+    pub fn approx_bytes(&self) -> usize {
+        let slot = std::mem::size_of::<(Name, Snapshot)>() + std::mem::size_of::<u64>();
+        self.shards
+            .iter()
+            .map(|m| {
+                m.capacity() * slot
+                    + m.iter()
+                        .map(|(k, v)| {
+                            k.heap_bytes() + v.approx_bytes() - std::mem::size_of::<Snapshot>()
+                        })
+                        .sum::<usize>()
+            })
+            .sum()
     }
 
     /// All latest snapshots in canonical (sorted-FQDN) order. O(n log n),

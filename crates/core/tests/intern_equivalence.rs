@@ -1,0 +1,171 @@
+//! The FQDN-interning differential harness: the interned pipeline must be
+//! **byte-identical to the pre-interning string pipeline** in every mode and
+//! at every thread count.
+//!
+//! Interning rewrote the identity type flowing through every stage
+//! (`dns::Name` labels are dense `u32` ids now, not `Arc<[String]>`), so no
+//! in-process A/B comparison is possible — the string pipeline no longer
+//! exists in this tree. The oracle is a *committed golden fixture* generated
+//! from the last pre-interning commit by
+//! `examples/gen_intern_fixture.rs`:
+//!
+//! - `tests/fixtures/intern_eq/results.digest` — byte length + FNV-1a 64 of
+//!   the full serialized `StudyResults` (the byte-exact pin),
+//! - `tests/fixtures/intern_eq/results.head.json` — the same document minus
+//!   the bulky `changes` array, committed so a divergence is diffable.
+//!
+//! Every test here runs the same differential config (the
+//! `parallel_equivalence` scenario with the transient-failure model on) and
+//! asserts the digest across {1, 2, 4, 8} crawl threads in fresh,
+//! `--resume`-replay and `--incremental` modes. If any of these fail,
+//! interning leaked into results — ids escaped into an output, an ordering
+//! switched from strings to ids, or a shard hash changed.
+
+use dangling_core::scenario::{Scenario, ScenarioConfig};
+use dangling_core::PersistOptions;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn fixture_config(threads: usize) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::at_scale(2000);
+    cfg.world.n_fortune1000 = 30;
+    cfg.world.n_global500 = 15;
+    cfg.seed = 11;
+    cfg.crawl_threads = threads;
+    cfg.crawl_failure_rate = 0.02;
+    cfg.latency_profile = "zero".into();
+    cfg
+}
+
+/// FNV-1a 64 — the same hash `gen_intern_fixture` wrote the digest with.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// The committed pre-interning digest: (byte length, FNV-1a 64).
+fn golden() -> (usize, u64) {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/intern_eq/results.digest"
+    );
+    let text = std::fs::read_to_string(path).expect("committed fixture digest");
+    let mut parts = text.split_whitespace();
+    let len = parts.next().and_then(|s| s.parse().ok()).expect("length");
+    let hash = parts
+        .next()
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .expect("hash");
+    (len, hash)
+}
+
+fn assert_matches_golden(json: &str, context: &str) {
+    let (want_len, want_hash) = golden();
+    assert_eq!(
+        (json.len(), fnv1a(json.as_bytes())),
+        (want_len, want_hash),
+        "{context}: interned StudyResults diverged from the pre-interning \
+         string pipeline (diff against tests/fixtures/intern_eq/\
+         results.head.json; regenerate via the gen_intern_fixture example \
+         ONLY for intentional semantic changes)"
+    );
+}
+
+fn serialize(results: &dangling_core::StudyResults) -> String {
+    serde_json::to_string(results).expect("results serialize")
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("intern_eq_{tag}_{}_{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn fresh_runs_match_pre_interning_bytes_at_every_thread_count() {
+    for threads in [1, 2, 4, 8] {
+        let json = serialize(&Scenario::new(fixture_config(threads)).run());
+        assert_matches_golden(&json, &format!("fresh, {threads} threads"));
+    }
+}
+
+#[test]
+fn incremental_runs_match_pre_interning_bytes_at_every_thread_count() {
+    for threads in [1, 2, 4, 8] {
+        let json = serialize(
+            &Scenario::new(fixture_config(threads))
+                .incremental(true)
+                .run(),
+        );
+        assert_matches_golden(&json, &format!("--incremental, {threads} threads"));
+    }
+}
+
+#[test]
+fn resume_replay_matches_pre_interning_bytes_at_every_thread_count() {
+    // Record the full history once (interned recorder), then replay it at
+    // every thread count: the storelog round-trip must neither perturb the
+    // interned pipeline nor depend on id-assignment order — a recorded
+    // label's id on replay can differ from recording time, and must not
+    // matter.
+    let dir = TempDir::new("replay");
+    let recorded = {
+        let opts = PersistOptions::new(&dir.0);
+        serialize(
+            &Scenario::new(fixture_config(1))
+                .run_persisted(&opts)
+                .expect("recording run"),
+        )
+    };
+    assert_matches_golden(&recorded, "--persist recording, 1 thread");
+    for threads in [1, 2, 4, 8] {
+        let mut opts = PersistOptions::new(&dir.0);
+        opts.resume = true;
+        let replayed = serialize(
+            &Scenario::new(fixture_config(threads))
+                .run_persisted(&opts)
+                .expect("replay run"),
+        );
+        assert_matches_golden(&replayed, &format!("--resume replay, {threads} threads"));
+    }
+}
+
+/// Interrupted-then-resumed runs cross the storelog boundary mid-history:
+/// the resumed process re-interns every label from the log in replay order,
+/// then keeps crawling with those ids — the id-stability-across-resume case
+/// the interner proptests pin at the unit level, proven here end to end.
+#[test]
+fn interrupted_resume_matches_pre_interning_bytes() {
+    let dir = TempDir::new("kill");
+    {
+        let mut opts = PersistOptions::new(&dir.0);
+        opts.max_rounds = Some(20);
+        Scenario::new(fixture_config(4))
+            .run_persisted(&opts)
+            .expect("interrupted recording");
+    }
+    let mut opts = PersistOptions::new(&dir.0);
+    opts.resume = true;
+    let resumed = serialize(
+        &Scenario::new(fixture_config(2))
+            .run_persisted(&opts)
+            .expect("resumed run"),
+    );
+    assert_matches_golden(&resumed, "interrupted at round 20, resumed");
+}

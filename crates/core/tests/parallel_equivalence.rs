@@ -43,6 +43,27 @@ fn parallel_crawl_is_byte_identical_to_serial() {
         spans.iter().any(|s| s.name == "crawl.weekly"),
         "tracing was enabled, so pipeline spans must have been collected"
     );
+
+    // The interned-path pin: this exact config is also the committed
+    // pre-interning golden fixture (see intern_equivalence.rs), so thread
+    // equivalence alone is not enough — the bytes must still be the string
+    // pipeline's bytes.
+    let digest = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/intern_eq/results.digest"
+    ))
+    .expect("committed fixture digest");
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in serial.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    assert_eq!(
+        format!("{} {h:016x}\n", serial.len()),
+        digest,
+        "results match across thread counts but diverge from the \
+         pre-interning fixture"
+    );
 }
 
 /// The lossy profile injects dropped DNS queries (retries, SERVFAIL after

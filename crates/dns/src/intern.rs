@@ -1,0 +1,306 @@
+//! Global DNS-label interning.
+//!
+//! At paper scale the pipeline holds millions of [`crate::Name`]s whose
+//! label vocabulary is tiny by comparison: a few hundred thousand distinct
+//! labels cover 3.1M FQDNs (every name shares its TLD, platform suffix and
+//! apex labels with thousands of others). Interning maps each distinct
+//! label to a dense [`LabelId`] (`u32`) exactly once, so
+//!
+//! - a `Name` is a short sequence of `u32`s (inline, no heap for ≤5
+//!   labels) instead of an `Arc<[String]>`,
+//! - equality, hashing and suffix matching in the hot loops (Algorithm-1
+//!   collection, diffing, signature matching, HAC) compare integers, and
+//! - each distinct label's bytes exist once per process, a measured input
+//!   to the `pipeline.bytes_per_fqdn` budget.
+//!
+//! The design reuses the dense-id streaming-intern idea of
+//! `storelog::intern::InternTable` (first sight assigns the next id), made
+//! process-global and concurrent:
+//!
+//! - `intern` takes a short mutex on the label→id map (construction-time
+//!   only: parsing, `child`, deserialization),
+//! - `get` (id→str) is lock-free — ids index an append-only chunked table
+//!   whose slots are written exactly once before the id escapes the mutex,
+//!   so readers on any thread can resolve labels (ordering, display,
+//!   serialization) without contending with writers.
+//!
+//! Ids are assigned in first-intern order, which can differ between runs
+//! that construct names in different orders (e.g. different thread
+//! schedules discovering CNAME targets). That is sound because ids never
+//! reach any output: ordering ([`crate::Name`]'s `Ord`), display and serde
+//! all go through the label *strings*, so study results stay byte-identical
+//! no matter how ids were assigned — the `intern_equivalence` suite pins
+//! this against the pre-interning pipeline. Within one process a label's id
+//! is stable forever (append-only, never rehashed), which is what resumed
+//! and serve-mode runs rely on.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Dense id of an interned label. `Copy`, 4 bytes; resolves to its string
+/// via the owning [`Interner`] (or [`LabelId::as_str`] for the global one).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LabelId(pub(crate) u32);
+
+impl LabelId {
+    /// The raw dense index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Resolve against the process-global interner — the one every
+    /// [`crate::Name`] label belongs to.
+    pub fn as_str(self) -> &'static str {
+        global().get(self)
+    }
+}
+
+impl std::ops::Deref for LabelId {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for LabelId {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl fmt::Display for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}#{}", self.as_str(), self.0)
+    }
+}
+
+/// Chunked id→str table: chunk `k` holds `BASE << k` slots, so the table
+/// grows without ever moving a published slot (ids stay valid pointers into
+/// it forever — the property the lock-free read side needs).
+const BASE: u32 = 1024;
+const CHUNKS: usize = 23; // BASE * (2^23 - 1) slots ≈ 8.6e9 > u32::MAX
+
+/// A label interner: dense ids out, strings back, append-only.
+///
+/// Instantiable so property tests can exercise fresh tables; the pipeline
+/// itself uses the [`global`] instance via [`crate::Name`].
+pub struct Interner {
+    /// Label → id, plus the interned-bytes tally. Writers only.
+    map: Mutex<MapState>,
+    /// Id → label, readable without the mutex. Slots are `OnceLock`s set
+    /// exactly once, inside the mutex, *before* the id is handed out — so
+    /// any thread holding a `LabelId` observes an initialized slot.
+    chunks: [OnceLock<Box<[OnceLock<&'static str>]>>; CHUNKS],
+    len: AtomicUsize,
+    bytes: AtomicUsize,
+}
+
+struct MapState {
+    ids: HashMap<&'static str, u32>,
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interner {
+    pub fn new() -> Self {
+        Interner {
+            map: Mutex::new(MapState {
+                ids: HashMap::new(),
+            }),
+            chunks: std::array::from_fn(|_| OnceLock::new()),
+            len: AtomicUsize::new(0),
+            bytes: AtomicUsize::new(0),
+        }
+    }
+
+    /// Intern `label`, returning its dense id — the same id for the same
+    /// string, forever, on any thread. The string is copied (and leaked,
+    /// deliberately: labels live as long as the process, exactly like the
+    /// names built from them) only on first sight.
+    pub fn intern(&self, label: &str) -> LabelId {
+        let mut map = self.map.lock();
+        if let Some(&id) = map.ids.get(label) {
+            return LabelId(id);
+        }
+        let id = map.ids.len() as u32;
+        let stored: &'static str = Box::leak(label.to_string().into_boxed_str());
+        let (k, slot) = Self::locate(id);
+        let chunk = self.chunks[k].get_or_init(|| {
+            (0..(BASE as usize) << k)
+                .map(|_| OnceLock::new())
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        });
+        chunk[slot]
+            .set(stored)
+            .expect("intern slot written twice — id allocation raced");
+        map.ids.insert(stored, id);
+        self.len.store(map.ids.len(), Ordering::Release);
+        self.bytes.fetch_add(label.len(), Ordering::Relaxed);
+        LabelId(id)
+    }
+
+    /// The id of `label` if it is already interned.
+    pub fn lookup(&self, label: &str) -> Option<LabelId> {
+        self.map.lock().ids.get(label).map(|&id| LabelId(id))
+    }
+
+    /// Resolve an id. Lock-free. Panics on an id this interner never
+    /// produced (a cross-interner mixup is a program error, never data).
+    pub fn get(&self, id: LabelId) -> &'static str {
+        let (chunk, slot) = Self::locate(id.0);
+        self.chunks[chunk]
+            .get()
+            .and_then(|c| c[slot].get())
+            .copied()
+            .expect("LabelId from a different interner")
+    }
+
+    /// Distinct labels interned so far.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes of distinct label text held (the shared-vocabulary term
+    /// of the per-FQDN memory budget; map/table overhead not included).
+    pub fn label_bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Chunk / in-chunk slot of a dense id: chunk `k` covers ids
+    /// `[BASE*(2^k -1), BASE*(2^{k+1}-1))`.
+    fn locate(id: u32) -> (usize, usize) {
+        let n = id / BASE + 1;
+        let k = (u32::BITS - 1 - n.leading_zeros()) as usize;
+        let start = BASE as usize * ((1usize << k) - 1);
+        (k, id as usize - start)
+    }
+}
+
+/// The process-global interner every [`crate::Name`] label lives in.
+pub fn global() -> &'static Interner {
+    static GLOBAL: OnceLock<Interner> = OnceLock::new();
+    GLOBAL.get_or_init(Interner::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_label_same_id() {
+        let t = Interner::new();
+        let a = t.intern("com");
+        let b = t.intern("net");
+        assert_eq!(t.intern("com"), a);
+        assert_ne!(a, b);
+        assert_eq!(t.get(a), "com");
+        assert_eq!(t.get(b), "net");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.label_bytes(), 6);
+    }
+
+    #[test]
+    fn ids_are_dense_in_first_sight_order() {
+        let t = Interner::new();
+        for (i, l) in ["a", "b", "c", "a", "d", "b"].iter().enumerate() {
+            let id = t.intern(l);
+            let expect = match *l {
+                "a" => 0,
+                "b" => 1,
+                "c" => 2,
+                "d" => 3,
+                _ => unreachable!(),
+            };
+            assert_eq!(id.index(), expect, "step {i}");
+        }
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn lookup_without_insert() {
+        let t = Interner::new();
+        assert_eq!(t.lookup("x"), None);
+        let id = t.intern("x");
+        assert_eq!(t.lookup("x"), Some(id));
+    }
+
+    #[test]
+    fn chunk_locate_covers_boundaries() {
+        // First chunk holds BASE slots, then doubling.
+        assert_eq!(Interner::locate(0), (0, 0));
+        assert_eq!(Interner::locate(BASE - 1), (0, BASE as usize - 1));
+        assert_eq!(Interner::locate(BASE), (1, 0));
+        // Chunk 1 holds 2*BASE slots covering ids [BASE, 3*BASE).
+        assert_eq!(Interner::locate(3 * BASE - 1), (1, 2 * BASE as usize - 1));
+        assert_eq!(Interner::locate(3 * BASE), (2, 0));
+        assert!(Interner::locate(u32::MAX).0 < CHUNKS);
+    }
+
+    #[test]
+    fn growth_across_chunks() {
+        let t = Interner::new();
+        let n = (BASE * 3 + 17) as usize;
+        let ids: Vec<LabelId> = (0..n).map(|i| t.intern(&format!("l{i}"))).collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(t.get(*id), format!("l{i}"));
+            assert_eq!(id.index() as usize, i);
+        }
+        assert_eq!(t.len(), n);
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        // Eight threads hammer an overlapping label set; every thread must
+        // get the same id for the same string, and ids must resolve from
+        // any thread (the lock-free read side).
+        let t = std::sync::Arc::new(Interner::new());
+        let runs: Vec<Vec<(String, LabelId)>> = {
+            let handles: Vec<_> = (0..8)
+                .map(|w| {
+                    let t = t.clone();
+                    std::thread::spawn(move || {
+                        (0..500usize)
+                            .map(|i| {
+                                let label = format!("lbl{}", (i * 7 + w) % 311);
+                                let id = t.intern(&label);
+                                assert_eq!(t.get(id), label, "read-own-write");
+                                (label, id)
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        };
+        let mut by_label: HashMap<String, LabelId> = HashMap::new();
+        for run in runs {
+            for (label, id) in run {
+                assert_eq!(t.get(id), label);
+                by_label
+                    .entry(label)
+                    .and_modify(|prev| assert_eq!(*prev, id))
+                    .or_insert(id);
+            }
+        }
+        assert_eq!(t.len(), by_label.len());
+        assert!(t.len() <= 311);
+    }
+}

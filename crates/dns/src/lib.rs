@@ -21,6 +21,7 @@
 //! inspects both the CNAME chain and the final A records; this crate provides
 //! exactly that interface via [`resolver::Resolver::resolve_a`].
 
+pub mod intern;
 pub mod message;
 pub mod name;
 pub mod record;
@@ -29,6 +30,7 @@ pub mod server;
 pub mod wire;
 pub mod zone;
 
+pub use intern::{Interner, LabelId};
 pub use message::{Header, Message, Opcode, Question, Rcode};
 pub use name::{Name, NameError};
 pub use record::{CaaRecord, RecordClass, RecordData, RecordType, ResourceRecord, Soa};

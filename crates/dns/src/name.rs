@@ -1,12 +1,26 @@
 //! Domain names.
 //!
-//! [`Name`] stores a fully-qualified domain name as a vector of lowercase
-//! labels. Comparison, hashing and suffix matching are case-insensitive, as
-//! DNS requires. RFC 1035 length limits (63 octets per label, 255 octets per
-//! name including the root length byte) are enforced at construction so wire
-//! encoding can never fail on a valid `Name`.
+//! [`Name`] stores a fully-qualified domain name as a sequence of interned
+//! lowercase labels (dense [`LabelId`]s into the process-global
+//! [`crate::intern`] table). Comparison, hashing and suffix matching are
+//! case-insensitive, as DNS requires, and — because equal labels have equal
+//! ids — equality, hashing and suffix matching compare integers, never
+//! strings. Ordering and display resolve ids back to label text, so the
+//! canonical (lexicographic) order every pipeline pass sorts by is exactly
+//! what it was when labels were stored as strings. RFC 1035 length limits
+//! (63 octets per label, 255 octets per name including the root length
+//! byte) are enforced at construction so wire encoding can never fail on a
+//! valid `Name`.
+//!
+//! Names of up to [`INLINE_LABELS`] labels (which covers every name the
+//! synthetic world generates, and all but pathological real-world FQDNs)
+//! are stored inline: cloning is a 24-byte copy and costs no allocation or
+//! reference-count traffic at all. Longer names spill to a shared
+//! `Arc<[LabelId]>`.
 
+use crate::intern::{self, LabelId};
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 use std::fmt;
 use std::str::FromStr;
 use std::sync::Arc;
@@ -43,6 +57,19 @@ impl fmt::Display for NameError {
 
 impl std::error::Error for NameError {}
 
+/// Labels stored inline before spilling to shared heap storage.
+pub const INLINE_LABELS: usize = 5;
+
+/// Label storage: id sequence, inline for short names.
+#[derive(Clone)]
+enum Labels {
+    Inline {
+        len: u8,
+        ids: [LabelId; INLINE_LABELS],
+    },
+    Heap(Arc<[LabelId]>),
+}
+
 /// A fully-qualified, case-normalized domain name.
 ///
 /// ```
@@ -52,23 +79,36 @@ impl std::error::Error for NameError {}
 /// assert!(n.ends_with(&"example.com".parse().unwrap()));
 /// assert_eq!(n.label_count(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone)]
 pub struct Name {
-    /// Labels in most-significant-last order: `www.example.com` is
-    /// `["www", "example", "com"]`. Always lowercase.
-    ///
-    /// Shared storage: a `Name` is immutable after construction (every
-    /// operation builds a new one), so cloning — which the monitoring
-    /// pipeline does per FQDN per round — is a reference-count bump, and
-    /// names move freely across crawl-shard threads.
-    labels: Arc<[String]>,
+    /// Interned labels in most-significant-last order: `www.example.com` is
+    /// `["www", "example", "com"]`. Always lowercase (enforced at intern
+    /// time by construction-path validation).
+    labels: Labels,
 }
 
 impl Name {
     /// The DNS root (empty name).
     pub fn root() -> Self {
-        Name {
-            labels: Vec::new().into(),
+        Name::from_ids(&[])
+    }
+
+    /// Build from an already-interned id slice (internal fast path: parent,
+    /// suffix and wildcard operations never revalidate or re-intern).
+    fn from_ids(ids: &[LabelId]) -> Self {
+        if ids.len() <= INLINE_LABELS {
+            let mut inline = [LabelId(0); INLINE_LABELS];
+            inline[..ids.len()].copy_from_slice(ids);
+            Name {
+                labels: Labels::Inline {
+                    len: ids.len() as u8,
+                    ids: inline,
+                },
+            }
+        } else {
+            Name {
+                labels: Labels::Heap(ids.into()),
+            }
         }
     }
 
@@ -78,11 +118,11 @@ impl Name {
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        let mut out = Vec::new();
+        let mut ids = Vec::new();
         for l in labels {
-            out.push(validate_label(l.as_ref())?);
+            ids.push(validate_label(l.as_ref())?);
         }
-        let name = Name { labels: out.into() };
+        let name = Name::from_ids(&ids);
         name.check_total_length()?;
         name.check_wildcard()?;
         Ok(name)
@@ -98,37 +138,48 @@ impl Name {
         Self::from_labels(s.split('.'))
     }
 
-    /// The labels, leftmost first.
-    pub fn labels(&self) -> &[String] {
-        &self.labels
+    /// The interned label ids, leftmost first. Resolve one with
+    /// [`LabelId::as_str`] (or rely on its `Deref<Target = str>`).
+    pub fn labels(&self) -> &[LabelId] {
+        match &self.labels {
+            Labels::Inline { len, ids } => &ids[..*len as usize],
+            Labels::Heap(ids) => ids,
+        }
+    }
+
+    /// The labels as strings, leftmost first.
+    pub fn label_strs(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.labels().iter().map(|l| l.as_str())
     }
 
     pub fn label_count(&self) -> usize {
-        self.labels.len()
+        self.labels().len()
     }
 
     pub fn is_root(&self) -> bool {
-        self.labels.is_empty()
+        self.labels().is_empty()
     }
 
     /// Whether the leftmost label is `*`.
     pub fn is_wildcard(&self) -> bool {
-        self.labels.first().map(|l| l == "*").unwrap_or(false)
+        self.labels().first() == Some(&star_id())
     }
 
     /// Length of the name in uncompressed wire form, including the root byte.
     pub fn wire_len(&self) -> usize {
-        1 + self.labels.iter().map(|l| 1 + l.len()).sum::<usize>()
+        1 + self.label_strs().map(|l| 1 + l.len()).sum::<usize>()
     }
 
-    /// True if `self` equals `suffix` or is a subdomain of it.
+    /// True if `self` equals `suffix` or is a subdomain of it — a pure
+    /// integer-slice comparison on the interned ids.
     /// `ends_with(root)` is true for every name.
     pub fn ends_with(&self, suffix: &Name) -> bool {
-        if suffix.labels.len() > self.labels.len() {
+        let mine = self.labels();
+        let theirs = suffix.labels();
+        if theirs.len() > mine.len() {
             return false;
         }
-        let offset = self.labels.len() - suffix.labels.len();
-        self.labels[offset..] == suffix.labels[..]
+        mine[mine.len() - theirs.len()..] == *theirs
     }
 
     /// True if `self` is a *strict* subdomain of `ancestor`.
@@ -138,32 +189,29 @@ impl Name {
 
     /// The immediate parent (drops the leftmost label). Root's parent is None.
     pub fn parent(&self) -> Option<Name> {
-        if self.labels.is_empty() {
+        let ids = self.labels();
+        if ids.is_empty() {
             None
         } else {
-            Some(Name {
-                labels: self.labels[1..].to_vec().into(),
-            })
+            Some(Name::from_ids(&ids[1..]))
         }
     }
 
     /// Prepend a label, producing a child name.
     pub fn child(&self, label: &str) -> Result<Name, NameError> {
         let l = validate_label(label)?;
-        let mut labels = Vec::with_capacity(self.labels.len() + 1);
-        labels.push(l);
-        labels.extend(self.labels.iter().cloned());
-        let name = Name {
-            labels: labels.into(),
-        };
+        let mut ids = Vec::with_capacity(self.label_count() + 1);
+        ids.push(l);
+        ids.extend_from_slice(self.labels());
+        let name = Name::from_ids(&ids);
         name.check_total_length()?;
         name.check_wildcard()?;
         Ok(name)
     }
 
     /// The top-level domain label, if any (`"com"` for `www.example.com`).
-    pub fn tld(&self) -> Option<&str> {
-        self.labels.last().map(|s| s.as_str())
+    pub fn tld(&self) -> Option<&'static str> {
+        self.labels().last().map(|l| l.as_str())
     }
 
     /// The registrable second-level domain (`example.com` for
@@ -172,18 +220,17 @@ impl Name {
     /// public-suffix list is out of scope for the synthetic world, which only
     /// generates two-label registrable domains.
     pub fn sld(&self) -> Option<Name> {
-        if self.labels.len() < 2 {
+        let ids = self.labels();
+        if ids.len() < 2 {
             return None;
         }
-        Some(Name {
-            labels: self.labels[self.labels.len() - 2..].to_vec().into(),
-        })
+        Some(Name::from_ids(&ids[ids.len() - 2..]))
     }
 
     /// True if the name has more labels than its SLD, i.e. it is a subdomain
     /// like `www.example.com` rather than `example.com` itself.
     pub fn is_subdomain(&self) -> bool {
-        self.labels.len() > 2
+        self.label_count() > 2
     }
 
     /// Match against a wildcard owner name per RFC 4592: `*.example.com`
@@ -192,10 +239,22 @@ impl Name {
         if !pattern.is_wildcard() {
             return self == pattern;
         }
-        let suffix = Name {
-            labels: pattern.labels[1..].to_vec().into(),
-        };
+        let suffix = Name::from_ids(&pattern.labels()[1..]);
         self.is_subdomain_of(&suffix)
+    }
+
+    /// Heap bytes this name holds beyond `size_of::<Name>()` — the term a
+    /// per-FQDN memory budget charges per stored name. Inline names cost
+    /// zero; spilled names pay their shared `Arc` allocation (counted in
+    /// full: sharing is an optimization the budget should not rely on).
+    /// The interned label text itself is charged once per process via
+    /// [`crate::intern::Interner::label_bytes`], not per name.
+    pub fn heap_bytes(&self) -> usize {
+        match &self.labels {
+            Labels::Inline { .. } => 0,
+            // Arc<[T]> allocation: strong + weak counts + the slice.
+            Labels::Heap(ids) => 2 * std::mem::size_of::<usize>() + std::mem::size_of_val(&ids[..]),
+        }
     }
 
     fn check_total_length(&self) -> Result<(), NameError> {
@@ -207,8 +266,9 @@ impl Name {
     }
 
     fn check_wildcard(&self) -> Result<(), NameError> {
-        for (i, l) in self.labels.iter().enumerate() {
-            if l.contains('*') && (l != "*" || i != 0) {
+        let star = star_id();
+        for (i, l) in self.labels().iter().enumerate() {
+            if (*l == star && i != 0) || (*l != star && l.as_str().contains('*')) {
                 return Err(NameError::BadWildcard);
             }
         }
@@ -216,30 +276,96 @@ impl Name {
     }
 }
 
-fn validate_label(label: &str) -> Result<String, NameError> {
+/// The interned id of the wildcard label, cached so `is_wildcard` is one
+/// integer compare.
+fn star_id() -> LabelId {
+    use std::sync::OnceLock;
+    static STAR: OnceLock<LabelId> = OnceLock::new();
+    *STAR.get_or_init(|| intern::global().intern("*"))
+}
+
+fn validate_label(label: &str) -> Result<LabelId, NameError> {
     if label.is_empty() {
         return Err(NameError::EmptyLabel);
     }
     if label.len() > 63 {
         return Err(NameError::LabelTooLong(label.to_string()));
     }
+    let mut lower = false;
     for c in label.chars() {
         let ok = c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '*';
         if !ok {
             return Err(NameError::InvalidCharacter(c));
         }
+        lower |= c.is_ascii_uppercase();
     }
-    Ok(label.to_ascii_lowercase())
+    if lower {
+        Ok(intern::global().intern(&label.to_ascii_lowercase()))
+    } else {
+        // Fast path: already lowercase (the overwhelmingly common case at
+        // paper scale), no temporary allocation.
+        Ok(intern::global().intern(label))
+    }
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        self.labels() == other.labels()
+    }
+}
+
+impl Eq for Name {}
+
+impl std::hash::Hash for Name {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.labels().hash(state);
+    }
+}
+
+/// Canonical order: lexicographic over label *strings*, leftmost label
+/// first — byte-for-byte the order `Arc<[String]>` storage derived, which
+/// every canonical-order reassembly and `BTreeMap` in the pipeline relies
+/// on. Equal ids short-circuit without touching label text; the interner is
+/// injective, so unequal ids always resolve to unequal strings.
+impl Ord for Name {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let a = self.labels();
+        let b = other.labels();
+        for (x, y) in a.iter().zip(b.iter()) {
+            if x != y {
+                return x.as_str().cmp(y.as_str());
+            }
+        }
+        a.len().cmp(&b.len())
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({:?})", self.to_string())
+    }
 }
 
 impl fmt::Display for Name {
     /// The root displays as `"."`; other names display dotted without a
     /// trailing dot (presentation form used throughout the study output).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.labels.is_empty() {
+        if self.is_root() {
             return write!(f, ".");
         }
-        write!(f, "{}", self.labels.join("."))
+        for (i, l) in self.label_strs().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            f.write_str(l)?;
+        }
+        Ok(())
     }
 }
 
@@ -399,10 +525,62 @@ mod tests {
     }
 
     #[test]
-    fn clone_shares_storage() {
+    fn interned_ids_are_shared_across_names() {
         let a = n("deep.sub.example.com");
-        let b = a.clone();
-        // The Arc-backed label storage is shared, not copied.
-        assert!(std::ptr::eq(a.labels().as_ptr(), b.labels().as_ptr()));
+        let b = n("other.example.com");
+        // Same label, same id — the property every hot-loop comparison
+        // relies on.
+        assert_eq!(a.labels()[2], b.labels()[1]);
+        assert_eq!(a.labels().last(), b.labels().last());
+        assert_eq!(a.labels()[2].as_str(), "example");
+    }
+
+    #[test]
+    fn short_names_are_inline_long_names_share_storage() {
+        // ≤ INLINE_LABELS labels: no heap at all.
+        let short = n("a.b.c.example.com");
+        assert_eq!(short.label_count(), INLINE_LABELS);
+        assert_eq!(short.heap_bytes(), 0);
+        // Longer names spill to a shared Arc: clones alias the storage.
+        let long = n("a.b.c.d.example.com");
+        assert!(long.heap_bytes() > 0);
+        let clone = long.clone();
+        assert!(std::ptr::eq(
+            long.labels().as_ptr(),
+            clone.labels().as_ptr()
+        ));
+        assert_eq!(long, clone);
+    }
+
+    #[test]
+    fn ordering_matches_string_label_order() {
+        // The pre-interning derived order compared label Strings
+        // lexicographically, leftmost first, shorter-prefix-first. Pin a
+        // few adversarial pairs (shared prefixes, prefix labels, differing
+        // lengths) against that oracle.
+        let cases = [
+            "a.com",
+            "aa.com",
+            "a.b.com",
+            "b.com",
+            "a.ab.com",
+            "z.a.com",
+            "example.com",
+            "example.net",
+            "www.example.com",
+            ".",
+        ];
+        for x in &cases {
+            for y in &cases {
+                let nx = n(x);
+                let ny = n(y);
+                let want = nx
+                    .label_strs()
+                    .map(str::to_string)
+                    .collect::<Vec<_>>()
+                    .cmp(&ny.label_strs().map(str::to_string).collect::<Vec<_>>());
+                assert_eq!(nx.cmp(&ny), want, "{x} vs {y}");
+            }
+        }
     }
 }

@@ -76,9 +76,9 @@ impl std::error::Error for WireError {}
 /// Encoder with name-compression dictionary.
 struct Encoder {
     buf: BytesMut,
-    /// Maps a name (by its label-suffix presentation) to the offset of its
+    /// Maps a name (by its interned label-suffix ids) to the offset of its
     /// first occurrence. Only offsets < 0x3FFF are usable as pointers.
-    dict: HashMap<String, u16>,
+    dict: HashMap<Vec<crate::LabelId>, u16>,
 }
 
 impl Encoder {
@@ -92,7 +92,7 @@ impl Encoder {
     fn put_name(&mut self, name: &Name) {
         let labels = name.labels();
         for i in 0..labels.len() {
-            let suffix_key = labels[i..].join(".");
+            let suffix_key = labels[i..].to_vec();
             if let Some(&off) = self.dict.get(&suffix_key) {
                 // Emit pointer and stop.
                 self.buf.put_u16(0xC000 | off);

@@ -95,4 +95,24 @@ fn serving_under_query_load_is_byte_identical() {
         baseline,
         "serving queries while running changed the results"
     );
+
+    // The interned-path pin for serve mode: this config serializes the same
+    // bytes as the committed pre-interning fixture (incremental and batch
+    // runs agree per incremental_equivalence), so serve mode is held to the
+    // string pipeline's exact output too.
+    let digest = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../core/tests/fixtures/intern_eq/results.digest"
+    ))
+    .expect("committed fixture digest");
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in baseline.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    assert_eq!(
+        format!("{} {h:016x}\n", baseline.len()),
+        digest,
+        "serve-mode results diverge from the pre-interning fixture"
+    );
 }

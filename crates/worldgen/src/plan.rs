@@ -156,11 +156,11 @@ pub fn plans_for_org<R: Rng + ?Sized>(
         let resource_name = match spec.naming {
             NamingModel::IpPool => None,
             _ => {
-                let apex_label = org.apex.labels()[0].clone();
+                let apex_label = org.apex.labels()[0];
                 let tag = if subdomain == org.apex {
                     "www".to_string()
                 } else {
-                    subdomain.labels()[0].clone()
+                    subdomain.labels()[0].to_string()
                 };
                 Some(format!("{apex_label}-{tag}"))
             }
